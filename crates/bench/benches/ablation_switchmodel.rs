@@ -1,0 +1,62 @@
+//! Ablation of the cut-through switch model (a DESIGN.md-called-out
+//! design choice): the same workload on the same topology with (a) the
+//! paper's mixed model, (b) everything store-and-forward, (c) everything
+//! ideal. The latency *results* differ (that is the paper's point); this
+//! bench shows the engine's wall-clock cost is insensitive to the model,
+//! so using the faithful model costs nothing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
+use quartz_netsim::switch::{LatencyModel, CISCO_NEXUS_7000};
+use quartz_netsim::time::SimTime;
+use quartz_topology::builders::three_tier;
+use std::hint::black_box;
+
+fn run(latency: LatencyModel) -> f64 {
+    let t = three_tier(4, 2, 2, 2, 10.0, 40.0);
+    let mut sim = Simulator::new(
+        t.net.clone(),
+        SimConfig {
+            latency,
+            ..SimConfig::default()
+        },
+    );
+    let stop = SimTime::from_ms(2);
+    for (i, &h) in t.hosts.iter().enumerate().skip(1) {
+        sim.add_flow(
+            t.hosts[0],
+            h,
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: 8_000.0,
+                stop,
+                respond: false,
+            },
+            i as u32,
+            SimTime::ZERO,
+        );
+    }
+    sim.run(SimTime::from_ms(4));
+    sim.stats().summary(1).mean_ns
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch_model_ablation");
+    g.bench_function("paper_mixed", |b| {
+        b.iter(|| black_box(run(LatencyModel::paper())))
+    });
+    let all_sf = LatencyModel {
+        edge: CISCO_NEXUS_7000,
+        ..LatencyModel::paper()
+    };
+    g.bench_function("all_store_and_forward", |b| {
+        b.iter(|| black_box(run(all_sf)))
+    });
+    g.bench_function("ideal_zero_latency", |b| {
+        b.iter(|| black_box(run(LatencyModel::ideal())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Extension experiment E1: protocol fixes vs topology (§2.1.4
+//! quantified). Pass `--quick` for a reduced run.
+fn main() {
+    quartz_bench::experiments::ext01::print(quartz_bench::Scale::from_args());
+}

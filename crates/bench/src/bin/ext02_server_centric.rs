@@ -1,0 +1,5 @@
+//! Extension experiment E2: server-centric structures vs the Quartz mesh
+//! (§2.1.5). Pass `--quick` for a reduced run.
+fn main() {
+    quartz_bench::experiments::ext02::print(quartz_bench::Scale::from_args());
+}

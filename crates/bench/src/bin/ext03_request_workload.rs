@@ -1,0 +1,5 @@
+//! Extension experiment E3: the §1 Facebook-style request (88 cache +
+//! 35 DB + 392 backend RPCs) end to end. Pass `--quick` for a reduced run.
+fn main() {
+    quartz_bench::experiments::ext03::print(quartz_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig05 of the paper. Pass `--quick` for a reduced run.
+fn main() {
+    quartz_bench::experiments::fig05::print(quartz_bench::Scale::from_args());
+}

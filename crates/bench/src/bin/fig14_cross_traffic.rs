@@ -1,0 +1,4 @@
+//! Regenerates fig14 of the paper. Pass `--quick` for a reduced run.
+fn main() {
+    quartz_bench::experiments::fig14::print(quartz_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates table02 of the paper. Pass `--quick` for a reduced run.
+fn main() {
+    quartz_bench::experiments::table02::print(quartz_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates table09 of the paper. Pass `--quick` for a reduced run.
+fn main() {
+    quartz_bench::experiments::table09::print(quartz_bench::Scale::from_args());
+}

@@ -1,0 +1,102 @@
+//! Extension experiment E2 — the server-centric structures §2.1.5
+//! surveys but Table 9 omits: DCell and CamCube alongside BCube and the
+//! Quartz mesh, measured with the same metrics.
+//!
+//! "DCell, BCube and CamCube are networks that use servers as switches
+//! to assist in packet forwarding … using servers to perform packet
+//! forwarding can introduce substantial delays in the OS network stack."
+//! The table charges every relay server the §2.1.5 stack penalty and
+//! shows the latency cliff between switch-forwarded and server-forwarded
+//! designs.
+
+use crate::table::print_table;
+use crate::Scale;
+use quartz_topology::builders::{bcube, camcube, dcell_1, quartz_mesh};
+use quartz_topology::metrics::{diameter_hops, latency_no_congestion_us, HopCounts};
+use quartz_topology::route::RouteTable;
+
+/// One structure's row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Structure name.
+    pub name: &'static str,
+    /// Servers in the measured instance.
+    pub servers: usize,
+    /// Worst-case hop composition.
+    pub hops: HopCounts,
+    /// Uncongested latency (0.5 µs per switch, 15 µs per relay server).
+    pub latency_us: f64,
+}
+
+/// Measures the four structures at comparable small scale.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let paper = scale == Scale::Paper;
+    let mut rows = Vec::new();
+
+    let mut push = |name, net: &quartz_topology::Network| {
+        let t = RouteTable::all_shortest_paths(net);
+        let hops = diameter_hops(net, &t);
+        rows.push(Row {
+            name,
+            servers: net.hosts().len(),
+            hops,
+            latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
+        });
+    };
+
+    let q = if paper {
+        quartz_mesh(8, 8, 10.0, 10.0)
+    } else {
+        quartz_mesh(4, 4, 10.0, 10.0)
+    };
+    push("Quartz mesh", &q.net);
+
+    let b = if paper {
+        bcube(8, 1, 10.0)
+    } else {
+        bcube(4, 1, 10.0)
+    };
+    push("BCube(n,1)", &b.net);
+
+    let d = if paper {
+        dcell_1(8, 10.0)
+    } else {
+        dcell_1(4, 10.0)
+    };
+    push("DCell_1(n)", &d.net);
+
+    let c = if paper {
+        camcube(4, 10.0)
+    } else {
+        camcube(3, 10.0)
+    };
+    push("CamCube", &c.net);
+
+    rows
+}
+
+/// Prints the E2 table.
+pub fn print(scale: Scale) {
+    println!("Extension E2: server-centric structures vs the Quartz mesh (§2.1.5)\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.servers.to_string(),
+                format!("{} sw + {} srv", r.hops.switch_hops, r.hops.server_hops),
+                format!("{:.1}", r.latency_us),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "Structure",
+            "Servers",
+            "Worst-case hops",
+            "Latency w/o congestion (µs)",
+        ],
+        &rows,
+    );
+    println!("\nEvery relay *server* costs ~15 µs of OS stack (Table 2) — the cliff between switch-forwarded (Quartz: 1.0 µs) and server-forwarded designs.");
+}

@@ -1,0 +1,41 @@
+//! Figure 1 — backbone DWDM per-bit, per-km cost improvements over time.
+
+use crate::table::print_table;
+use crate::Scale;
+use quartz_cost::trend::{dwdm_cost_index, DWDM_TREND};
+
+/// One point of the trend: `(year, generation, relative cost, fitted)`.
+pub type Row = (u32, &'static str, f64, f64);
+
+/// The digitized series with the exponential fit alongside.
+pub fn run(_scale: Scale) -> Vec<Row> {
+    DWDM_TREND
+        .iter()
+        .map(|&(year, cost, label)| (year, label, cost, dwdm_cost_index(year)))
+        .collect()
+}
+
+/// Prints the Figure 1 series.
+pub fn print(scale: Scale) {
+    println!("Figure 1: backbone DWDM per-bit, per-km relative cost (1993 = 1.0)\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .into_iter()
+        .map(|(y, label, c, f)| {
+            vec![
+                y.to_string(),
+                label.to_string(),
+                format!("{c:.4}"),
+                format!("{f:.4}"),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Year", "Generation", "Relative cost", "Exponential fit"],
+        &rows,
+    );
+    let annual = quartz_cost::trend::annual_decline_factor();
+    println!(
+        "\nFitted decline: ×{annual:.2} per year (−{:.0}%/yr) — \"Quartz will only become more cost-competitive over time\" (§2.2).",
+        (1.0 - annual) * 100.0
+    );
+}

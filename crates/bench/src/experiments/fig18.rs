@@ -1,0 +1,170 @@
+//! Figure 18 — average latency of a *localized* task (scatter, gather,
+//! scatter/gather between servers in nearby racks) while additional
+//! randomly-placed tasks generate cross-traffic.
+//!
+//! "There is only one local task per experiment; the remaining tasks
+//! have randomly distributed senders and receivers … the local task
+//! performs scatter, gather operations to fewer targets than the
+//! non-local tasks." (§7.1)
+
+use crate::experiments::fig17::{add_task, Arch, Workload, MEAN_GAP_NS, PARTNERS};
+use crate::table::print_table;
+use crate::Scale;
+use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
+use quartz_netsim::time::SimTime;
+use quartz_topology::graph::{Network, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Local-task partner count ("fewer targets than the non-local tasks").
+pub const LOCAL_PARTNERS: usize = 6;
+
+/// Hosts eligible for the local task: servers in "nearby racks".
+fn local_pool(arch: Arch, net: &Network, hosts: &[NodeId]) -> Vec<NodeId> {
+    match arch {
+        // Racks 0 and 1 share an aggregation switch in our three-tier
+        // builder; jellyfish has no locality so take the first switches'
+        // hosts (the paper's point is exactly that this doesn't help).
+        Arch::ThreeTier | Arch::Jellyfish => hosts
+            .iter()
+            .copied()
+            .filter(|&h| matches!(net.node(h).rack, Some(0) | Some(1)))
+            .collect(),
+        // Quartz architectures: the hosts of ring 0 (racks 0..4).
+        _ => hosts
+            .iter()
+            .copied()
+            .filter(|&h| matches!(net.node(h).rack, Some(r) if r < 4))
+            .collect(),
+    }
+}
+
+/// Mean local-task latency (µs) with `tasks` total tasks (1 local +
+/// `tasks − 1` global cross-traffic tasks).
+pub fn simulate(arch: Arch, workload: Workload, tasks: usize, sim_ms: u64, seed: u64) -> f64 {
+    assert!(tasks >= 1);
+    let (net, hosts) = arch.build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stop = SimTime::from_ms(sim_ms);
+    let pool = local_pool(arch, &net, &hosts);
+    assert!(
+        pool.len() > LOCAL_PARTNERS,
+        "{arch:?}: local pool too small ({})",
+        pool.len()
+    );
+    let mut sim = Simulator::new(
+        net,
+        SimConfig {
+            seed: seed ^ 0x18,
+            ..SimConfig::default()
+        },
+    );
+
+    // The local task, tagged 0.
+    let mut local = pool.clone();
+    local.shuffle(&mut rng);
+    let local_root = local[0];
+    add_task(
+        &mut sim,
+        workload,
+        local_root,
+        &local[1..=LOCAL_PARTNERS],
+        0,
+        stop,
+    );
+
+    // Cross-traffic tasks, tagged 1, with roots distinct from each other
+    // and from the local root (a shared root would measure NIC overload,
+    // not the network).
+    let mut cross_roots: Vec<_> = hosts.iter().copied().filter(|&h| h != local_root).collect();
+    cross_roots.shuffle(&mut rng);
+    for t in 1..tasks {
+        let root = cross_roots[t - 1];
+        let mut all: Vec<_> = hosts.iter().copied().filter(|&h| h != root).collect();
+        all.shuffle(&mut rng);
+        let partners = &all[..PARTNERS];
+        for &p in partners {
+            let (src, dst, respond) = match workload {
+                Workload::Scatter => (root, p, false),
+                Workload::Gather => (p, root, false),
+                Workload::ScatterGather => (root, p, true),
+            };
+            sim.add_flow(
+                src,
+                dst,
+                400,
+                FlowKind::Poisson {
+                    mean_gap_ns: MEAN_GAP_NS,
+                    stop,
+                    respond,
+                },
+                1,
+                SimTime::ZERO,
+            );
+        }
+    }
+
+    sim.run(stop + 2_000_000);
+    sim.stats().summary(0).mean_us()
+}
+
+/// One panel: per-architecture series of `(total tasks, local-task µs)`.
+pub type Panel = Vec<(Arch, Vec<(usize, f64)>)>;
+
+/// Runs all three localized panels for the Figure 18 architecture set.
+pub fn run(scale: Scale) -> Vec<(Workload, Panel)> {
+    let (sim_ms, max_sg, max_tasks) = match scale {
+        Scale::Paper => (4, 5, 6),
+        Scale::Quick => (1, 2, 2),
+    };
+    let archs = [
+        Arch::ThreeTier,
+        Arch::Jellyfish,
+        Arch::QuartzInJellyfish,
+        Arch::QuartzInEdgeAndCore,
+    ];
+    [
+        (Workload::Scatter, max_tasks),
+        (Workload::Gather, max_tasks),
+        (Workload::ScatterGather, max_sg),
+    ]
+    .into_iter()
+    .map(|(w, max)| {
+        let panel: Panel = archs
+            .iter()
+            .map(|&a| {
+                let series = (1..=max)
+                    .map(|t| (t, simulate(a, w, t, sim_ms, 180 + t as u64)))
+                    .collect();
+                (a, series)
+            })
+            .collect();
+        (w, panel)
+    })
+    .collect()
+}
+
+/// Prints the three Figure 18 panels.
+pub fn print(scale: Scale) {
+    for (w, panel) in run(scale) {
+        println!(
+            "\nFigure 18 (Localized {}): local-task latency per packet (µs) vs total tasks\n",
+            w.name()
+        );
+        let max = panel[0].1.len();
+        let mut headers: Vec<String> = vec!["Architecture".into()];
+        headers.extend((1..=max).map(|t| format!("{t} task{}", if t > 1 { "s" } else { "" })));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = panel
+            .iter()
+            .map(|(a, series)| {
+                let mut cells = vec![a.name().to_string()];
+                cells.extend(series.iter().map(|(_, us)| format!("{us:.2}")));
+                cells
+            })
+            .collect();
+        print_table(&headers_ref, &rows);
+    }
+    println!("\nPaper: Jellyfish cannot exploit locality (highest); Quartz rings keep local traffic inside the ring, mostly unaffected by cross-traffic (§7.1).");
+}

@@ -1,0 +1,21 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Each module exposes `run(scale) -> Vec<Row>`-style structured results
+//! plus a `print(scale)` that renders the paper-style table; the binaries
+//! in `src/bin` are one-line wrappers around `print`.
+
+pub mod ext01;
+pub mod ext02;
+pub mod ext03;
+pub mod fig01;
+pub mod fig05;
+pub mod fig06;
+pub mod fig10;
+pub mod fig14;
+pub mod fig17;
+pub mod fig18;
+pub mod fig20;
+pub mod table02;
+pub mod table08;
+pub mod table09;
+pub mod table16;

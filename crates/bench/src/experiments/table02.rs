@@ -1,0 +1,39 @@
+//! Table 2 — network latencies of different network components.
+
+use crate::table::print_table;
+use crate::Scale;
+use quartz_netsim::latency::{STANDARD, STATE_OF_ART};
+
+/// `(component, standard ns, state-of-art ns)`.
+pub type Row = (&'static str, u64, u64);
+
+/// The Table 2 component latencies.
+pub fn run(_scale: Scale) -> Vec<Row> {
+    vec![
+        ("OS Network Stack", STANDARD.stack_ns, STATE_OF_ART.stack_ns),
+        ("NIC", STANDARD.nic_ns, STATE_OF_ART.nic_ns),
+        ("Switch", STANDARD.switch_ns, STATE_OF_ART.switch_ns),
+        (
+            "Congestion",
+            STANDARD.congestion_ns,
+            STATE_OF_ART.congestion_ns,
+        ),
+    ]
+}
+
+/// Prints Table 2.
+pub fn print(scale: Scale) {
+    println!("Table 2: network latencies of different network components\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .into_iter()
+        .map(|(c, s, a)| {
+            vec![
+                c.to_string(),
+                format!("{:.1}", s as f64 / 1e3),
+                format!("{:.1}", a as f64 / 1e3),
+            ]
+        })
+        .collect();
+    print_table(&["Component", "Standard (µs)", "State of Art (µs)"], &rows);
+    println!("\nNote: congestion is the Table 2 ~50 µs queueing figure; Quartz attacks it with topology rather than protocol changes (§1).");
+}

@@ -1,0 +1,64 @@
+//! Table 8 — the §4.4 configurator: cost and latency comparison across
+//! datacenter sizes and utilization levels.
+
+use crate::table::{pct, print_table};
+use crate::Scale;
+use quartz_cost::catalog::PriceCatalog;
+use quartz_cost::configurator::{configure, DatacenterSize, Row, Utilization};
+
+/// The six configurator rows under the default 2014 catalog.
+pub fn run(_scale: Scale) -> Vec<Row> {
+    configure(&PriceCatalog::era_2014())
+}
+
+fn size_name(s: DatacenterSize) -> &'static str {
+    match s {
+        DatacenterSize::Small => "Small (500)",
+        DatacenterSize::Medium => "Medium (10K)",
+        DatacenterSize::Large => "Large (100K)",
+    }
+}
+
+fn util_name(u: Utilization) -> &'static str {
+    match u {
+        Utilization::Low => "Low",
+        Utilization::High => "High",
+    }
+}
+
+/// Prints Table 8.
+pub fn print(scale: Scale) {
+    println!("Table 8: approximate cost and latency comparison (network hardware only)\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .into_iter()
+        .flat_map(|r| {
+            [
+                vec![
+                    size_name(r.size).to_string(),
+                    util_name(r.utilization).to_string(),
+                    r.baseline.name().to_string(),
+                    "-".to_string(),
+                    format!("${:.0}", r.baseline_cost),
+                ],
+                vec![
+                    String::new(),
+                    String::new(),
+                    r.quartz.name().to_string(),
+                    pct(r.latency_reduction),
+                    format!("${:.0}", r.quartz_cost),
+                ],
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "Datacenter size",
+            "Utilization",
+            "Topology",
+            "Latency reduction",
+            "Cost/server",
+        ],
+        &rows,
+    );
+    println!("\nPaper's rows: small $589→$633 (33%/50%), medium $544→$612 (20%/40%), large $525→$525 core (70%) and $525→$614 edge+core (74%).");
+}

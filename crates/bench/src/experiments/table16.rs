@@ -1,0 +1,35 @@
+//! Table 16 — specifications of the switches used in the simulations.
+
+use crate::table::print_table;
+use crate::Scale;
+use quartz_netsim::switch::{SwitchSpec, ARISTA_7150S, CISCO_NEXUS_7000};
+
+/// The two simulated devices.
+pub fn run(_scale: Scale) -> Vec<SwitchSpec> {
+    vec![CISCO_NEXUS_7000, ARISTA_7150S]
+}
+
+/// Prints Table 16.
+pub fn print(scale: Scale) {
+    println!("Table 16: specifications of switches used in the simulations\n");
+    let rows: Vec<Vec<String>> = run(scale)
+        .into_iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                if s.latency_ns >= 1000 {
+                    format!("{} us", s.latency_ns / 1000)
+                } else {
+                    format!("{} ns", s.latency_ns)
+                },
+                format!("{} 10Gbps or {} 40Gbps", s.ports_10g, s.ports_40g),
+                if s.cut_through {
+                    "cut-through".into()
+                } else {
+                    "store-and-forward".into()
+                },
+            ]
+        })
+        .collect();
+    print_table(&["Switch", "Latency", "Port count", "Architecture"], &rows);
+}

@@ -1,0 +1,37 @@
+//! # quartz-bench
+//!
+//! The experiment harness: one module (and one binary) per table and
+//! figure of the paper's evaluation. Each binary prints the same rows or
+//! series the paper reports, so `cargo run -p quartz-bench --bin
+//! fig17_global_latency` regenerates Figure 17 and so on. EXPERIMENTS.md
+//! in the repository root records paper-vs-measured for every one.
+//!
+//! Every experiment takes a [`Scale`]: `Paper` runs the full
+//! configuration; `Quick` shrinks trial counts and simulated time so the
+//! whole suite can run inside the integration tests.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;
+
+/// Experiment fidelity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Full, paper-fidelity parameters (seconds to a few minutes).
+    Paper,
+    /// Reduced trials/time for CI and integration tests.
+    Quick,
+}
+
+impl Scale {
+    /// Parses `--quick` from process args.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! `quartz` — command-line tools for the Quartz WDM-ring design element.
+//!
+//! ```text
+//! quartz design     --switches 33 [--server-ports 32 --trunk-ports 32 --rate 10]
+//! quartz plan       --switches 9 [--exact true] [--show-pairs 10]
+//! quartz grow       --switches 9
+//! quartz faults     --switches 33 --rings 2 [--failures 4 --trials 10000]
+//! quartz configure
+//! quartz throughput --racks 16 --hosts 8 [--pattern permutation|incast|shuffle] [--policy ecmp|adaptive|vlb:0.5]
+//! quartz rpc        [--cross-mbps 150 --wiring quartz|tree]
+//! ```
+
+mod args;
+
+use args::Args;
+use quartz_core::channel::{bounds, exact, greedy};
+use quartz_core::fault::FailureModel;
+use quartz_core::scalability;
+use quartz_core::QuartzRing;
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("design") => cmd_design(&args),
+        Some("plan") => cmd_plan(&args),
+        Some("grow") => cmd_grow(&args),
+        Some("faults") => cmd_faults(&args),
+        Some("configure") => cmd_configure(&args),
+        Some("throughput") => cmd_throughput(&args),
+        Some("rpc") => cmd_rpc(&args),
+        Some("topo") => cmd_topo(&args),
+        Some("power") => cmd_power(&args),
+        Some("help") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    println!(
+        "quartz — design tools for WDM-ring full-mesh datacenter networks\n\n\
+         commands:\n\
+         \x20 design      check a ring design: ports, wavelengths, optics, fault plan\n\
+         \x20 plan        wavelength assignment (greedy, optionally proven optimal)\n\
+         \x20 grow        cost of expanding a ring by one switch\n\
+         \x20 faults      Monte-Carlo bandwidth-loss / partition analysis\n\
+         \x20 configure   the cost/latency configurator (paper Table 8)\n\
+         \x20 throughput  max-min throughput of a mesh under a traffic pattern\n\
+         \x20 rpc         simulate the prototype RPC-under-cross-traffic experiment\n\
+         \x20 topo        emit a topology as Graphviz DOT on stdout\n\
+         \x20 power       network power draw per design (watts/server)\n\n\
+         run a command with wrong flags to see its options"
+    );
+}
+
+fn cmd_design(args: &Args) -> Result<(), String> {
+    args.expect_only(&["switches", "server-ports", "trunk-ports", "rate"])?;
+    let m: usize = args.num("switches", 33)?;
+    let n: usize = args.num("server-ports", 32)?;
+    let k: usize = args.num("trunk-ports", if m > 0 { m - 1 } else { 32 })?;
+    let rate: f64 = args.num("rate", 10.0)?;
+
+    let ring = QuartzRing::new(m, n, k, rate).map_err(|e| e.to_string())?;
+    println!("Quartz ring: {m} switches, {n} server + {k} trunk ports each, {rate} Gb/s");
+    println!("  server ports           {}", ring.server_ports());
+    println!("  worst-case switch hops {}", ring.max_switch_hops());
+    println!("  rack-pair oversub      {}:1", ring.oversubscription());
+    println!("  wavelengths (greedy)   {}", ring.wavelengths_required());
+    println!("  lower bound            {}", bounds::load_lower_bound(m));
+    println!("  WDM muxes per switch   {}", ring.muxes_per_switch());
+    println!("  physical fiber rings   {}", ring.physical_rings());
+    let optics = ring.optical_plan().map_err(|e| e.to_string())?;
+    println!("  amplifiers on ring     {}", optics.amplifier_count());
+    println!(
+        "  receiver pad           {} dB",
+        optics.receiver_pad().attenuation.value()
+    );
+    println!("  worst optical margin   {}", optics.worst_margin());
+    println!(
+        "  max ports at this port count: {}",
+        scalability::max_mesh_server_ports(n + k)
+    );
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    args.expect_only(&["switches", "exact", "show-pairs"])?;
+    let m: usize = args.num("switches", 9)?;
+    let want_exact: bool = args.num("exact", false)?;
+    let show: usize = args.num("show-pairs", 10)?;
+    if m < 2 {
+        return Err("--switches must be ≥ 2".into());
+    }
+
+    let assignment = if want_exact {
+        if m > 64 {
+            return Err("--exact supports up to 64 switches".into());
+        }
+        let r = exact::solve(m, exact::DEFAULT_NODE_BUDGET);
+        println!(
+            "exact plan: {} wavelengths ({})",
+            r.channels,
+            match r.status {
+                exact::ExactStatus::Optimal => "proven optimal",
+                exact::ExactStatus::BudgetExhausted => "best found within budget",
+            }
+        );
+        r.assignment
+    } else {
+        let a = greedy::assign_best(m);
+        println!(
+            "greedy plan: {} wavelengths (lower bound {})",
+            a.channels_used(),
+            bounds::load_lower_bound(m)
+        );
+        a
+    };
+    assignment.validate().map_err(|e| e.to_string())?;
+
+    for (shown, (pair, dir, ch)) in assignment.entries().iter().enumerate() {
+        if shown >= show {
+            println!("  … ({} more pairs)", assignment.entries().len() - shown);
+            break;
+        }
+        println!("  λ[{} ↔ {}] = channel {ch} ({dir:?} arc)", pair.a, pair.b);
+    }
+    Ok(())
+}
+
+fn cmd_grow(args: &Args) -> Result<(), String> {
+    args.expect_only(&["switches"])?;
+    let m: usize = args.num("switches", 9)?;
+    if m < 2 {
+        return Err("--switches must be ≥ 2".into());
+    }
+    let step = scalability::expansion_step(m);
+    println!("growing a ring from {} to {} switches:", step.from, step.to);
+    println!("  new pairs (channels to provision) {}", step.added);
+    println!("  existing pairs re-tuned           {}", step.retuned);
+    println!(
+        "  wavelengths                        {} → {}",
+        step.wavelengths.0, step.wavelengths.1
+    );
+    Ok(())
+}
+
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    args.expect_only(&["switches", "rings", "failures", "trials", "seed"])?;
+    let m: usize = args.num("switches", 33)?;
+    let rings: usize = args.num("rings", 2)?;
+    let failures: usize = args.num("failures", 4)?;
+    let trials: usize = args.num("trials", 10_000)?;
+    let seed: u64 = args.num("seed", 42)?;
+    if m < 3 {
+        return Err("--switches must be ≥ 3".into());
+    }
+    let model = FailureModel::new(m, rings);
+    let r = model.monte_carlo(failures, trials, seed);
+    println!(
+        "{m}-switch ring, {rings} physical fiber ring(s), {failures} random cut(s), {trials} trials:"
+    );
+    println!(
+        "  mean direct-bandwidth loss {:.1}%",
+        r.mean_bandwidth_loss * 100.0
+    );
+    println!(
+        "  partition probability      {:.4}",
+        r.partition_probability
+    );
+    Ok(())
+}
+
+fn cmd_configure(args: &Args) -> Result<(), String> {
+    args.expect_only(&["wdm-scale"])?;
+    let scale: f64 = args.num("wdm-scale", 1.0)?;
+    let catalog = quartz_cost::catalog::PriceCatalog::era_2014().with_wdm_scale(scale);
+    for row in quartz_cost::configurator::configure(&catalog) {
+        let premium = row.quartz_cost / row.baseline_cost - 1.0;
+        println!(
+            "{:?}/{:?}: {} ${:.0} → {} ${:.0} ({:+.1}%), latency −{:.0}%",
+            row.size,
+            row.utilization,
+            row.baseline.name(),
+            row.baseline_cost,
+            row.quartz.name(),
+            row.quartz_cost,
+            premium * 100.0,
+            row.latency_reduction * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_throughput(args: &Args) -> Result<(), String> {
+    args.expect_only(&["racks", "hosts", "pattern", "policy", "seed"])?;
+    let racks: usize = args.num("racks", 16)?;
+    let hosts: usize = args.num("hosts", 8)?;
+    let seed: u64 = args.num("seed", 1)?;
+    let pattern = args.get("pattern").unwrap_or("permutation");
+    let policy_s = args.get("policy").unwrap_or("adaptive");
+
+    use quartz_flowsim::fabric::{MeshRouting, QuartzFabric};
+    use quartz_flowsim::matrix;
+    use quartz_flowsim::throughput::normalized_throughput;
+
+    let total = racks * hosts;
+    let demands = match pattern {
+        "permutation" => matrix::random_permutation(total, seed),
+        "incast" => matrix::incast(total, 10.min(total - 1), seed),
+        "shuffle" => matrix::rack_shuffle(racks, hosts, 4.min(racks - 1), seed),
+        other => return Err(format!("unknown pattern '{other}'")),
+    };
+    let policy = match policy_s {
+        "ecmp" => MeshRouting::EcmpDirect,
+        "adaptive" => MeshRouting::VlbAdaptive,
+        s => match s.strip_prefix("vlb:") {
+            Some(k) => {
+                MeshRouting::VlbUniform(k.parse().map_err(|_| format!("bad VLB fraction '{k}'"))?)
+            }
+            None => return Err(format!("unknown policy '{policy_s}'")),
+        },
+    };
+    let fabric = QuartzFabric {
+        racks,
+        hosts_per_rack: hosts,
+        channel_cap: 1.0,
+        policy,
+    };
+    let t = normalized_throughput(&fabric, &demands);
+    println!(
+        "{racks}×{hosts} mesh, {pattern}, {policy_s}: normalized throughput {:.3} ({:.1} of {:.1} line-rate units)",
+        t.normalized, t.aggregate, t.ideal_aggregate
+    );
+    Ok(())
+}
+
+fn cmd_rpc(args: &Args) -> Result<(), String> {
+    args.expect_only(&["cross-mbps", "wiring", "count"])?;
+    let mbps: f64 = args.num("cross-mbps", 150.0)?;
+    let count: u32 = args.num("count", 2_000)?;
+    let wiring = args.get("wiring").unwrap_or("quartz");
+
+    use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
+    use quartz_netsim::time::SimTime;
+    use quartz_topology::builders::{prototype_quartz, prototype_two_tier};
+
+    let (net, rpc, cross) = match wiring {
+        "quartz" => {
+            let p = prototype_quartz();
+            (
+                p.net,
+                (p.hosts[2], p.hosts[4]),
+                vec![(p.hosts[0], p.hosts[5]), (p.hosts[1], p.hosts[5])],
+            )
+        }
+        "tree" => {
+            let p = prototype_two_tier();
+            (
+                p.net,
+                (p.hosts[0], p.hosts[2]),
+                vec![(p.hosts[4], p.hosts[3]), (p.hosts[5], p.hosts[3])],
+            )
+        }
+        other => return Err(format!("unknown wiring '{other}' (quartz|tree)")),
+    };
+    let horizon = SimTime::from_ms(4_000);
+    let mut sim = Simulator::new(net, SimConfig::default());
+    sim.add_flow(rpc.0, rpc.1, 100, FlowKind::Rpc { count }, 0, SimTime::ZERO);
+    if mbps > 0.0 {
+        let period_ns = (20.0 * 1500.0 * 8.0 / (mbps / 1000.0)) as u64;
+        for (s, d) in cross {
+            sim.add_flow(
+                s,
+                d,
+                1_500,
+                FlowKind::Burst {
+                    burst_pkts: 20,
+                    period_ns,
+                    stop: horizon,
+                },
+                1,
+                SimTime::ZERO,
+            );
+        }
+    }
+    sim.run(horizon);
+    let s = sim.stats().summary(0);
+    println!(
+        "{wiring} wiring, {mbps} Mb/s cross-traffic per source: RPC RTT mean {:.2} µs, p99 {:.2} µs ({} calls)",
+        s.mean_us(),
+        s.p99_ns as f64 / 1e3,
+        s.count
+    );
+    Ok(())
+}
+
+fn cmd_topo(args: &Args) -> Result<(), String> {
+    args.expect_only(&["kind", "size", "hosts", "seed"])?;
+    let kind = args.get("kind").unwrap_or("mesh");
+    let size: usize = args.num("size", 4)?;
+    let hosts: usize = args.num("hosts", 2)?;
+    let seed: u64 = args.num("seed", 1)?;
+    use quartz_topology::builders as b;
+    use quartz_topology::dot::to_dot;
+    let (net, title) = match kind {
+        "mesh" => (b::quartz_mesh(size, hosts, 10.0, 10.0).net, "Quartz mesh"),
+        "three-tier" => (
+            b::three_tier(size.max(1), 2, hosts, 2, 10.0, 40.0).net,
+            "Three-tier tree",
+        ),
+        "jellyfish" => {
+            let deg = 4.min(size.saturating_sub(1)).max(1);
+            (
+                b::jellyfish(size.max(4), deg, hosts, 10.0, 10.0, seed).net,
+                "Jellyfish",
+            )
+        }
+        "prototype" => (b::prototype_quartz().net, "Quartz prototype"),
+        "edge-core" => (
+            b::quartz_in_edge_and_core(size.max(2), 4, hosts, 4).net,
+            "Quartz in edge and core",
+        ),
+        other => {
+            return Err(format!(
+                "unknown kind '{other}' (mesh|three-tier|jellyfish|prototype|edge-core)"
+            ))
+        }
+    };
+    print!("{}", to_dot(&net, title));
+    Ok(())
+}
+
+fn cmd_power(args: &Args) -> Result<(), String> {
+    args.expect_only(&["servers"])?;
+    let servers: usize = args.num("servers", 10_000)?;
+    use quartz_cost::bom::Design;
+    use quartz_cost::power::PowerCatalog;
+    let p = PowerCatalog::default();
+    println!("network power draw for {servers} servers:");
+    for d in [
+        Design::TwoTierTree,
+        Design::ThreeTierTree,
+        Design::QuartzInEdge,
+        Design::QuartzInCore,
+        Design::QuartzInEdgeAndCore,
+    ] {
+        let w = p.watts_per_server(d, servers);
+        println!(
+            "  {:<26} {w:>6.2} W/server ({:.1} kW total)",
+            d.name(),
+            w * servers as f64 / 1000.0
+        );
+    }
+    Ok(())
+}

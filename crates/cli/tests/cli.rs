@@ -1,0 +1,91 @@
+//! End-to-end tests of the `quartz` binary.
+
+use std::process::Command;
+
+fn quartz(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_quartz"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_every_command() {
+    let (ok, stdout, _) = quartz(&["help"]);
+    assert!(ok);
+    for cmd in [
+        "design",
+        "plan",
+        "grow",
+        "faults",
+        "configure",
+        "throughput",
+        "rpc",
+        "topo",
+        "power",
+    ] {
+        assert!(stdout.contains(cmd), "help is missing '{cmd}'");
+    }
+}
+
+#[test]
+fn design_prints_the_flagship_numbers() {
+    let (ok, stdout, _) = quartz(&["design", "--switches", "33"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("1056"));
+    assert!(stdout.contains("wavelengths"));
+}
+
+#[test]
+fn plan_exact_proves_small_rings() {
+    let (ok, stdout, _) = quartz(&["plan", "--switches", "7", "--exact", "true"]);
+    assert!(ok);
+    assert!(stdout.contains("proven optimal"), "{stdout}");
+}
+
+#[test]
+fn infeasible_design_fails_cleanly() {
+    let (ok, _, stderr) = quartz(&["design", "--switches", "40", "--trunk-ports", "64"]);
+    assert!(!ok);
+    assert!(stderr.contains("wavelengths"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_is_rejected_with_suggestions() {
+    let (ok, _, stderr) = quartz(&["design", "--swithces", "9"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown option"), "{stderr}");
+    assert!(stderr.contains("switches"), "{stderr}");
+}
+
+#[test]
+fn topo_emits_valid_dot() {
+    let (ok, stdout, _) = quartz(&["topo", "--kind", "prototype"]);
+    assert!(ok);
+    assert!(stdout.starts_with("graph"));
+    assert!(stdout.trim_end().ends_with('}'));
+    assert!(stdout.contains(" -- "));
+}
+
+#[test]
+fn faults_reports_both_metrics() {
+    let (ok, stdout, _) = quartz(&[
+        "faults",
+        "--switches",
+        "17",
+        "--rings",
+        "2",
+        "--failures",
+        "3",
+        "--trials",
+        "500",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("bandwidth loss"));
+    assert!(stdout.contains("partition probability"));
+}

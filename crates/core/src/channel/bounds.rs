@@ -1,0 +1,87 @@
+//! Lower bounds on the number of wavelengths a ring needs.
+//!
+//! Any assignment routes each pair over an arc at least as long as its
+//! shorter arc, so the total link-crossings are at least the sum of
+//! shortest-arc lengths; averaging over the `m` links gives a load bound,
+//! and since a channel can appear at most once per link, the busiest link's
+//! load lower-bounds the channel count.
+//!
+//! For the paper's numbers: `m = 33` gives a bound of 136 (the paper's ILP
+//! finds 137), and `m = 35` gives 153 — under the 160-channel fiber
+//! ceiling, which is why §3.1 concludes "the maximum ring size is 35".
+
+use super::all_pairs;
+
+/// Sum over all pairs of the shorter-arc length — the minimum possible
+/// total number of (lightpath, link) crossings.
+pub fn total_min_hops(m: usize) -> usize {
+    all_pairs(m).iter().map(|p| p.min_len(m)).sum()
+}
+
+/// The aggregate-load lower bound on the number of wavelengths:
+/// `⌈ total_min_hops / m ⌉`.
+///
+/// Valid because (a) every assignment's total crossings are at least
+/// [`total_min_hops`], (b) crossings spread over `m` links, so some link
+/// carries at least the average, and (c) each wavelength appears at most
+/// once per link.
+pub fn load_lower_bound(m: usize) -> usize {
+    if m < 2 {
+        return 0;
+    }
+    total_min_hops(m).div_ceil(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_enumeration() {
+        // Odd m: every distance d ∈ 1..=(m−1)/2 occurs m times.
+        // Even m: distances 1..m/2−1 occur m times, m/2 occurs m/2 times.
+        for m in 2..60 {
+            let expect = if m % 2 == 1 {
+                let h = (m - 1) / 2;
+                m * h * (h + 1) / 2
+            } else {
+                let h = m / 2;
+                m * (h - 1) * h / 2 + h * h
+            };
+            assert_eq!(total_min_hops(m), expect, "m={m}");
+        }
+    }
+
+    #[test]
+    fn paper_bound_at_33_is_136() {
+        // §3.5 says a 33-switch ring needs 137 channels; the load bound
+        // is one below that.
+        assert_eq!(load_lower_bound(33), 136);
+    }
+
+    #[test]
+    fn paper_bound_at_35_fits_160_channel_fiber() {
+        assert_eq!(load_lower_bound(35), 153);
+        assert!(load_lower_bound(35) <= 160);
+        // And 36 switches cannot fit:
+        assert!(load_lower_bound(36) > 160);
+    }
+
+    #[test]
+    fn bound_grows_quadratically() {
+        // ~ m²/8 asymptotically.
+        for m in [16, 24, 32, 40] {
+            let b = load_lower_bound(m) as f64;
+            let q = (m * m) as f64 / 8.0;
+            assert!((b - q).abs() / q < 0.1, "m={m}: {b} vs {q}");
+        }
+    }
+
+    #[test]
+    fn degenerate_rings() {
+        assert_eq!(load_lower_bound(0), 0);
+        assert_eq!(load_lower_bound(1), 0);
+        assert_eq!(load_lower_bound(2), 1);
+        assert_eq!(load_lower_bound(3), 1);
+    }
+}

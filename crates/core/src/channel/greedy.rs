@@ -1,0 +1,285 @@
+//! The paper's greedy channel-assignment heuristic (§3.1.1).
+//!
+//! > "For all the paths between switch pairs (s, t), they are first sorted
+//! > by their length. […] Our heuristic is to give priority to long paths
+//! > to avoid fragmenting the available channels on the ring. Shorter
+//! > paths are assigned later because short paths are less constrained on
+//! > channels that are available on consecutive links. In each iteration,
+//! > starting from a random location, the channels are greedily assigned
+//! > to the paths until all paths are assigned or the channels are used
+//! > up."
+//!
+//! The implementation is deterministic: the "random location" is an
+//! explicit `start` offset. [`assign_best`] tries every offset and keeps
+//! the cheapest result, which is what a designer doing one-time wavelength
+//! planning would do (§3.1: planning "only requires seconds … even for a
+//! ring size of 35").
+
+use super::{Arc, Assignment, Direction, Pair};
+
+/// Tracks which channels are free on which links.
+struct UsageTable {
+    m: usize,
+    /// `used[channel][link]`.
+    used: Vec<Vec<bool>>,
+}
+
+impl UsageTable {
+    fn new(m: usize) -> Self {
+        UsageTable {
+            m,
+            used: Vec::new(),
+        }
+    }
+
+    fn is_free(&self, channel: usize, arc: &Arc) -> bool {
+        match self.used.get(channel) {
+            None => true, // channel never touched yet
+            Some(links) => arc.links().all(|l| !links[l]),
+        }
+    }
+
+    fn occupy(&mut self, channel: usize, arc: &Arc) {
+        while self.used.len() <= channel {
+            self.used.push(vec![false; self.m]);
+        }
+        for l in arc.links() {
+            self.used[channel][l] = true;
+        }
+    }
+
+    fn channels_allocated(&self) -> usize {
+        self.used.len()
+    }
+}
+
+/// The order in which pairs are assigned — the design choice §3.1.1
+/// motivates ("give priority to long paths to avoid fragmenting the
+/// available channels"). The alternatives exist for ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ordering {
+    /// The paper's heuristic: longest paths first.
+    LongestFirst,
+    /// The reverse: shortest paths first (fragments channels).
+    ShortestFirst,
+}
+
+/// Runs the paper's greedy heuristic with a fixed starting offset for the
+/// per-iteration scan.
+///
+/// Paths are processed longest-first (distance `⌊m/2⌋` down to 1); within
+/// a distance class the scan starts at switch `start % m`. Each path takes
+/// the shorter arc (clockwise on ties) and the lowest-indexed channel free
+/// on all of that arc's links; if the other direction admits a strictly
+/// lower channel, it is preferred — a cheap local improvement that stays
+/// within the paper's "greedily assign" description.
+pub fn assign(m: usize, start: usize) -> Assignment {
+    assign_with_order(m, start, Ordering::LongestFirst)
+}
+
+/// [`assign`] with an explicit pair ordering (see [`Ordering`]).
+pub fn assign_with_order(m: usize, start: usize, order: Ordering) -> Assignment {
+    assert!(m >= 2, "a ring needs at least 2 switches");
+    let mut table = UsageTable::new(m);
+    let mut entries = Vec::with_capacity(m * (m - 1) / 2);
+
+    let max_d = m / 2;
+    let distances: Vec<usize> = match order {
+        Ordering::LongestFirst => (1..=max_d).rev().collect(),
+        Ordering::ShortestFirst => (1..=max_d).collect(),
+    };
+    for d in distances {
+        // Pairs at distance d: (i, i+d) for i in 0..m, except distance
+        // exactly m/2 on even rings, where each pair appears once.
+        let count = if m.is_multiple_of(2) && d == m / 2 {
+            m / 2
+        } else {
+            m
+        };
+        for idx in 0..count {
+            let i = (start + idx) % m;
+            let pair = Pair::new(i, (i + d) % m);
+
+            // Candidate arcs, shorter first; on equal length, cw first.
+            let cw = Arc::of(pair, Direction::Cw, m);
+            let ccw = Arc::of(pair, Direction::Ccw, m);
+            let candidates: [(Direction, Arc); 2] = if cw.len <= ccw.len {
+                [(Direction::Cw, cw), (Direction::Ccw, ccw)]
+            } else {
+                [(Direction::Ccw, ccw), (Direction::Cw, cw)]
+            };
+
+            let mut best: Option<(Direction, Arc, usize)> = None;
+            for (dir, arc) in candidates {
+                let ch = (0..).find(|&c| table.is_free(c, &arc)).unwrap();
+                let better = match &best {
+                    None => true,
+                    Some((_, _, best_ch)) => ch < *best_ch,
+                };
+                if better {
+                    best = Some((dir, arc, ch));
+                }
+            }
+            let (dir, arc, ch) = best.expect("at least one candidate");
+            table.occupy(ch, &arc);
+            entries.push((pair, dir, ch as u16));
+        }
+    }
+
+    debug_assert_eq!(table.channels_allocated(), {
+        let mut mx = 0;
+        for (_, _, c) in &entries {
+            mx = mx.max(*c as usize + 1);
+        }
+        mx
+    });
+    Assignment::from_entries(m, entries)
+}
+
+/// Runs [`assign`] for every starting offset and returns the assignment
+/// using the fewest channels (ties: lowest offset).
+///
+/// # Examples
+///
+/// ```
+/// use quartz_core::channel::greedy;
+///
+/// let plan = greedy::assign_best(9);
+/// plan.validate().unwrap();           // conflict-free, complete
+/// assert_eq!(plan.channels_used(), 10); // the (M²−1)/8 optimum
+/// ```
+pub fn assign_best(m: usize) -> Assignment {
+    (0..m)
+        .map(|s| assign(m, s))
+        .min_by_key(|a| a.channels_used())
+        .expect("m >= 2 yields at least one offset")
+}
+
+/// Number of channels the greedy heuristic needs for a ring of `m`
+/// (best over starting offsets).
+pub fn wavelengths_required(m: usize) -> usize {
+    if m < 2 {
+        return 0;
+    }
+    assign_best(m).channels_used()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::bounds::load_lower_bound;
+
+    #[test]
+    fn every_result_is_valid() {
+        for m in 2..=20 {
+            let a = assign(m, 0);
+            a.validate().unwrap_or_else(|e| panic!("m={m}: {e}"));
+            assert_eq!(a.entries().len(), m * (m - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn all_start_offsets_are_valid() {
+        let m = 11;
+        for s in 0..m {
+            assign(m, s).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_respects_lower_bound() {
+        for m in 2..=24 {
+            let g = wavelengths_required(m);
+            let lb = load_lower_bound(m);
+            assert!(g >= lb, "m={m}: greedy {g} below bound {lb}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_near_optimal_small_rings() {
+        // Figure 5 shows the greedy curve hugging the ILP curve. The load
+        // bound itself can be off by a little (m=4's optimum is 3 vs a
+        // bound of 2), so allow a small additive-plus-relative slack.
+        for m in 2..=24 {
+            let g = wavelengths_required(m);
+            let lb = load_lower_bound(m);
+            assert!(
+                g <= lb + (lb / 4).max(2),
+                "m={m}: greedy {g} too far above bound {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_ring_35_fits_160_channels() {
+        // §3.1: "the maximum ring size is 35 since current fiber cables
+        // can only support 160 channels".
+        let g = wavelengths_required(35);
+        assert!(g <= 160, "greedy needs {g} > 160 channels at m=35");
+    }
+
+    #[test]
+    fn tiny_rings() {
+        assert_eq!(wavelengths_required(2), 1);
+        assert_eq!(wavelengths_required(3), 1);
+        // m=4: the two distance-2 pairs have complementary 2-link arcs
+        // that always intersect, so they need distinct channels, and the
+        // distance-1 pairs cannot all pack into the leftovers: optimum is
+        // 3, one above the load bound of 2.
+        assert_eq!(wavelengths_required(4), 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_start() {
+        let a = assign(13, 5);
+        let b = assign(13, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn long_paths_get_low_channels() {
+        // Longest-first means distance ⌊m/2⌋ paths are placed while the
+        // table is empty, so at least one of them sits on channel 0.
+        let m = 12;
+        let a = assign(m, 0);
+        let found = a
+            .entries()
+            .iter()
+            .any(|(p, _, c)| p.min_len(m) == m / 2 && *c == 0);
+        assert!(found);
+    }
+
+    #[test]
+    fn longest_first_beats_shortest_first_on_average() {
+        // The §3.1.1 design-choice ablation: assigning short paths first
+        // fragments the channel space; longest-first never loses in
+        // aggregate.
+        let mut longest_total = 0usize;
+        let mut shortest_total = 0usize;
+        for m in 4..=20 {
+            let l = (0..m)
+                .map(|s| assign_with_order(m, s, Ordering::LongestFirst).channels_used())
+                .min()
+                .unwrap();
+            let sf = (0..m)
+                .map(|s| assign_with_order(m, s, Ordering::ShortestFirst).channels_used())
+                .min()
+                .unwrap();
+            longest_total += l;
+            shortest_total += sf;
+        }
+        assert!(
+            longest_total <= shortest_total,
+            "longest-first {longest_total} vs shortest-first {shortest_total}"
+        );
+    }
+
+    #[test]
+    fn shortest_first_is_still_valid() {
+        for m in 3..=12 {
+            assign_with_order(m, 0, Ordering::ShortestFirst)
+                .validate()
+                .unwrap();
+        }
+    }
+}

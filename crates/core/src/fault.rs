@@ -1,0 +1,291 @@
+//! Fault tolerance of Quartz rings — §3.5 and Figure 6 of the paper.
+//!
+//! A single physical ring partitions after two cable cuts; Quartz designs
+//! therefore spread their channels across multiple physical fiber rings
+//! (a 33-switch ring needs 137 channels, hence two 80-channel WDM devices
+//! and two fibers anyway). This module reproduces the paper's simulation:
+//! random fiber-link failures, measuring
+//!
+//! * **bandwidth loss** — the fraction of switch pairs whose dedicated
+//!   channel crossed a broken segment (their direct capacity is gone even
+//!   though packets can still detour through intermediate switches), and
+//! * **partition probability** — whether the surviving direct channels
+//!   still connect all switches (checked with union–find).
+//!
+//! Failure events hit a uniformly random fiber segment of a uniformly
+//! random ring, independently (so two events *can* hit the same segment —
+//! this matches the paper's "more than 90 %" rather than exactly 100 %
+//! partition probability for two failures on a single ring).
+
+use crate::channel::{greedy, Arc, Pair};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fault model for an `m`-switch Quartz network whose channels are
+/// spread over `rings` physical fiber rings.
+///
+/// # Examples
+///
+/// ```
+/// use quartz_core::fault::FailureModel;
+///
+/// // §3.5: with two physical rings, even four simultaneous cuts almost
+/// // never partition a 33-switch network.
+/// let model = FailureModel::new(33, 2);
+/// let report = model.monte_carlo(4, 1_000, 42);
+/// assert!(report.partition_probability < 0.02);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FailureModel {
+    m: usize,
+    rings: usize,
+    /// `(pair, arc, ring)` for every switch pair: the links its channel
+    /// occupies and the physical ring carrying it.
+    paths: Vec<(Pair, Arc, usize)>,
+}
+
+/// Outcome of one failure trial.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrialOutcome {
+    /// Pairs whose direct channel was severed.
+    pub lost_pairs: usize,
+    /// Total pairs.
+    pub total_pairs: usize,
+    /// Whether the surviving direct-channel graph is disconnected.
+    pub partitioned: bool,
+}
+
+impl TrialOutcome {
+    /// Fraction of pairwise direct capacity lost.
+    pub fn bandwidth_loss(&self) -> f64 {
+        self.lost_pairs as f64 / self.total_pairs as f64
+    }
+}
+
+/// Aggregated Monte-Carlo results (one cell of Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultReport {
+    /// Number of simultaneous fiber-link failures per trial.
+    pub failures: usize,
+    /// Physical rings in the design.
+    pub rings: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Mean fraction of pairwise direct bandwidth lost.
+    pub mean_bandwidth_loss: f64,
+    /// Fraction of trials in which the network partitioned.
+    pub partition_probability: f64,
+}
+
+impl FailureModel {
+    /// Builds the model: runs the greedy wavelength planner for `m` and
+    /// spreads channels across `rings` fibers round-robin by channel index
+    /// (balanced, and consistent with "two 80-channel WDM muxes/demuxes
+    /// instead of a single mux/demux at each switch").
+    ///
+    /// # Panics
+    /// Panics if `m < 3` or `rings == 0`.
+    pub fn new(m: usize, rings: usize) -> Self {
+        assert!(m >= 3, "fault analysis needs ≥ 3 switches");
+        assert!(rings >= 1, "at least one physical ring");
+        let assignment = greedy::assign_best(m);
+        let paths = assignment
+            .entries()
+            .iter()
+            .map(|(pair, dir, ch)| (*pair, Arc::of(*pair, *dir, m), usize::from(*ch) % rings))
+            .collect();
+        FailureModel { m, rings, paths }
+    }
+
+    /// Number of switches.
+    pub fn switches(&self) -> usize {
+        self.m
+    }
+
+    /// Number of physical rings.
+    pub fn rings(&self) -> usize {
+        self.rings
+    }
+
+    /// Evaluates one failure set: `broken` lists `(ring, link)` segments.
+    pub fn trial(&self, broken: &[(usize, usize)]) -> TrialOutcome {
+        let total_pairs = self.paths.len();
+        let mut lost_pairs = 0;
+        let mut dsu = DisjointSet::new(self.m);
+        for (pair, arc, ring) in &self.paths {
+            let severed = broken.iter().any(|(r, l)| r == ring && arc.covers(*l));
+            if severed {
+                lost_pairs += 1;
+            } else {
+                dsu.union(pair.a, pair.b);
+            }
+        }
+        TrialOutcome {
+            lost_pairs,
+            total_pairs,
+            partitioned: dsu.components() > 1,
+        }
+    }
+
+    /// Runs `trials` independent trials of `failures` random fiber-link
+    /// failures each and aggregates the Figure 6 statistics.
+    pub fn monte_carlo(&self, failures: usize, trials: usize, seed: u64) -> FaultReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut loss_sum = 0.0;
+        let mut partitions = 0usize;
+        let mut broken = Vec::with_capacity(failures);
+        for _ in 0..trials {
+            broken.clear();
+            for _ in 0..failures {
+                broken.push((rng.random_range(0..self.rings), rng.random_range(0..self.m)));
+            }
+            let t = self.trial(&broken);
+            loss_sum += t.bandwidth_loss();
+            partitions += usize::from(t.partitioned);
+        }
+        FaultReport {
+            failures,
+            rings: self.rings,
+            trials,
+            mean_bandwidth_loss: loss_sum / trials as f64,
+            partition_probability: partitions as f64 / trials as f64,
+        }
+    }
+}
+
+/// Minimal union–find for the partition check.
+struct DisjointSet {
+    parent: Vec<usize>,
+    count: usize,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> Self {
+        DisjointSet {
+            parent: (0..n).collect(),
+            count: n,
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+            self.count -= 1;
+        }
+    }
+
+    fn components(&mut self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_no_loss() {
+        let fm = FailureModel::new(9, 1);
+        let t = fm.trial(&[]);
+        assert_eq!(t.lost_pairs, 0);
+        assert!(!t.partitioned);
+    }
+
+    #[test]
+    fn single_ring_one_failure_loses_roughly_a_quarter() {
+        // 33 switches: each link carries ~136 of 528 channels ⇒ ~26 %
+        // direct-bandwidth loss per cut (the paper reports ~20 % with its
+        // assignment; the shape is what matters).
+        let fm = FailureModel::new(33, 1);
+        let r = fm.monte_carlo(1, 500, 42);
+        assert!(
+            (0.15..0.35).contains(&r.mean_bandwidth_loss),
+            "loss {}",
+            r.mean_bandwidth_loss
+        );
+        // One cut never partitions a full mesh: every pair still has
+        // multi-hop connectivity through surviving direct channels.
+        assert_eq!(r.partition_probability, 0.0);
+    }
+
+    #[test]
+    fn single_ring_two_distinct_failures_partition() {
+        let fm = FailureModel::new(12, 1);
+        // Cut links 2 and 7: switches 3..=7 split from the rest.
+        let t = fm.trial(&[(0, 2), (0, 7)]);
+        assert!(t.partitioned);
+        // Same segment twice: no partition.
+        let t = fm.trial(&[(0, 2), (0, 2)]);
+        assert!(!t.partitioned);
+    }
+
+    #[test]
+    fn single_ring_two_random_failures_mostly_partition() {
+        // §3.5: "more than 90%" — misses only when both events hit the
+        // same segment.
+        let fm = FailureModel::new(33, 1);
+        let r = fm.monte_carlo(2, 1000, 7);
+        assert!(r.partition_probability > 0.9, "{}", r.partition_probability);
+        assert!(r.partition_probability < 1.0);
+    }
+
+    #[test]
+    fn second_ring_makes_partition_rare() {
+        // §3.5: "by adding a single additional physical ring, the
+        // probability of the network partitioning is less than 0.24% even
+        // when four physical links fail".
+        let fm = FailureModel::new(33, 2);
+        let r = fm.monte_carlo(4, 4000, 11);
+        assert!(
+            r.partition_probability < 0.02,
+            "partition probability {} too high",
+            r.partition_probability
+        );
+    }
+
+    #[test]
+    fn more_rings_less_bandwidth_loss() {
+        // Figure 6 top: loss falls roughly as 1/rings (20% → 6% from one
+        // ring to four in the paper).
+        let loss = |rings| {
+            FailureModel::new(33, rings)
+                .monte_carlo(1, 400, 3)
+                .mean_bandwidth_loss
+        };
+        let l1 = loss(1);
+        let l2 = loss(2);
+        let l4 = loss(4);
+        assert!(l1 > l2 && l2 > l4, "{l1} {l2} {l4}");
+        assert!(
+            l4 < l1 / 2.5,
+            "four rings should cut loss ~4x: {l1} vs {l4}"
+        );
+    }
+
+    #[test]
+    fn trial_is_deterministic_and_report_reproducible() {
+        let fm = FailureModel::new(15, 2);
+        let a = fm.monte_carlo(3, 200, 99);
+        let b = fm.monte_carlo(3, 200, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn losses_bounded() {
+        let fm = FailureModel::new(9, 1);
+        for f in 1..=4 {
+            let r = fm.monte_carlo(f, 100, f as u64);
+            assert!((0.0..=1.0).contains(&r.mean_bandwidth_loss));
+            assert!((0.0..=1.0).contains(&r.partition_probability));
+        }
+    }
+}

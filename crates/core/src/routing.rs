@@ -1,0 +1,182 @@
+//! Routing policy inside a Quartz mesh — §3.4 of the paper.
+//!
+//! With a full mesh there is a single shortest (one-hop) path between any
+//! two switches, so **ECMP always picks the direct path**, minimizing hop
+//! count and cross-traffic interference. For workloads that concentrate
+//! traffic between two racks, **Valiant load balancing** (VLB) sprays a
+//! configurable fraction of the traffic over the `m − 2` two-hop detours,
+//! trading a small latency increase for up to `(m − 1)×` the direct
+//! bandwidth.
+
+use std::fmt;
+
+/// A routing policy for traffic between two switches of a Quartz mesh.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RoutingPolicy {
+    /// ECMP over shortest paths. In a full mesh this is exactly the
+    /// single direct hop.
+    EcmpDirect,
+    /// Valiant load balancing: send `indirect_fraction` of the traffic
+    /// over two-hop detours (spread evenly across all `m − 2`
+    /// intermediates) and the rest over the direct path.
+    Vlb {
+        /// Fraction of traffic detoured, `0.0 ..= 1.0`.
+        indirect_fraction: f64,
+    },
+}
+
+impl RoutingPolicy {
+    /// A VLB policy, validating the fraction.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `0.0..=1.0`.
+    pub fn vlb(fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "indirect fraction must be in 0..=1, got {fraction}"
+        );
+        RoutingPolicy::Vlb {
+            indirect_fraction: fraction,
+        }
+    }
+
+    /// Fraction of traffic on the direct path.
+    pub fn direct_fraction(&self) -> f64 {
+        match self {
+            RoutingPolicy::EcmpDirect => 1.0,
+            RoutingPolicy::Vlb { indirect_fraction } => 1.0 - indirect_fraction,
+        }
+    }
+
+    /// Mean switch hops a packet takes between two switches under this
+    /// policy (1 direct, 2 via a detour).
+    pub fn mean_switch_hops(&self) -> f64 {
+        match self {
+            RoutingPolicy::EcmpDirect => 1.0,
+            RoutingPolicy::Vlb { indirect_fraction } => {
+                1.0 * (1.0 - indirect_fraction) + 2.0 * indirect_fraction
+            }
+        }
+    }
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingPolicy::EcmpDirect => write!(f, "ECMP (direct)"),
+            RoutingPolicy::Vlb { indirect_fraction } => {
+                write!(f, "VLB (k = {indirect_fraction:.2})")
+            }
+        }
+    }
+}
+
+/// The set of two-hop detours between a switch pair in an `m`-switch mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwoHopPaths {
+    /// Mesh size.
+    pub m: usize,
+    /// Source switch.
+    pub src: usize,
+    /// Destination switch.
+    pub dst: usize,
+}
+
+impl TwoHopPaths {
+    /// Creates the detour set for `src → dst`.
+    ///
+    /// # Panics
+    /// Panics if `src == dst` or either is out of range.
+    pub fn new(m: usize, src: usize, dst: usize) -> Self {
+        assert!(src < m && dst < m && src != dst);
+        TwoHopPaths { m, src, dst }
+    }
+
+    /// Number of two-hop detours: `m − 2`.
+    pub fn count(&self) -> usize {
+        self.m - 2
+    }
+
+    /// Iterates the intermediate switches.
+    pub fn intermediates(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.m).filter(move |&v| v != self.src && v != self.dst)
+    }
+}
+
+/// Maximum achievable `src → dst` throughput (in units of one channel's
+/// rate) when only this pair is active, under the given policy.
+///
+/// Direct path contributes its full channel; each detour is limited by its
+/// two channels, contributing up to one channel each — so VLB can reach
+/// `1 + (m − 2)` channels, which is how Figure 20's VLB curve stays flat
+/// past the 40 Gb/s direct-link saturation point.
+pub fn pair_capacity_channels(m: usize, policy: RoutingPolicy) -> f64 {
+    match policy {
+        RoutingPolicy::EcmpDirect => 1.0,
+        RoutingPolicy::Vlb { .. } => 1.0 + (m - 2) as f64,
+    }
+}
+
+/// The fraction of one pair's offered load each *detour channel* carries
+/// under VLB with detour fraction `k`: `k / (m − 2)` per §3.4's "send k
+/// fraction of the traffic through the n − 2 two-hop paths".
+pub fn detour_share(m: usize, indirect_fraction: f64) -> f64 {
+    assert!(m > 2, "detours need at least 3 switches");
+    indirect_fraction / (m - 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecmp_is_all_direct() {
+        let p = RoutingPolicy::EcmpDirect;
+        assert_eq!(p.direct_fraction(), 1.0);
+        assert_eq!(p.mean_switch_hops(), 1.0);
+    }
+
+    #[test]
+    fn vlb_hop_count_interpolates() {
+        let p = RoutingPolicy::vlb(0.5);
+        assert_eq!(p.direct_fraction(), 0.5);
+        assert!((p.mean_switch_hops() - 1.5).abs() < 1e-12);
+        assert_eq!(RoutingPolicy::vlb(1.0).mean_switch_hops(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "indirect fraction")]
+    fn vlb_fraction_validated() {
+        let _ = RoutingPolicy::vlb(1.5);
+    }
+
+    #[test]
+    fn two_hop_paths_exclude_endpoints() {
+        let t = TwoHopPaths::new(6, 5, 2);
+        assert_eq!(t.count(), 4);
+        let v: Vec<_> = t.intermediates().collect();
+        assert_eq!(v, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn paper_fig7_example() {
+        // Figure 7(b): traffic from rack 6 to rack 3 detours through
+        // racks 1, 2, 4 and 5 — all four other racks.
+        let t = TwoHopPaths::new(6, 5, 2); // 0-indexed racks 6 and 3
+        assert_eq!(t.count(), 4);
+    }
+
+    #[test]
+    fn vlb_unlocks_mesh_capacity() {
+        // A 4-switch 40 GbE ring (Fig 19/20): direct ECMP caps at one
+        // 40 Gb/s channel; VLB reaches 3 channels = 120 Gb/s, which is why
+        // 50 Gb/s of pathological traffic doesn't hurt VLB.
+        assert_eq!(pair_capacity_channels(4, RoutingPolicy::EcmpDirect), 1.0);
+        assert_eq!(pair_capacity_channels(4, RoutingPolicy::vlb(0.5)), 3.0);
+    }
+
+    #[test]
+    fn detour_share_splits_evenly() {
+        assert!((detour_share(6, 0.8) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,399 @@
+//! Bills of materials for the §4 designs.
+//!
+//! All designs use 64-port switches split 32 servers / 32 uplinks at the
+//! edge (the paper's flagship split). Sizing conventions, documented once
+//! here and used consistently:
+//!
+//! * **Two-tier tree** — full-bisection: every ToR drives 32 uplinks into
+//!   an aggregation tier of 64-port switches.
+//! * **Three-tier tree** — 8:1 oversubscribed at the edge (4 uplinks per
+//!   ToR, standard for large DCs), 64-port aggregation, 768-port core
+//!   switches.
+//! * **Single Quartz ring** — one switch per rack, ring sized to the rack
+//!   count (≤ 35, §3.1).
+//! * **Quartz in edge** — ToR+aggregation replaced by rings of
+//!   [`EDGE_RING_SIZE`] switches, uplinked straight to the core ("groups
+//!   nearby racks into a single Quartz ring", §4.1).
+//! * **Quartz in core** — each 768-port core switch replaced by a
+//!   33-switch Quartz ring (1056 ports, §3.2).
+
+use crate::catalog::PriceCatalog;
+use quartz_core::channel::greedy;
+use quartz_optics::ring::RingOpticalPlan;
+
+/// Servers per edge switch in every design.
+pub const SERVERS_PER_TOR: usize = 32;
+
+/// Racks grouped into one edge Quartz ring (§4.1's "localized traffic
+/// that span multiple racks can be grouped into a single Quartz ring").
+pub const EDGE_RING_SIZE: usize = 6;
+
+/// Switches per core Quartz ring — the §3.2 flagship 1056-port element.
+pub const CORE_RING_SIZE: usize = 33;
+
+/// Component counts for a whole datacenter network (servers excluded, as
+/// in Table 8: "the prices include all the hardware expenses except for
+/// the cost of the servers").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BillOfMaterials {
+    /// 64-port cut-through switches.
+    pub ull_switches: usize,
+    /// High-port-density core switches.
+    pub core_switches: usize,
+    /// 80-channel DWDM mux/demuxes.
+    pub dwdm_mux_80ch: usize,
+    /// Small (≤ 8 channel) muxes.
+    pub mux_small: usize,
+    /// DWDM transceivers.
+    pub transceivers: usize,
+    /// EDFA amplifiers.
+    pub amplifiers: usize,
+    /// Fixed attenuators.
+    pub attenuators: usize,
+    /// Cable runs (server and inter-switch).
+    pub cables: usize,
+}
+
+impl BillOfMaterials {
+    /// Total price under `c`.
+    pub fn cost(&self, c: &PriceCatalog) -> f64 {
+        self.ull_switches as f64 * c.ull_switch
+            + self.core_switches as f64 * c.core_switch
+            + self.dwdm_mux_80ch as f64 * c.dwdm_mux_80ch
+            + self.mux_small as f64 * c.mux_small
+            + self.transceivers as f64 * c.dwdm_transceiver
+            + self.amplifiers as f64 * c.amplifier
+            + self.attenuators as f64 * c.attenuator
+            + self.cables as f64 * c.cable
+    }
+
+    fn scale(self, n: usize) -> BillOfMaterials {
+        BillOfMaterials {
+            ull_switches: self.ull_switches * n,
+            core_switches: self.core_switches * n,
+            dwdm_mux_80ch: self.dwdm_mux_80ch * n,
+            mux_small: self.mux_small * n,
+            transceivers: self.transceivers * n,
+            amplifiers: self.amplifiers * n,
+            attenuators: self.attenuators * n,
+            cables: self.cables * n,
+        }
+    }
+
+    fn add(self, other: BillOfMaterials) -> BillOfMaterials {
+        BillOfMaterials {
+            ull_switches: self.ull_switches + other.ull_switches,
+            core_switches: self.core_switches + other.core_switches,
+            dwdm_mux_80ch: self.dwdm_mux_80ch + other.dwdm_mux_80ch,
+            mux_small: self.mux_small + other.mux_small,
+            transceivers: self.transceivers + other.transceivers,
+            amplifiers: self.amplifiers + other.amplifiers,
+            attenuators: self.attenuators + other.attenuators,
+            cables: self.cables + other.cables,
+        }
+    }
+}
+
+/// The network designs Table 8 prices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Design {
+    /// Full-bisection two-tier tree.
+    TwoTierTree,
+    /// Oversubscribed three-tier tree.
+    ThreeTierTree,
+    /// One Quartz ring as the whole network (small DCs).
+    SingleQuartzRing,
+    /// Three-tier with the edge (ToR+agg) replaced by Quartz rings.
+    QuartzInEdge,
+    /// Three-tier with the core replaced by Quartz rings.
+    QuartzInCore,
+    /// Both replacements.
+    QuartzInEdgeAndCore,
+}
+
+impl Design {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Design::TwoTierTree => "Two-tier tree",
+            Design::ThreeTierTree => "Three-tier tree",
+            Design::SingleQuartzRing => "Single Quartz ring",
+            Design::QuartzInEdge => "Quartz in edge",
+            Design::QuartzInCore => "Quartz in core",
+            Design::QuartzInEdgeAndCore => "Quartz in edge and core",
+        }
+    }
+
+    /// Bill of materials for `servers` servers.
+    ///
+    /// # Panics
+    /// Panics if `SingleQuartzRing` is asked for more racks than one ring
+    /// carries (use the composite designs instead), or `servers == 0`.
+    pub fn bom(&self, servers: usize) -> BillOfMaterials {
+        assert!(servers > 0);
+        let tors = servers.div_ceil(SERVERS_PER_TOR);
+        match self {
+            Design::TwoTierTree => {
+                let uplinks = tors * 32;
+                let aggs = uplinks.div_ceil(64);
+                BillOfMaterials {
+                    ull_switches: tors + aggs,
+                    cables: servers + uplinks,
+                    ..Default::default()
+                }
+            }
+            Design::ThreeTierTree => {
+                let (aggs, cores, cables) = three_tier_upper(tors, servers);
+                BillOfMaterials {
+                    ull_switches: tors + aggs,
+                    core_switches: cores,
+                    cables,
+                    ..Default::default()
+                }
+            }
+            Design::SingleQuartzRing => {
+                assert!(
+                    tors <= 35,
+                    "a single ring carries at most 35 switches (§3.1); got {tors}"
+                );
+                let ring = ring_bom(tors.max(2));
+                BillOfMaterials {
+                    cables: servers + 2 * tors, // two ring fibers/switch
+                    ..ring
+                }
+            }
+            Design::QuartzInEdge => {
+                let edge = edge_rings_bom(tors);
+                // Ring switches uplink straight to the core: 4 uplinks
+                // per switch, 768-port cores.
+                let uplinks = tors * 4;
+                let cores = uplinks.div_ceil(768).max(2);
+                edge.add(BillOfMaterials {
+                    core_switches: cores,
+                    cables: servers + uplinks + 2 * tors,
+                    ..Default::default()
+                })
+            }
+            Design::QuartzInCore => {
+                let (aggs, cores, cables) = three_tier_upper(tors, servers);
+                let core_rings = core_rings_bom(cores);
+                BillOfMaterials {
+                    ull_switches: tors + aggs,
+                    cables: cables + 2 * cores * CORE_RING_SIZE,
+                    ..Default::default()
+                }
+                .add(core_rings)
+            }
+            Design::QuartzInEdgeAndCore => {
+                let edge = edge_rings_bom(tors);
+                let uplinks = tors * 4;
+                let cores = uplinks.div_ceil(768).max(2);
+                let core_rings = core_rings_bom(cores);
+                edge.add(core_rings).add(BillOfMaterials {
+                    cables: servers + uplinks + 2 * tors + 2 * cores * CORE_RING_SIZE,
+                    ..Default::default()
+                })
+            }
+        }
+    }
+
+    /// Cost per server under `c`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quartz_cost::bom::Design;
+    /// use quartz_cost::catalog::PriceCatalog;
+    ///
+    /// let catalog = PriceCatalog::era_2014();
+    /// let tree = Design::TwoTierTree.cost_per_server(500, &catalog);
+    /// let ring = Design::SingleQuartzRing.cost_per_server(500, &catalog);
+    /// let premium = ring / tree - 1.0;
+    /// assert!(premium > 0.0 && premium < 0.15); // Table 8's small-DC row
+    /// ```
+    pub fn cost_per_server(&self, servers: usize, c: &PriceCatalog) -> f64 {
+        self.bom(servers).cost(c) / servers as f64
+    }
+}
+
+/// Aggregation/core sizing shared by the three-tier variants: 4 uplinks
+/// per ToR, 64-port aggregation (32 down / 32 up), 768-port cores.
+fn three_tier_upper(tors: usize, servers: usize) -> (usize, usize, usize) {
+    let tor_uplinks = tors * 4;
+    let aggs = tor_uplinks.div_ceil(32).max(2);
+    let agg_uplinks = aggs * 32;
+    let cores = agg_uplinks.div_ceil(768).max(2);
+    let cables = servers + tor_uplinks + agg_uplinks;
+    (aggs, cores, cables)
+}
+
+/// The optical+switch bill for one Quartz ring of `m` switches.
+fn ring_bom(m: usize) -> BillOfMaterials {
+    let wavelengths = greedy::wavelengths_required(m);
+    let plan = RingOpticalPlan::paper_plan(m).expect("paper parts plan all ring sizes");
+    let (mux80, small) = if wavelengths <= 8 {
+        (0, m)
+    } else {
+        (m * wavelengths.div_ceil(80), 0)
+    };
+    BillOfMaterials {
+        ull_switches: m,
+        dwdm_mux_80ch: mux80,
+        mux_small: small,
+        transceivers: m * (m - 1),
+        amplifiers: plan.amplifier_count(),
+        attenuators: m * (m - 1),
+        ..Default::default()
+    }
+}
+
+/// Edge tier built from rings of [`EDGE_RING_SIZE`].
+fn edge_rings_bom(tors: usize) -> BillOfMaterials {
+    let full = tors / EDGE_RING_SIZE;
+    let rem = tors % EDGE_RING_SIZE;
+    let mut bom = ring_bom(EDGE_RING_SIZE).scale(full);
+    if rem >= 2 {
+        bom = bom.add(ring_bom(rem));
+    } else if rem == 1 {
+        // A lone leftover rack still needs its switch.
+        bom.ull_switches += 1;
+    }
+    bom
+}
+
+/// Core tier: one 33-switch ring per replaced core switch.
+fn core_rings_bom(cores: usize) -> BillOfMaterials {
+    ring_bom(CORE_RING_SIZE).scale(cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cps(d: Design, servers: usize) -> f64 {
+        d.cost_per_server(servers, &PriceCatalog::default())
+    }
+
+    #[test]
+    fn small_dc_ring_premium_is_modest() {
+        // Table 8, small: two-tier $589 vs single ring $633 (+7 %). Our
+        // catalog lands in the same band: a single-digit-percent premium.
+        let tree = cps(Design::TwoTierTree, 500);
+        let ring = cps(Design::SingleQuartzRing, 500);
+        assert!(
+            ring > tree,
+            "ring {ring} should carry a premium over {tree}"
+        );
+        let premium = ring / tree - 1.0;
+        assert!(
+            (0.0..0.15).contains(&premium),
+            "premium {premium:.3} out of band (tree {tree:.0}, ring {ring:.0})"
+        );
+        // Absolute scale sanity: hundreds of dollars per server.
+        assert!((400.0..900.0).contains(&tree), "{tree}");
+    }
+
+    #[test]
+    fn medium_dc_edge_premium_in_teens() {
+        // Table 8, medium: three-tier $544 vs Quartz-in-edge $612 (+13 %).
+        let tree = cps(Design::ThreeTierTree, 10_000);
+        let edge = cps(Design::QuartzInEdge, 10_000);
+        let premium = edge / tree - 1.0;
+        assert!(
+            (0.02..0.30).contains(&premium),
+            "premium {premium:.3} (tree {tree:.0}, edge {edge:.0})"
+        );
+    }
+
+    #[test]
+    fn large_dc_core_swap_is_roughly_free() {
+        // Table 8, large: "using Quartz at the core layer does not
+        // increase cost per server since the three-tier tree requires a
+        // high port density switch" — $525 vs $525.
+        let tree = cps(Design::ThreeTierTree, 100_000);
+        let core = cps(Design::QuartzInCore, 100_000);
+        let delta = (core / tree - 1.0).abs();
+        assert!(
+            delta < 0.06,
+            "core swap should be near-free: {delta:.3} (tree {tree:.0}, core {core:.0})"
+        );
+    }
+
+    #[test]
+    fn large_dc_edge_and_core_premium_under_quarter() {
+        // Table 8, large/high: $525 → $614 (+17 %).
+        let tree = cps(Design::ThreeTierTree, 100_000);
+        let both = cps(Design::QuartzInEdgeAndCore, 100_000);
+        let premium = both / tree - 1.0;
+        assert!(
+            (0.05..0.25).contains(&premium),
+            "premium {premium:.3} (tree {tree:.0}, both {both:.0})"
+        );
+    }
+
+    #[test]
+    fn economies_of_scale_for_trees() {
+        // Cost/server falls (or at least does not rise) with size.
+        let small = cps(Design::ThreeTierTree, 10_000);
+        let large = cps(Design::ThreeTierTree, 100_000);
+        assert!(large <= small * 1.02, "{large} vs {small}");
+    }
+
+    #[test]
+    fn wdm_cost_decline_shrinks_the_premium() {
+        // Figure 1's argument: as WDM prices fall, Quartz's premium
+        // evaporates.
+        let now = PriceCatalog::default();
+        let future = now.with_wdm_scale(0.25);
+        let premium = |c: &PriceCatalog| {
+            Design::SingleQuartzRing.cost_per_server(500, c)
+                / Design::TwoTierTree.cost_per_server(500, c)
+                - 1.0
+        };
+        assert!(premium(&future) < premium(&now));
+    }
+
+    #[test]
+    fn ring_bom_counts_are_consistent() {
+        let b = ring_bom(33);
+        assert_eq!(b.ull_switches, 33);
+        assert_eq!(b.transceivers, 33 * 32);
+        // 137 wavelengths → two 80-channel muxes per switch.
+        assert_eq!(b.dwdm_mux_80ch, 66);
+        assert!(b.amplifiers >= 16);
+    }
+
+    #[test]
+    fn tiny_ring_uses_small_muxes() {
+        let b = ring_bom(4);
+        assert_eq!(b.mux_small, 4);
+        assert_eq!(b.dwdm_mux_80ch, 0);
+        assert_eq!(b.amplifiers, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 35")]
+    fn single_ring_caps_at_35_racks() {
+        let _ = Design::SingleQuartzRing.bom(36 * 32);
+    }
+
+    #[test]
+    fn all_designs_price_positive() {
+        let c = PriceCatalog::default();
+        for d in [
+            Design::TwoTierTree,
+            Design::ThreeTierTree,
+            Design::SingleQuartzRing,
+            Design::QuartzInEdge,
+            Design::QuartzInCore,
+            Design::QuartzInEdgeAndCore,
+        ] {
+            let servers = if d == Design::SingleQuartzRing {
+                1_000
+            } else {
+                10_000
+            };
+            assert!(d.cost_per_server(servers, &c) > 0.0, "{d:?}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Unit prices for every component the §4.4 analysis buys.
+//!
+//! The paper cites street prices via now-dead bit.ly links (\[2, 4, 6–10,
+//! 12]). The defaults here are era-appropriate (2014) estimates chosen so
+//! that the reproduced Table 8 lands near the paper's cost-per-server
+//! figures; each entry documents what it stands for. Callers can build a
+//! custom catalog to study price sensitivity (the DWDM entries are the
+//! ones Figure 1 predicts will keep falling).
+
+/// Unit prices in US dollars.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PriceCatalog {
+    /// 64-port low-latency cut-through switch (Arista 7150S class, \[4\]).
+    pub ull_switch: f64,
+    /// High-port-density store-and-forward core switch (Cisco Nexus 7700
+    /// class, ~768 × 10 G with chassis and line cards, \[9\]).
+    pub core_switch: f64,
+    /// 80-channel athermal AWG DWDM mux/demux, 2RU (\[8\]).
+    pub dwdm_mux_80ch: f64,
+    /// Small (≤ 8 channel) CWDM/DWDM mux for little rings.
+    pub mux_small: f64,
+    /// 10 G DWDM SFP+ transceiver, 40 km (\[7\]).
+    pub dwdm_transceiver: f64,
+    /// 80-channel EDFA line amplifier (\[12\]).
+    pub amplifier: f64,
+    /// Fixed fiber attenuator (\[10\]) — "simple passive devices that do
+    /// not meaningfully affect the cost of the network" (§3.3).
+    pub attenuator: f64,
+    /// One installed cable run with its pair of standard optics.
+    pub cable: f64,
+}
+
+impl Default for PriceCatalog {
+    fn default() -> Self {
+        PriceCatalog {
+            ull_switch: 11_000.0,
+            core_switch: 800_000.0,
+            dwdm_mux_80ch: 2_000.0,
+            mux_small: 600.0,
+            dwdm_transceiver: 300.0,
+            amplifier: 3_000.0,
+            attenuator: 25.0,
+            cable: 50.0,
+        }
+    }
+}
+
+impl PriceCatalog {
+    /// The default 2014-era catalog.
+    pub fn era_2014() -> Self {
+        Self::default()
+    }
+
+    /// A catalog with WDM parts scaled by `factor` — models Figure 1's
+    /// cost decline ("we expect the cost of our solution to diminish over
+    /// time as WDM shipping volumes rise").
+    pub fn with_wdm_scale(self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        PriceCatalog {
+            dwdm_mux_80ch: self.dwdm_mux_80ch * factor,
+            mux_small: self.mux_small * factor,
+            dwdm_transceiver: self.dwdm_transceiver * factor,
+            amplifier: self.amplifier * factor,
+            ..self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_switch_dwarfs_everything() {
+        // §4.2: core switches "are generally very expensive, with a
+        // significant portion of the cost being the large chassis".
+        let c = PriceCatalog::default();
+        assert!(c.core_switch > 20.0 * c.ull_switch);
+    }
+
+    #[test]
+    fn optical_parts_are_commodity_priced() {
+        let c = PriceCatalog::default();
+        assert!(c.dwdm_transceiver < 1_000.0);
+        assert!(c.dwdm_mux_80ch < c.ull_switch);
+        assert!(c.attenuator < 100.0);
+    }
+
+    #[test]
+    fn wdm_scaling_touches_only_wdm() {
+        let base = PriceCatalog::default();
+        let half = base.with_wdm_scale(0.5);
+        assert_eq!(half.ull_switch, base.ull_switch);
+        assert_eq!(half.core_switch, base.core_switch);
+        assert_eq!(half.cable, base.cable);
+        assert_eq!(half.dwdm_transceiver, base.dwdm_transceiver / 2.0);
+        assert_eq!(half.amplifier, base.amplifier / 2.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The §4.4 configurator — Table 8.
+//!
+//! "Datacenter providers must balance the gain from reducing end-to-end
+//! latency with the cost of using low-latency hardware." For each
+//! datacenter size and utilization level the configurator recommends the
+//! design the paper considers, its cost per server under the current
+//! catalog, and the expected latency reduction.
+//!
+//! The latency-reduction column uses a small analytic model (uncongested
+//! switch-hop latency plus a per-congestion-point queueing term that
+//! grows with utilization) calibrated against our packet-level
+//! simulations (Figures 17/18 benches) and the paper's reported ranges.
+
+use crate::bom::Design;
+use crate::catalog::PriceCatalog;
+
+/// Datacenter scale, per Table 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatacenterSize {
+    /// ~500 servers.
+    Small,
+    /// ~10,000 servers.
+    Medium,
+    /// ~100,000 servers.
+    Large,
+}
+
+impl DatacenterSize {
+    /// Server count the configurator prices.
+    pub fn servers(&self) -> usize {
+        match self {
+            DatacenterSize::Small => 500,
+            DatacenterSize::Medium => 10_000,
+            DatacenterSize::Large => 100_000,
+        }
+    }
+}
+
+/// Network utilization level: "'high' corresponds to a mean link
+/// utilization of 70%, and 'low' … 50%."
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Utilization {
+    /// ~50 % mean link utilization.
+    Low,
+    /// ~70 % mean link utilization.
+    High,
+}
+
+/// One Table 8 row: a baseline and its Quartz alternative.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Datacenter size.
+    pub size: DatacenterSize,
+    /// Utilization level.
+    pub utilization: Utilization,
+    /// The conventional design.
+    pub baseline: Design,
+    /// The recommended Quartz design.
+    pub quartz: Design,
+    /// Baseline cost per server, USD.
+    pub baseline_cost: f64,
+    /// Quartz cost per server, USD.
+    pub quartz_cost: f64,
+    /// Estimated end-to-end latency reduction, 0..1.
+    pub latency_reduction: f64,
+}
+
+/// Mean one-way latency of a design's worst-case path under the analytic
+/// model, ns. Hop structure: edge switches at 500 ns (Table 9's
+/// arithmetic), cores at 6 µs; each *shared* tier above the ToR is a
+/// congestion point contributing queueing that grows with utilization
+/// (the 50 µs-scale effects of Table 2, scaled down to the per-point
+/// averages our simulations show).
+fn model_latency_ns(design: Design, size: DatacenterSize, u: Utilization) -> f64 {
+    const EDGE: f64 = 500.0;
+    const CORE: f64 = 6_000.0;
+    // Mean queueing per congestion point (ns): at 50% utilization a
+    // moderate queue, at 70% a heavy one (M/M/1-style blowup). Values
+    // calibrated against the cross-traffic behaviour our Figure 17
+    // benches show at the corresponding loads.
+    let q = match u {
+        Utilization::Low => 200.0,
+        Utilization::High => 900.0,
+    };
+    match (design, size) {
+        // Small DCs: two-tier (3 edge hops, 1 shared tier) vs one mesh
+        // (2 edge hops, no shared tier).
+        (Design::TwoTierTree, _) => 3.0 * EDGE + q,
+        (Design::SingleQuartzRing, _) => 2.0 * EDGE,
+        // Three-tier: 4 edge + 1 core hop, 2 shared tiers.
+        (Design::ThreeTierTree, _) => 4.0 * EDGE + CORE + 2.0 * q,
+        // Quartz in edge keeps the core: 2 ring hops + core, 1 shared
+        // tier.
+        (Design::QuartzInEdge, _) => 2.0 * EDGE + CORE + q,
+        // Quartz in core keeps the edge: 4 edge hops + 2 ring-core hops,
+        // 1 shared tier (the aggregation).
+        (Design::QuartzInCore, _) => 4.0 * EDGE + 2.0 * EDGE + q,
+        // Both: all cut-through hops, no shared tier.
+        (Design::QuartzInEdgeAndCore, _) => 2.0 * EDGE + 2.0 * EDGE,
+    }
+}
+
+/// Builds the full Table 8: six rows (3 sizes × 2 utilizations).
+pub fn configure(catalog: &PriceCatalog) -> Vec<Row> {
+    let mut rows = Vec::with_capacity(6);
+    for size in [
+        DatacenterSize::Small,
+        DatacenterSize::Medium,
+        DatacenterSize::Large,
+    ] {
+        for utilization in [Utilization::Low, Utilization::High] {
+            let (baseline, quartz) = match (size, utilization) {
+                (DatacenterSize::Small, _) => (Design::TwoTierTree, Design::SingleQuartzRing),
+                (DatacenterSize::Medium, _) => (Design::ThreeTierTree, Design::QuartzInEdge),
+                (DatacenterSize::Large, Utilization::Low) => {
+                    (Design::ThreeTierTree, Design::QuartzInCore)
+                }
+                (DatacenterSize::Large, Utilization::High) => {
+                    (Design::ThreeTierTree, Design::QuartzInEdgeAndCore)
+                }
+            };
+            let servers = size.servers();
+            let base_lat = model_latency_ns(baseline, size, utilization);
+            let quartz_lat = model_latency_ns(quartz, size, utilization);
+            rows.push(Row {
+                size,
+                utilization,
+                baseline,
+                quartz,
+                baseline_cost: baseline.cost_per_server(servers, catalog),
+                quartz_cost: quartz.cost_per_server(servers, catalog),
+                latency_reduction: 1.0 - quartz_lat / base_lat,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        configure(&PriceCatalog::default())
+    }
+
+    #[test]
+    fn produces_all_six_rows() {
+        assert_eq!(rows().len(), 6);
+    }
+
+    #[test]
+    fn quartz_always_reduces_latency() {
+        for r in rows() {
+            assert!(
+                r.latency_reduction > 0.0 && r.latency_reduction < 1.0,
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_dc_reductions_bracket_paper_values() {
+        // Table 8: 33 % (low) and 50 % (high) for the small DC.
+        let rs = rows();
+        let low = rs[0].latency_reduction;
+        let high = rs[1].latency_reduction;
+        assert!((0.25..0.45).contains(&low), "low {low}");
+        assert!((0.40..0.60).contains(&high), "high {high}");
+        assert!(high > low, "more utilization, more benefit");
+    }
+
+    #[test]
+    fn large_dc_reductions_are_biggest() {
+        // Table 8: 70 % (core swap, low) and 74 % (edge+core, high).
+        let rs = rows();
+        let low = rs[4].latency_reduction;
+        let high = rs[5].latency_reduction;
+        assert!((0.55..0.80).contains(&low), "low {low}");
+        assert!((0.60..0.85).contains(&high), "high {high}");
+    }
+
+    #[test]
+    fn premiums_match_paper_structure() {
+        // Small +single digits %, medium +teens, large-low ≈ 0, large-high
+        // +double digits.
+        let rs = rows();
+        let prem = |r: &Row| r.quartz_cost / r.baseline_cost - 1.0;
+        assert!(
+            (0.0..0.15).contains(&prem(&rs[0])),
+            "small: {}",
+            prem(&rs[0])
+        );
+        assert!(
+            (0.02..0.30).contains(&prem(&rs[2])),
+            "medium: {}",
+            prem(&rs[2])
+        );
+        assert!(prem(&rs[4]).abs() < 0.06, "large low: {}", prem(&rs[4]));
+        assert!(
+            (0.05..0.25).contains(&prem(&rs[5])),
+            "large high: {}",
+            prem(&rs[5])
+        );
+    }
+
+    #[test]
+    fn high_utilization_never_cheaper_benefitwise() {
+        let rs = rows();
+        for pair in rs.chunks(2) {
+            assert!(pair[1].latency_reduction >= pair[0].latency_reduction);
+        }
+    }
+}

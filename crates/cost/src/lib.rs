@@ -1,0 +1,35 @@
+//! # quartz-cost
+//!
+//! The hardware price catalog and the §4.4 configurator for the Quartz
+//! reproduction.
+//!
+//! The paper's Table 8 is a "'best-effort' attempt to quantify the
+//! cost-benefit tradeoff of using Quartz": cost per server and latency
+//! reduction for small (500), medium (10 k) and large (100 k) server
+//! datacenters under low and high network utilization. Its vendor quotes
+//! were bit.ly links that have long since rotted; [`catalog`] documents
+//! era-appropriate prices for every part, and the table's *structure* —
+//! which designs cost more, by roughly what fraction, and where Quartz is
+//! free — is what [`configurator`] reproduces.
+//!
+//! * [`catalog`] — unit prices for switches, WDM gear, amplifiers, and
+//!   cabling.
+//! * [`bom`] — bills of materials for each §4 design: two/three-tier
+//!   trees, a single Quartz ring, Quartz in the edge, core, or both.
+//! * [`configurator`] — the Table 8 generator.
+//! * [`trend`] — the Figure 1 backbone-DWDM cost-decline series.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bom;
+pub mod catalog;
+pub mod configurator;
+pub mod power;
+pub mod trend;
+
+pub use bom::{BillOfMaterials, Design};
+pub use catalog::PriceCatalog;
+pub use configurator::{configure, DatacenterSize, Row, Utilization};
+pub use power::PowerCatalog;
+pub use trend::{dwdm_cost_index, DWDM_TREND};

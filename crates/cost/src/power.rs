@@ -1,0 +1,109 @@
+//! Power consumption of the §4 designs.
+//!
+//! The paper's footnote 1 notes that ToR switches already use optical
+//! transceivers "due to their lower power consumption and higher signal
+//! quality"; operators weigh watts alongside dollars. This module prices
+//! each [`crate::bom::BillOfMaterials`] in watts using
+//! era-typical draws, so the configurator's designs can be compared on
+//! operating cost too.
+
+use crate::bom::{BillOfMaterials, Design};
+
+/// Typical per-device power draw, watts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerCatalog {
+    /// 64-port cut-through switch (Arista 7150S class: ~2 W/port).
+    pub ull_switch_w: f64,
+    /// Fully loaded high-density core chassis.
+    pub core_switch_w: f64,
+    /// DWDM SFP+ transceiver.
+    pub transceiver_w: f64,
+    /// EDFA line amplifier.
+    pub amplifier_w: f64,
+    /// Passive devices (mux/demux, attenuators) draw nothing; athermal
+    /// AWGs need no temperature control — part of why Quartz's optical
+    /// layer is cheap to run.
+    pub passive_w: f64,
+}
+
+impl Default for PowerCatalog {
+    fn default() -> Self {
+        PowerCatalog {
+            ull_switch_w: 130.0,
+            core_switch_w: 8_000.0,
+            transceiver_w: 1.5,
+            amplifier_w: 20.0,
+            passive_w: 0.0,
+        }
+    }
+}
+
+impl PowerCatalog {
+    /// Total draw of a bill of materials, watts.
+    pub fn watts(&self, bom: &BillOfMaterials) -> f64 {
+        bom.ull_switches as f64 * self.ull_switch_w
+            + bom.core_switches as f64 * self.core_switch_w
+            + bom.transceivers as f64 * self.transceiver_w
+            + bom.amplifiers as f64 * self.amplifier_w
+            + (bom.dwdm_mux_80ch + bom.mux_small + bom.attenuators) as f64 * self.passive_w
+    }
+
+    /// Network power per server, watts.
+    pub fn watts_per_server(&self, design: Design, servers: usize) -> f64 {
+        self.watts(&design.bom(servers)) / servers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_optics_cost_no_power() {
+        let p = PowerCatalog::default();
+        let only_optics = BillOfMaterials {
+            dwdm_mux_80ch: 66,
+            mux_small: 10,
+            attenuators: 1000,
+            ..Default::default()
+        };
+        assert_eq!(p.watts(&only_optics), 0.0);
+    }
+
+    #[test]
+    fn quartz_core_swap_saves_power() {
+        // Replacing an 8 kW chassis with a ring of 130 W switches plus
+        // milliwatt-class optics cuts core power even before cooling.
+        let p = PowerCatalog::default();
+        let tree = p.watts_per_server(Design::ThreeTierTree, 100_000);
+        let quartz = p.watts_per_server(Design::QuartzInCore, 100_000);
+        assert!(
+            quartz < tree * 1.05,
+            "quartz core {quartz:.2} W vs tree {tree:.2} W per server"
+        );
+    }
+
+    #[test]
+    fn single_ring_power_is_switch_dominated() {
+        let p = PowerCatalog::default();
+        let bom = Design::SingleQuartzRing.bom(500);
+        let total = p.watts(&bom);
+        let switches = bom.ull_switches as f64 * p.ull_switch_w;
+        assert!(switches / total > 0.7, "optics must stay a minor term");
+    }
+
+    #[test]
+    fn per_server_power_is_single_digit_watts() {
+        // Sanity scale: network gear is a few watts per server in
+        // commodity designs.
+        let p = PowerCatalog::default();
+        for d in [
+            Design::TwoTierTree,
+            Design::ThreeTierTree,
+            Design::QuartzInEdge,
+        ] {
+            let w = p.watts_per_server(d, 10_000);
+            assert!((1.0..30.0).contains(&w), "{d:?}: {w:.1} W/server");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The Figure 1 backbone-DWDM cost decline.
+//!
+//! Figure 1 (reproduced from Berthold, *Optical Networking for Data
+//! Center Interconnects Across Wide Area Networks*, Hot Interconnects
+//! 2009) shows per-bit, per-km DWDM transport cost falling exponentially
+//! since 1993, driven by rising channel rates and counts — the paper's
+//! argument that "Quartz will only become more cost-competitive over
+//! time".
+//!
+//! The series below digitizes the figure's trend as a relative cost
+//! index (1993 = 1.0), one point per technology generation; the decline
+//! is roughly 10× every five years (~37 %/year).
+
+/// `(year, relative per-bit·km cost, label)` — the DWDM generations of
+/// Berthold's figure.
+pub const DWDM_TREND: [(u32, f64, &str); 6] = [
+    (1993, 1.0, "2.5G, 4ch"),
+    (1996, 0.25, "2.5G, 16ch"),
+    (1999, 0.05, "10G, 32ch"),
+    (2002, 0.012, "10G, 80ch"),
+    (2006, 0.003, "40G, 80ch"),
+    (2009, 0.0008, "100G, 80ch"),
+];
+
+/// Fitted relative cost index for `year`, extrapolating the exponential
+/// trend (least-squares on log cost).
+pub fn dwdm_cost_index(year: u32) -> f64 {
+    // Least-squares fit of ln(cost) = a + b·(year − 1993).
+    let n = DWDM_TREND.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(y, c, _) in &DWDM_TREND {
+        let x = (y - 1993) as f64;
+        let ly = c.ln();
+        sx += x;
+        sy += ly;
+        sxx += x * x;
+        sxy += x * ly;
+    }
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = (sy - b * sx) / n;
+    (a + b * (year as f64 - 1993.0)).exp()
+}
+
+/// The fitted annual cost-decline factor (e.g. 0.64 means −36 %/year).
+pub fn annual_decline_factor() -> f64 {
+    dwdm_cost_index(2001) / dwdm_cost_index(2000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_strictly_decreasing() {
+        for w in DWDM_TREND.windows(2) {
+            assert!(w[1].1 < w[0].1, "{w:?}");
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn three_orders_of_magnitude_over_the_figure() {
+        // Figure 1 spans ≳3 decades of cost from 1993 to 2009.
+        let first = DWDM_TREND[0].1;
+        let last = DWDM_TREND.last().unwrap().1;
+        assert!(first / last >= 1_000.0);
+    }
+
+    #[test]
+    fn fit_interpolates_the_anchors() {
+        // The fit should pass within 2× of every data point (it is a
+        // straight line in log space through noisy generations).
+        for &(y, c, _) in &DWDM_TREND {
+            let f = dwdm_cost_index(y);
+            let ratio = (f / c).max(c / f);
+            assert!(ratio < 2.0, "year {y}: fit {f} vs {c}");
+        }
+    }
+
+    #[test]
+    fn decline_rate_is_steep() {
+        let f = annual_decline_factor();
+        assert!(f < 0.75 && f > 0.5, "annual factor {f}");
+    }
+
+    #[test]
+    fn extrapolation_keeps_falling() {
+        assert!(dwdm_cost_index(2014) < dwdm_cost_index(2009));
+    }
+}

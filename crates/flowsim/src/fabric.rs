@@ -1,0 +1,328 @@
+//! Capacity models of the fabrics Figure 10 compares.
+//!
+//! All capacities are normalized to the server line rate (1.0 = one NIC).
+//!
+//! * [`QuartzFabric`] — `racks` switches in a full mesh of unit-rate
+//!   channels, `hosts_per_rack` servers each. Routing per §3.4: ECMP
+//!   (direct channel only) or VLB (fraction `k` sprayed over the
+//!   `racks − 2` two-hop detours).
+//! * [`OversubscribedFabric`] — a folded-Clos abstraction with an ideal
+//!   core: each rack's uplink carries `hosts_per_rack / oversub`. With
+//!   `oversub = 1` this is the ideal full-bisection fabric; 2 and 4 give
+//!   the paper's ½- and ¼-bisection comparison points.
+
+use crate::waterfill::Problem;
+use quartz_core::routing::RoutingPolicy;
+use std::collections::HashMap;
+
+/// A demand endpoint: global host index.
+pub type Host = usize;
+
+/// How traffic crosses the mesh (§3.4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MeshRouting {
+    /// ECMP: the single direct channel only.
+    EcmpDirect,
+    /// Valiant load balancing with one global detour fraction `k`.
+    VlbUniform(f64),
+    /// Per-pair adaptive VLB: "the parameter k can be adaptive depending
+    /// on the traffic characteristics" — each rack pair detours only the
+    /// traffic its direct channel cannot carry
+    /// (`k = max(0, 1 − capacity/demand)`), so uncongested pairs pay no
+    /// two-hop overhead at all.
+    VlbAdaptive,
+}
+
+impl From<RoutingPolicy> for MeshRouting {
+    fn from(p: RoutingPolicy) -> Self {
+        match p {
+            RoutingPolicy::EcmpDirect => MeshRouting::EcmpDirect,
+            RoutingPolicy::Vlb { indirect_fraction } => MeshRouting::VlbUniform(indirect_fraction),
+        }
+    }
+}
+
+/// Anything that can lower a demand set into a max-min [`Problem`].
+pub trait Fabric {
+    /// Number of hosts.
+    fn hosts(&self) -> usize;
+
+    /// Builds the allocation problem for the given `(src, dst)` demands.
+    fn problem(&self, demands: &[(Host, Host)]) -> Problem;
+
+    /// The rack (switch) a host belongs to.
+    fn rack_of(&self, h: Host) -> usize;
+}
+
+/// The Quartz mesh fabric.
+#[derive(Clone, Debug)]
+pub struct QuartzFabric {
+    /// Switches in the ring (racks).
+    pub racks: usize,
+    /// Servers per switch.
+    pub hosts_per_rack: usize,
+    /// Capacity of each pairwise channel, in server line rates (1.0 for
+    /// the paper's 10 G channels and 10 G NICs).
+    pub channel_cap: f64,
+    /// Routing policy (§3.4).
+    pub policy: MeshRouting,
+}
+
+impl QuartzFabric {
+    /// The paper's flagship mesh: 33 racks × 32 servers, unit channels.
+    pub fn paper(policy: impl Into<MeshRouting>) -> Self {
+        QuartzFabric {
+            racks: 33,
+            hosts_per_rack: 32,
+            channel_cap: 1.0,
+            policy: policy.into(),
+        }
+    }
+
+    /// Directed channel link index for `a → b` within the problem's link
+    /// table (after the 2·hosts host links).
+    fn chan(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a != b);
+        2 * self.hosts() + a * self.racks + b
+    }
+}
+
+impl Fabric for QuartzFabric {
+    fn hosts(&self) -> usize {
+        self.racks * self.hosts_per_rack
+    }
+
+    fn rack_of(&self, h: Host) -> usize {
+        h / self.hosts_per_rack
+    }
+
+    fn problem(&self, demands: &[(Host, Host)]) -> Problem {
+        let mut p = Problem::default();
+        let nh = self.hosts();
+        // Links 0..nh: host uplinks; nh..2nh: host downlinks.
+        for _ in 0..2 * nh {
+            p.add_link(1.0);
+        }
+        // Directed channels, racks × racks (self-entries unused but
+        // allocated for O(1) indexing).
+        for _ in 0..self.racks * self.racks {
+            p.add_link(self.channel_cap);
+        }
+
+        // For adaptive VLB: how many cross-rack flows share each ordered
+        // rack pair — the "traffic characteristics" k adapts to.
+        let mut pair_flows: HashMap<(usize, usize), usize> = HashMap::new();
+        if self.policy == MeshRouting::VlbAdaptive {
+            for &(s, d) in demands {
+                let (ra, rb) = (self.rack_of(s), self.rack_of(d));
+                if ra != rb {
+                    *pair_flows.entry((ra, rb)).or_insert(0) += 1;
+                }
+            }
+        }
+
+        for &(s, d) in demands {
+            assert!(s < nh && d < nh && s != d, "bad demand ({s},{d})");
+            let (ra, rb) = (self.rack_of(s), self.rack_of(d));
+            let mut path = vec![(s, 1.0), (nh + d, 1.0)];
+            if ra != rb {
+                // Detour fraction and the set of intermediates to spread
+                // it over.
+                let (k, intermediates): (f64, Vec<usize>) = match self.policy {
+                    MeshRouting::EcmpDirect => (0.0, Vec::new()),
+                    MeshRouting::VlbUniform(k) => {
+                        (k, (0..self.racks).filter(|&w| w != ra && w != rb).collect())
+                    }
+                    MeshRouting::VlbAdaptive => {
+                        // Detour only the traffic the direct channel
+                        // cannot carry if every sharer sent at line rate,
+                        // and spread it only over intermediates whose two
+                        // channel legs are not already claimed by direct
+                        // traffic (an adaptive VLB would never spill onto
+                        // someone else's saturated channel).
+                        let j = pair_flows[&(ra, rb)] as f64;
+                        let k = (1.0 - self.channel_cap / j).max(0.0);
+                        if k == 0.0 {
+                            (0.0, Vec::new())
+                        } else {
+                            let direct_load =
+                                |x: usize, y: usize| *pair_flows.get(&(x, y)).unwrap_or(&0) as f64;
+                            let free: Vec<usize> = (0..self.racks)
+                                .filter(|&w| {
+                                    w != ra
+                                        && w != rb
+                                        && direct_load(ra, w) < self.channel_cap
+                                        && direct_load(w, rb) < self.channel_cap
+                                })
+                                .collect();
+                            if free.is_empty() {
+                                (k, (0..self.racks).filter(|&w| w != ra && w != rb).collect())
+                            } else {
+                                (k, free)
+                            }
+                        }
+                    }
+                };
+                let direct = 1.0 - k;
+                if direct > 0.0 {
+                    path.push((self.chan(ra, rb), direct));
+                }
+                if k > 0.0 && !intermediates.is_empty() {
+                    let share = k / intermediates.len() as f64;
+                    for w in intermediates {
+                        path.push((self.chan(ra, w), share));
+                        path.push((self.chan(w, rb), share));
+                    }
+                }
+            }
+            p.add_flow(path);
+        }
+        p
+    }
+}
+
+/// A folded-Clos fabric with an ideal core and configurable rack-uplink
+/// oversubscription.
+#[derive(Clone, Debug)]
+pub struct OversubscribedFabric {
+    /// Racks.
+    pub racks: usize,
+    /// Servers per rack.
+    pub hosts_per_rack: usize,
+    /// Oversubscription factor: 1.0 = full bisection, 2.0 = ½, 4.0 = ¼.
+    pub oversub: f64,
+}
+
+impl OversubscribedFabric {
+    /// Full-bisection ideal network at the paper's mesh scale.
+    pub fn ideal(racks: usize, hosts_per_rack: usize) -> Self {
+        OversubscribedFabric {
+            racks,
+            hosts_per_rack,
+            oversub: 1.0,
+        }
+    }
+}
+
+impl Fabric for OversubscribedFabric {
+    fn hosts(&self) -> usize {
+        self.racks * self.hosts_per_rack
+    }
+
+    fn rack_of(&self, h: Host) -> usize {
+        h / self.hosts_per_rack
+    }
+
+    fn problem(&self, demands: &[(Host, Host)]) -> Problem {
+        let mut p = Problem::default();
+        let nh = self.hosts();
+        for _ in 0..2 * nh {
+            p.add_link(1.0);
+        }
+        let up_cap = (self.hosts_per_rack as f64 / self.oversub).max(1e-9);
+        // racks × (uplink, downlink).
+        for _ in 0..2 * self.racks {
+            p.add_link(up_cap);
+        }
+        let rack_up = |r: usize| 2 * nh + 2 * r;
+        let rack_down = |r: usize| 2 * nh + 2 * r + 1;
+
+        for &(s, d) in demands {
+            assert!(s < nh && d < nh && s != d, "bad demand ({s},{d})");
+            let (ra, rb) = (self.rack_of(s), self.rack_of(d));
+            let mut path = vec![(s, 1.0), (nh + d, 1.0)];
+            if ra != rb {
+                path.push((rack_up(ra), 1.0));
+                path.push((rack_down(rb), 1.0));
+            }
+            p.add_flow(path);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waterfill::max_min_rates;
+
+    #[test]
+    fn quartz_direct_channel_is_shared() {
+        // 4 racks × 2 hosts; both hosts of rack 0 send to rack 1: the
+        // unit channel splits 0.5/0.5 under ECMP.
+        let f = QuartzFabric {
+            racks: 4,
+            hosts_per_rack: 2,
+            channel_cap: 1.0,
+            policy: RoutingPolicy::EcmpDirect.into(),
+        };
+        let demands = vec![(0, 2), (1, 3)];
+        let r = max_min_rates(&f.problem(&demands));
+        assert_eq!(r, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn vlb_unlocks_detour_capacity() {
+        // Same demand with VLB k = 2/3: direct carries 1/3, each of the
+        // two detours 1/3 → per-flow rate can reach 1.0 (host limited).
+        let f = QuartzFabric {
+            racks: 4,
+            hosts_per_rack: 2,
+            channel_cap: 1.0,
+            policy: RoutingPolicy::vlb(2.0 / 3.0).into(),
+        };
+        let demands = vec![(0, 2), (1, 3)];
+        let r = max_min_rates(&f.problem(&demands));
+        for x in &r {
+            assert!(*x > 0.99, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn same_rack_traffic_skips_channels() {
+        let f = QuartzFabric {
+            racks: 3,
+            hosts_per_rack: 2,
+            channel_cap: 0.01, // tiny channels must not matter
+            policy: RoutingPolicy::EcmpDirect.into(),
+        };
+        let r = max_min_rates(&f.problem(&[(0, 1)]));
+        assert_eq!(r, vec![1.0]);
+    }
+
+    #[test]
+    fn ideal_fabric_gives_line_rate_permutation() {
+        let f = OversubscribedFabric::ideal(4, 4);
+        // A perfect cross-rack permutation.
+        let demands: Vec<_> = (0..16).map(|h| (h, (h + 4) % 16)).collect();
+        let r = max_min_rates(&f.problem(&demands));
+        for x in &r {
+            assert!((x - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn oversubscription_caps_cross_rack_rate() {
+        // 4:1 oversubscription: 4 hosts share a 1-host-rate uplink.
+        let f = OversubscribedFabric {
+            racks: 2,
+            hosts_per_rack: 4,
+            oversub: 4.0,
+        };
+        let demands: Vec<_> = (0..4).map(|h| (h, h + 4)).collect();
+        let r = max_min_rates(&f.problem(&demands));
+        for x in &r {
+            assert!((x - 0.25).abs() < 1e-9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn rack_of_is_contiguous() {
+        let f = QuartzFabric::paper(RoutingPolicy::EcmpDirect);
+        assert_eq!(f.hosts(), 1056);
+        assert_eq!(f.rack_of(0), 0);
+        assert_eq!(f.rack_of(31), 0);
+        assert_eq!(f.rack_of(32), 1);
+        assert_eq!(f.rack_of(1055), 32);
+    }
+}

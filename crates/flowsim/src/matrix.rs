@@ -1,0 +1,156 @@
+//! The §5.1 traffic patterns.
+//!
+//! 1. **Random permutation** — "Each server sends traffic to one randomly
+//!    selected server, while at the same time, it receives traffic from a
+//!    different randomly selected server": a random derangement.
+//! 2. **Incast** — "Each server receives traffic from 10 servers at
+//!    random locations of the network, which simulates the shuffle stage
+//!    in a MapReduce workload."
+//! 3. **Rack-level shuffle** — "Servers in a rack send traffic to servers
+//!    in several different racks", the VM-migration / rebalancing load.
+//!
+//! Every generator is deterministic for a given seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One demand: `(source host, destination host)`.
+pub type Demand = (usize, usize);
+
+/// Random permutation traffic: every host sends to exactly one other
+/// host and receives from exactly one (a derangement).
+pub fn random_permutation(hosts: usize, seed: u64) -> Vec<Demand> {
+    assert!(hosts >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..hosts).collect();
+    // Shuffle until no fixed point (expected ~e attempts... actually
+    // resampling only fixed points via swap is cheaper and exact).
+    loop {
+        perm.shuffle(&mut rng);
+        if perm.iter().enumerate().all(|(i, &p)| i != p) {
+            break;
+        }
+    }
+    (0..hosts).map(|i| (i, perm[i])).collect()
+}
+
+/// Incast traffic: every host receives from `fan_in` distinct random
+/// senders (10 in the paper).
+pub fn incast(hosts: usize, fan_in: usize, seed: u64) -> Vec<Demand> {
+    assert!(fan_in < hosts, "need more hosts than fan-in");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut demands = Vec::with_capacity(hosts * fan_in);
+    for dst in 0..hosts {
+        let mut senders = Vec::with_capacity(fan_in);
+        while senders.len() < fan_in {
+            let s = rng.random_range(0..hosts);
+            if s != dst && !senders.contains(&s) {
+                senders.push(s);
+            }
+        }
+        for s in senders {
+            demands.push((s, dst));
+        }
+    }
+    demands
+}
+
+/// Rack-level shuffle: each rack picks `target_racks` other racks and its
+/// servers send one flow each to a random server in one of those racks
+/// (round-robin over the targets).
+pub fn rack_shuffle(
+    racks: usize,
+    hosts_per_rack: usize,
+    target_racks: usize,
+    seed: u64,
+) -> Vec<Demand> {
+    assert!(target_racks >= 1 && target_racks < racks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut demands = Vec::with_capacity(racks * hosts_per_rack);
+    for r in 0..racks {
+        let mut others: Vec<usize> = (0..racks).filter(|&x| x != r).collect();
+        others.shuffle(&mut rng);
+        let targets = &others[..target_racks];
+        for i in 0..hosts_per_rack {
+            let src = r * hosts_per_rack + i;
+            let tr = targets[i % target_racks];
+            let dst = tr * hosts_per_rack + rng.random_range(0..hosts_per_rack);
+            demands.push((src, dst));
+        }
+    }
+    demands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        let d = random_permutation(100, 7);
+        assert_eq!(d.len(), 100);
+        let mut in_deg = HashMap::new();
+        for &(s, t) in &d {
+            assert_ne!(s, t, "self-demand");
+            *in_deg.entry(t).or_insert(0) += 1;
+        }
+        assert!(in_deg.values().all(|&c| c == 1));
+        assert_eq!(in_deg.len(), 100);
+    }
+
+    #[test]
+    fn permutation_deterministic_per_seed() {
+        assert_eq!(random_permutation(64, 3), random_permutation(64, 3));
+        assert_ne!(random_permutation(64, 3), random_permutation(64, 4));
+    }
+
+    #[test]
+    fn incast_has_exact_fan_in() {
+        let d = incast(50, 10, 1);
+        assert_eq!(d.len(), 500);
+        let mut in_deg = HashMap::new();
+        for &(s, t) in &d {
+            assert_ne!(s, t);
+            *in_deg.entry(t).or_insert(0usize) += 1;
+        }
+        assert!(in_deg.values().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn incast_senders_distinct_per_receiver() {
+        let d = incast(20, 5, 9);
+        for dst in 0..20 {
+            let senders: Vec<_> = d
+                .iter()
+                .filter(|&&(_, t)| t == dst)
+                .map(|&(s, _)| s)
+                .collect();
+            let mut dedup = senders.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), senders.len());
+        }
+    }
+
+    #[test]
+    fn rack_shuffle_leaves_the_rack() {
+        let (racks, hpr) = (8, 4);
+        let d = rack_shuffle(racks, hpr, 3, 5);
+        assert_eq!(d.len(), racks * hpr);
+        for &(s, t) in &d {
+            assert_ne!(s / hpr, t / hpr, "shuffle stayed in-rack");
+        }
+    }
+
+    #[test]
+    fn rack_shuffle_uses_multiple_targets() {
+        let (racks, hpr) = (8, 6);
+        let d = rack_shuffle(racks, hpr, 3, 2);
+        // Rack 0's servers must hit 3 distinct racks.
+        let targets: std::collections::HashSet<_> =
+            d[..hpr].iter().map(|&(_, t)| t / hpr).collect();
+        assert_eq!(targets.len(), 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! Normalized throughput — the Figure 10 metric.
+//!
+//! "The normalized throughput equals 1 if every server can send traffic
+//! at its full rate." For unskewed patterns (permutation, shuffle) that
+//! is simply the mean max-min rate per flow in line-rate units. For
+//! incast the receiver NIC is the unavoidable bottleneck even on an
+//! ideal network, so we normalize against the allocation on a fabric
+//! constrained *only* by host NICs — an ideal network scores 1.0 by
+//! construction and every real fabric scores its fraction of that.
+
+use crate::fabric::Fabric;
+use crate::waterfill::{max_min_rates, Problem};
+
+/// A normalized-throughput measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NormalizedThroughput {
+    /// Aggregate achieved rate, line-rate units.
+    pub aggregate: f64,
+    /// Aggregate on the NIC-only ideal reference.
+    pub ideal_aggregate: f64,
+    /// `aggregate / ideal_aggregate`.
+    pub normalized: f64,
+}
+
+/// The reference allocation: same demands, but the only constraints are
+/// the sender and receiver NICs.
+fn nic_only_aggregate(hosts: usize, demands: &[(usize, usize)]) -> f64 {
+    let mut p = Problem::default();
+    for _ in 0..2 * hosts {
+        p.add_link(1.0);
+    }
+    for &(s, d) in demands {
+        p.add_flow(vec![(s, 1.0), (hosts + d, 1.0)]);
+    }
+    max_min_rates(&p).iter().sum()
+}
+
+/// Normalized throughput of a Quartz mesh with an *adaptive* VLB split:
+/// the best detour fraction from `ks` is chosen for the pattern, modeling
+/// §3.4's "the parameter k can be adaptive depending on the traffic
+/// characteristics". Returns `(best throughput, best k)`.
+pub fn adaptive_quartz_throughput(
+    racks: usize,
+    hosts_per_rack: usize,
+    channel_cap: f64,
+    demands: &[(usize, usize)],
+    ks: &[f64],
+) -> (NormalizedThroughput, f64) {
+    use crate::fabric::{MeshRouting, QuartzFabric};
+    assert!(!ks.is_empty(), "need at least one candidate k");
+    let mut best: Option<(NormalizedThroughput, f64)> = None;
+    // Per-pair adaptive VLB (reported as k = −1.0) competes with every
+    // uniform candidate.
+    let mut candidates: Vec<(MeshRouting, f64)> = vec![(MeshRouting::VlbAdaptive, -1.0)];
+    candidates.extend(ks.iter().map(|&k| {
+        let r = if k == 0.0 {
+            MeshRouting::EcmpDirect
+        } else {
+            MeshRouting::VlbUniform(k)
+        };
+        (r, k)
+    }));
+    for (policy, k) in candidates {
+        let f = QuartzFabric {
+            racks,
+            hosts_per_rack,
+            channel_cap,
+            policy,
+        };
+        let t = normalized_throughput(&f, demands);
+        if best.is_none_or(|(b, _)| t.normalized > b.normalized) {
+            best = Some((t, k));
+        }
+    }
+    best.expect("candidates non-empty")
+}
+
+/// The default candidate detour fractions for adaptive VLB sweeps.
+pub const DEFAULT_KS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Computes the normalized throughput of `fabric` under `demands`.
+///
+/// # Examples
+///
+/// ```
+/// use quartz_flowsim::fabric::OversubscribedFabric;
+/// use quartz_flowsim::matrix::random_permutation;
+/// use quartz_flowsim::throughput::normalized_throughput;
+///
+/// // A full-bisection network scores 1.0 on any permutation.
+/// let ideal = OversubscribedFabric::ideal(8, 4);
+/// let demands = random_permutation(32, 7);
+/// let t = normalized_throughput(&ideal, &demands);
+/// assert!((t.normalized - 1.0).abs() < 1e-9);
+/// ```
+pub fn normalized_throughput<F: Fabric>(
+    fabric: &F,
+    demands: &[(usize, usize)],
+) -> NormalizedThroughput {
+    let rates = max_min_rates(&fabric.problem(demands));
+    let aggregate: f64 = rates.iter().sum();
+    let ideal_aggregate = nic_only_aggregate(fabric.hosts(), demands);
+    NormalizedThroughput {
+        aggregate,
+        ideal_aggregate,
+        normalized: if ideal_aggregate > 0.0 {
+            aggregate / ideal_aggregate
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{OversubscribedFabric, QuartzFabric};
+    use crate::matrix::{incast, rack_shuffle, random_permutation};
+    use quartz_core::routing::RoutingPolicy;
+
+    const RACKS: usize = 16;
+    const HPR: usize = 8;
+
+    fn quartz(policy: RoutingPolicy) -> QuartzFabric {
+        QuartzFabric {
+            racks: RACKS,
+            hosts_per_rack: HPR,
+            channel_cap: 1.0,
+            policy: policy.into(),
+        }
+    }
+
+    #[test]
+    fn ideal_network_scores_one_on_permutation() {
+        let f = OversubscribedFabric::ideal(RACKS, HPR);
+        let d = random_permutation(RACKS * HPR, 1);
+        let t = normalized_throughput(&f, &d);
+        assert!((t.normalized - 1.0).abs() < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn ideal_network_scores_one_on_incast() {
+        // Even though each flow only gets 1/10 of a NIC, the ideal
+        // network matches the NIC-only reference exactly.
+        let f = OversubscribedFabric::ideal(RACKS, HPR);
+        let d = incast(RACKS * HPR, 10, 2);
+        let t = normalized_throughput(&f, &d);
+        assert!((t.normalized - 1.0).abs() < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn quartz_close_to_ideal_on_permutation() {
+        // Figure 10: "For random permutation traffic and incast traffic,
+        // Quartz throughput is about 90% of a full bisection bandwidth
+        // network" — with the adaptive detour fraction of §3.4.
+        let d = random_permutation(RACKS * HPR, 1);
+        let (t, _k) = adaptive_quartz_throughput(RACKS, HPR, 1.0, &d, &DEFAULT_KS);
+        assert!(t.normalized > 0.85, "{t:?}");
+        assert!(t.normalized <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn quartz_beats_quarter_bisection_everywhere() {
+        // Figure 10's bottom line: Quartz sits between ½ and full
+        // bisection; ¼ bisection trails on every pattern.
+        let q = quartz(RoutingPolicy::vlb(0.5));
+        let quarter = OversubscribedFabric {
+            racks: RACKS,
+            hosts_per_rack: HPR,
+            oversub: 4.0,
+        };
+        for (name, d) in [
+            ("perm", random_permutation(RACKS * HPR, 3)),
+            ("incast", incast(RACKS * HPR, 10, 3)),
+            ("shuffle", rack_shuffle(RACKS, HPR, 4, 3)),
+        ] {
+            let tq = normalized_throughput(&q, &d).normalized;
+            let t4 = normalized_throughput(&quarter, &d).normalized;
+            assert!(tq > t4, "{name}: quartz {tq} vs quarter {t4}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_quartzs_weak_spot_at_paper_scale() {
+        // Figure 10: rack-level shuffle is Quartz's lowest bar (~0.75 in
+        // the paper) — the pattern concentrates rack-pair traffic. At the
+        // paper's fully loaded 33×32 scale the ordering shows: shuffle <
+        // permutation, and both stay above the ½-bisection floor.
+        let (racks, hpr) = (33, 32);
+        let dsh = rack_shuffle(racks, hpr, 4, 1);
+        let dperm = random_permutation(racks * hpr, 1);
+        let (tsh, _) = adaptive_quartz_throughput(racks, hpr, 1.0, &dsh, &DEFAULT_KS);
+        let (tperm, _) = adaptive_quartz_throughput(racks, hpr, 1.0, &dperm, &DEFAULT_KS);
+        assert!(
+            tsh.normalized < tperm.normalized,
+            "shuffle {tsh:?} should trail permutation {tperm:?}"
+        );
+        assert!(tsh.normalized > 0.5, "{tsh:?}");
+    }
+
+    #[test]
+    fn vlb_beats_ecmp_on_concentrated_traffic() {
+        let d = rack_shuffle(RACKS, HPR, 2, 5);
+        let te = normalized_throughput(&quartz(RoutingPolicy::EcmpDirect), &d).normalized;
+        let tv = normalized_throughput(&quartz(RoutingPolicy::vlb(0.5)), &d).normalized;
+        assert!(tv > te, "VLB {tv} vs ECMP {te}");
+    }
+
+    #[test]
+    fn oversubscription_ladder_is_monotone() {
+        let d = random_permutation(RACKS * HPR, 9);
+        let t = |o: f64| {
+            normalized_throughput(
+                &OversubscribedFabric {
+                    racks: RACKS,
+                    hosts_per_rack: HPR,
+                    oversub: o,
+                },
+                &d,
+            )
+            .normalized
+        };
+        let (t1, t2, t4) = (t(1.0), t(2.0), t(4.0));
+        assert!(t1 >= t2 && t2 >= t4, "{t1} {t2} {t4}");
+        assert!(t4 < 0.5, "quarter bisection must hurt: {t4}");
+    }
+}

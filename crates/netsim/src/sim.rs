@@ -1,0 +1,1620 @@
+//! The discrete-event engine and its workload drivers.
+//!
+//! ## Timing model
+//!
+//! Every packet is tracked by the arrival times of its **head** and
+//! **tail** at each node. A device adds its forwarding latency, then
+//! queues the packet on the output port:
+//!
+//! * a **cut-through** switch may start transmitting `latency` after the
+//!   head arrives — unless the output link is faster than the input (it
+//!   would underrun), in which case it degrades to store-and-forward;
+//! * a **store-and-forward** switch (and every host) waits for the tail;
+//! * the output port serializes at link rate, FIFO, with a drop-tail
+//!   byte-capacity bound;
+//! * propagation delay is constant per link (datacenter cables are short).
+//!
+//! ## Workloads
+//!
+//! [`FlowKind`] covers every traffic shape in the paper: open-loop
+//! Poisson streams (optionally echoed by the receiver, for
+//! scatter/gather), closed-loop ping-pong RPC (the §6.1 Thrift
+//! experiment), and bursty on/off sources (§6.1's Nuttcp cross-traffic:
+//! "20 packet bursts that are separated by idle intervals, the duration
+//! of which is selected to meet a target bandwidth").
+//!
+//! ## Determinism
+//!
+//! One seeded RNG; event ties break on a monotone sequence number; ECMP
+//! picks by flow hash. Two runs with the same seed are bit-identical.
+
+use crate::stats::Stats;
+use crate::switch::LatencyModel;
+use crate::time::SimTime;
+use crate::transport::{ReceiverState, SendAction, SenderState, TcpVariant};
+use quartz_topology::graph::{Network, NodeId, NodeKind};
+use quartz_topology::route::RouteTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Valiant load balancing configuration (§3.4).
+#[derive(Clone, Debug)]
+pub struct VlbConfig {
+    /// Fraction of eligible packets detoured over a two-hop path.
+    pub fraction: f64,
+    /// The mesh domains (each a list of switches forming a full mesh —
+    /// one entry per Quartz ring).
+    pub domains: Vec<Vec<NodeId>>,
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// RNG seed; same seed ⇒ identical run.
+    pub seed: u64,
+    /// Drop-tail capacity of each output port, bytes.
+    pub queue_cap_bytes: u64,
+    /// Per-link propagation delay, ns.
+    pub prop_delay_ns: u64,
+    /// Device latency model.
+    pub latency: LatencyModel,
+    /// Optional VLB routing inside mesh domains.
+    pub vlb: Option<VlbConfig>,
+    /// ECN marking threshold (DCTCP's K): packets enqueued behind more
+    /// than this many bytes are marked. `None` disables marking.
+    pub ecn_threshold_bytes: Option<u64>,
+    /// Transport retransmission timeout, ns.
+    pub rto_ns: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            queue_cap_bytes: 512 * 1024,
+            prop_delay_ns: 50,
+            latency: LatencyModel::paper(),
+            vlb: None,
+            ecn_threshold_bytes: None,
+            rto_ns: 250_000,
+        }
+    }
+}
+
+/// A traffic source shape.
+#[derive(Clone, Debug)]
+pub enum FlowKind {
+    /// Open-loop Poisson stream with the given mean inter-arrival gap.
+    /// With `respond`, the receiver echoes every packet and the recorded
+    /// latency is the round trip; otherwise one-way delivery latency.
+    Poisson {
+        /// Mean gap between packet emissions, ns.
+        mean_gap_ns: f64,
+        /// Stop emitting at this time.
+        stop: SimTime,
+        /// Echo each packet back to the sender.
+        respond: bool,
+    },
+    /// Closed-loop ping-pong RPC: one outstanding request; the next is
+    /// sent when the response arrives. Records round-trip latencies.
+    Rpc {
+        /// Total requests to issue.
+        count: u32,
+    },
+    /// On/off source: `burst_pkts` back-to-back packets every
+    /// `period_ns` (pick the period to hit a target mean bandwidth).
+    Burst {
+        /// Packets per burst.
+        burst_pkts: u32,
+        /// Time between burst starts, ns.
+        period_ns: u64,
+        /// Stop starting bursts at this time.
+        stop: SimTime,
+    },
+    /// A one-shot file transfer: `total_bytes` split into packets of the
+    /// flow's size, queued back-to-back at the start time. The recorded
+    /// latency is the **flow completion time** (delivery of the final
+    /// packet, measured from the start).
+    FileTransfer {
+        /// Total payload to move.
+        total_bytes: u64,
+    },
+    /// A reliable, congestion-controlled transfer (Reno or DCTCP state
+    /// machine from [`crate::transport`]). The recorded latency is the
+    /// flow completion time (final cumulative ACK at the sender).
+    Transport {
+        /// Total payload to move.
+        total_bytes: u64,
+        /// Congestion-control variant.
+        variant: TcpVariant,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Flow {
+    src: NodeId,
+    dst: NodeId,
+    size: u32,
+    kind: FlowKind,
+    tag: u32,
+    hash: u64,
+    sent: u32,
+    /// First emission time (file transfers measure completion from it).
+    t0: SimTime,
+    /// Index into the simulator's extra route tables (SPAIN-style VLAN
+    /// selection, §6); `None` = the default ECMP table.
+    table: Option<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct Packet {
+    flow: u32,
+    created: SimTime,
+    size: u32,
+    dst: NodeId,
+    intermediate: Option<NodeId>,
+    is_response: bool,
+    /// Final packet of a [`FlowKind::FileTransfer`]; its delivery is the
+    /// flow completion.
+    is_last: bool,
+    /// Transport-layer payload (data segment or cumulative ACK).
+    transport: TransportInfo,
+    /// ECN congestion-experienced mark, set at overloaded queues.
+    ecn: bool,
+    hash: u64,
+    vlb_decided: bool,
+}
+
+/// Transport-layer role of a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TransportInfo {
+    /// Not transport-managed.
+    None,
+    /// Data segment `seq` of its flow.
+    Data(u64),
+    /// Cumulative ACK up to `ack`, echoing the data packet's ECN mark.
+    Ack { ack: u64, ecn_echo: bool },
+}
+
+#[derive(Clone, Debug)]
+enum EvKind {
+    /// Emit the flow's next packet (or burst).
+    Gen { flow: usize },
+    /// Packet head arrives at a node; tail follows.
+    Head {
+        pkt: Packet,
+        at: NodeId,
+        tail: SimTime,
+    },
+    /// Both directions of a link fail (a fiber cut).
+    FailLink {
+        link: quartz_topology::graph::LinkId,
+    },
+    /// Transport retransmission timer for `flow`; ignored if `epoch` is
+    /// stale.
+    Rto { flow: usize, epoch: u64 },
+}
+
+struct Ev {
+    time: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Per-direction link state.
+#[derive(Clone, Debug)]
+struct DirLink {
+    rate_gbps: f64, // == bits per ns
+    free_at: SimTime,
+    /// Nanoseconds spent transmitting (for utilization reports).
+    busy_ns: u64,
+    /// Bytes transmitted.
+    bytes: u64,
+    /// A failed link silently drops everything queued onto it.
+    failed: bool,
+}
+
+/// Per-direction transmission statistics for one link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkLoad {
+    /// Busy transmission time in the `a → b` direction, ns.
+    pub ab_busy_ns: u64,
+    /// Bytes sent `a → b`.
+    pub ab_bytes: u64,
+    /// Busy transmission time in the `b → a` direction, ns.
+    pub ba_busy_ns: u64,
+    /// Bytes sent `b → a`.
+    pub ba_bytes: u64,
+}
+
+impl LinkLoad {
+    /// Utilization of the busier direction over `elapsed` ns.
+    pub fn peak_utilization(&self, elapsed_ns: u64) -> f64 {
+        if elapsed_ns == 0 {
+            0.0
+        } else {
+            self.ab_busy_ns.max(self.ba_busy_ns) as f64 / elapsed_ns as f64
+        }
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
+/// use quartz_netsim::time::SimTime;
+/// use quartz_topology::builders::prototype_quartz;
+///
+/// let p = prototype_quartz();
+/// let mut sim = Simulator::new(p.net.clone(), SimConfig::default());
+/// sim.add_flow(
+///     p.hosts[0],
+///     p.hosts[7],
+///     400,
+///     FlowKind::Rpc { count: 100 },
+///     0,
+///     SimTime::ZERO,
+/// );
+/// sim.run(SimTime::from_ms(10));
+/// assert_eq!(sim.stats().summary(0).count, 100);
+/// ```
+pub struct Simulator {
+    net: Network,
+    table: RouteTable,
+    cfg: SimConfig,
+    flows: Vec<Flow>,
+    links: Vec<DirLink>, // 2 per undirected link: [2l] = a→b, [2l+1] = b→a
+    events: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    rng: StdRng,
+    stats: Stats,
+    now: SimTime,
+    vlb_domain_of: HashMap<NodeId, usize>,
+    /// Transport connection state, parallel to `flows` (None for
+    /// non-transport flows).
+    conns: Vec<Option<Conn>>,
+    /// Extra routing tables (per-VLAN spanning trees, §6's SPAIN
+    /// technique); flows may pin themselves to one.
+    extra_tables: Vec<RouteTable>,
+}
+
+/// One reliable connection's two endpoints plus its start time.
+struct Conn {
+    sender: SenderState,
+    receiver: ReceiverState,
+    t0: SimTime,
+}
+
+impl Simulator {
+    /// Builds a simulator over `net` (routing tables are computed here).
+    pub fn new(net: Network, cfg: SimConfig) -> Self {
+        let table = RouteTable::all_shortest_paths(&net);
+        let links = net
+            .links()
+            .flat_map(|l| {
+                let d = DirLink {
+                    rate_gbps: l.bandwidth_gbps,
+                    free_at: SimTime::ZERO,
+                    busy_ns: 0,
+                    bytes: 0,
+                    failed: false,
+                };
+                [d.clone(), d]
+            })
+            .collect();
+        let mut vlb_domain_of = HashMap::new();
+        if let Some(v) = &cfg.vlb {
+            assert!(
+                (0.0..=1.0).contains(&v.fraction),
+                "VLB fraction must be in 0..=1"
+            );
+            for (i, dom) in v.domains.iter().enumerate() {
+                for &sw in dom {
+                    vlb_domain_of.insert(sw, i);
+                }
+            }
+        }
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Simulator {
+            net,
+            table,
+            cfg,
+            flows: Vec::new(),
+            links,
+            events: BinaryHeap::new(),
+            seq: 0,
+            rng,
+            stats: Stats::default(),
+            now: SimTime::ZERO,
+            vlb_domain_of,
+            conns: Vec::new(),
+            extra_tables: Vec::new(),
+        }
+    }
+
+    /// Registers an additional routing table (e.g. a per-VLAN spanning
+    /// tree from [`quartz_topology::spain::SpainFabric`]); returns its
+    /// index for [`Simulator::pin_flow_to_table`].
+    pub fn add_route_table(&mut self, table: RouteTable) -> usize {
+        assert_eq!(
+            table.node_count(),
+            self.net.node_count(),
+            "table must cover this network"
+        );
+        self.extra_tables.push(table);
+        self.extra_tables.len() - 1
+    }
+
+    /// Pins a flow's packets to a previously registered table — the §6
+    /// prototype's "an application can select a direct two-hop path or a
+    /// specific indirect three-hop path by sending data on the
+    /// corresponding virtual interface".
+    pub fn pin_flow_to_table(&mut self, flow: usize, table: usize) {
+        assert!(table < self.extra_tables.len(), "unknown table {table}");
+        self.flows[flow].table = Some(table);
+    }
+
+    /// Registers a flow starting at `start`; returns its index.
+    ///
+    /// # Panics
+    /// Panics if `src` or `dst` is not a host, or they coincide.
+    pub fn add_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u32,
+        kind: FlowKind,
+        tag: u32,
+        start: SimTime,
+    ) -> usize {
+        assert_ne!(src, dst, "flow endpoints must differ");
+        assert!(
+            self.net.node(src).kind == NodeKind::Host && self.net.node(dst).kind == NodeKind::Host,
+            "flows run between hosts"
+        );
+        let idx = self.flows.len();
+        let hash = self.rng.random::<u64>();
+        let conn = match &kind {
+            FlowKind::Transport {
+                total_bytes,
+                variant,
+            } => {
+                let pkts = total_bytes.div_ceil(u64::from(size_bytes)).max(1);
+                Some(Conn {
+                    sender: SenderState::new(*variant, pkts),
+                    receiver: ReceiverState::default(),
+                    t0: start,
+                })
+            }
+            _ => None,
+        };
+        self.flows.push(Flow {
+            src,
+            dst,
+            size: size_bytes,
+            kind,
+            tag,
+            hash,
+            sent: 0,
+            t0: start,
+            table: None,
+        });
+        self.conns.push(conn);
+        self.push(start, EvKind::Gen { flow: idx });
+        idx
+    }
+
+    fn push(&mut self, time: SimTime, kind: EvKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Ev {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Runs the simulation until `until` (events after it stay queued).
+    /// Returns the accumulated statistics.
+    pub fn run(&mut self, until: SimTime) -> &Stats {
+        while self.events.peek().is_some_and(|Reverse(e)| e.time <= until) {
+            let Reverse(ev) = self.events.pop().expect("peeked non-empty");
+            self.dispatch(ev);
+        }
+        &self.stats
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        self.now = ev.time;
+        match ev.kind {
+            EvKind::Gen { flow } => self.generate(flow, ev.time),
+            EvKind::Head { pkt, at, tail } => self.forward(pkt, at, ev.time, tail),
+            EvKind::FailLink { link } => {
+                self.links[2 * link.0 as usize].failed = true;
+                self.links[2 * link.0 as usize + 1].failed = true;
+            }
+            EvKind::Rto { flow, epoch } => {
+                if let Some(conn) = self.conns[flow].as_mut() {
+                    let actions = conn.sender.on_rto(epoch);
+                    self.apply_transport_actions(flow, ev.time, actions);
+                }
+            }
+        }
+    }
+
+    fn generate(&mut self, flow_idx: usize, now: SimTime) {
+        let flow = self.flows[flow_idx].clone();
+        match flow.kind {
+            FlowKind::Poisson {
+                mean_gap_ns, stop, ..
+            } => {
+                if now >= stop {
+                    return;
+                }
+                self.emit(flow_idx, now, false, None);
+                let u: f64 = self.rng.random::<f64>().max(1e-12);
+                let gap = (-mean_gap_ns * u.ln()).max(1.0) as u64;
+                let next = now + gap;
+                if next < stop {
+                    self.push(next, EvKind::Gen { flow: flow_idx });
+                }
+            }
+            FlowKind::Rpc { count } => {
+                if flow.sent >= count {
+                    return;
+                }
+                self.flows[flow_idx].sent += 1;
+                self.emit(flow_idx, now, false, None);
+            }
+            FlowKind::Burst {
+                burst_pkts,
+                period_ns,
+                stop,
+            } => {
+                if now >= stop {
+                    return;
+                }
+                for _ in 0..burst_pkts {
+                    self.emit(flow_idx, now, false, None);
+                }
+                let next = now + period_ns;
+                if next < stop {
+                    self.push(next, EvKind::Gen { flow: flow_idx });
+                }
+            }
+            FlowKind::Transport { .. } => {
+                // Connection start: open the window.
+                if self.flows[flow_idx].t0 == SimTime::ZERO || now >= self.flows[flow_idx].t0 {
+                    let actions = self.conns[flow_idx]
+                        .as_mut()
+                        .expect("transport flow has a connection")
+                        .sender
+                        .pump();
+                    self.apply_transport_actions(flow_idx, now, actions);
+                }
+            }
+            FlowKind::FileTransfer { total_bytes } => {
+                // Ideally paced transport: one packet per serialization
+                // slot of the source's access link, so the transfer
+                // never overflows its own output queue.
+                let pkts = (total_bytes.div_ceil(u64::from(flow.size)).max(1)) as u32;
+                if flow.sent >= pkts {
+                    return;
+                }
+                if flow.sent == 0 {
+                    self.flows[flow_idx].t0 = now;
+                }
+                self.flows[flow_idx].sent += 1;
+                let is_last = flow.sent + 1 == pkts;
+                // The final packet carries the flow's start time so its
+                // delivery latency *is* the flow completion time.
+                let created = is_last.then(|| self.flows[flow_idx].t0);
+                self.emit_inner(flow_idx, now, false, created, is_last);
+                if !is_last {
+                    let (_, link_id) = self.net.neighbors(flow.src)[0];
+                    let rate = self.net.link(link_id).bandwidth_gbps;
+                    let pace = ((flow.size as f64 * 8.0) / rate).ceil() as u64;
+                    self.push(now + pace, EvKind::Gen { flow: flow_idx });
+                }
+            }
+        }
+    }
+
+    /// Creates a packet for `flow` and starts it from its origin host.
+    /// `created_override` preserves the original request timestamp on
+    /// responses so the recorded latency is the full round trip.
+    fn emit(
+        &mut self,
+        flow_idx: usize,
+        now: SimTime,
+        is_response: bool,
+        created_override: Option<SimTime>,
+    ) {
+        self.emit_inner(flow_idx, now, is_response, created_override, false);
+    }
+
+    fn emit_inner(
+        &mut self,
+        flow_idx: usize,
+        now: SimTime,
+        is_response: bool,
+        created_override: Option<SimTime>,
+        is_last: bool,
+    ) {
+        let (f_src, f_dst, f_size, f_hash) = {
+            let flow = &self.flows[flow_idx];
+            (flow.src, flow.dst, flow.size, flow.hash)
+        };
+        let (origin, dst) = if is_response {
+            (f_dst, f_src)
+        } else {
+            (f_src, f_dst)
+        };
+        let hash = if is_response {
+            f_hash.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15
+        } else {
+            f_hash
+        };
+        let pkt = Packet {
+            flow: flow_idx as u32,
+            created: created_override.unwrap_or(now),
+            size: f_size,
+            dst,
+            intermediate: None,
+            is_response,
+            is_last,
+            transport: TransportInfo::None,
+            ecn: false,
+            hash,
+            vlb_decided: false,
+        };
+        self.stats.generated += 1;
+        let t = now + self.cfg.latency.host_send_ns;
+        self.forward(pkt, origin, t, t);
+    }
+
+    /// Executes the transport state machine's requested actions.
+    fn apply_transport_actions(&mut self, flow_idx: usize, now: SimTime, actions: Vec<SendAction>) {
+        for a in actions {
+            match a {
+                SendAction::SendData { seq } => {
+                    let (src, size) = {
+                        let f = &self.flows[flow_idx];
+                        (f.src, f.size)
+                    };
+                    self.send_transport_packet(flow_idx, src, size, TransportInfo::Data(seq), now);
+                }
+                SendAction::ArmRto { epoch } => {
+                    let at = now + self.cfg.rto_ns;
+                    self.push(
+                        at,
+                        EvKind::Rto {
+                            flow: flow_idx,
+                            epoch,
+                        },
+                    );
+                }
+                SendAction::Complete => {
+                    let (tag, t0) = {
+                        let f = &self.flows[flow_idx];
+                        (f.tag, self.conns[flow_idx].as_ref().unwrap().t0)
+                    };
+                    self.stats.record(tag, now.saturating_sub(t0));
+                }
+            }
+        }
+    }
+
+    /// Injects one transport packet (data toward the flow's destination,
+    /// ACKs back toward the source).
+    fn send_transport_packet(
+        &mut self,
+        flow_idx: usize,
+        origin: NodeId,
+        size: u32,
+        transport: TransportInfo,
+        now: SimTime,
+    ) {
+        let flow = &self.flows[flow_idx];
+        let (dst, hash) = match transport {
+            TransportInfo::Ack { .. } => {
+                (flow.src, flow.hash.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15)
+            }
+            _ => (flow.dst, flow.hash),
+        };
+        let pkt = Packet {
+            flow: flow_idx as u32,
+            created: now,
+            size,
+            dst,
+            intermediate: None,
+            is_response: false,
+            is_last: false,
+            transport,
+            ecn: false,
+            hash,
+            vlb_decided: false,
+        };
+        self.stats.generated += 1;
+        let t = now + self.cfg.latency.host_send_ns;
+        self.forward(pkt, origin, t, t);
+    }
+
+    /// Handles a packet whose head reached `at` at `head` (tail at
+    /// `tail`): deliver or queue on the next output port.
+    fn forward(&mut self, mut pkt: Packet, at: NodeId, head: SimTime, tail: SimTime) {
+        let node_kind = self.net.node(at).kind;
+
+        // Delivery.
+        if at == pkt.dst {
+            debug_assert!(node_kind.is_host());
+            let delivered_at = tail + self.cfg.latency.host_recv_ns;
+            self.stats.delivered += 1;
+            let tag = self.flows[pkt.flow as usize].tag;
+            self.stats.record_bytes(tag, u64::from(pkt.size));
+            match pkt.transport {
+                TransportInfo::Data(seq) => {
+                    // Receiver: reassemble and send a cumulative ACK
+                    // echoing this packet's ECN mark.
+                    let flow_idx = pkt.flow as usize;
+                    let ack = self.conns[flow_idx]
+                        .as_mut()
+                        .expect("data packet without connection")
+                        .receiver
+                        .on_data(seq);
+                    self.send_transport_packet(
+                        flow_idx,
+                        pkt.dst,
+                        64,
+                        TransportInfo::Ack {
+                            ack,
+                            ecn_echo: pkt.ecn,
+                        },
+                        delivered_at,
+                    );
+                    return;
+                }
+                TransportInfo::Ack { ack, ecn_echo } => {
+                    let flow_idx = pkt.flow as usize;
+                    let actions = self.conns[flow_idx]
+                        .as_mut()
+                        .expect("ack without connection")
+                        .sender
+                        .on_ack(ack, ecn_echo);
+                    self.apply_transport_actions(flow_idx, delivered_at, actions);
+                    return;
+                }
+                TransportInfo::None => {}
+            }
+            let flow = self.flows[pkt.flow as usize].clone();
+            if pkt.is_response {
+                self.stats
+                    .record(flow.tag, delivered_at.saturating_sub(pkt.created));
+                if let FlowKind::Rpc { count } = flow.kind {
+                    if flow.sent < count {
+                        self.push(
+                            delivered_at,
+                            EvKind::Gen {
+                                flow: pkt.flow as usize,
+                            },
+                        );
+                    }
+                }
+            } else {
+                let responds = matches!(
+                    flow.kind,
+                    FlowKind::Poisson { respond: true, .. } | FlowKind::Rpc { .. }
+                );
+                if responds {
+                    self.emit(pkt.flow as usize, delivered_at, true, Some(pkt.created));
+                } else if matches!(flow.kind, FlowKind::FileTransfer { .. }) {
+                    // Only the final packet's delivery is the flow
+                    // completion time.
+                    if pkt.is_last {
+                        self.stats
+                            .record(flow.tag, delivered_at.saturating_sub(pkt.created));
+                    }
+                } else {
+                    self.stats
+                        .record(flow.tag, delivered_at.saturating_sub(pkt.created));
+                }
+            }
+            return;
+        }
+
+        // Routing target: detour intermediate first, then the real dst.
+        if pkt.intermediate == Some(at) {
+            pkt.intermediate = None;
+        }
+
+        // VLB decision at the mesh ingress switch.
+        if !pkt.vlb_decided && !self.vlb_domain_of.is_empty() && node_kind.is_switch() {
+            if let Some(&dom_idx) = self.vlb_domain_of.get(&at) {
+                pkt.vlb_decided = true;
+                let target = pkt.dst;
+                if let Some(nh) = self.table.ecmp_next(at, target, pkt.hash) {
+                    if self.vlb_domain_of.get(&nh) == Some(&dom_idx) {
+                        let vlb = self.cfg.vlb.as_ref().expect("domains imply config");
+                        if self.rng.random::<f64>() < vlb.fraction {
+                            let dom = &vlb.domains[dom_idx];
+                            let candidates: Vec<NodeId> = dom
+                                .iter()
+                                .copied()
+                                .filter(|&w| w != at && w != nh)
+                                .collect();
+                            if !candidates.is_empty() {
+                                let w = candidates[self.rng.random_range(0..candidates.len())];
+                                pkt.intermediate = Some(w);
+                                // Per-packet spraying: differentiate the
+                                // hash so detour packets of one flow use
+                                // their own ECMP choices.
+                                pkt.hash = self.rng.random::<u64>();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let target = pkt.intermediate.unwrap_or(pkt.dst);
+        let routing = match self.flows[pkt.flow as usize].table {
+            Some(i) => &self.extra_tables[i],
+            None => &self.table,
+        };
+        let Some(next) = routing.ecmp_next(at, target, pkt.hash) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        let link_id = self
+            .net
+            .link_between(at, next)
+            .expect("next hop must be adjacent");
+        let link = self.net.link(link_id);
+        let dir = usize::from(link.a != at);
+        let dl = &self.links[2 * link_id.0 as usize + dir];
+        if dl.failed {
+            // A cut fiber: everything forwarded onto it is lost until
+            // routes are recomputed (see [`Simulator::reroute`]).
+            self.stats.dropped += 1;
+            return;
+        }
+        let rate = dl.rate_gbps;
+
+        // Device delay + cut-through eligibility.
+        let ser_ns = ((pkt.size as f64 * 8.0) / rate).ceil() as u64;
+        let inbound_ns = tail - head; // 0 at the origin host
+        let earliest = match node_kind {
+            NodeKind::Host => {
+                if inbound_ns == 0 {
+                    // Origin host (head == tail only at emission; every
+                    // real link adds ≥ 1 ns of serialization): send-side
+                    // latency was applied in `emit`.
+                    head
+                } else {
+                    // Relay host (server-centric designs): full stack.
+                    tail + self.cfg.latency.host_recv_ns + self.cfg.latency.host_send_ns
+                }
+            }
+            NodeKind::Switch(role) => {
+                let spec = self.cfg.latency.spec_for(role);
+                if spec.cut_through && ser_ns >= inbound_ns {
+                    head + spec.latency_ns
+                } else {
+                    tail + spec.latency_ns
+                }
+            }
+        };
+
+        // Drop-tail check on the output port.
+        let backlog_ns = dl.free_at.saturating_sub(earliest);
+        let backlog_bytes = (backlog_ns as f64 * rate / 8.0) as u64;
+        if backlog_bytes > self.cfg.queue_cap_bytes {
+            self.stats.dropped += 1;
+            return;
+        }
+        // DCTCP-style ECN: mark packets that queue behind more than K
+        // bytes (instantaneous queue-length marking, as DCTCP specifies).
+        if let Some(k) = self.cfg.ecn_threshold_bytes {
+            if backlog_bytes > k {
+                pkt.ecn = true;
+            }
+        }
+
+        let start = if dl.free_at > earliest {
+            dl.free_at
+        } else {
+            earliest
+        };
+        let done = start + ser_ns;
+        let dl = &mut self.links[2 * link_id.0 as usize + dir];
+        dl.free_at = done;
+        dl.busy_ns += ser_ns;
+        dl.bytes += u64::from(pkt.size);
+        let prop = self.cfg.prop_delay_ns;
+        self.push(
+            start + prop,
+            EvKind::Head {
+                pkt,
+                at: next,
+                tail: done + prop,
+            },
+        );
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The time of the most recently processed event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Runs until `count` samples exist under `tag` (e.g. that many RPCs
+    /// have completed) or `deadline` passes; returns whether the target
+    /// was reached. Enables staged, dependency-driven workloads: start a
+    /// fan-out, wait for it, start the next stage at [`Simulator::now`].
+    pub fn run_until_samples(&mut self, tag: u32, count: usize, deadline: SimTime) -> bool {
+        while self.stats.count(tag) < count {
+            let Some(Reverse(ev)) = self.events.peek() else {
+                return false;
+            };
+            if ev.time > deadline {
+                return false;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked non-empty");
+            self.dispatch(ev);
+        }
+        true
+    }
+
+    /// Whether any events remain queued (packets in flight or future
+    /// generations).
+    pub fn has_pending_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Schedules a fiber cut: at `at`, both directions of `link` start
+    /// dropping everything queued onto them (§3.5's failure model, live).
+    pub fn fail_link_at(&mut self, link: quartz_topology::graph::LinkId, at: SimTime) {
+        assert!((link.0 as usize) < self.net.link_count(), "unknown link");
+        self.push(at, EvKind::FailLink { link });
+    }
+
+    /// Recomputes the ECMP tables over the surviving links only. Call
+    /// after a failure event has fired to model control-plane
+    /// reconvergence; in-flight packets are unaffected.
+    pub fn reroute(&mut self) {
+        let mut filtered = Network::new();
+        for node in self.net.nodes() {
+            match node.kind {
+                NodeKind::Host => filtered.add_host(node.rack),
+                NodeKind::Switch(r) => filtered.add_switch(r, node.rack),
+            };
+        }
+        for l in self.net.links() {
+            if !self.links[2 * l.id.0 as usize].failed {
+                filtered.connect(l.a, l.b, l.bandwidth_gbps);
+            }
+        }
+        self.table = RouteTable::all_shortest_paths(&filtered);
+    }
+
+    /// Transmission statistics per link, in the network's link order.
+    pub fn link_loads(&self) -> Vec<LinkLoad> {
+        (0..self.net.link_count())
+            .map(|i| LinkLoad {
+                ab_busy_ns: self.links[2 * i].busy_ns,
+                ab_bytes: self.links[2 * i].bytes,
+                ba_busy_ns: self.links[2 * i + 1].busy_ns,
+                ba_bytes: self.links[2 * i + 1].bytes,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::{ARISTA_7150S, CISCO_NEXUS_7000};
+    use quartz_topology::builders::{prototype_quartz, quartz_mesh, three_tier};
+    use quartz_topology::graph::SwitchRole;
+
+    /// Two hosts on one switch of the given role; returns (net, h1, h2).
+    fn dumbbell(role: SwitchRole, gbps: f64) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let sw = net.add_switch(role, Some(0));
+        let h1 = net.add_host(Some(0));
+        let h2 = net.add_host(Some(0));
+        net.connect(h1, sw, gbps);
+        net.connect(h2, sw, gbps);
+        (net, h1, h2)
+    }
+
+    fn no_prop_cfg() -> SimConfig {
+        SimConfig {
+            prop_delay_ns: 0,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_packet_cut_through_latency_is_exact() {
+        // 400 B at 10 G: 320 ns serialization. Cut-through ULL adds
+        // 380 ns; the two serializations pipeline, so the end-to-end
+        // tail-arrival is 320 (first link) + 380 (switch) + 320 (second
+        // link) − 320 (overlap) = 1020... precisely: head enters switch at
+        // t=0 (sender starts transmitting at 0), switch starts at
+        // head+380 = 380 — but our head timestamp is the *start of
+        // transmission + prop*, so with prop=0: head_sw = 0, tail_sw =
+        // 320; start_tx2 = 380; tail at h2 = 700.
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(net, no_prop_cfg());
+        sim.add_flow(
+            h1,
+            h2,
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: 1e9,
+                stop: SimTime::from_ns(1),
+                respond: false,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(1));
+        let s = sim.stats().summary(0);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_ns, (ARISTA_7150S.latency_ns + 320) as f64);
+    }
+
+    #[test]
+    fn single_packet_store_and_forward_latency_is_exact() {
+        // CCS: wait for tail (320) + 6 µs + second serialization 320.
+        let (net, h1, h2) = dumbbell(SwitchRole::Core, 10.0);
+        let mut sim = Simulator::new(net, no_prop_cfg());
+        sim.add_flow(
+            h1,
+            h2,
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: 1e9,
+                stop: SimTime::from_ns(1),
+                respond: false,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(1));
+        let s = sim.stats().summary(0);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_ns, (320 + CISCO_NEXUS_7000.latency_ns + 320) as f64);
+    }
+
+    #[test]
+    fn md1_queueing_matches_theory() {
+        // The §7 validation claim: Poisson arrivals, deterministic
+        // service. At ρ = 0.5, M/D/1 mean wait = ρS/(2(1−ρ)) = S/2.
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let cfg = SimConfig {
+            prop_delay_ns: 0,
+            latency: LatencyModel::ideal(),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(net, cfg);
+        let s_ns = 320.0; // 400 B at 10 Gb/s
+        let rho = 0.5;
+        sim.add_flow(
+            h1,
+            h2,
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: s_ns / rho,
+                stop: SimTime::from_ms(200),
+                respond: false,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(400));
+        let got = sim.stats().summary(0);
+        assert!(got.count > 100_000, "only {} samples", got.count);
+        // Expected latency = wait + one serialization (the second link
+        // pipelines behind the first under cut-through at equal rates).
+        let theory = rho * s_ns / (2.0 * (1.0 - rho)) + s_ns;
+        let rel_err = (got.mean_ns - theory).abs() / theory;
+        assert!(
+            rel_err < 0.03,
+            "sim {} vs theory {theory} (rel err {rel_err})",
+            got.mean_ns
+        );
+    }
+
+    #[test]
+    fn packet_conservation() {
+        let q = prototype_quartz();
+        let mut sim = Simulator::new(q.net.clone(), SimConfig::default());
+        for (i, (&a, &b)) in q.hosts.iter().zip(q.hosts.iter().rev()).enumerate() {
+            if a == b {
+                continue;
+            }
+            sim.add_flow(
+                a,
+                b,
+                400,
+                FlowKind::Poisson {
+                    mean_gap_ns: 5_000.0,
+                    stop: SimTime::from_ms(1),
+                    respond: false,
+                },
+                i as u32,
+                SimTime::ZERO,
+            );
+        }
+        // Run far past the stop time so everything drains.
+        sim.run(SimTime::from_ms(10));
+        let st = sim.stats();
+        assert!(st.generated > 0);
+        assert_eq!(st.generated, st.delivered + st.dropped);
+        assert!(!sim.has_pending_events());
+    }
+
+    #[test]
+    fn rpc_ping_pong_is_sequential_and_counted() {
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(net, no_prop_cfg());
+        sim.add_flow(h1, h2, 100, FlowKind::Rpc { count: 500 }, 7, SimTime::ZERO);
+        sim.run(SimTime::from_ms(100));
+        let s = sim.stats().summary(7);
+        assert_eq!(s.count, 500);
+        // No cross-traffic: every RTT is identical.
+        assert_eq!(s.ci95_ns, 0.0);
+        assert_eq!(s.p99_ns as f64, s.mean_ns);
+        // RTT = 2 × one-way (100 B at 10 G = 80 ns ser + 380 switch).
+        assert_eq!(s.mean_ns, 2.0 * (380.0 + 80.0));
+    }
+
+    #[test]
+    fn respond_flows_record_round_trips() {
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(net.clone(), no_prop_cfg());
+        sim.add_flow(
+            h1,
+            h2,
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: 100_000.0,
+                stop: SimTime::from_ms(5),
+                respond: true,
+            },
+            1,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(10));
+        let rtt = sim.stats().summary(1);
+        assert!(rtt.count > 10);
+        assert_eq!(rtt.p50_ns, 2 * (380 + 320));
+    }
+
+    #[test]
+    fn burst_source_hits_target_bandwidth() {
+        // 20-packet bursts of 1500 B at 100 Mb/s mean: period =
+        // 20×1500×8 / 0.1 Gb/s = 2.4 ms.
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 1.0);
+        let mut sim = Simulator::new(net, no_prop_cfg());
+        sim.add_flow(
+            h1,
+            h2,
+            1500,
+            FlowKind::Burst {
+                burst_pkts: 20,
+                period_ns: 2_400_000,
+                stop: SimTime::from_ms(240),
+            },
+            0,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(500));
+        let st = sim.stats();
+        // 100 bursts × 20 packets.
+        assert_eq!(st.generated, 2_000);
+        assert_eq!(st.delivered, 2_000);
+        // Bandwidth check: 2000 × 1500 × 8 bits over 240 ms = 100 Mb/s.
+        let gbps: f64 = (2_000.0 * 1_500.0 * 8.0) / 240e6;
+        assert!((gbps - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let run = || {
+            let t = three_tier(2, 2, 2, 2, 10.0, 40.0);
+            let mut sim = Simulator::new(t.net.clone(), SimConfig::default());
+            for (i, &h) in t.hosts.iter().enumerate().skip(1) {
+                sim.add_flow(
+                    t.hosts[0],
+                    h,
+                    400,
+                    FlowKind::Poisson {
+                        mean_gap_ns: 2_000.0,
+                        stop: SimTime::from_ms(2),
+                        respond: false,
+                    },
+                    i as u32,
+                    SimTime::ZERO,
+                );
+            }
+            sim.run(SimTime::from_ms(4));
+            (
+                sim.stats().generated,
+                sim.stats().delivered,
+                sim.stats().summary(1),
+            )
+        };
+        assert_eq!(run().2, run().2);
+        let (g1, d1, _) = run();
+        let (g2, d2, _) = run();
+        assert_eq!((g1, d1), (g2, d2));
+    }
+
+    #[test]
+    fn overload_drops_at_queue_capacity() {
+        // Offer 2× the link rate: half the traffic must drop once the
+        // 512 KiB port buffer fills, and delivered latency saturates at
+        // the buffer's drain time.
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(net, no_prop_cfg());
+        sim.add_flow(
+            h1,
+            h2,
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: 160.0, // 2× overload of the 320 ns service
+                stop: SimTime::from_ms(50),
+                respond: false,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(200));
+        let st = sim.stats();
+        assert!(st.dropped > 0, "expected drops under 2x overload");
+        let loss = st.dropped as f64 / st.generated as f64;
+        assert!((loss - 0.5).abs() < 0.03, "loss {loss}");
+        // Max queueing ≈ cap / rate = 512 KiB × 8 / 10 Gb/s ≈ 419 µs.
+        let s = st.summary(0);
+        assert!(
+            (s.max_ns as f64) < 1.1 * (512.0 * 1024.0 * 8.0 / 10.0) + 1_000.0,
+            "max latency {} ns",
+            s.max_ns
+        );
+    }
+
+    #[test]
+    fn vlb_spreads_pathological_traffic() {
+        // 4-switch mesh at 10 G channels; hosts under S1 send 16 Gb/s
+        // aggregate to hosts under S2. ECMP pins everything on the single
+        // direct channel (overload); VLB at k=0.75 spreads over the
+        // detours and relieves it.
+        let run = |vlb: Option<VlbConfig>| {
+            let q = quartz_mesh(4, 4, 10.0, 10.0);
+            let cfg = SimConfig {
+                vlb,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(q.net.clone(), cfg);
+            for i in 0..4 {
+                sim.add_flow(
+                    q.hosts[i],     // under switch 0
+                    q.hosts[4 + i], // under switch 1
+                    400,
+                    FlowKind::Poisson {
+                        mean_gap_ns: 800.0, // 4 Gb/s per host
+                        stop: SimTime::from_ms(4),
+                        respond: false,
+                    },
+                    0,
+                    SimTime::ZERO,
+                );
+            }
+            sim.run(SimTime::from_ms(20));
+            (sim.stats().summary(0).mean_ns, sim.stats().dropped)
+        };
+        let (ecmp_lat, ecmp_drops) = run(None);
+        let q = quartz_mesh(4, 4, 10.0, 10.0);
+        let (vlb_lat, vlb_drops) = run(Some(VlbConfig {
+            fraction: 0.75,
+            domains: vec![q.switches.clone()],
+        }));
+        assert!(
+            ecmp_drops > 0,
+            "16 Gb/s into a 10 G channel must drop under ECMP"
+        );
+        assert!(vlb_drops < ecmp_drops / 4, "{vlb_drops} vs {ecmp_drops}");
+        assert!(
+            vlb_lat < ecmp_lat / 2.0,
+            "VLB {vlb_lat} should beat ECMP {ecmp_lat}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "flows run between hosts")]
+    fn flows_require_hosts() {
+        let q = prototype_quartz();
+        let mut sim = Simulator::new(q.net.clone(), SimConfig::default());
+        sim.add_flow(
+            q.switches[0],
+            q.hosts[0],
+            400,
+            FlowKind::Rpc { count: 1 },
+            0,
+            SimTime::ZERO,
+        );
+    }
+
+    #[test]
+    fn link_utilization_matches_offered_load() {
+        // ρ = 0.5 Poisson load on the host uplink: measured busy time
+        // over elapsed time converges to 0.5.
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(net, no_prop_cfg());
+        sim.add_flow(
+            h1,
+            h2,
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: 640.0,
+                stop: SimTime::from_ms(50),
+                respond: false,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(50));
+        let loads = sim.link_loads();
+        // Link 0 is h1→switch.
+        let rho = loads[0].peak_utilization(50_000_000);
+        assert!((rho - 0.5).abs() < 0.02, "measured utilization {rho}");
+        // Bytes conservation: both links carried the same bytes.
+        assert_eq!(
+            loads[0].ab_bytes + loads[0].ba_bytes,
+            loads[1].ab_bytes + loads[1].ba_bytes
+        );
+    }
+
+    #[test]
+    fn fiber_cut_drops_until_reroute() {
+        // A mesh flow rides its direct channel; cut it mid-run: packets
+        // drop (ECMP still points at the dead link). After reroute() the
+        // flow resumes over a two-hop detour with higher latency.
+        let q = quartz_mesh(4, 1, 10.0, 10.0);
+        let mut sim = Simulator::new(q.net.clone(), no_prop_cfg());
+        let stop = SimTime::from_ms(9);
+        sim.add_flow(
+            q.hosts[0],
+            q.hosts[1],
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: 10_000.0,
+                stop,
+                respond: false,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        let direct = q.net.link_between(q.switches[0], q.switches[1]).unwrap();
+        sim.fail_link_at(direct, SimTime::from_ms(3));
+
+        // Phase 1: healthy.
+        sim.run(SimTime::from_ms(3));
+        let delivered_before = sim.stats().delivered;
+        assert!(delivered_before > 100);
+        assert_eq!(sim.stats().dropped, 0);
+
+        // Phase 2: cut, not yet rerouted — everything drops.
+        sim.run(SimTime::from_ms(6));
+        let dropped_mid = sim.stats().dropped;
+        assert!(dropped_mid > 100, "expected drops after the cut");
+        let delivered_mid = sim.stats().delivered;
+
+        // Phase 3: reroute; delivery resumes via a detour (2 ring hops).
+        sim.reroute();
+        sim.run(SimTime::from_ms(20));
+        let st = sim.stats();
+        assert!(
+            st.delivered > delivered_mid + 100,
+            "rerouted traffic must flow"
+        );
+        assert_eq!(st.generated, st.delivered + st.dropped);
+        // Detour latency exceeds the healthy 2-switch latency.
+        let s = st.summary(0);
+        assert!(s.max_ns > s.p50_ns, "detour packets are slower");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn failing_unknown_link_panics() {
+        let (net, _, _) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(net, SimConfig::default());
+        sim.fail_link_at(quartz_topology::graph::LinkId(99), SimTime::ZERO);
+    }
+
+    #[test]
+    fn file_transfer_completion_time_is_exact() {
+        // 1 MB over one 10 G hop pair: FCT ≈ serialization of the whole
+        // file at 10 Gb/s (the two links pipeline) + switch latency.
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(net, no_prop_cfg());
+        let total: u64 = 1_000_000;
+        sim.add_flow(
+            h1,
+            h2,
+            1_000,
+            FlowKind::FileTransfer { total_bytes: total },
+            3,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(100));
+        let s = sim.stats().summary(3);
+        assert_eq!(s.count, 1, "exactly one completion sample");
+        let expect = total as f64 * 8.0 / 10.0 // whole-file serialization
+            + 380.0 // switch latency
+            + 800.0; // last packet's second serialization
+        let got = s.mean_ns;
+        assert!(
+            (got - expect).abs() / expect < 0.01,
+            "FCT {got} vs expected {expect}"
+        );
+        assert_eq!(sim.stats().delivered, 1_000);
+    }
+
+    #[test]
+    fn competing_transfers_roughly_double_completion() {
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        // Two senders? The dumbbell has two hosts; compete on the
+        // switch→h2 downlink by sending both directions... instead: two
+        // transfers from the same source share its uplink FIFO: the
+        // second finishes ~2x later.
+        let mut sim = Simulator::new(net, no_prop_cfg());
+        for tag in [0u32, 1] {
+            sim.add_flow(
+                h1,
+                h2,
+                1_000,
+                FlowKind::FileTransfer {
+                    total_bytes: 500_000,
+                },
+                tag,
+                SimTime::ZERO,
+            );
+        }
+        sim.run(SimTime::from_ms(100));
+        // Fair FIFO interleaving at the shared uplink: both transfers
+        // take ~2x their solo completion time (400 µs solo for 500 kB at
+        // 10 Gb/s).
+        let solo_ns = 500_000.0 * 8.0 / 10.0;
+        for tag in [0u32, 1] {
+            let fct = sim.stats().summary(tag).mean_ns;
+            let ratio = fct / solo_ns;
+            assert!(
+                (1.8..2.2).contains(&ratio),
+                "tag {tag}: FCT {fct} is {ratio:.2}x solo"
+            );
+        }
+    }
+
+    #[test]
+    fn reno_transfer_completes_with_reasonable_fct() {
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(net, no_prop_cfg());
+        let total: u64 = 1_000_000;
+        sim.add_flow(
+            h1,
+            h2,
+            1_000,
+            FlowKind::Transport {
+                total_bytes: total,
+                variant: TcpVariant::Reno,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(200));
+        let s = sim.stats().summary(0);
+        assert_eq!(s.count, 1, "transfer must complete");
+        // Ideal paced FCT is ~800 µs; slow start costs some RTTs but the
+        // uncontended transfer should finish within 2x of ideal.
+        let ideal = total as f64 * 8.0 / 10.0;
+        assert!(
+            s.mean_ns > ideal && s.mean_ns < 2.0 * ideal,
+            "FCT {} vs ideal {ideal}",
+            s.mean_ns
+        );
+        assert_eq!(sim.stats().dropped, 0);
+    }
+
+    #[test]
+    fn competing_reno_flows_share_roughly_fairly() {
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(net, no_prop_cfg());
+        for tag in [0u32, 1] {
+            sim.add_flow(
+                h1,
+                h2,
+                1_000,
+                FlowKind::Transport {
+                    total_bytes: 500_000,
+                    variant: TcpVariant::Reno,
+                },
+                tag,
+                SimTime::ZERO,
+            );
+        }
+        sim.run(SimTime::from_ms(500));
+        let a = sim.stats().summary(0);
+        let b = sim.stats().summary(1);
+        assert_eq!(a.count + b.count, 2, "both transfers complete");
+        let ratio = a.mean_ns.max(b.mean_ns) / a.mean_ns.min(b.mean_ns);
+        assert!(ratio < 2.5, "unfair split: {ratio:.2}x");
+    }
+
+    #[test]
+    fn dctcp_avoids_the_drops_reno_takes_on_incast() {
+        // 4 senders slow-start into one receiver downlink. Reno grows
+        // until the drop-tail queue overflows; DCTCP backs off at the
+        // ECN threshold and never drops. (§2.1.4's DCTCP, quantified.)
+        let run = |variant: TcpVariant, ecn: Option<u64>| {
+            let mut net = Network::new();
+            let sw = net.add_switch(SwitchRole::TopOfRack, Some(0));
+            let dst = net.add_host(Some(0));
+            net.connect(dst, sw, 10.0);
+            let senders: Vec<NodeId> = (0..4)
+                .map(|_| {
+                    let h = net.add_host(Some(0));
+                    net.connect(h, sw, 10.0);
+                    h
+                })
+                .collect();
+            let mut sim = Simulator::new(
+                net,
+                SimConfig {
+                    prop_delay_ns: 0,
+                    ecn_threshold_bytes: ecn,
+                    queue_cap_bytes: 128 * 1024,
+                    ..SimConfig::default()
+                },
+            );
+            for (i, &s) in senders.iter().enumerate() {
+                sim.add_flow(
+                    s,
+                    dst,
+                    1_000,
+                    FlowKind::Transport {
+                        total_bytes: 2_000_000,
+                        variant,
+                    },
+                    i as u32,
+                    SimTime::ZERO,
+                );
+            }
+            sim.run(SimTime::from_ms(2_000));
+            let completions: usize = (0..4).map(|t| sim.stats().summary(t).count).sum();
+            (completions, sim.stats().dropped)
+        };
+        let (reno_done, reno_drops) = run(TcpVariant::Reno, None);
+        let (dctcp_done, dctcp_drops) = run(TcpVariant::Dctcp, Some(65_000));
+        assert_eq!(reno_done, 4);
+        assert_eq!(dctcp_done, 4);
+        assert!(reno_drops > 0, "Reno incast should overflow the queue");
+        assert!(
+            dctcp_drops < reno_drops / 4,
+            "DCTCP drops {dctcp_drops} vs Reno {reno_drops}"
+        );
+    }
+
+    #[test]
+    fn transport_survives_loss_via_retransmission() {
+        // Force drops with a tiny queue: the transfer must still
+        // complete (fast retransmit / RTO recovery).
+        let (net, h1, h2) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(
+            net,
+            SimConfig {
+                prop_delay_ns: 0,
+                queue_cap_bytes: 8_000, // 8 packets
+                ..SimConfig::default()
+            },
+        );
+        sim.add_flow(
+            h1,
+            h2,
+            1_000,
+            FlowKind::Transport {
+                total_bytes: 300_000,
+                variant: TcpVariant::Reno,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(5_000));
+        assert_eq!(
+            sim.stats().summary(0).count,
+            1,
+            "must complete despite loss"
+        );
+        assert!(sim.stats().dropped > 0, "the tiny queue must have dropped");
+    }
+
+    #[test]
+    fn spain_vlan_selection_controls_the_path() {
+        // §6: the prototype picks a direct two-switch path or an indirect
+        // three-switch path by choosing the VLAN (spanning-tree root).
+        // Each VLAN is measured in its own run so the two RPCs don't
+        // collide on the shared host uplink.
+        use quartz_topology::spain::SpainFabric;
+        let rtt_on_vlan = |vlan: usize| {
+            let p = prototype_quartz();
+            let spain = SpainFabric::per_switch(&p.net);
+            let mut sim = Simulator::new(p.net.clone(), no_prop_cfg());
+            let t = sim.add_route_table(spain.table(vlan).clone());
+            let f = sim.add_flow(
+                p.hosts[2],
+                p.hosts[4],
+                100,
+                FlowKind::Rpc { count: 50 },
+                0,
+                SimTime::ZERO,
+            );
+            sim.pin_flow_to_table(f, t);
+            sim.run(SimTime::from_ms(50));
+            let s = sim.stats().summary(0);
+            assert_eq!(s.count, 50);
+            s.mean_ns
+        };
+        let detour = rtt_on_vlan(0); // tree rooted at S1: S2→S1→S3
+        let direct = rtt_on_vlan(1); // tree rooted at S2: S2→S3
+                                     // The detour crosses one extra cut-through switch each way:
+                                     // 2 × 380 ns slower (serialization pipelines under cut-through).
+        let delta = detour - direct;
+        assert!(
+            (delta - 2.0 * 380.0).abs() < 1.0,
+            "detour delta {delta} ns (direct {direct}, detour {detour})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn pinning_to_missing_table_panics() {
+        let p = prototype_quartz();
+        let mut sim = Simulator::new(p.net.clone(), SimConfig::default());
+        let f = sim.add_flow(
+            p.hosts[0],
+            p.hosts[2],
+            100,
+            FlowKind::Rpc { count: 1 },
+            0,
+            SimTime::ZERO,
+        );
+        sim.pin_flow_to_table(f, 3);
+    }
+}

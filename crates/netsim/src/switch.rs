@@ -1,0 +1,154 @@
+//! Switch device models — Table 16 of the paper.
+//!
+//! Two state-of-the-art devices anchor every simulation:
+//!
+//! | Switch | Latency | Ports |
+//! |---|---|---|
+//! | Cisco Nexus 7000 (CCS) | 6 µs | 768 × 10 G or 192 × 40 G |
+//! | Arista 7150S-64 (ULL) | 380 ns | 64 × 10 G or 16 × 40 G |
+//!
+//! "We use ULL for both ToR switches and aggregation switches, and CCS as
+//! core switches. We use ULL exclusively in Quartz." (§7)
+
+use quartz_topology::graph::SwitchRole;
+
+/// A switch model: forwarding latency and architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Forwarding latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Cut-through (can start transmitting before the frame fully
+    /// arrives) vs store-and-forward.
+    pub cut_through: bool,
+    /// Port count in 10 G mode.
+    pub ports_10g: u32,
+    /// Port count in 40 G mode.
+    pub ports_40g: u32,
+}
+
+/// The Cisco Nexus 7000 core switch (CCS): big, store-and-forward, 6 µs.
+pub const CISCO_NEXUS_7000: SwitchSpec = SwitchSpec {
+    name: "Cisco Nexus 7000 (CCS)",
+    latency_ns: 6_000,
+    cut_through: false,
+    ports_10g: 768,
+    ports_40g: 192,
+};
+
+/// The Arista 7150S-64 ultra-low-latency cut-through switch (ULL): 380 ns.
+pub const ARISTA_7150S: SwitchSpec = SwitchSpec {
+    name: "Arista 7150S-64 (ULL)",
+    latency_ns: 380,
+    cut_through: true,
+    ports_10g: 64,
+    ports_40g: 16,
+};
+
+/// Maps switch roles to device models and sets host-side latencies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Device used in ToR / aggregation / Quartz-ring positions.
+    pub edge: SwitchSpec,
+    /// Device used in the core tier.
+    pub core: SwitchSpec,
+    /// Host transmit-side latency (NIC + stack), ns.
+    pub host_send_ns: u64,
+    /// Host receive-side latency (NIC + stack), ns.
+    pub host_recv_ns: u64,
+}
+
+impl LatencyModel {
+    /// The paper's §7 configuration: ULL everywhere except CCS cores, and
+    /// no host-side latency (the simulations isolate network latency).
+    pub fn paper() -> Self {
+        LatencyModel {
+            edge: ARISTA_7150S,
+            core: CISCO_NEXUS_7000,
+            host_send_ns: 0,
+            host_recv_ns: 0,
+        }
+    }
+
+    /// An idealized zero-latency model, used to validate the simulator
+    /// against queueing theory (only serialization and queueing remain).
+    pub fn ideal() -> Self {
+        LatencyModel {
+            edge: SwitchSpec {
+                name: "ideal",
+                latency_ns: 0,
+                cut_through: true,
+                ports_10g: u32::MAX,
+                ports_40g: u32::MAX,
+            },
+            core: SwitchSpec {
+                name: "ideal",
+                latency_ns: 0,
+                cut_through: true,
+                ports_10g: u32::MAX,
+                ports_40g: u32::MAX,
+            },
+            host_send_ns: 0,
+            host_recv_ns: 0,
+        }
+    }
+
+    /// The device model for a switch role.
+    pub fn spec_for(&self, role: SwitchRole) -> SwitchSpec {
+        match role {
+            SwitchRole::Core => self.core,
+            SwitchRole::TopOfRack | SwitchRole::Aggregation | SwitchRole::QuartzRing(_) => {
+                self.edge
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table16_constants() {
+        assert_eq!(CISCO_NEXUS_7000.latency_ns, 6_000);
+        #[allow(clippy::assertions_on_constants)] // pins the datasheet value
+        {
+            assert!(!CISCO_NEXUS_7000.cut_through);
+        }
+        assert_eq!(CISCO_NEXUS_7000.ports_10g, 768);
+        assert_eq!(CISCO_NEXUS_7000.ports_40g, 192);
+
+        assert_eq!(ARISTA_7150S.latency_ns, 380);
+        #[allow(clippy::assertions_on_constants)] // pins the datasheet value
+        {
+            assert!(ARISTA_7150S.cut_through);
+        }
+        assert_eq!(ARISTA_7150S.ports_10g, 64);
+        assert_eq!(ARISTA_7150S.ports_40g, 16);
+    }
+
+    #[test]
+    fn paper_model_role_mapping() {
+        let m = LatencyModel::paper();
+        assert_eq!(m.spec_for(SwitchRole::Core), CISCO_NEXUS_7000);
+        assert_eq!(m.spec_for(SwitchRole::TopOfRack), ARISTA_7150S);
+        assert_eq!(m.spec_for(SwitchRole::Aggregation), ARISTA_7150S);
+        assert_eq!(m.spec_for(SwitchRole::QuartzRing(3)), ARISTA_7150S);
+    }
+
+    #[test]
+    fn core_is_an_order_of_magnitude_slower() {
+        // §4.2: core switching latencies are "an order of magnitude more
+        // than low-latency cut-through switches".
+        let ratio = CISCO_NEXUS_7000.latency_ns as f64 / ARISTA_7150S.latency_ns as f64;
+        assert!(ratio > 10.0);
+    }
+
+    #[test]
+    fn ideal_model_is_free() {
+        let m = LatencyModel::ideal();
+        assert_eq!(m.spec_for(SwitchRole::Core).latency_ns, 0);
+        assert_eq!(m.host_send_ns, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Simulation clock: integer nanoseconds.
+//!
+//! A `u64` of nanoseconds covers ~584 years of simulated time — plenty —
+//! while keeping event ordering exact (no floating-point time drift).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Nanoseconds since start.
+    pub const fn ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since start, as a float (for reporting).
+    pub fn us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction: `self − other`, or zero.
+    pub fn saturating_sub(self, other: SimTime) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, ns: u64) {
+        self.0 += ns;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.checked_sub(rhs.0).expect("negative time difference")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{} ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2} µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{:.3} ms", self.0 as f64 / 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(SimTime::from_us(3).ns(), 3_000);
+        assert_eq!(SimTime::from_ms(2).ns(), 2_000_000);
+        assert_eq!(SimTime::from_ns(500).us(), 0.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ns(100) + 50;
+        assert_eq!(t.ns(), 150);
+        assert_eq!(t - SimTime::from_ns(100), 50);
+        assert_eq!(SimTime::from_ns(10).saturating_sub(SimTime::from_ns(30)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative time difference")]
+    fn backwards_subtraction_panics() {
+        let _ = SimTime::from_ns(1) - SimTime::from_ns(2);
+    }
+
+    #[test]
+    fn ordering_for_event_queue() {
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+        assert_eq!(SimTime::ZERO, SimTime::from_ns(0));
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(SimTime::from_ns(380).to_string(), "380 ns");
+        assert_eq!(SimTime::from_us(6).to_string(), "6.00 µs");
+        assert_eq!(SimTime::from_ms(1).to_string(), "1.000 ms");
+    }
+}

@@ -1,0 +1,242 @@
+//! Reusable workload drivers: the §7 traffic patterns as a library.
+//!
+//! "We evaluate the performance of the different topologies using three
+//! common traffic patterns: Scatter … Gather … Scatter/Gather. These
+//! traffic patterns are representative of latency sensitive traffic found
+//! in social networks and web search, and are also common in
+//! high-performance computing applications, with MPI providing both
+//! scatter and gather functions as part of its API."
+//!
+//! A [`Task`] is one root host exchanging Poisson packet streams with a
+//! set of partners; [`TaskSet`] places whole collections of tasks
+//! (globally random or locality-constrained, with distinct roots) the way
+//! Figures 17 and 18 do.
+
+use crate::sim::{FlowKind, Simulator};
+use crate::time::SimTime;
+use quartz_topology::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The three §7 communication shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// "One host is the sender and the others are receivers."
+    Scatter,
+    /// "One host is the receiver and the others are senders."
+    Gather,
+    /// "One host sends packets to all the other hosts, then all the
+    /// receivers send back reply packets" (round trips measured).
+    ScatterGather,
+}
+
+/// One communication task.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// The root host (sender for scatter, receiver for gather).
+    pub root: NodeId,
+    /// The partner hosts.
+    pub partners: Vec<NodeId>,
+    /// Traffic shape.
+    pub shape: Shape,
+    /// Packet payload bytes (the paper simulates 400).
+    pub packet_bytes: u32,
+    /// Mean per-flow inter-packet gap, ns.
+    pub mean_gap_ns: f64,
+    /// Statistics tag for the task's packets.
+    pub tag: u32,
+}
+
+impl Task {
+    /// Registers the task's flows on `sim`, emitting until `stop`.
+    pub fn install(&self, sim: &mut Simulator, stop: SimTime) {
+        for &p in &self.partners {
+            let (src, dst, respond) = match self.shape {
+                Shape::Scatter => (self.root, p, false),
+                Shape::Gather => (p, self.root, false),
+                Shape::ScatterGather => (self.root, p, true),
+            };
+            sim.add_flow(
+                src,
+                dst,
+                self.packet_bytes,
+                FlowKind::Poisson {
+                    mean_gap_ns: self.mean_gap_ns,
+                    stop,
+                    respond,
+                },
+                self.tag,
+                SimTime::ZERO,
+            );
+        }
+    }
+}
+
+/// Builder for collections of tasks with the paper's placement rules.
+#[derive(Clone, Debug)]
+pub struct TaskSet {
+    hosts: Vec<NodeId>,
+    rng: StdRng,
+    packet_bytes: u32,
+    mean_gap_ns: f64,
+}
+
+impl TaskSet {
+    /// A task-set builder over `hosts`, with the §7 defaults (400-byte
+    /// packets) and the given per-flow rate.
+    pub fn new(hosts: Vec<NodeId>, mean_gap_ns: f64, seed: u64) -> Self {
+        assert!(hosts.len() >= 2, "need at least two hosts");
+        TaskSet {
+            hosts,
+            rng: StdRng::seed_from_u64(seed),
+            packet_bytes: 400,
+            mean_gap_ns,
+        }
+    }
+
+    /// Overrides the packet size.
+    pub fn with_packet_bytes(mut self, bytes: u32) -> Self {
+        self.packet_bytes = bytes;
+        self
+    }
+
+    /// Builds `count` tasks with globally random placement and distinct
+    /// roots ("the senders and receivers are randomly distributed across
+    /// servers in the network"), `partners` partners each, tagged `tag`.
+    pub fn global(&mut self, count: usize, partners: usize, shape: Shape, tag: u32) -> Vec<Task> {
+        assert!(
+            count <= self.hosts.len() / 2,
+            "too many tasks for {} hosts",
+            self.hosts.len()
+        );
+        assert!(partners < self.hosts.len());
+        let mut roots = self.hosts.clone();
+        roots.shuffle(&mut self.rng);
+        roots.truncate(count);
+        roots
+            .into_iter()
+            .map(|root| {
+                let mut pool: Vec<NodeId> =
+                    self.hosts.iter().copied().filter(|&h| h != root).collect();
+                pool.shuffle(&mut self.rng);
+                pool.truncate(partners);
+                Task {
+                    root,
+                    partners: pool,
+                    shape,
+                    packet_bytes: self.packet_bytes,
+                    mean_gap_ns: self.mean_gap_ns,
+                    tag,
+                }
+            })
+            .collect()
+    }
+
+    /// Builds one locality-constrained task whose root and partners all
+    /// come from `local_pool` ("a task that only performs scatter,
+    /// gather, or scatter/gather operations between servers in nearby
+    /// racks", §7.1).
+    pub fn local(
+        &mut self,
+        local_pool: &[NodeId],
+        partners: usize,
+        shape: Shape,
+        tag: u32,
+    ) -> Task {
+        assert!(
+            partners < local_pool.len(),
+            "local pool of {} cannot supply {partners} partners",
+            local_pool.len()
+        );
+        let mut pool = local_pool.to_vec();
+        pool.shuffle(&mut self.rng);
+        let root = pool[0];
+        Task {
+            root,
+            partners: pool[1..=partners].to_vec(),
+            shape,
+            packet_bytes: self.packet_bytes,
+            mean_gap_ns: self.mean_gap_ns,
+            tag,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimConfig;
+    use quartz_topology::builders::quartz_mesh;
+
+    #[test]
+    fn global_tasks_have_distinct_roots_and_no_self_flows() {
+        let q = quartz_mesh(4, 8, 10.0, 10.0);
+        let mut ts = TaskSet::new(q.hosts.clone(), 8_000.0, 1);
+        let tasks = ts.global(8, 10, Shape::Scatter, 0);
+        let mut roots: Vec<_> = tasks.iter().map(|t| t.root).collect();
+        roots.sort();
+        roots.dedup();
+        assert_eq!(roots.len(), 8, "roots must be distinct");
+        for t in &tasks {
+            assert_eq!(t.partners.len(), 10);
+            assert!(!t.partners.contains(&t.root));
+        }
+    }
+
+    #[test]
+    fn local_task_stays_in_its_pool() {
+        let q = quartz_mesh(4, 4, 10.0, 10.0);
+        let pool = &q.hosts[0..8]; // first two racks
+        let mut ts = TaskSet::new(q.hosts.clone(), 8_000.0, 2);
+        let t = ts.local(pool, 5, Shape::Gather, 3);
+        assert!(pool.contains(&t.root));
+        for p in &t.partners {
+            assert!(pool.contains(p));
+        }
+    }
+
+    #[test]
+    fn installed_tasks_generate_traffic() {
+        let q = quartz_mesh(4, 4, 10.0, 10.0);
+        let mut sim = Simulator::new(q.net.clone(), SimConfig::default());
+        let mut ts = TaskSet::new(q.hosts.clone(), 8_000.0, 3);
+        let stop = SimTime::from_ms(1);
+        for task in ts.global(2, 6, Shape::ScatterGather, 7) {
+            task.install(&mut sim, stop);
+        }
+        sim.run(SimTime::from_ms(3));
+        let s = sim.stats().summary(7);
+        assert!(s.count > 100, "round trips recorded: {}", s.count);
+        assert_eq!(
+            sim.stats().generated,
+            sim.stats().delivered + sim.stats().dropped
+        );
+    }
+
+    #[test]
+    fn gather_reverses_direction() {
+        let q = quartz_mesh(3, 2, 10.0, 10.0);
+        let mut ts = TaskSet::new(q.hosts.clone(), 50_000.0, 4);
+        let task = ts.local(&q.hosts.clone(), 3, Shape::Gather, 1);
+        let mut sim = Simulator::new(q.net.clone(), SimConfig::default());
+        task.install(&mut sim, SimTime::from_ms(1));
+        sim.run(SimTime::from_ms(2));
+        // All deliveries land at the root: bytes recorded under the tag
+        // equal delivered packet count × size.
+        let st = sim.stats();
+        assert_eq!(
+            st.delivered_bytes(1),
+            st.delivered * 400,
+            "all traffic belongs to the gather task"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too many tasks")]
+    fn too_many_tasks_rejected() {
+        let q = quartz_mesh(2, 2, 10.0, 10.0);
+        let mut ts = TaskSet::new(q.hosts.clone(), 8_000.0, 5);
+        let _ = ts.global(3, 1, Shape::Scatter, 0);
+    }
+}

@@ -1,0 +1,455 @@
+//! Power-budget evaluation along a multi-hop lightpath.
+//!
+//! A Quartz lightpath from switch *s* to switch *t* leaves *s*'s
+//! transceiver, is **added** by *s*'s mux (one mux traversal), passes
+//! *through* every intermediate site (each an express traversal of that
+//! site's mux/demux), is **dropped** by *t*'s demux, and lands on *t*'s
+//! receiver. Amplifiers inserted on the ring restore power; attenuators
+//! protect receivers on short paths.
+//!
+//! [`PowerBudget::evaluate`] walks the element sequence and returns the
+//! full power trace, failing if the signal ever falls below the receiver
+//! sensitivity *margin* or arrives above the receiver overload point.
+
+use crate::components::{
+    fiber_span_loss, AmplifierSpec, AttenuatorSpec, MuxDemuxSpec, TransceiverSpec,
+};
+use crate::units::{Db, Dbm};
+use std::fmt;
+
+/// One passive or active element on a lightpath.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LightpathElement {
+    /// Traversal of a mux or demux stage (add, drop, or express pass).
+    MuxDemux(MuxDemuxSpec),
+    /// A fiber span of the given length in kilometers.
+    Fiber {
+        /// Span length in kilometers.
+        km: f64,
+    },
+    /// An inline EDFA amplifier.
+    Amplifier(AmplifierSpec),
+    /// A fixed attenuator.
+    Attenuator(AttenuatorSpec),
+}
+
+impl LightpathElement {
+    /// The signed power change this element applies to a single channel.
+    pub fn delta(&self) -> Db {
+        match self {
+            LightpathElement::MuxDemux(m) => m.loss(),
+            LightpathElement::Fiber { km } => fiber_span_loss(*km),
+            LightpathElement::Amplifier(a) => a.gain,
+            LightpathElement::Attenuator(a) => a.loss(),
+        }
+    }
+
+    /// Short label for power traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LightpathElement::MuxDemux(_) => "mux/demux",
+            LightpathElement::Fiber { .. } => "fiber",
+            LightpathElement::Amplifier(_) => "amplifier",
+            LightpathElement::Attenuator(_) => "attenuator",
+        }
+    }
+}
+
+/// A complete lightpath: transmitter, ordered elements, receiver.
+#[derive(Clone, Debug)]
+pub struct Lightpath {
+    /// The transmitting/receiving transceiver model (Quartz uses identical
+    /// transceivers at both ends).
+    pub transceiver: TransceiverSpec,
+    /// Elements in propagation order.
+    pub elements: Vec<LightpathElement>,
+}
+
+impl Lightpath {
+    /// Creates a lightpath with no intermediate elements.
+    pub fn new(transceiver: TransceiverSpec) -> Self {
+        Lightpath {
+            transceiver,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Appends an element, builder-style.
+    pub fn with(mut self, e: LightpathElement) -> Self {
+        self.elements.push(e);
+        self
+    }
+}
+
+/// Why a lightpath fails its power budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BudgetError {
+    /// Power fell below sensitivity + margin at element `index`.
+    BelowSensitivity {
+        /// Index into the element list where the failure occurred, or the
+        /// element count if the failure is at the receiver itself.
+        index: usize,
+        /// Power at the failure point.
+        power: Dbm,
+        /// The floor that was violated (sensitivity + margin).
+        floor: Dbm,
+    },
+    /// Power arrived at the receiver above its overload point.
+    ReceiverOverload {
+        /// Power at the receiver.
+        power: Dbm,
+        /// The receiver's overload ceiling.
+        ceiling: Dbm,
+    },
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::BelowSensitivity {
+                index,
+                power,
+                floor,
+            } => write!(
+                f,
+                "signal fell to {power} (< floor {floor}) after element {index}"
+            ),
+            BudgetError::ReceiverOverload { power, ceiling } => {
+                write!(f, "receiver overload: {power} > {ceiling}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Power levels recorded at each point of a lightpath.
+#[derive(Clone, Debug)]
+pub struct PowerTrace {
+    /// Launch power.
+    pub launch: Dbm,
+    /// Power after each element, in order.
+    pub after_each: Vec<Dbm>,
+    /// Power at the receiver (equals the last entry, or launch power for an
+    /// empty path).
+    pub at_receiver: Dbm,
+    /// Margin above the receiver sensitivity at the receiver.
+    pub margin: Db,
+    /// Optical signal-to-noise ratio at the receiver (0.1 nm reference
+    /// bandwidth), accumulated over the path's amplifiers; `None` for
+    /// all-passive paths (no ASE noise added). Quartz rings are short
+    /// enough that this "never binds" — the tests pin that claim.
+    pub osnr_db: Option<f64>,
+}
+
+/// Power-budget evaluator with a configurable engineering margin.
+///
+/// # Examples
+///
+/// ```
+/// use quartz_optics::budget::{Lightpath, LightpathElement, PowerBudget};
+/// use quartz_optics::components::{PAPER_DWDM_80CH, PAPER_DWDM_TRANSCEIVER};
+///
+/// // §3.3's arithmetic: the 19 dB budget tolerates three 6 dB DWDMs.
+/// let budget = PowerBudget::default();
+/// let mut path = Lightpath::new(PAPER_DWDM_TRANSCEIVER);
+/// for _ in 0..3 {
+///     path = path.with(LightpathElement::MuxDemux(PAPER_DWDM_80CH));
+/// }
+/// assert!(budget.evaluate(&path).is_ok());
+/// let too_far = path.with(LightpathElement::MuxDemux(PAPER_DWDM_80CH));
+/// assert!(budget.evaluate(&too_far).is_err());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PowerBudget {
+    /// Extra margin (positive dB) demanded above raw receiver sensitivity,
+    /// to absorb aging, connector dirt, and temperature drift. The paper's
+    /// arithmetic uses 0 dB; real deployments use 2–3 dB.
+    pub margin: Db,
+}
+
+impl Default for PowerBudget {
+    fn default() -> Self {
+        PowerBudget { margin: Db::ZERO }
+    }
+}
+
+impl PowerBudget {
+    /// An evaluator with the given engineering margin in dB.
+    pub fn with_margin(db: f64) -> Self {
+        assert!(db >= 0.0, "margin must be non-negative");
+        PowerBudget {
+            margin: Db::new(db),
+        }
+    }
+
+    /// Evaluates a lightpath, returning the power trace or the first
+    /// budget violation.
+    ///
+    /// Amplifiers are modeled with gain compression: the output per channel
+    /// is clamped to `max_output − 10·log10(channels)` (the per-channel
+    /// share of the amplifier's total output ceiling with all rated
+    /// channels active — the worst case for a fully loaded Quartz ring).
+    pub fn evaluate(&self, path: &Lightpath) -> Result<PowerTrace, BudgetError> {
+        let floor = path.transceiver.rx_sensitivity + self.margin;
+        let mut power = path.transceiver.tx_power;
+        let mut after_each = Vec::with_capacity(path.elements.len());
+        // ASE accumulation: each EDFA stage contributes an OSNR of
+        // 58 dB + P_in(dBm) − NF(dB) at 0.1 nm; stages combine as
+        // 1/OSNR_total = Σ 1/OSNR_i (linear).
+        let mut inv_osnr = 0.0f64;
+        let mut amp_stages = 0usize;
+
+        for (i, e) in path.elements.iter().enumerate() {
+            power = match e {
+                LightpathElement::Amplifier(a) => {
+                    let stage_osnr_db = 58.0 + power.value() - a.noise_figure.value();
+                    inv_osnr += 10f64.powf(-stage_osnr_db / 10.0);
+                    amp_stages += 1;
+                    (power + a.gain).min(a.per_channel_ceiling())
+                }
+                other => power + other.delta(),
+            };
+            after_each.push(power);
+            if power < floor {
+                return Err(BudgetError::BelowSensitivity {
+                    index: i,
+                    power,
+                    floor,
+                });
+            }
+        }
+
+        if power > path.transceiver.rx_overload {
+            return Err(BudgetError::ReceiverOverload {
+                power,
+                ceiling: path.transceiver.rx_overload,
+            });
+        }
+
+        Ok(PowerTrace {
+            launch: path.transceiver.tx_power,
+            at_receiver: power,
+            margin: power - floor,
+            after_each,
+            osnr_db: (amp_stages > 0).then(|| -10.0 * inv_osnr.log10()),
+        })
+    }
+
+    /// The paper's §3.3 closed form: how many mux/demux traversals the
+    /// transceiver's budget tolerates without amplification.
+    ///
+    /// For the paper's parts this is `(4 − (−15)) / 6 = 3.17 → 3`.
+    pub fn max_mux_traversals(&self, t: &TransceiverSpec, m: &MuxDemuxSpec) -> u32 {
+        let budget = (t.power_budget() - self.margin).value();
+        let per = m.insertion_loss.magnitude();
+        if budget <= 0.0 {
+            0
+        } else {
+            (budget / per).floor() as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{
+        CISCO_ERA_CWDM_SFP, PAPER_AMPLIFIER, PAPER_DWDM_80CH, PAPER_DWDM_TRANSCEIVER,
+        PROTOTYPE_CWDM_MUX_4CH,
+    };
+
+    fn mux() -> LightpathElement {
+        LightpathElement::MuxDemux(PAPER_DWDM_80CH)
+    }
+
+    #[test]
+    fn paper_closed_form_is_three_traversals() {
+        let b = PowerBudget::default();
+        assert_eq!(
+            b.max_mux_traversals(&PAPER_DWDM_TRANSCEIVER, &PAPER_DWDM_80CH),
+            3
+        );
+    }
+
+    #[test]
+    fn margin_reduces_traversal_count() {
+        let b = PowerBudget::with_margin(3.0);
+        assert_eq!(
+            b.max_mux_traversals(&PAPER_DWDM_TRANSCEIVER, &PAPER_DWDM_80CH),
+            2
+        );
+    }
+
+    #[test]
+    fn three_muxes_pass_four_fail() {
+        let b = PowerBudget::default();
+        let mut p = Lightpath::new(PAPER_DWDM_TRANSCEIVER);
+        for _ in 0..3 {
+            p = p.with(mux());
+        }
+        assert!(b.evaluate(&p).is_ok(), "3 muxes must fit the budget");
+        let p4 = p.with(mux());
+        match b.evaluate(&p4) {
+            Err(BudgetError::BelowSensitivity { index, .. }) => assert_eq!(index, 3),
+            other => panic!("expected BelowSensitivity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn amplifier_restores_budget() {
+        let b = PowerBudget::default();
+        let mut p = Lightpath::new(PAPER_DWDM_TRANSCEIVER);
+        // 3 muxes, amplifier, 3 more muxes, then attenuate to a safe level.
+        for _ in 0..3 {
+            p = p.with(mux());
+        }
+        p = p.with(LightpathElement::Amplifier(PAPER_AMPLIFIER));
+        for _ in 0..3 {
+            p = p.with(mux());
+        }
+        let trace = b.evaluate(&p).expect("amplified path must pass");
+        // 4 − 18 + 18 − 18 = −14 dBm, 1 dB above sensitivity.
+        assert!((trace.at_receiver.value() + 14.0).abs() < 1e-9);
+        assert!((trace.margin.value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_records_every_element() {
+        let b = PowerBudget::default();
+        let p = Lightpath::new(PAPER_DWDM_TRANSCEIVER)
+            .with(mux())
+            .with(LightpathElement::Fiber { km: 0.1 })
+            .with(mux());
+        let t = b.evaluate(&p).unwrap();
+        assert_eq!(t.after_each.len(), 3);
+        assert_eq!(t.launch.value(), 4.0);
+        assert_eq!(*t.after_each.last().unwrap(), t.at_receiver);
+        // Monotone decreasing for an all-passive path.
+        assert!(t.after_each.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn prototype_direct_path_overloads_without_attenuator() {
+        // §6: the prototype needed attenuators to protect receivers.
+        let b = PowerBudget::default();
+        let direct = Lightpath::new(CISCO_ERA_CWDM_SFP)
+            .with(LightpathElement::MuxDemux(PROTOTYPE_CWDM_MUX_4CH))
+            .with(LightpathElement::MuxDemux(PROTOTYPE_CWDM_MUX_4CH));
+        match b.evaluate(&direct) {
+            Err(BudgetError::ReceiverOverload { .. }) => {}
+            other => panic!("expected overload, got {other:?}"),
+        }
+        // A 5 dB pad fixes it.
+        let padded = Lightpath::new(CISCO_ERA_CWDM_SFP)
+            .with(LightpathElement::MuxDemux(PROTOTYPE_CWDM_MUX_4CH))
+            .with(LightpathElement::MuxDemux(PROTOTYPE_CWDM_MUX_4CH))
+            .with(LightpathElement::Attenuator(AttenuatorSpec::new(5.0)));
+        assert!(b.evaluate(&padded).is_ok());
+    }
+
+    #[test]
+    fn amplifier_gain_compresses_at_ceiling() {
+        // A small inline EDFA (total ceiling 10 dBm across 80 channels ⇒
+        // ~ −9 dBm per channel) driven hot clamps its output.
+        let small = crate::components::AmplifierSpec {
+            name: "small EDFA",
+            gain: Db::new(18.0),
+            max_output: Dbm::new(10.0),
+            channels: 80,
+            noise_figure: Db::new(5.5),
+        };
+        let b = PowerBudget::default();
+        let p = Lightpath::new(PAPER_DWDM_TRANSCEIVER)
+            .with(mux()) // 4 − 6 = −2 dBm
+            .with(LightpathElement::Amplifier(small)); // clamped to ceiling
+        let t = b.evaluate(&p).unwrap();
+        let ceiling = small.per_channel_ceiling();
+        assert_eq!(t.after_each[1], ceiling);
+        assert!(t.at_receiver <= ceiling);
+    }
+
+    #[test]
+    fn paper_amplifier_has_headroom_at_full_load() {
+        // 27 dBm total over 80 channels ⇒ ~7.97 dBm/channel, above the
+        // 4 dBm launch power, so a fully loaded ring never saturates.
+        assert!(PAPER_AMPLIFIER.per_channel_ceiling() > Dbm::new(4.0));
+    }
+
+    #[test]
+    fn datacenter_scale_fiber_loss_is_negligible() {
+        // Cross-datacenter spans are ≤ ~1 km: under 0.3 dB, irrelevant
+        // next to a 6 dB mux — this is why the paper's arithmetic ignores
+        // fiber loss.
+        let b = PowerBudget::default();
+        let bare = Lightpath::new(PAPER_DWDM_TRANSCEIVER)
+            .with(mux())
+            .with(mux());
+        let with_fiber = Lightpath::new(PAPER_DWDM_TRANSCEIVER)
+            .with(mux())
+            .with(LightpathElement::Fiber { km: 1.0 })
+            .with(mux());
+        let a = b.evaluate(&bare).unwrap().at_receiver.value();
+        let c = b.evaluate(&with_fiber).unwrap().at_receiver.value();
+        assert!((a - c).abs() <= 0.25 + 1e-9);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = BudgetError::BelowSensitivity {
+            index: 3,
+            power: Dbm::new(-20.0),
+            floor: Dbm::new(-15.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("element 3") && s.contains("-20.00 dBm"));
+    }
+
+    #[test]
+    fn passive_paths_have_no_osnr_figure() {
+        let b = PowerBudget::default();
+        let p = Lightpath::new(PAPER_DWDM_TRANSCEIVER)
+            .with(mux())
+            .with(mux());
+        assert_eq!(b.evaluate(&p).unwrap().osnr_db, None);
+    }
+
+    #[test]
+    fn osnr_never_binds_on_quartz_scale_paths() {
+        // §3.3 sizes the ring purely by power budget; this test pins the
+        // implicit claim that ASE noise is irrelevant at datacenter
+        // scale: even the worst amplified path keeps OSNR far above the
+        // ~16 dB a 10 G receiver needs.
+        let b = PowerBudget::default();
+        let mut p = Lightpath::new(PAPER_DWDM_TRANSCEIVER);
+        for stage in 0..5 {
+            for _ in 0..3 {
+                p = p.with(mux());
+            }
+            p = p.with(LightpathElement::Amplifier(PAPER_AMPLIFIER));
+            let _ = stage;
+        }
+        p = p.with(mux()); // drop stage keeps the receiver in range
+        let t = b.evaluate(&p).unwrap();
+        let osnr = t.osnr_db.expect("amplified path reports OSNR");
+        assert!(osnr > 25.0, "OSNR {osnr:.1} dB too low");
+    }
+
+    #[test]
+    fn osnr_degrades_with_each_amplifier() {
+        let b = PowerBudget::default();
+        let osnr_after = |amps: usize| {
+            let mut p = Lightpath::new(PAPER_DWDM_TRANSCEIVER);
+            for _ in 0..amps {
+                for _ in 0..3 {
+                    p = p.with(mux());
+                }
+                p = p.with(LightpathElement::Amplifier(PAPER_AMPLIFIER));
+            }
+            p = p.with(mux()); // drop stage keeps the receiver in range
+            b.evaluate(&p).unwrap().osnr_db.unwrap()
+        };
+        assert!(osnr_after(1) > osnr_after(2));
+        assert!(osnr_after(2) > osnr_after(4));
+    }
+}

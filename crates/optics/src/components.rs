@@ -1,0 +1,250 @@
+//! Datasheet-style specifications for the commodity photonic parts a Quartz
+//! ring is assembled from.
+//!
+//! The constants here encode the specific parts the paper prices and sizes
+//! its feasibility analysis around (§3.3 and §6):
+//!
+//! * [`PAPER_DWDM_TRANSCEIVER`] — a 10 Gb/s 40 km DWDM SFP+: +4 dBm maximum
+//!   output power, −15 dBm receiver sensitivity.
+//! * [`PAPER_DWDM_80CH`] — an 80-channel athermal AWG add/drop mux/demux
+//!   with 6 dB insertion loss.
+//! * [`PAPER_AMPLIFIER`] — an 80-channel EDFA line amplifier.
+//! * [`CISCO_ERA_CWDM_SFP`] / [`PROTOTYPE_CWDM_MUX_4CH`] — the 1.25 Gb/s
+//!   CWDM parts of the paper's four-switch prototype (§6), where
+//!   *attenuators*, not amplifiers, were needed to protect the receivers.
+
+use crate::units::{Db, Dbm};
+
+/// An optical transceiver (SFP/SFP+ class) specification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransceiverSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Line rate in Gb/s.
+    pub rate_gbps: f64,
+    /// Maximum (launch) output power.
+    pub tx_power: Dbm,
+    /// Receiver sensitivity: the minimum power at which the receiver still
+    /// meets its bit-error-rate target.
+    pub rx_sensitivity: Dbm,
+    /// Receiver overload: the maximum input power the receiver tolerates.
+    /// Inputs above this must be attenuated (the prototype hit this).
+    pub rx_overload: Dbm,
+}
+
+impl TransceiverSpec {
+    /// The total loss budget between transmitter and receiver.
+    pub fn power_budget(&self) -> Db {
+        self.tx_power - self.rx_sensitivity
+    }
+
+    /// The receiver's dynamic range (overload − sensitivity).
+    pub fn dynamic_range(&self) -> Db {
+        self.rx_overload - self.rx_sensitivity
+    }
+}
+
+/// The 10 Gb/s 40 km DWDM SFP+ the paper's feasibility analysis uses
+/// (§3.3): 4 dBm out, −15 dBm sensitivity.
+pub const PAPER_DWDM_TRANSCEIVER: TransceiverSpec = TransceiverSpec {
+    name: "10G DWDM SFP+ 40km",
+    rate_gbps: 10.0,
+    tx_power: Dbm::new(4.0),
+    rx_sensitivity: Dbm::new(-15.0),
+    rx_overload: Dbm::new(0.5),
+};
+
+/// The 1.25 Gb/s CWDM SFP used in the paper's prototype (§6). Long-reach
+/// CWDM SFPs launch up to +2 dBm, which is why the prototype's short,
+/// low-loss paths overloaded the receivers until attenuators were added.
+pub const CISCO_ERA_CWDM_SFP: TransceiverSpec = TransceiverSpec {
+    name: "1.25G CWDM SFP 40km",
+    rate_gbps: 1.25,
+    tx_power: Dbm::new(2.0),
+    rx_sensitivity: Dbm::new(-24.0),
+    rx_overload: Dbm::new(-3.0),
+};
+
+/// An add/drop wavelength mux/demux specification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MuxDemuxSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of wavelength channels the device multiplexes.
+    pub channels: u16,
+    /// Insertion loss per traversal (positive datasheet figure).
+    pub insertion_loss: Db,
+}
+
+impl MuxDemuxSpec {
+    /// Signed loss applied to a signal traversing the device.
+    pub fn loss(&self) -> Db {
+        Db::loss(self.insertion_loss.magnitude())
+    }
+}
+
+/// The 80-channel, 6 dB-insertion-loss athermal AWG DWDM mux/demux of the
+/// paper's cost and feasibility analysis.
+pub const PAPER_DWDM_80CH: MuxDemuxSpec = MuxDemuxSpec {
+    name: "80ch athermal AWG DWDM",
+    channels: 80,
+    insertion_loss: Db::new(6.0),
+};
+
+/// The 4-channel CWDM mux/demux of the paper's prototype (§6). Typical
+/// insertion loss for a 4-channel CWDM OADM is ~1.5 dB.
+pub const PROTOTYPE_CWDM_MUX_4CH: MuxDemuxSpec = MuxDemuxSpec {
+    name: "4ch CWDM mux/demux",
+    channels: 4,
+    insertion_loss: Db::new(1.5),
+};
+
+/// An erbium-doped fiber amplifier (EDFA) specification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AmplifierSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Small-signal gain.
+    pub gain: Db,
+    /// Maximum total output power (sum across all channels); above this the
+    /// amplifier saturates and compresses its gain.
+    pub max_output: Dbm,
+    /// Number of WDM channels the amplifier is rated to carry
+    /// simultaneously. The per-channel output ceiling is
+    /// `max_output − 10·log10(channels)`.
+    pub channels: u16,
+    /// Noise figure — each pass adds this much effective noise. Quartz
+    /// rings are short enough that OSNR never binds, but the field lets
+    /// callers check.
+    pub noise_figure: Db,
+}
+
+impl AmplifierSpec {
+    /// The per-channel output ceiling when all rated channels are active.
+    pub fn per_channel_ceiling(&self) -> Dbm {
+        self.max_output - Db::new(10.0 * f64::from(self.channels).log10())
+    }
+}
+
+/// The 80-channel EDFA line amplifier the paper prices (§3.3): it must at
+/// least undo three DWDM traversals (18 dB). High-power booster class
+/// (+27 dBm total) so that a fully loaded 80-channel ring still has
+/// ~8 dBm/channel of headroom.
+pub const PAPER_AMPLIFIER: AmplifierSpec = AmplifierSpec {
+    name: "80ch EDFA line amplifier",
+    gain: Db::new(18.0),
+    max_output: Dbm::new(27.0),
+    channels: 80,
+    noise_figure: Db::new(5.5),
+};
+
+/// A fixed optical attenuator.
+///
+/// "Attenuators are simple passive devices that do not meaningfully affect
+/// the cost of the network" (§3.3) — but they are load-bearing for
+/// correctness: without them, short paths can overload receivers (as in the
+/// paper's prototype, §6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttenuatorSpec {
+    /// Attenuation (positive datasheet figure, 1–30 dB typical).
+    pub attenuation: Db,
+}
+
+impl AttenuatorSpec {
+    /// Creates an attenuator of the given (positive) attenuation.
+    ///
+    /// # Panics
+    /// Panics if `db` is not in the 0–30 dB range of commodity fixed
+    /// attenuators.
+    pub fn new(db: f64) -> Self {
+        assert!(
+            (0.0..=30.0).contains(&db),
+            "fixed attenuators come in 0..=30 dB, got {db}"
+        );
+        AttenuatorSpec {
+            attenuation: Db::new(db),
+        }
+    }
+
+    /// Signed loss applied to a traversing signal.
+    pub fn loss(&self) -> Db {
+        Db::loss(self.attenuation.magnitude())
+    }
+}
+
+/// Standard single-mode fiber attenuation at 1550 nm, dB per km.
+pub const FIBER_LOSS_DB_PER_KM: f64 = 0.25;
+
+/// Loss of a fiber span of `km` kilometers at 1550 nm.
+pub fn fiber_span_loss(km: f64) -> Db {
+    assert!(km >= 0.0, "span length must be non-negative");
+    Db::loss(FIBER_LOSS_DB_PER_KM * km)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_transceiver_budget_is_19db() {
+        assert_eq!(PAPER_DWDM_TRANSCEIVER.power_budget().value(), 19.0);
+    }
+
+    #[test]
+    fn paper_dwdm_traversals_without_amplification() {
+        // §3.3: (4 − (−15)) / 6 = 3.17 → 3.
+        let budget = PAPER_DWDM_TRANSCEIVER.power_budget();
+        let per = PAPER_DWDM_80CH.insertion_loss;
+        let ratio = budget.value() / per.value();
+        assert!((ratio - 3.1666).abs() < 1e-3);
+        assert_eq!(ratio.floor() as u32, 3);
+    }
+
+    #[test]
+    fn mux_loss_is_signed_negative() {
+        assert_eq!(PAPER_DWDM_80CH.loss().value(), -6.0);
+        assert!(PAPER_DWDM_80CH.loss().is_loss());
+    }
+
+    #[test]
+    fn amplifier_undoes_three_muxes() {
+        let three_muxes: Db = std::iter::repeat_n(PAPER_DWDM_80CH.loss(), 3).sum();
+        assert!(PAPER_AMPLIFIER.gain.value() >= three_muxes.magnitude());
+    }
+
+    #[test]
+    fn dynamic_range_positive_for_all_parts() {
+        for t in [PAPER_DWDM_TRANSCEIVER, CISCO_ERA_CWDM_SFP] {
+            assert!(t.dynamic_range().value() > 0.0, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn attenuator_range_enforced() {
+        let a = AttenuatorSpec::new(10.0);
+        assert_eq!(a.loss().value(), -10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed attenuators")]
+    fn attenuator_out_of_range_panics() {
+        let _ = AttenuatorSpec::new(40.0);
+    }
+
+    #[test]
+    fn fiber_loss_scales_with_length() {
+        assert_eq!(fiber_span_loss(0.0).value(), 0.0);
+        assert!((fiber_span_loss(40.0).value() + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prototype_receiver_overloads_at_direct_connection() {
+        // §6: "We actually need to use attenuators to protect the receivers
+        // from overloading." A direct hop through two 4ch CWDM muxes loses
+        // only 3 dB: 2 dBm − 3 dB = −1 dBm, above the −3 dBm overload.
+        let rx = CISCO_ERA_CWDM_SFP.tx_power
+            + PROTOTYPE_CWDM_MUX_4CH.loss()
+            + PROTOTYPE_CWDM_MUX_4CH.loss();
+        assert!(rx >= CISCO_ERA_CWDM_SFP.rx_overload);
+    }
+}

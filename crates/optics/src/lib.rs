@@ -1,0 +1,56 @@
+//! # quartz-optics
+//!
+//! Optical-layer component models for the Quartz datacenter design element
+//! (Liu et al., *Quartz: A New Design Element for Low-Latency DCNs*,
+//! SIGCOMM 2014).
+//!
+//! Quartz implements a logical full mesh of top-of-rack switches as a
+//! physical ring of optical fiber, using commodity wavelength-division
+//! multiplexing (WDM). This crate models the photonic layer of that design:
+//!
+//! * [`units`] — decibel arithmetic ([`Db`], [`Dbm`], [`Milliwatts`]) with
+//!   the correct algebra (gains compose additively in dB, powers multiply
+//!   in linear units).
+//! * [`wavelength`] — ITU wavelength grids: the dense 100 GHz C-band DWDM
+//!   grid used by large Quartz rings and the coarse 20 nm CWDM grid used by
+//!   the paper's four-switch prototype.
+//! * [`components`] — datasheet-style specifications for the commodity
+//!   parts a Quartz ring is assembled from: transceivers, add/drop
+//!   mux/demuxes, EDFA amplifiers, and fixed attenuators.
+//! * [`budget`] — power-budget evaluation along a multi-hop lightpath, and
+//!   the closed-form "how many DWDMs can a channel traverse without
+//!   amplification" calculation from §3.3 of the paper.
+//! * [`dispersion`] — the chromatic-dispersion budget, shown to be three
+//!   orders of magnitude away from binding at datacenter scale (why §3.3
+//!   only sizes by insertion loss).
+//! * [`ring`] — an amplifier/attenuator placement planner for a complete
+//!   ring, validating that *every* pairwise lightpath (up to ⌊M/2⌋ optical
+//!   hops) stays within the receiver's dynamic range.
+//!
+//! The headline numbers from the paper are reproduced by this crate's unit
+//! tests: a 4 dBm transmitter and a −15 dBm receiver tolerate
+//! `(4 − (−15)) / 6 = 3.17` traversals of a 6 dB-loss 80-channel DWDM, so an
+//! amplifier is required after every three DWDMs — one amplifier for every
+//! two switches of the ring.
+//!
+//! Everything here is deterministic, allocation-light, and free of I/O; the
+//! crate is a pure model library in the spirit of `smoltcp`.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod budget;
+pub mod components;
+pub mod dispersion;
+pub mod ring;
+pub mod units;
+pub mod wavelength;
+
+pub use budget::{BudgetError, Lightpath, LightpathElement, PowerBudget, PowerTrace};
+pub use components::{
+    AmplifierSpec, AttenuatorSpec, MuxDemuxSpec, TransceiverSpec, CISCO_ERA_CWDM_SFP,
+    PAPER_AMPLIFIER, PAPER_DWDM_80CH, PAPER_DWDM_TRANSCEIVER, PROTOTYPE_CWDM_MUX_4CH,
+};
+pub use ring::{RingOpticalPlan, RingPlanError, RingSite};
+pub use units::{Db, Dbm, Milliwatts};
+pub use wavelength::{Band, ChannelId, Grid, Wavelength};

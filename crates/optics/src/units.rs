@@ -1,0 +1,420 @@
+//! Decibel arithmetic for optical power-budget calculations.
+//!
+//! Three newtypes keep the algebra honest:
+//!
+//! * [`Db`] — a *relative* quantity (gain or loss). Adds with itself.
+//! * [`Dbm`] — an *absolute* power referenced to 1 mW. Adding a [`Db`] to a
+//!   [`Dbm`] yields a [`Dbm`]; subtracting two [`Dbm`] yields a [`Db`].
+//!   Adding two [`Dbm`] is a type error — that operation is physically
+//!   meaningless (you cannot add powers in log space).
+//! * [`Milliwatts`] — linear power, for when powers genuinely must be
+//!   summed (e.g. total power entering an amplifier across all channels).
+//!
+//! All types are `Copy`, compare with total order via [`f64::total_cmp`],
+//! and print in conventional engineering notation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A relative power ratio in decibels (a gain if positive, a loss if
+/// negative).
+///
+/// ```
+/// use quartz_optics::units::Db;
+/// let mux_loss = Db::new(-6.0);
+/// let two_muxes = mux_loss + mux_loss;
+/// assert_eq!(two_muxes.value(), -12.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Db(f64);
+
+impl Db {
+    /// A ratio of exactly one (0 dB).
+    pub const ZERO: Db = Db(0.0);
+
+    /// Creates a ratio of `value` decibels.
+    pub const fn new(value: f64) -> Self {
+        Db(value)
+    }
+
+    /// Creates a *loss* of `value` decibels; `Db::loss(6.0)` is `-6 dB`.
+    ///
+    /// Component datasheets quote insertion loss as a positive number; this
+    /// constructor keeps call sites readable while storing the physically
+    /// signed value.
+    pub const fn loss(value: f64) -> Self {
+        Db(-value)
+    }
+
+    /// Creates a *gain* of `value` decibels (identical to [`Db::new`], but
+    /// reads better next to [`Db::loss`]).
+    pub const fn gain(value: f64) -> Self {
+        Db(value)
+    }
+
+    /// The signed decibel value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The equivalent linear power ratio (`10^(dB/10)`).
+    pub fn linear_ratio(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Builds a `Db` from a linear power ratio.
+    ///
+    /// # Panics
+    /// Panics if `ratio` is not strictly positive.
+    pub fn from_linear_ratio(ratio: f64) -> Self {
+        assert!(ratio > 0.0, "power ratio must be positive, got {ratio}");
+        Db(10.0 * ratio.log10())
+    }
+
+    /// Absolute magnitude in dB, e.g. for reporting a loss as a positive
+    /// attenuation figure.
+    pub fn magnitude(self) -> f64 {
+        self.0.abs()
+    }
+
+    /// True if this ratio represents a net gain (> 0 dB).
+    pub fn is_gain(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// True if this ratio represents a net loss (< 0 dB).
+    pub fn is_loss(self) -> bool {
+        self.0 < 0.0
+    }
+}
+
+impl Eq for Db {}
+
+impl PartialOrd for Db {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Db {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Db {
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Db {
+    fn sub_assign(&mut self, rhs: Db) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl Mul<f64> for Db {
+    type Output = Db;
+    fn mul(self, rhs: f64) -> Db {
+        Db(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Db {
+    type Output = Db;
+    fn div(self, rhs: f64) -> Db {
+        Db(self.0 / rhs)
+    }
+}
+
+impl Sum for Db {
+    fn sum<I: Iterator<Item = Db>>(iter: I) -> Db {
+        iter.fold(Db::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+/// An absolute optical power in decibel-milliwatts (0 dBm = 1 mW).
+///
+/// ```
+/// use quartz_optics::units::{Db, Dbm};
+/// let tx = Dbm::new(4.0);              // paper's DWDM transceiver output
+/// let after_mux = tx + Db::loss(6.0);  // one 80-channel DWDM traversal
+/// assert_eq!(after_mux.value(), -2.0);
+/// let margin = after_mux - Dbm::new(-15.0); // vs receiver sensitivity
+/// assert_eq!(margin.value(), 13.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Dbm(f64);
+
+impl Dbm {
+    /// Creates an absolute power of `value` dBm.
+    pub const fn new(value: f64) -> Self {
+        Dbm(value)
+    }
+
+    /// The power in dBm.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to linear milliwatts.
+    pub fn to_milliwatts(self) -> Milliwatts {
+        Milliwatts(10f64.powf(self.0 / 10.0))
+    }
+}
+
+impl Eq for Dbm {}
+
+impl PartialOrd for Dbm {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dbm {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.value())
+    }
+}
+
+impl AddAssign<Db> for Dbm {
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.value();
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.value())
+    }
+}
+
+impl Sub for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db::new(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dBm", self.0)
+    }
+}
+
+/// A linear optical power in milliwatts.
+///
+/// Used where powers must genuinely be summed — e.g. the aggregate power of
+/// all WDM channels entering an amplifier, which determines whether the
+/// amplifier saturates.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Milliwatts(f64);
+
+impl Milliwatts {
+    /// Zero power.
+    pub const ZERO: Milliwatts = Milliwatts(0.0);
+
+    /// Creates a power of `value` milliwatts.
+    ///
+    /// # Panics
+    /// Panics if `value` is negative or not finite.
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value >= 0.0 && value.is_finite(),
+            "power must be finite and non-negative, got {value}"
+        );
+        Milliwatts(value)
+    }
+
+    /// The power in milliwatts.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to dBm.
+    ///
+    /// # Panics
+    /// Panics on zero power (−∞ dBm).
+    pub fn to_dbm(self) -> Dbm {
+        assert!(self.0 > 0.0, "cannot express 0 mW in dBm");
+        Dbm(10.0 * self.0.log10())
+    }
+}
+
+impl Eq for Milliwatts {}
+
+impl PartialOrd for Milliwatts {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Milliwatts {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Milliwatts {
+    type Output = Milliwatts;
+    fn add(self, rhs: Milliwatts) -> Milliwatts {
+        Milliwatts(self.0 + rhs.0)
+    }
+}
+
+impl Sum for Milliwatts {
+    fn sum<I: Iterator<Item = Milliwatts>>(iter: I) -> Milliwatts {
+        iter.fold(Milliwatts::ZERO, Add::add)
+    }
+}
+
+impl Mul<f64> for Milliwatts {
+    type Output = Milliwatts;
+    fn mul(self, rhs: f64) -> Milliwatts {
+        Milliwatts(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Milliwatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} mW", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn db_loss_and_gain_constructors_are_signed() {
+        assert_eq!(Db::loss(6.0).value(), -6.0);
+        assert_eq!(Db::gain(17.0).value(), 17.0);
+        assert!(Db::loss(6.0).is_loss());
+        assert!(Db::gain(17.0).is_gain());
+        assert!(!Db::ZERO.is_gain() && !Db::ZERO.is_loss());
+    }
+
+    #[test]
+    fn db_addition_composes_losses() {
+        let total: Db = std::iter::repeat_n(Db::loss(6.0), 3).sum();
+        assert_eq!(total.value(), -18.0);
+    }
+
+    #[test]
+    fn db_linear_ratio_round_trips() {
+        let ratio = Db::new(3.0).linear_ratio();
+        assert!(close(ratio, 1.9952623149688795));
+        let back = Db::from_linear_ratio(ratio);
+        assert!(close(back.value(), 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power ratio must be positive")]
+    fn db_from_nonpositive_ratio_panics() {
+        let _ = Db::from_linear_ratio(0.0);
+    }
+
+    #[test]
+    fn dbm_plus_db_is_dbm() {
+        let tx = Dbm::new(4.0);
+        let rx = tx + Db::loss(6.0) + Db::loss(6.0) + Db::loss(6.0);
+        assert!(close(rx.value(), -14.0));
+    }
+
+    #[test]
+    fn dbm_difference_is_db() {
+        let margin = Dbm::new(4.0) - Dbm::new(-15.0);
+        assert!(close(margin.value(), 19.0));
+    }
+
+    #[test]
+    fn paper_budget_allows_three_dwdm_traversals() {
+        // §3.3: (4 dBm − (−15 dBm)) / 6 dB = 3.17 → 3 full traversals.
+        let budget = Dbm::new(4.0) - Dbm::new(-15.0);
+        let per_mux = Db::loss(6.0);
+        let hops = (budget.value() / per_mux.magnitude()).floor() as u32;
+        assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn milliwatt_conversion_round_trips() {
+        let p = Dbm::new(4.0).to_milliwatts();
+        assert!(close(p.value(), 2.51188643150958));
+        assert!(close(p.to_dbm().value(), 4.0));
+    }
+
+    #[test]
+    fn zero_dbm_is_one_milliwatt() {
+        assert!(close(Dbm::new(0.0).to_milliwatts().value(), 1.0));
+    }
+
+    #[test]
+    fn milliwatts_sum_linearly() {
+        // Two equal powers: +3.0103 dB, not +2×.
+        let one = Dbm::new(0.0).to_milliwatts();
+        let combined = (one + one).to_dbm();
+        assert!(close(combined.value(), 10.0 * 2f64.log10()));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        assert!(Dbm::new(-15.0) < Dbm::new(4.0));
+        assert!(Db::loss(6.0) < Db::ZERO);
+        assert!(Milliwatts::new(0.5) < Milliwatts::new(1.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Db::loss(6.0).to_string(), "-6.00 dB");
+        assert_eq!(Dbm::new(4.0).to_string(), "4.00 dBm");
+        assert_eq!(Milliwatts::new(1.0).to_string(), "1.0000 mW");
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be finite and non-negative")]
+    fn negative_milliwatts_panics() {
+        let _ = Milliwatts::new(-1.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! ITU wavelength grids for WDM channel planning.
+//!
+//! Quartz assigns each communicating switch pair a dedicated wavelength
+//! channel (§3.1 of the paper). Two commodity grids matter:
+//!
+//! * **DWDM** — the dense 100 GHz ITU-T G.694.1 C-band grid. The paper's
+//!   80-channel mux/demux and the "current fiber cables can only support
+//!   160 channels at 10 Gbps" limit both refer to this grid (160 channels =
+//!   50 GHz spacing; 80 channels = 100 GHz spacing).
+//! * **CWDM** — the coarse 20 nm ITU-T G.694.2 grid (1270–1610 nm), used by
+//!   the paper's four-switch prototype (1470/1490/1510 nm SFPs).
+//!
+//! Wavelengths are stored in integer picometers so channels are exactly
+//! comparable and hashable.
+
+use std::fmt;
+
+/// Speed of light in vacuum, m/s.
+const C_M_PER_S: f64 = 299_792_458.0;
+
+/// A single optical carrier wavelength, stored in integer picometers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Wavelength {
+    picometers: u64,
+}
+
+impl Wavelength {
+    /// Creates a wavelength from nanometers.
+    ///
+    /// # Panics
+    /// Panics if `nm` is not within the fiber-optic window (600–2000 nm).
+    pub fn from_nm(nm: f64) -> Self {
+        assert!(
+            (600.0..=2000.0).contains(&nm),
+            "wavelength {nm} nm outside the optical fiber window"
+        );
+        Wavelength {
+            picometers: (nm * 1000.0).round() as u64,
+        }
+    }
+
+    /// Creates a wavelength from a carrier frequency in THz.
+    pub fn from_thz(thz: f64) -> Self {
+        let nm = C_M_PER_S / (thz * 1e12) * 1e9;
+        Self::from_nm(nm)
+    }
+
+    /// The wavelength in nanometers.
+    pub fn nm(self) -> f64 {
+        self.picometers as f64 / 1000.0
+    }
+
+    /// The carrier frequency in THz.
+    pub fn thz(self) -> f64 {
+        C_M_PER_S / (self.nm() * 1e-9) / 1e12
+    }
+}
+
+impl fmt::Display for Wavelength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} nm", self.nm())
+    }
+}
+
+/// Optical transmission band (informational; Quartz uses the C band for
+/// DWDM and the full O–L span for CWDM).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// Original band, 1260–1360 nm.
+    O,
+    /// Extended band, 1360–1460 nm.
+    E,
+    /// Short band, 1460–1530 nm.
+    S,
+    /// Conventional band, 1530–1565 nm — where EDFA amplifiers work, hence
+    /// where DWDM lives.
+    C,
+    /// Long band, 1565–1625 nm.
+    L,
+}
+
+impl Band {
+    /// Classifies a wavelength into its band, if it falls in one.
+    pub fn of(w: Wavelength) -> Option<Band> {
+        let nm = w.nm();
+        match nm {
+            x if (1260.0..1360.0).contains(&x) => Some(Band::O),
+            x if (1360.0..1460.0).contains(&x) => Some(Band::E),
+            x if (1460.0..1530.0).contains(&x) => Some(Band::S),
+            x if (1530.0..1565.0).contains(&x) => Some(Band::C),
+            x if (1565.0..=1625.0).contains(&x) => Some(Band::L),
+            _ => None,
+        }
+    }
+}
+
+/// Index of a channel within a [`Grid`].
+///
+/// Channel assignment in `quartz-core` works entirely in terms of these
+/// indices; the grid maps them to physical wavelengths at the end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub u16);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// A WDM channel grid: a finite, ordered set of usable wavelengths.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid {
+    name: &'static str,
+    wavelengths: Vec<Wavelength>,
+}
+
+impl Grid {
+    /// The ITU-T G.694.1 DWDM C-band grid at 100 GHz spacing, 80 channels
+    /// (191.50–199.40 THz ascending). This is the grid of the paper's
+    /// 80-channel athermal AWG mux/demux.
+    pub fn dwdm_100ghz_80ch() -> Grid {
+        Self::dwdm(100.0, 80)
+    }
+
+    /// The 50 GHz-spaced DWDM grid with 160 channels — the "160 channels in
+    /// an optical fiber" technology ceiling the paper uses to derive the
+    /// maximum ring size of 35.
+    pub fn dwdm_50ghz_160ch() -> Grid {
+        Self::dwdm(50.0, 160)
+    }
+
+    fn dwdm(spacing_ghz: f64, count: u16) -> Grid {
+        // Anchor at 191.5 THz and step upward, keeping within the C band's
+        // amplifier-friendly neighborhood.
+        let wavelengths = (0..count)
+            .map(|i| Wavelength::from_thz(191.5 + f64::from(i) * spacing_ghz / 1000.0))
+            .collect();
+        Grid {
+            name: if count == 160 {
+                "DWDM 50GHz x160"
+            } else {
+                "DWDM 100GHz"
+            },
+            wavelengths,
+        }
+    }
+
+    /// The ITU-T G.694.2 CWDM grid: 18 channels, 1271–1611 nm at 20 nm
+    /// spacing. The paper's prototype uses the 1470/1490/1510 nm channels.
+    pub fn cwdm_18ch() -> Grid {
+        let wavelengths = (0..18u16)
+            .map(|i| Wavelength::from_nm(1271.0 + f64::from(i) * 20.0))
+            .collect();
+        Grid {
+            name: "CWDM 20nm",
+            wavelengths,
+        }
+    }
+
+    /// Human-readable grid name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of channels in the grid.
+    pub fn channel_count(&self) -> u16 {
+        self.wavelengths.len() as u16
+    }
+
+    /// The wavelength of channel `id`, or `None` if out of range.
+    pub fn wavelength(&self, id: ChannelId) -> Option<Wavelength> {
+        self.wavelengths.get(usize::from(id.0)).copied()
+    }
+
+    /// Iterates `(ChannelId, Wavelength)` pairs in grid order.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, Wavelength)> + '_ {
+        self.wavelengths
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (ChannelId(i as u16), *w))
+    }
+
+    /// The channel carrying wavelength `w`, if it is on this grid.
+    pub fn channel_of(&self, w: Wavelength) -> Option<ChannelId> {
+        self.wavelengths
+            .iter()
+            .position(|x| *x == w)
+            .map(|i| ChannelId(i as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_frequency_round_trip() {
+        let w = Wavelength::from_thz(193.1); // ITU anchor frequency
+        assert!((w.thz() - 193.1).abs() < 1e-3);
+        assert!((w.nm() - 1552.52).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the optical fiber window")]
+    fn visible_light_rejected() {
+        let _ = Wavelength::from_nm(532.0);
+    }
+
+    #[test]
+    fn dwdm_grid_has_80_unique_c_band_adjacent_channels() {
+        let g = Grid::dwdm_100ghz_80ch();
+        assert_eq!(g.channel_count(), 80);
+        let mut seen = std::collections::HashSet::new();
+        for (_, w) in g.channels() {
+            assert!(seen.insert(w), "duplicate wavelength {w}");
+            // 191.5–199.4 THz spans ~1503–1565 nm (C band and slightly
+            // below); all channels must stay in the fiber low-loss window.
+            assert!((1450.0..1600.0).contains(&w.nm()), "{w} out of window");
+        }
+    }
+
+    #[test]
+    fn dwdm_spacing_is_100ghz() {
+        let g = Grid::dwdm_100ghz_80ch();
+        let freqs: Vec<f64> = g.channels().map(|(_, w)| w.thz()).collect();
+        for pair in freqs.windows(2) {
+            assert!(((pair[1] - pair[0]) - 0.1).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fiber_ceiling_grid_has_160_channels() {
+        assert_eq!(Grid::dwdm_50ghz_160ch().channel_count(), 160);
+    }
+
+    #[test]
+    fn cwdm_grid_contains_prototype_wavelengths() {
+        let g = Grid::cwdm_18ch();
+        assert_eq!(g.channel_count(), 18);
+        for nm in [1471.0, 1491.0, 1511.0] {
+            // ITU CWDM centers are x1 nm (1471 etc.); the paper rounds to
+            // 1470/1490/1510. The grid must carry all three channels.
+            assert!(
+                g.channel_of(Wavelength::from_nm(nm)).is_some(),
+                "missing CWDM channel at {nm} nm"
+            );
+        }
+    }
+
+    #[test]
+    fn channel_lookup_round_trips() {
+        let g = Grid::dwdm_100ghz_80ch();
+        for (id, w) in g.channels() {
+            assert_eq!(g.channel_of(w), Some(id));
+            assert_eq!(g.wavelength(id), Some(w));
+        }
+        assert_eq!(g.wavelength(ChannelId(80)), None);
+    }
+
+    #[test]
+    fn band_classification() {
+        assert_eq!(Band::of(Wavelength::from_nm(1310.0)), Some(Band::O));
+        assert_eq!(Band::of(Wavelength::from_nm(1552.5)), Some(Band::C));
+        assert_eq!(Band::of(Wavelength::from_nm(1471.0)), Some(Band::S));
+        assert_eq!(Band::of(Wavelength::from_nm(1611.0)), Some(Band::L));
+        assert_eq!(Band::of(Wavelength::from_nm(700.0)), None);
+    }
+}

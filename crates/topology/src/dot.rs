@@ -1,0 +1,80 @@
+//! Graphviz DOT export for topologies — `dot -Tsvg` renders any
+//! [`Network`] for papers, docs, or debugging.
+
+use crate::graph::{Network, NodeKind, SwitchRole};
+use std::fmt::Write;
+
+/// Renders the network in Graphviz DOT. Hosts are small circles,
+/// switches boxes colored by role; edge labels carry bandwidth; rack
+/// membership becomes clusters.
+pub fn to_dot(net: &Network, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", title.replace('"', "'"));
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+    let _ = writeln!(out, "  label=\"{}\";", title.replace('"', "'"));
+
+    for node in net.nodes() {
+        let (shape, color, label) = match node.kind {
+            NodeKind::Host => ("circle", "gray80", format!("h{}", node.id.0)),
+            NodeKind::Switch(SwitchRole::TopOfRack) => {
+                ("box", "lightblue", format!("tor{}", node.id.0))
+            }
+            NodeKind::Switch(SwitchRole::Aggregation) => {
+                ("box", "khaki", format!("agg{}", node.id.0))
+            }
+            NodeKind::Switch(SwitchRole::Core) => ("box", "salmon", format!("core{}", node.id.0)),
+            NodeKind::Switch(SwitchRole::QuartzRing(r)) => {
+                ("box", "palegreen", format!("q{}r{r}", node.id.0))
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [shape={shape}, style=filled, fillcolor={color}, label=\"{label}\"];",
+            node.id.0
+        );
+    }
+    for link in net.links() {
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [label=\"{}G\"];",
+            link.a.0, link.b.0, link.bandwidth_gbps
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{prototype_quartz, three_tier};
+
+    #[test]
+    fn dot_contains_every_node_and_link() {
+        let p = prototype_quartz();
+        let dot = to_dot(&p.net, "quartz prototype");
+        for node in p.net.nodes() {
+            assert!(dot.contains(&format!("n{} [", node.id.0)));
+        }
+        assert_eq!(dot.matches(" -- ").count(), p.net.link_count());
+        assert!(dot.starts_with("graph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn roles_are_distinguished() {
+        let t = three_tier(2, 1, 2, 2, 10.0, 40.0);
+        let dot = to_dot(&t.net, "three tier");
+        assert!(dot.contains("salmon")); // cores
+        assert!(dot.contains("khaki")); // aggs
+        assert!(dot.contains("lightblue")); // tors
+        assert!(dot.contains("gray80")); // hosts
+    }
+
+    #[test]
+    fn titles_with_quotes_are_sanitized() {
+        let p = prototype_quartz();
+        let dot = to_dot(&p.net, "a \"quoted\" title");
+        assert!(!dot.contains("\"a \"quoted\""));
+    }
+}

@@ -1,0 +1,361 @@
+//! The network graph model: hosts, switches, and full-duplex links.
+//!
+//! Nodes are hosts (servers) or switches; switches carry a [`SwitchRole`]
+//! so generators can tag tiers (ToR / aggregation / core / Quartz-ring
+//! member) and the simulator can apply the right latency model. Links are
+//! undirected (full duplex, equal rate each way) with a bandwidth in
+//! Gb/s. Rack placement supports locality-aware workload generators and
+//! the wiring-complexity metric.
+
+use std::fmt;
+
+/// Index of a node in a [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Index of a link in a [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Where a switch sits in the architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SwitchRole {
+    /// Top-of-rack (edge) switch — low-latency cut-through.
+    TopOfRack,
+    /// Aggregation-tier switch — low-latency cut-through.
+    Aggregation,
+    /// Core-tier switch — high-port-count store-and-forward.
+    Core,
+    /// Member of a Quartz ring (the `usize` is the ring's index within
+    /// the topology) — low-latency cut-through.
+    QuartzRing(usize),
+}
+
+/// What a node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A server. In server-centric designs (BCube) hosts also forward.
+    Host,
+    /// A packet switch with the given role.
+    Switch(SwitchRole),
+}
+
+impl NodeKind {
+    /// True for hosts.
+    pub fn is_host(&self) -> bool {
+        matches!(self, NodeKind::Host)
+    }
+
+    /// True for switches of any role.
+    pub fn is_switch(&self) -> bool {
+        matches!(self, NodeKind::Switch(_))
+    }
+}
+
+/// A node of the network.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The node's id (its index).
+    pub id: NodeId,
+    /// Host or switch.
+    pub kind: NodeKind,
+    /// Rack the node lives in, when meaningful.
+    pub rack: Option<usize>,
+}
+
+/// A full-duplex link with symmetric bandwidth.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// The link's id (its index).
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Bandwidth per direction, Gb/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl Link {
+    /// The endpoint opposite `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not an endpoint.
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else if n == self.b {
+            self.a
+        } else {
+            panic!("{n} is not an endpoint of {}", self.id)
+        }
+    }
+}
+
+/// A datacenter network: nodes, links, adjacency.
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// `adj[node] = [(neighbor, link)]`.
+    adj: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds a host in `rack`.
+    pub fn add_host(&mut self, rack: Option<usize>) -> NodeId {
+        self.add_node(NodeKind::Host, rack)
+    }
+
+    /// Adds a switch with `role` in `rack`.
+    pub fn add_switch(&mut self, role: SwitchRole, rack: Option<usize>) -> NodeId {
+        self.add_node(NodeKind::Switch(role), rack)
+    }
+
+    fn add_node(&mut self, kind: NodeKind, rack: Option<usize>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { id, kind, rack });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Connects `a` and `b` with a full-duplex link of `gbps` per
+    /// direction.
+    ///
+    /// # Panics
+    /// Panics on self-loops, unknown nodes, or non-positive bandwidth.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, gbps: f64) -> LinkId {
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(gbps > 0.0, "bandwidth must be positive");
+        assert!((a.0 as usize) < self.nodes.len() && (b.0 as usize) < self.nodes.len());
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            a,
+            b,
+            bandwidth_gbps: gbps,
+        });
+        self.adj[a.0 as usize].push((b, id));
+        self.adj[b.0 as usize].push((a, id));
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The node with id `n`.
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.0 as usize]
+    }
+
+    /// The link with id `l`.
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l.0 as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// All links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// All host ids.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_host())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// All switch ids.
+    pub fn switches(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_switch())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Switches with a specific role.
+    pub fn switches_with_role(&self, role: SwitchRole) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Switch(role))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Neighbors of `n` as `(neighbor, link)` pairs.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adj[n.0 as usize]
+    }
+
+    /// Degree of `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.0 as usize].len()
+    }
+
+    /// The link between `a` and `b`, if one exists (first match).
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adj[a.0 as usize]
+            .iter()
+            .find(|(nb, _)| *nb == b)
+            .map(|(_, l)| *l)
+    }
+
+    /// Number of switch-to-switch cables — the paper's "wiring
+    /// complexity" (§5: "the number of cross-rack links").
+    pub fn switch_to_switch_links(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|l| self.node(l.a).kind.is_switch() && self.node(l.b).kind.is_switch())
+            .count()
+    }
+
+    /// Whether every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for &(nb, _) in self.neighbors(n) {
+                if !seen[nb.0 as usize] {
+                    seen[nb.0 as usize] = true;
+                    count += 1;
+                    stack.push(nb);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+
+    /// The switch a host hangs off (its first switch neighbor), if any.
+    pub fn host_tor(&self, host: NodeId) -> Option<NodeId> {
+        self.neighbors(host)
+            .iter()
+            .map(|(nb, _)| *nb)
+            .find(|nb| self.node(*nb).kind.is_switch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new();
+        let s = net.add_switch(SwitchRole::TopOfRack, Some(0));
+        let h1 = net.add_host(Some(0));
+        let h2 = net.add_host(Some(0));
+        net.connect(h1, s, 10.0);
+        net.connect(h2, s, 10.0);
+        (net, s, h1, h2)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (net, s, h1, h2) = tiny();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.link_count(), 2);
+        assert_eq!(net.hosts(), vec![h1, h2]);
+        assert_eq!(net.switches(), vec![s]);
+        assert_eq!(net.degree(s), 2);
+        assert_eq!(net.host_tor(h1), Some(s));
+    }
+
+    #[test]
+    fn link_between_and_other() {
+        let (net, s, h1, _) = tiny();
+        let l = net.link_between(h1, s).unwrap();
+        assert_eq!(net.link(l).other(h1), s);
+        assert_eq!(net.link(l).other(s), h1);
+        assert_eq!(net.link_between(h1, NodeId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_rejects_non_endpoint() {
+        let (net, _, h1, h2) = tiny();
+        let l = net.link_between(h1, net.host_tor(h1).unwrap()).unwrap();
+        let _ = net.link(l).other(h2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn no_self_loops() {
+        let mut net = Network::new();
+        let s = net.add_switch(SwitchRole::Core, None);
+        net.connect(s, s, 10.0);
+    }
+
+    #[test]
+    fn switch_to_switch_count_ignores_host_links() {
+        let mut net = Network::new();
+        let s1 = net.add_switch(SwitchRole::TopOfRack, Some(0));
+        let s2 = net.add_switch(SwitchRole::TopOfRack, Some(1));
+        let h = net.add_host(Some(0));
+        net.connect(s1, s2, 40.0);
+        net.connect(h, s1, 10.0);
+        assert_eq!(net.switch_to_switch_links(), 1);
+    }
+
+    #[test]
+    fn connectivity() {
+        let (mut net, _, _, _) = tiny();
+        assert!(net.is_connected());
+        let lonely = net.add_host(Some(9));
+        assert!(!net.is_connected());
+        let s = net.switches()[0];
+        net.connect(lonely, s, 10.0);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn roles_filter() {
+        let mut net = Network::new();
+        net.add_switch(SwitchRole::Core, None);
+        net.add_switch(SwitchRole::QuartzRing(0), Some(1));
+        net.add_switch(SwitchRole::QuartzRing(1), Some(2));
+        assert_eq!(net.switches_with_role(SwitchRole::Core).len(), 1);
+        assert_eq!(net.switches_with_role(SwitchRole::QuartzRing(0)).len(), 1);
+        assert_eq!(net.switches().len(), 3);
+    }
+
+    #[test]
+    fn empty_network_is_connected() {
+        assert!(Network::new().is_connected());
+    }
+}

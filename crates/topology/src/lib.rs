@@ -1,0 +1,41 @@
+//! # quartz-topology
+//!
+//! Datacenter network topologies for the Quartz reproduction (Liu et al.,
+//! SIGCOMM 2014).
+//!
+//! The paper analyzes five representative structures (§5, Table 9) and
+//! simulates six architectures (§7, Figure 15). This crate builds all of
+//! them on one graph model:
+//!
+//! * [`graph`] — the [`Network`] type: hosts and switches, full-duplex
+//!   links with bandwidth, rack placement.
+//! * [`builders`] — generators: two-tier and three-tier multi-root trees,
+//!   Fat-Tree, BCube, Jellyfish, the Quartz full mesh, the Figure 15
+//!   composites (Quartz in core / edge / both, Quartz-in-Jellyfish), and
+//!   the §6 four-switch prototype in both its Quartz and rewired
+//!   two-tier-tree forms.
+//! * [`route`] — routing: all-shortest-paths ECMP next-hop tables,
+//!   spanning-tree (single-path L2) tables, and Valiant load balancing
+//!   intermediates.
+//! * [`metrics`] — the Table 9 columns: uncongested latency, switch
+//!   count, wiring complexity, and path diversity (edge-disjoint paths by
+//!   max-flow).
+//! * [`spain`] — the §6 prototype's SPAIN-style per-VLAN spanning trees
+//!   for application-selected multipath.
+//! * [`dot`] — Graphviz export of any topology.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builders;
+pub mod dot;
+pub mod graph;
+pub mod metrics;
+pub mod ports;
+pub mod route;
+pub mod spain;
+
+pub use graph::{LinkId, Network, Node, NodeId, NodeKind, SwitchRole};
+pub use ports::{validate_port_budget, PortBudget, PortViolation};
+pub use route::RouteTable;
+pub use spain::SpainFabric;

@@ -1,0 +1,255 @@
+//! Graph metrics behind Table 9: uncongested latency, hop counts, wiring
+//! complexity, and path diversity.
+//!
+//! * **Latency without congestion** — switch hops on the longest
+//!   host-to-host shortest path, priced per device: cut-through switches
+//!   at 0.5 µs in the paper's Table 9 arithmetic, plus ~15 µs for every
+//!   *server* hop in server-centric designs (BCube).
+//! * **Wiring complexity** — the number of cross-rack cables.
+//! * **Path diversity** — following Teixeira et al. \[39\], the number of
+//!   edge-disjoint paths between representative endpoints, computed here
+//!   exactly with unit-capacity max-flow (Edmonds–Karp on the directed
+//!   expansion).
+
+use crate::graph::{Network, NodeId};
+use crate::route::RouteTable;
+use std::collections::VecDeque;
+
+/// Hop composition of a worst-case (diameter) host-to-host path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HopCounts {
+    /// Switches traversed.
+    pub switch_hops: usize,
+    /// Intermediate *servers* traversed (non-zero only for server-centric
+    /// designs like BCube).
+    pub server_hops: usize,
+}
+
+/// Worst-case hop composition across all host pairs (the network
+/// diameter, measured host-to-host).
+pub fn diameter_hops(net: &Network, table: &RouteTable) -> HopCounts {
+    let hosts = net.hosts();
+    let mut worst = HopCounts {
+        switch_hops: 0,
+        server_hops: 0,
+    };
+    let mut worst_len = 0;
+    for &a in &hosts {
+        for &b in &hosts {
+            if a == b {
+                continue;
+            }
+            if let Some(len) = table.path_len(a, b) {
+                if len > worst_len {
+                    worst_len = len;
+                    worst = path_hops(net, table, a, b);
+                }
+            }
+        }
+    }
+    worst
+}
+
+/// Hop composition of one shortest path between two hosts.
+pub fn path_hops(net: &Network, table: &RouteTable, a: NodeId, b: NodeId) -> HopCounts {
+    let path = table.a_path(a, b).unwrap_or_default();
+    let mut hc = HopCounts {
+        switch_hops: 0,
+        server_hops: 0,
+    };
+    for &n in path.iter().skip(1).take(path.len().saturating_sub(2)) {
+        if net.node(n).kind.is_switch() {
+            hc.switch_hops += 1;
+        } else {
+            hc.server_hops += 1;
+        }
+    }
+    hc
+}
+
+/// Mean host-to-host shortest-path length in links.
+pub fn mean_path_len(net: &Network, table: &RouteTable) -> f64 {
+    let hosts = net.hosts();
+    let mut sum = 0usize;
+    let mut count = 0usize;
+    for &a in &hosts {
+        for &b in &hosts {
+            if a != b {
+                if let Some(l) = table.path_len(a, b) {
+                    sum += l;
+                    count += 1;
+                }
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    }
+}
+
+/// Uncongested end-to-end latency for a path with the given hop counts —
+/// Table 9's first column.
+///
+/// `switch_latency_us` is per switch (0.5 µs for the paper's cut-through
+/// devices), `server_fwd_us` per relaying server (~15 µs of OS stack).
+pub fn latency_no_congestion_us(
+    hops: HopCounts,
+    switch_latency_us: f64,
+    server_fwd_us: f64,
+) -> f64 {
+    hops.switch_hops as f64 * switch_latency_us + hops.server_hops as f64 * server_fwd_us
+}
+
+/// Edge-disjoint path count between `a` and `b` — the paper's path
+/// diversity metric — via unit-capacity max-flow.
+pub fn path_diversity(net: &Network, a: NodeId, b: NodeId) -> usize {
+    // Directed expansion: each undirected link becomes two unit arcs.
+    let n = net.node_count();
+    // cap[(u,v)] tracked in a flat map: arc index = link*2 + dir.
+    let m = net.link_count();
+    let mut cap = vec![1i32; 2 * m];
+    // adjacency: node -> (arc, to)
+    let mut adj: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); n];
+    for l in net.links() {
+        adj[l.a.0 as usize].push((2 * l.id.0 as usize, l.b));
+        adj[l.b.0 as usize].push((2 * l.id.0 as usize + 1, l.a));
+    }
+
+    let mut flow = 0usize;
+    loop {
+        // BFS for an augmenting path.
+        let mut pred: Vec<Option<(usize, NodeId)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::new();
+        seen[a.0 as usize] = true;
+        q.push_back(a);
+        'bfs: while let Some(u) = q.pop_front() {
+            for &(arc, v) in &adj[u.0 as usize] {
+                if !seen[v.0 as usize] && cap[arc] > 0 {
+                    seen[v.0 as usize] = true;
+                    pred[v.0 as usize] = Some((arc, u));
+                    if v == b {
+                        break 'bfs;
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        if !seen[b.0 as usize] {
+            return flow;
+        }
+        // Augment by 1 along the path.
+        let mut cur = b;
+        while cur != a {
+            let (arc, prev) = pred[cur.0 as usize].unwrap();
+            cap[arc] -= 1;
+            cap[arc ^ 1] += 1; // reverse arc shares the link's pair slot
+            cur = prev;
+        }
+        flow += 1;
+    }
+}
+
+/// Path diversity between the ToR switches of two hosts (Table 9 measures
+/// switch-level diversity, not host-level, since hosts have one NIC).
+pub fn tor_path_diversity(net: &Network, host_a: NodeId, host_b: NodeId) -> usize {
+    match (net.host_tor(host_a), net.host_tor(host_b)) {
+        (Some(sa), Some(sb)) if sa != sb => path_diversity(net, sa, sb),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{
+        fat_tree, prototype_quartz, prototype_two_tier, quartz_mesh, three_tier, two_tier,
+    };
+
+    #[test]
+    fn mesh_diameter_is_two_switches() {
+        let q = quartz_mesh(6, 2, 10.0, 10.0);
+        let t = RouteTable::all_shortest_paths(&q.net);
+        let h = diameter_hops(&q.net, &t);
+        assert_eq!(h.switch_hops, 2);
+        assert_eq!(h.server_hops, 0);
+        // Table 9: 1.0 µs at 0.5 µs per switch.
+        assert_eq!(latency_no_congestion_us(h, 0.5, 15.0), 1.0);
+    }
+
+    #[test]
+    fn two_tier_diameter_is_three_switches() {
+        let t2 = two_tier(4, 2, 1, 10.0, 40.0);
+        let t = RouteTable::all_shortest_paths(&t2.net);
+        let h = diameter_hops(&t2.net, &t);
+        assert_eq!(h.switch_hops, 3);
+        assert_eq!(latency_no_congestion_us(h, 0.5, 15.0), 1.5);
+    }
+
+    #[test]
+    fn three_tier_diameter_is_five_switches() {
+        let t3 = three_tier(4, 2, 2, 2, 10.0, 40.0);
+        let t = RouteTable::all_shortest_paths(&t3.net);
+        let h = diameter_hops(&t3.net, &t);
+        assert_eq!(h.switch_hops, 5);
+    }
+
+    #[test]
+    fn bcube_pays_server_hops() {
+        let b = crate::builders::bcube(4, 1, 10.0);
+        let t = RouteTable::all_shortest_paths(&b.net);
+        let h = diameter_hops(&b.net, &t);
+        assert_eq!(h.switch_hops, 2);
+        assert_eq!(h.server_hops, 1);
+        // Table 9: 16 µs = 2 × 0.5 + 1 × 15.
+        assert_eq!(latency_no_congestion_us(h, 0.5, 15.0), 16.0);
+    }
+
+    #[test]
+    fn mesh_path_diversity_is_m_minus_one() {
+        // Table 9: mesh diversity 32 for 33 switches (direct + 31
+        // detours). Verify the pattern at small scale: m−1.
+        for m in [4usize, 6, 8] {
+            let q = quartz_mesh(m, 1, 10.0, 10.0);
+            let d = path_diversity(&q.net, q.switches[0], q.switches[1]);
+            assert_eq!(d, m - 1, "m={m}");
+        }
+    }
+
+    #[test]
+    fn tree_path_diversity_is_low() {
+        let p = prototype_two_tier();
+        // ToR to ToR through one root: a single edge-disjoint path.
+        let d = path_diversity(&p.net, p.switches[1], p.switches[2]);
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn fat_tree_diversity_matches_arity() {
+        // Between edge switches in different pods, a k-ary fat-tree has
+        // k/2 × ... bounded by the edge switch's k/2 uplinks.
+        let f = fat_tree(4, 10.0);
+        let d = path_diversity(&f.net, f.edges[0], f.edges[7]);
+        assert_eq!(d, 2); // k/2 uplinks bound the flow
+    }
+
+    #[test]
+    fn tor_path_diversity_resolves_hosts() {
+        let q = prototype_quartz();
+        let d = tor_path_diversity(&q.net, q.hosts[0], q.hosts[2]);
+        assert_eq!(d, 3); // K4: direct + 2 detours
+                          // Same-rack hosts: zero by definition.
+        assert_eq!(tor_path_diversity(&q.net, q.hosts[0], q.hosts[1]), 0);
+    }
+
+    #[test]
+    fn mean_path_len_reasonable() {
+        let q = quartz_mesh(4, 2, 10.0, 10.0);
+        let t = RouteTable::all_shortest_paths(&q.net);
+        let mpl = mean_path_len(&q.net, &t);
+        // Same-switch pairs: 2 links; cross-switch: 3 links.
+        assert!(mpl > 2.0 && mpl < 3.0, "{mpl}");
+    }
+}

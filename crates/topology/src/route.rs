@@ -1,0 +1,288 @@
+//! Routing tables: all-shortest-paths ECMP and spanning-tree (L2)
+//! forwarding.
+//!
+//! The paper routes Quartz with ECMP ("since there is a single shortest
+//! path between any pair of switches in a full mesh, ECMP always selects
+//! the direct one-hop path", §3.4) and uses per-VLAN spanning trees on the
+//! prototype (via SPAIN, §6). Valiant load balancing is expressed on top
+//! of this table by routing to a chosen intermediate switch first.
+//!
+//! [`RouteTable`] stores, for every destination node, the set of
+//! shortest-path next hops at every node — the ECMP DAG. Selection among
+//! equal-cost hops is by flow hash, so a flow's packets stay on one path
+//! (no reordering), which is how real ECMP behaves.
+
+use crate::graph::{Network, NodeId};
+use std::collections::VecDeque;
+
+/// All-pairs next-hop table.
+///
+/// # Examples
+///
+/// ```
+/// use quartz_topology::builders::prototype_quartz;
+/// use quartz_topology::route::RouteTable;
+///
+/// // §3.4: in a full mesh, ECMP always picks the single direct hop.
+/// let p = prototype_quartz();
+/// let table = RouteTable::all_shortest_paths(&p.net);
+/// assert_eq!(table.next_hops(p.switches[0], p.switches[3]), &[p.switches[3]]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    n: usize,
+    /// `dist[dst][node]` in links; `u32::MAX` = unreachable.
+    dist: Vec<Vec<u32>>,
+    /// `next[dst][node]` = shortest-path next hops from `node` toward
+    /// `dst`.
+    next: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl RouteTable {
+    /// Builds the full ECMP table with one reverse BFS per destination.
+    pub fn all_shortest_paths(net: &Network) -> Self {
+        let n = net.node_count();
+        let mut dist = Vec::with_capacity(n);
+        let mut next = Vec::with_capacity(n);
+        for d in 0..n {
+            let (dv, nv) = bfs_to(net, NodeId(d as u32));
+            dist.push(dv);
+            next.push(nv);
+        }
+        RouteTable { n, dist, next }
+    }
+
+    /// Builds a single-path table routed along the BFS spanning tree
+    /// rooted at `root` — the behaviour of classic L2 Ethernet, where
+    /// "Ethernet creates a single spanning tree … it can only utilize a
+    /// small fraction of the links in the network" (§3.4).
+    pub fn spanning_tree(net: &Network, root: NodeId) -> Self {
+        let n = net.node_count();
+        // Parent pointers of the BFS tree.
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::new();
+        seen[root.0 as usize] = true;
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            for &(v, _) in net.neighbors(u) {
+                if !seen[v.0 as usize] {
+                    seen[v.0 as usize] = true;
+                    parent[v.0 as usize] = Some(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        // Tree adjacency.
+        let mut tree = Network::new();
+        for node in net.nodes() {
+            match node.kind {
+                crate::graph::NodeKind::Host => tree.add_host(node.rack),
+                crate::graph::NodeKind::Switch(r) => tree.add_switch(r, node.rack),
+            };
+        }
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                tree.connect(NodeId(v as u32), *p, 1.0);
+            }
+        }
+        Self::all_shortest_paths(&tree)
+    }
+
+    /// Shortest-path length in links, if reachable.
+    pub fn path_len(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        let d = self.dist[to.0 as usize][from.0 as usize];
+        (d != u32::MAX).then_some(d as usize)
+    }
+
+    /// The ECMP next-hop set at `at` toward `dst` (empty at `dst` itself
+    /// or if unreachable).
+    pub fn next_hops(&self, at: NodeId, dst: NodeId) -> &[NodeId] {
+        &self.next[dst.0 as usize][at.0 as usize]
+    }
+
+    /// Deterministic ECMP selection: pick among the equal-cost next hops
+    /// by `flow_hash`, so all packets of a flow take the same path.
+    pub fn ecmp_next(&self, at: NodeId, dst: NodeId, flow_hash: u64) -> Option<NodeId> {
+        let hops = self.next_hops(at, dst);
+        if hops.is_empty() {
+            None
+        } else {
+            Some(hops[(flow_hash % hops.len() as u64) as usize])
+        }
+    }
+
+    /// One shortest path from `from` to `to` (following ECMP choice 0),
+    /// inclusive of both endpoints.
+    pub fn a_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        self.path_len(from, to)?;
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur != to {
+            cur = *self.next_hops(cur, to).first()?;
+            path.push(cur);
+        }
+        Some(path)
+    }
+
+    /// Number of nodes in the table.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Reverse BFS from `dst`: distances and next-hop sets toward `dst`.
+fn bfs_to(net: &Network, dst: NodeId) -> (Vec<u32>, Vec<Vec<NodeId>>) {
+    let n = net.node_count();
+    let mut dist = vec![u32::MAX; n];
+    let mut q = VecDeque::new();
+    dist[dst.0 as usize] = 0;
+    q.push_back(dst);
+    while let Some(u) = q.pop_front() {
+        for &(v, _) in net.neighbors(u) {
+            if dist[v.0 as usize] == u32::MAX {
+                dist[v.0 as usize] = dist[u.0 as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    let mut next = vec![Vec::new(); n];
+    for u in 0..n {
+        if dist[u] == u32::MAX || dist[u] == 0 {
+            continue;
+        }
+        for &(v, _) in net.neighbors(NodeId(u as u32)) {
+            if dist[v.0 as usize] + 1 == dist[u] {
+                next[u].push(v);
+            }
+        }
+    }
+    (dist, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{prototype_quartz, prototype_two_tier, three_tier};
+    use crate::graph::SwitchRole;
+
+    #[test]
+    fn mesh_ecmp_always_direct() {
+        // §3.4: in a full mesh ECMP always selects the one-hop path.
+        let p = prototype_quartz();
+        let t = RouteTable::all_shortest_paths(&p.net);
+        for &a in &p.switches {
+            for &b in &p.switches {
+                if a != b {
+                    assert_eq!(t.next_hops(a, b), &[b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_paths_go_through_root() {
+        let p = prototype_two_tier();
+        let t = RouteTable::all_shortest_paths(&p.net);
+        let path = t.a_path(p.hosts[0], p.hosts[2]).unwrap();
+        assert_eq!(path.len(), 5); // h, tor, root, tor, h
+        assert_eq!(path[2], p.switches[0]);
+    }
+
+    #[test]
+    fn ecmp_spreads_across_equal_paths_deterministically() {
+        let t3 = three_tier(2, 2, 1, 2, 10.0, 40.0);
+        let table = RouteTable::all_shortest_paths(&t3.net);
+        // From a ToR toward a core-adjacent destination there are two agg
+        // choices; different hashes may differ, same hash never does.
+        let tor = t3.tors[0];
+        let far_host = *t3.hosts.last().unwrap();
+        let h1 = table.ecmp_next(tor, far_host, 1).unwrap();
+        let h1b = table.ecmp_next(tor, far_host, 1).unwrap();
+        assert_eq!(h1, h1b);
+        let hops = table.next_hops(tor, far_host);
+        assert!(!hops.is_empty() && hops.len() <= 2);
+    }
+
+    #[test]
+    fn path_len_matches_a_path() {
+        let t3 = three_tier(3, 2, 2, 2, 10.0, 40.0);
+        let table = RouteTable::all_shortest_paths(&t3.net);
+        for &a in t3.hosts.iter().take(4) {
+            for &b in t3.hosts.iter().rev().take(4) {
+                if a == b {
+                    continue;
+                }
+                let p = table.a_path(a, b).unwrap();
+                assert_eq!(p.len() - 1, table.path_len(a, b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut net = Network::new();
+        let a = net.add_host(None);
+        let b = net.add_host(None);
+        let t = RouteTable::all_shortest_paths(&net);
+        assert_eq!(t.path_len(a, b), None);
+        assert_eq!(t.ecmp_next(a, b, 0), None);
+    }
+
+    #[test]
+    fn spanning_tree_uses_single_paths() {
+        let p = prototype_quartz();
+        // Root the tree at S1: S2↔S3 traffic must detour via S1 even
+        // though a direct mesh link exists.
+        let t = RouteTable::spanning_tree(&p.net, p.switches[0]);
+        let path = t.a_path(p.switches[1], p.switches[2]).unwrap();
+        assert!(path.contains(&p.switches[0]), "path {path:?} skips root");
+        // Every pair still reachable.
+        for &a in &p.hosts {
+            for &b in &p.hosts {
+                if a != b {
+                    assert!(t.path_len(a, b).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spanning_tree_stretches_mesh_paths() {
+        // On the Quartz mesh, STP forfeits the direct links: §3.4's
+        // argument for ECMP over plain Ethernet.
+        let p = prototype_quartz();
+        let ecmp = RouteTable::all_shortest_paths(&p.net);
+        let stp = RouteTable::spanning_tree(&p.net, p.switches[0]);
+        let mut longer = 0;
+        for &a in &p.hosts {
+            for &b in &p.hosts {
+                if a == b {
+                    continue;
+                }
+                let e = ecmp.path_len(a, b).unwrap();
+                let s = stp.path_len(a, b).unwrap();
+                assert!(s >= e);
+                if s > e {
+                    longer += 1;
+                }
+            }
+        }
+        assert!(longer > 0, "expected some stretched STP paths");
+    }
+
+    #[test]
+    fn spanning_tree_on_three_tier_never_shortens() {
+        let t3 = three_tier(2, 2, 1, 2, 10.0, 40.0);
+        let ecmp = RouteTable::all_shortest_paths(&t3.net);
+        let stp = RouteTable::spanning_tree(&t3.net, t3.cores[0]);
+        for &a in &t3.hosts {
+            for &b in &t3.hosts {
+                if a != b {
+                    assert!(stp.path_len(a, b).unwrap() >= ecmp.path_len(a, b).unwrap());
+                }
+            }
+        }
+        let _ = SwitchRole::Core;
+    }
+}

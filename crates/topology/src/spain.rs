@@ -1,0 +1,167 @@
+//! SPAIN-style multipath over commodity Ethernet (Mudigonda et al.,
+//! NSDI 2010 — the paper's \[35\]), as used by the §6 prototype.
+//!
+//! "To precisely control the traffic paths in our experiments, we use
+//! the technique introduced in SPAIN to expose alternative network paths
+//! to the application. We create 4 virtual interfaces on each server,
+//! where each virtual interface sends traffic using a specific VLAN and
+//! the spanning trees for the VLANs are rooted at different switches.
+//! Therefore, an application can select a direct two-hop path or a
+//! specific indirect three-hop path by sending data on the corresponding
+//! virtual interface."
+//!
+//! [`SpainFabric`] builds one spanning-tree routing table per VLAN (each
+//! rooted at a different switch) and lets callers pick per flow — the
+//! mechanism that made VLB expressible on 2010-era L2 hardware.
+
+use crate::graph::{Network, NodeId};
+use crate::route::RouteTable;
+
+/// A set of per-VLAN spanning-tree routing tables.
+#[derive(Clone, Debug)]
+pub struct SpainFabric {
+    roots: Vec<NodeId>,
+    tables: Vec<RouteTable>,
+}
+
+impl SpainFabric {
+    /// Builds one VLAN per entry of `roots`, each a spanning tree rooted
+    /// at that switch.
+    ///
+    /// # Panics
+    /// Panics if `roots` is empty or contains a non-switch.
+    pub fn new(net: &Network, roots: &[NodeId]) -> Self {
+        assert!(!roots.is_empty(), "SPAIN needs at least one VLAN");
+        for &r in roots {
+            assert!(
+                net.node(r).kind.is_switch(),
+                "VLAN trees are rooted at switches, got {r}"
+            );
+        }
+        let tables = roots
+            .iter()
+            .map(|&r| RouteTable::spanning_tree(net, r))
+            .collect();
+        SpainFabric {
+            roots: roots.to_vec(),
+            tables,
+        }
+    }
+
+    /// One VLAN per switch — the prototype's "4 virtual interfaces on
+    /// each server" for its four switches.
+    pub fn per_switch(net: &Network) -> Self {
+        let switches = net.switches();
+        Self::new(net, &switches)
+    }
+
+    /// Number of VLANs.
+    pub fn vlans(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The root switch of VLAN `v`.
+    pub fn root(&self, v: usize) -> NodeId {
+        self.roots[v]
+    }
+
+    /// The routing table of VLAN `v`.
+    pub fn table(&self, v: usize) -> &RouteTable {
+        &self.tables[v]
+    }
+
+    /// Path length (links) between two hosts on VLAN `v`.
+    pub fn path_len(&self, v: usize, a: NodeId, b: NodeId) -> Option<usize> {
+        self.tables[v].path_len(a, b)
+    }
+
+    /// The VLAN giving the shortest path for `a → b` — what a SPAIN
+    /// driver picks for latency-sensitive flows.
+    pub fn best_vlan(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        (0..self.vlans())
+            .filter_map(|v| self.path_len(v, a, b).map(|l| (v, l)))
+            .min_by_key(|&(_, l)| l)
+            .map(|(v, _)| v)
+    }
+
+    /// All distinct path lengths available between `a` and `b` — the
+    /// "direct two-hop path or a specific indirect three-hop path"
+    /// choice the prototype exposes.
+    pub fn path_choices(&self, a: NodeId, b: NodeId) -> Vec<(usize, usize)> {
+        (0..self.vlans())
+            .filter_map(|v| self.path_len(v, a, b).map(|l| (v, l)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{prototype_quartz, three_tier};
+
+    #[test]
+    fn prototype_exposes_direct_and_indirect_paths() {
+        // §6: on the 4-switch mesh, the VLAN rooted at the destination's
+        // own switch uses the direct mesh link (host-sw-sw-host = 3
+        // links), while a VLAN rooted elsewhere detours through its root
+        // (4 links).
+        let p = prototype_quartz();
+        let spain = SpainFabric::per_switch(&p.net);
+        assert_eq!(spain.vlans(), 4);
+        let (a, b) = (p.hosts[0], p.hosts[2]); // S1-host → S2-host
+        let choices = spain.path_choices(a, b);
+        assert_eq!(choices.len(), 4);
+        let lens: Vec<usize> = choices.iter().map(|&(_, l)| l).collect();
+        assert!(lens.contains(&3), "a direct 2-switch path exists: {lens:?}");
+        assert!(
+            lens.contains(&4),
+            "an indirect 3-switch path exists: {lens:?}"
+        );
+    }
+
+    #[test]
+    fn best_vlan_picks_the_direct_path() {
+        let p = prototype_quartz();
+        let spain = SpainFabric::per_switch(&p.net);
+        let (a, b) = (p.hosts[0], p.hosts[2]);
+        let v = spain.best_vlan(a, b).unwrap();
+        assert_eq!(spain.path_len(v, a, b), Some(3));
+    }
+
+    #[test]
+    fn vlans_rooted_at_different_switches_really_differ() {
+        let p = prototype_quartz();
+        let spain = SpainFabric::per_switch(&p.net);
+        // S2 ↔ S3 traffic: on the VLAN rooted at S1, the spanning tree
+        // forces the S1 detour.
+        let detour_vlan = 0; // rooted at switches[0] = S1
+        let direct_vlan = 1; // rooted at switches[1] = S2
+        let (a, b) = (p.hosts[2], p.hosts[4]);
+        assert_eq!(spain.root(detour_vlan), p.switches[0]);
+        assert!(
+            spain.path_len(detour_vlan, a, b).unwrap() > spain.path_len(direct_vlan, a, b).unwrap()
+        );
+    }
+
+    #[test]
+    fn every_vlan_reaches_every_host() {
+        let t = three_tier(2, 2, 2, 2, 10.0, 40.0);
+        let spain = SpainFabric::new(&t.net, &t.cores);
+        for v in 0..spain.vlans() {
+            for &a in &t.hosts {
+                for &b in &t.hosts {
+                    if a != b {
+                        assert!(spain.path_len(v, a, b).is_some(), "vlan {v}: {a}->{b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rooted at switches")]
+    fn host_roots_rejected() {
+        let p = prototype_quartz();
+        let _ = SpainFabric::new(&p.net, &[p.hosts[0]]);
+    }
+}

@@ -1,0 +1,54 @@
+//! The §4.4 configurator as a tool: given a datacenter size and expected
+//! utilization, what does Quartz cost and save? Also shows fault
+//! tolerance (§3.5) for the recommended ring design.
+//!
+//! Run with `cargo run --release --example design_a_datacenter`.
+
+use quartz::core::fault::FailureModel;
+use quartz::cost::catalog::PriceCatalog;
+use quartz::cost::configurator::{configure, DatacenterSize, Utilization};
+
+fn main() {
+    let catalog = PriceCatalog::era_2014();
+    println!("Configurator (Table 8) under the 2014 catalog:\n");
+    for row in configure(&catalog) {
+        let premium = row.quartz_cost / row.baseline_cost - 1.0;
+        println!(
+            "{:?} / {:?}: {} (${:.0}/server) → {} (${:.0}/server, {:+.1}%), latency −{:.0}%",
+            row.size,
+            row.utilization,
+            row.baseline.name(),
+            row.baseline_cost,
+            row.quartz.name(),
+            row.quartz_cost,
+            premium * 100.0,
+            row.latency_reduction * 100.0,
+        );
+    }
+
+    // The same question five years out, with WDM prices down 4x
+    // (Figure 1's decline rate makes that less than four years).
+    let future = catalog.with_wdm_scale(0.25);
+    println!("\nWith WDM gear at a quarter of 2014 prices:\n");
+    for row in configure(&future) {
+        if matches!(row.size, DatacenterSize::Small) && row.utilization == Utilization::High {
+            let premium = row.quartz_cost / row.baseline_cost - 1.0;
+            println!(
+                "Small/High: premium falls to {:+.1}% for a {:.0}% latency cut",
+                premium * 100.0,
+                row.latency_reduction * 100.0
+            );
+        }
+    }
+
+    // Reliability of the recommended medium design's rings (§3.5).
+    println!("\nFault tolerance of a 33-switch ring (Monte Carlo, 4 cuts):");
+    for rings in 1..=2 {
+        let r = FailureModel::new(33, rings).monte_carlo(4, 5_000, 42);
+        println!(
+            "  {rings} physical ring(s): bandwidth loss {:.1}%, partition probability {:.4}",
+            r.mean_bandwidth_loss * 100.0,
+            r.partition_probability
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Incremental deployment (§8): grow a Quartz ring one rack at a time
+//! and price each step — the argument against buying a mostly-empty core
+//! chassis up front.
+//!
+//! Run with `cargo run --release --example incremental_growth`.
+
+use quartz::core::scalability::{expansion_step, max_mesh_server_ports};
+
+fn main() {
+    println!("Growing a Quartz ring one switch at a time (greedy re-planning):\n");
+    println!("  step    new pairs  re-tuned  wavelengths");
+    for m in 4..=16 {
+        let s = expansion_step(m);
+        println!(
+            "  {:>2}→{:<3}  {:>8}  {:>8}  {:>3} → {:<3}",
+            s.from, s.to, s.added, s.retuned, s.wavelengths.0, s.wavelengths.1
+        );
+    }
+    println!("\nEach step provisions the new switch's transceivers and re-tunes a");
+    println!("bounded set of existing channels — no forklift, no empty chassis.");
+
+    println!("\nHow far the element scales as cut-through port counts grow (§8):\n");
+    for ports in [16usize, 32, 64, 128, 256] {
+        println!(
+            "  {ports:>3}-port switches → up to {:>5} server ports per element",
+            max_mesh_server_ports(ports)
+        );
+    }
+    println!("\n(The fiber's 160-channel budget caps the ring at 35 switches — after");
+    println!("that, more ports per switch only widen each rack, §3.1.)");
+}

@@ -1,0 +1,38 @@
+//! Quickstart: design a Quartz ring, plan its wavelengths and optics,
+//! and check the §3 headline numbers.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use quartz::core::routing::pair_capacity_channels;
+use quartz::core::{QuartzRing, RoutingPolicy};
+
+fn main() {
+    // The paper's flagship element: 33 low-latency 64-port switches,
+    // 32 server ports and 32 ring transceivers each (§3.2).
+    let ring = QuartzRing::paper_config(33).expect("feasible design");
+    println!("Quartz ring of {} switches", ring.switches());
+    println!("  server ports          : {}", ring.server_ports());
+    println!("  max switch hops       : {}", ring.max_switch_hops());
+    println!("  rack-pair oversub     : {}:1", ring.oversubscription());
+
+    // Wavelength planning (§3.1) — a one-time, design-time event.
+    let plan = ring.assign_channels();
+    plan.validate().expect("conflict-free plan");
+    println!("  wavelengths required  : {}", plan.wavelengths_used());
+    println!("  WDM muxes per switch  : {}", plan.muxes_per_switch(80));
+    println!("  grid                  : {}", plan.grid.name());
+
+    // Optical feasibility (§3.3): amplifier placement and power budget.
+    let optics = ring.optical_plan().expect("power budget satisfiable");
+    println!("  amplifiers on the ring: {}", optics.amplifier_count());
+    println!("  worst path margin     : {}", optics.worst_margin());
+
+    // Routing policy (§3.4): ECMP takes the single direct hop; VLB
+    // unlocks the two-hop detour capacity.
+    let m = ring.switches();
+    println!(
+        "  pair capacity         : {}x direct, {}x with VLB",
+        pair_capacity_channels(m, RoutingPolicy::EcmpDirect),
+        pair_capacity_channels(m, RoutingPolicy::vlb(0.5)),
+    );
+}

@@ -1,0 +1,45 @@
+//! # Quartz
+//!
+//! A from-scratch Rust reproduction of *Quartz: A New Design Element for
+//! Low-Latency DCNs* (Liu, Gao, Wong, Keshav — SIGCOMM 2014).
+//!
+//! Quartz implements a logical full mesh of low-latency top-of-rack
+//! switches as a physical optical ring using commodity wavelength-division
+//! multiplexing: every switch pair owns a dedicated wavelength channel, so
+//! an O(n²) mesh needs only O(n) fibers. The mesh gives two-switch-hop
+//! paths and eliminates cross-traffic congestion; the ring keeps the wiring
+//! as simple as a 2-tier tree.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`optics`] — WDM grids, transceivers, mux/demuxes, amplifiers, and
+//!   lightpath power budgets.
+//! * [`core`] — the Quartz design element itself: ring design, channel
+//!   (wavelength) assignment, routing policy, fault tolerance.
+//! * [`topology`] — DCN topology generators (trees, Fat-Tree, BCube,
+//!   Jellyfish, mesh, and Quartz composites) plus routing and graph metrics.
+//! * [`netsim`] — the packet-level discrete-event simulator used for all
+//!   latency experiments.
+//! * [`flowsim`] — the flow-level max-min fair throughput solver used for
+//!   bisection-bandwidth experiments.
+//! * [`cost`] — the hardware price catalog and the Table 8 configurator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quartz::core::QuartzRing;
+//!
+//! // Design a Quartz ring of 33 low-latency 64-port switches with a
+//! // 32:32 server-to-trunk port split — the paper's 1056-port element.
+//! let ring = QuartzRing::paper_config(33).expect("valid design");
+//! assert_eq!(ring.server_ports(), 1056);
+//! let plan = ring.assign_channels();
+//! assert!(plan.validate().is_ok());
+//! ```
+
+pub use quartz_core as core;
+pub use quartz_cost as cost;
+pub use quartz_flowsim as flowsim;
+pub use quartz_netsim as netsim;
+pub use quartz_optics as optics;
+pub use quartz_topology as topology;

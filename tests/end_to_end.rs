@@ -1,0 +1,153 @@
+//! End-to-end integration: design a Quartz element, plan its wavelengths
+//! and optics, build topologies around it, and verify with the packet
+//! simulator that the headline claim holds — Quartz cuts latency and
+//! shields traffic from cross-traffic congestion.
+
+use quartz::core::channel::Pair;
+use quartz::core::fault::FailureModel;
+use quartz::core::QuartzRing;
+use quartz::netsim::sim::{FlowKind, SimConfig, Simulator};
+use quartz::netsim::time::SimTime;
+use quartz::topology::builders::{quartz_in_edge_and_core, three_tier};
+use quartz::topology::metrics::{diameter_hops, latency_no_congestion_us};
+use quartz::topology::route::RouteTable;
+
+/// The full §3 design pipeline holds together for every legal ring size.
+#[test]
+fn design_pipeline_all_ring_sizes() {
+    for m in [4usize, 9, 16, 24, 33] {
+        let ring = QuartzRing::paper_config(m.min(33)).unwrap();
+        let plan = ring.assign_channels();
+        plan.validate().unwrap_or_else(|e| panic!("m={m}: {e}"));
+        assert_eq!(
+            plan.wavelengths_used(),
+            ring.wavelengths_required(),
+            "m={m}: plan and design disagree on wavelength count"
+        );
+        let optics = ring.optical_plan().unwrap();
+        assert_eq!(optics.sites(), ring.switches());
+        // Every pair has both a channel and a feasible lightpath.
+        let (a, b) = (0, m.min(33) / 2);
+        assert!(plan.assignment.lookup(Pair::new(a, b)).is_some());
+    }
+}
+
+/// The paper's scalability arithmetic, checked across crates: a 33-switch
+/// ring of 64-port switches mimics a 1056-port switch and needs two
+/// physical fiber rings, which the fault model then exploits.
+#[test]
+fn scalability_and_fault_tolerance_compose() {
+    let ring = QuartzRing::paper_config(33).unwrap();
+    assert_eq!(ring.server_ports(), 1056);
+    let rings = ring.physical_rings();
+    assert_eq!(rings, 2);
+    let fm = FailureModel::new(33, rings);
+    let single = FailureModel::new(33, 1);
+    let two = fm.monte_carlo(2, 2_000, 1);
+    let one = single.monte_carlo(2, 2_000, 1);
+    assert!(two.partition_probability < 0.01);
+    assert!(one.partition_probability > 0.9);
+}
+
+/// Quartz in edge and core roughly halves scatter latency vs the
+/// three-tier tree (§7.1, Figure 17) — the paper's headline.
+#[test]
+fn quartz_halves_three_tier_latency() {
+    let mean_us = |net, hosts: Vec<_>| {
+        let mut sim = Simulator::new(net, SimConfig::default());
+        let stop = SimTime::from_ms(2);
+        for &dst in hosts.iter().skip(1).step_by(4).take(12) {
+            sim.add_flow(
+                hosts[0],
+                dst,
+                400,
+                FlowKind::Poisson {
+                    mean_gap_ns: 8_000.0,
+                    stop,
+                    respond: false,
+                },
+                0,
+                SimTime::ZERO,
+            );
+        }
+        sim.run(stop + 2_000_000);
+        sim.stats().summary(0).mean_us()
+    };
+    let t = three_tier(8, 2, 4, 2, 10.0, 40.0);
+    let tree = mean_us(t.net, t.hosts);
+    let q = quartz_in_edge_and_core(4, 4, 4, 4);
+    let quartz = mean_us(q.net, q.hosts);
+    assert!(
+        quartz < 0.6 * tree,
+        "expected ≥40% cut: tree {tree:.2} µs vs quartz {quartz:.2} µs"
+    );
+}
+
+/// The static hop analysis (Table 9) agrees with what the simulator
+/// measures at near-zero load.
+#[test]
+fn analytic_and_simulated_latency_agree_unloaded() {
+    let q = quartz_in_edge_and_core(2, 4, 2, 4);
+    let table = RouteTable::all_shortest_paths(&q.net);
+    let hops = diameter_hops(&q.net, &table);
+    // Worst path: 2 edge-ring switches + 2 core-ring switches.
+    assert_eq!(hops.switch_hops, 4);
+    let analytic_us = latency_no_congestion_us(hops, 0.38, 15.0);
+
+    // Simulate one packet along a worst-case pair (hosts in different
+    // rings) and compare within serialization slack.
+    let mut sim = Simulator::new(
+        q.net.clone(),
+        SimConfig {
+            prop_delay_ns: 0,
+            ..SimConfig::default()
+        },
+    );
+    let src = q.hosts[0];
+    let dst = *q.hosts.last().unwrap();
+    sim.add_flow(
+        src,
+        dst,
+        400,
+        FlowKind::Poisson {
+            mean_gap_ns: 1e9,
+            stop: SimTime::from_ns(1),
+            respond: false,
+        },
+        0,
+        SimTime::ZERO,
+    );
+    sim.run(SimTime::from_ms(1));
+    let sim_us = sim.stats().summary(0).mean_us();
+    // Switch latencies dominate; serialization adds ≤ ~1 µs.
+    assert!(
+        (sim_us - analytic_us).abs() < 1.2,
+        "sim {sim_us:.2} vs analytic {analytic_us:.2}"
+    );
+}
+
+/// Packet conservation holds across a composite architecture under load.
+#[test]
+fn conservation_under_load() {
+    let q = quartz_in_edge_and_core(4, 4, 2, 4);
+    let mut sim = Simulator::new(q.net.clone(), SimConfig::default());
+    let stop = SimTime::from_ms(2);
+    for (i, w) in q.hosts.windows(2).enumerate() {
+        sim.add_flow(
+            w[0],
+            w[1],
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: 2_000.0,
+                stop,
+                respond: i % 2 == 0,
+            },
+            i as u32,
+            SimTime::ZERO,
+        );
+    }
+    sim.run(SimTime::from_ms(50));
+    let st = sim.stats();
+    assert!(st.generated > 10_000);
+    assert_eq!(st.generated, st.delivered + st.dropped);
+}

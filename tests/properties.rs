@@ -1,0 +1,160 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use quartz::core::channel::bounds::load_lower_bound;
+use quartz::core::channel::{all_pairs, greedy, Arc, Direction, Pair};
+use quartz::flowsim::waterfill::{is_max_min, max_min_rates, Problem};
+use quartz::netsim::transport::{ReceiverState, SendAction, SenderState, TcpVariant};
+use quartz::topology::builders::jellyfish;
+use quartz::topology::route::RouteTable;
+
+proptest! {
+    /// The greedy wavelength assignment is valid (complete and
+    /// conflict-free) for every ring size and starting offset.
+    #[test]
+    fn greedy_assignment_always_valid(m in 2usize..24, start in 0usize..24) {
+        let a = greedy::assign(m, start % m);
+        prop_assert!(a.validate().is_ok());
+        prop_assert_eq!(a.entries().len(), m * (m - 1) / 2);
+        prop_assert!(a.channels_used() >= load_lower_bound(m));
+    }
+
+    /// A pair's clockwise and counter-clockwise arcs tile the ring: they
+    /// are disjoint and jointly cover every fiber link.
+    #[test]
+    fn arcs_tile_the_ring(m in 2usize..40, x in 0usize..40, y in 0usize..40) {
+        let (x, y) = (x % m, y % m);
+        prop_assume!(x != y);
+        let p = Pair::new(x, y);
+        let cw = Arc::of(p, Direction::Cw, m);
+        let ccw = Arc::of(p, Direction::Ccw, m);
+        for link in 0..m {
+            prop_assert!(cw.covers(link) != ccw.covers(link), "link {link}");
+        }
+        prop_assert_eq!(cw.len + ccw.len, m);
+    }
+
+    /// Link loads always sum to the total arc length of the assignment.
+    #[test]
+    fn link_loads_conserve_hops(m in 3usize..16) {
+        let a = greedy::assign_best(m);
+        let total: usize = a.link_loads().iter().sum();
+        let arcs: usize = a
+            .entries()
+            .iter()
+            .map(|(p, d, _)| Arc::of(*p, *d, m).len)
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        prop_assert_eq!(total, arcs);
+        prop_assert_eq!(a.entries().len(), all_pairs(m).len());
+    }
+
+    /// The water-filling solver always produces a feasible, max-min fair
+    /// allocation, for arbitrary problems.
+    #[test]
+    fn waterfill_is_always_max_min(
+        caps in prop::collection::vec(0.5f64..20.0, 3..12),
+        paths in prop::collection::vec(
+            prop::collection::vec((0usize..12, 0.1f64..1.0), 1..4),
+            1..30,
+        ),
+    ) {
+        let mut p = Problem::default();
+        for c in &caps {
+            p.add_link(*c);
+        }
+        for path in paths {
+            let mut seen = Vec::new();
+            for (l, w) in path {
+                let l = l % caps.len();
+                if !seen.iter().any(|&(m, _)| m == l) {
+                    seen.push((l, w));
+                }
+            }
+            if !seen.is_empty() {
+                p.add_flow(seen);
+            }
+        }
+        let rates = max_min_rates(&p);
+        prop_assert!(is_max_min(&p, &rates));
+    }
+
+    /// ECMP next hops strictly reduce distance to the destination on
+    /// random (Jellyfish) topologies — no routing loops, ever.
+    #[test]
+    fn next_hops_strictly_progress(seed in 0u64..20) {
+        let j = jellyfish(10, 3, 2, 10.0, 10.0, seed);
+        let t = RouteTable::all_shortest_paths(&j.net);
+        for a in j.net.hosts() {
+            for b in j.net.hosts() {
+                if a == b {
+                    continue;
+                }
+                let d = t.path_len(a, b).unwrap();
+                for &nh in t.next_hops(a, b) {
+                    prop_assert_eq!(t.path_len(nh, b).unwrap(), d - 1);
+                }
+            }
+        }
+    }
+
+    /// The transport state machine always completes a transfer over a
+    /// lossy in-order pipe, for any loss pattern, using only the
+    /// fast-retransmit and RTO mechanisms.
+    #[test]
+    fn transport_completes_under_arbitrary_loss(
+        total in 1u64..200,
+        dctcp in prop::bool::ANY,
+        loss_bits in prop::collection::vec(prop::bool::ANY, 64),
+    ) {
+        let variant = if dctcp { TcpVariant::Dctcp } else { TcpVariant::Reno };
+        let mut s = SenderState::new(variant, total);
+        let mut r = ReceiverState::default();
+        let mut wire: std::collections::VecDeque<u64> = Default::default();
+        let mut last_epoch = 0u64;
+        let mut drop_idx = 0usize;
+
+        fn apply(
+            acts: Vec<SendAction>,
+            wire: &mut std::collections::VecDeque<u64>,
+            last_epoch: &mut u64,
+        ) {
+            for a in acts {
+                match a {
+                    SendAction::SendData { seq } => wire.push_back(seq),
+                    SendAction::ArmRto { epoch } => *last_epoch = epoch,
+                    SendAction::Complete => {}
+                }
+            }
+        }
+
+        apply(s.pump(), &mut wire, &mut last_epoch);
+        let mut guard = 0;
+        while !s.is_complete() {
+            guard += 1;
+            prop_assert!(guard < 50_000, "deadlock under loss");
+            match wire.pop_front() {
+                Some(seq) => {
+                    // Drop according to the random pattern (cycled).
+                    let dropped = loss_bits[drop_idx % loss_bits.len()];
+                    drop_idx += 1;
+                    if dropped {
+                        continue;
+                    }
+                    let ack = r.on_data(seq);
+                    apply(s.on_ack(ack, false), &mut wire, &mut last_epoch);
+                }
+                None => {
+                    // The wire drained without completing: fire the RTO.
+                    let acts = s.on_rto(last_epoch);
+                    prop_assert!(
+                        !acts.is_empty(),
+                        "a live timer must restart a stalled connection"
+                    );
+                    apply(acts, &mut wire, &mut last_epoch);
+                }
+            }
+        }
+    }
+}

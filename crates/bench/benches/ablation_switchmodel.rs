@@ -5,12 +5,11 @@
 //! bench shows the engine's wall-clock cost is insensitive to the model,
 //! so using the faithful model costs nothing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use quartz_bench::timing::measure;
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
 use quartz_netsim::switch::{LatencyModel, CISCO_NEXUS_7000};
 use quartz_netsim::time::SimTime;
 use quartz_topology::builders::three_tier;
-use std::hint::black_box;
 
 fn run(latency: LatencyModel) -> f64 {
     let t = three_tier(4, 2, 2, 2, 10.0, 40.0);
@@ -40,23 +39,18 @@ fn run(latency: LatencyModel) -> f64 {
     sim.stats().summary(1).mean_ns
 }
 
-fn bench_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("switch_model_ablation");
-    g.bench_function("paper_mixed", |b| {
-        b.iter(|| black_box(run(LatencyModel::paper())))
+fn main() {
+    measure("switch_model_ablation", "paper_mixed", || {
+        run(LatencyModel::paper())
     });
     let all_sf = LatencyModel {
         edge: CISCO_NEXUS_7000,
         ..LatencyModel::paper()
     };
-    g.bench_function("all_store_and_forward", |b| {
-        b.iter(|| black_box(run(all_sf)))
+    measure("switch_model_ablation", "all_store_and_forward", || {
+        run(all_sf)
     });
-    g.bench_function("ideal_zero_latency", |b| {
-        b.iter(|| black_box(run(LatencyModel::ideal())))
+    measure("switch_model_ablation", "ideal_zero_latency", || {
+        run(LatencyModel::ideal())
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

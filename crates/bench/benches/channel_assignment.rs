@@ -2,59 +2,38 @@
 //! greedy heuristic "only requires seconds to compute on a standard
 //! workstation even for a ring size of 35" — ours is far below that.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use quartz_bench::timing::measure;
+use quartz_core::channel::greedy::{assign_with_order, Ordering};
 use quartz_core::channel::{exact, greedy};
+use quartz_core::fault::FailureModel;
 use std::hint::black_box;
 
-fn bench_greedy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("greedy_assignment");
+fn main() {
     for m in [9usize, 17, 33, 35] {
-        g.bench_function(format!("best_of_starts_m{m}"), |b| {
-            b.iter(|| black_box(greedy::assign_best(black_box(m))))
+        measure("greedy_assignment", &format!("best_of_starts_m{m}"), || {
+            greedy::assign_best(black_box(m))
         });
     }
-    g.finish();
-}
 
-fn bench_exact(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exact_assignment");
     // Odd sizes prove optimality essentially instantly; m=8 needs a real
     // infeasibility proof at the load bound.
     for m in [8usize, 9, 11, 13] {
-        g.bench_function(format!("solve_m{m}"), |b| {
-            b.iter(|| black_box(exact::solve(black_box(m), 100_000_000)))
+        measure("exact_assignment", &format!("solve_m{m}"), || {
+            exact::solve(black_box(m), 100_000_000)
         });
     }
-    g.finish();
-}
 
-fn bench_ordering_ablation(c: &mut Criterion) {
-    use quartz_core::channel::greedy::{assign_with_order, Ordering};
-    let mut g = c.benchmark_group("greedy_ordering_ablation");
     for (name, ord) in [
         ("longest_first_paper", Ordering::LongestFirst),
         ("shortest_first", Ordering::ShortestFirst),
     ] {
-        g.bench_function(format!("{name}_m33"), |b| {
-            b.iter(|| black_box(assign_with_order(black_box(33), 0, ord)))
+        measure("greedy_ordering_ablation", &format!("{name}_m33"), || {
+            assign_with_order(black_box(33), 0, ord)
         });
     }
-    g.finish();
-}
 
-fn bench_fault_mc(c: &mut Criterion) {
-    use quartz_core::fault::FailureModel;
     let model = FailureModel::new(33, 2);
-    c.bench_function("fault_monte_carlo_1k_trials", |b| {
-        b.iter(|| black_box(model.monte_carlo(4, 1_000, 7)))
+    measure("fault", "monte_carlo_1k_trials", || {
+        model.monte_carlo(4, 1_000, 7)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_greedy,
-    bench_exact,
-    bench_ordering_ablation,
-    bench_fault_mc
-);
-criterion_main!(benches);

@@ -1,39 +1,31 @@
 //! Routing-table construction cost: all-shortest-paths ECMP DAGs over the
 //! evaluation topologies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use quartz_bench::timing::measure;
 use quartz_topology::builders::{fat_tree, jellyfish, quartz_mesh, three_tier};
+use quartz_topology::metrics::path_diversity;
 use quartz_topology::route::RouteTable;
-use std::hint::black_box;
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("route_tables");
+fn main() {
     let ft = fat_tree(8, 10.0);
-    g.bench_function("fat_tree_k8", |b| {
-        b.iter(|| black_box(RouteTable::all_shortest_paths(&ft.net)))
+    measure("route_tables", "fat_tree_k8", || {
+        RouteTable::all_shortest_paths(&ft.net)
     });
     let jf = jellyfish(32, 6, 4, 10.0, 10.0, 3);
-    g.bench_function("jellyfish_32sw", |b| {
-        b.iter(|| black_box(RouteTable::all_shortest_paths(&jf.net)))
+    measure("route_tables", "jellyfish_32sw", || {
+        RouteTable::all_shortest_paths(&jf.net)
     });
     let q = quartz_mesh(33, 4, 10.0, 10.0);
-    g.bench_function("quartz_mesh_33", |b| {
-        b.iter(|| black_box(RouteTable::all_shortest_paths(&q.net)))
+    measure("route_tables", "quartz_mesh_33", || {
+        RouteTable::all_shortest_paths(&q.net)
     });
     let t3 = three_tier(8, 2, 4, 2, 10.0, 40.0);
-    g.bench_function("three_tier_16racks", |b| {
-        b.iter(|| black_box(RouteTable::all_shortest_paths(&t3.net)))
+    measure("route_tables", "three_tier_16racks", || {
+        RouteTable::all_shortest_paths(&t3.net)
     });
-    g.finish();
-}
 
-fn bench_path_diversity(c: &mut Criterion) {
-    use quartz_topology::metrics::path_diversity;
     let q = quartz_mesh(33, 1, 10.0, 10.0);
-    c.bench_function("path_diversity_mesh33", |b| {
-        b.iter(|| black_box(path_diversity(&q.net, q.switches[0], q.switches[16])))
+    measure("route_tables", "path_diversity_mesh33", || {
+        path_diversity(&q.net, q.switches[0], q.switches[16])
     });
 }
-
-criterion_group!(benches, bench_tables, bench_path_diversity);
-criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Event throughput of the discrete-event simulator: how many simulated
 //! packets per wall-clock second the engine sustains on a loaded mesh.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use quartz_bench::timing::measure;
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
 use quartz_netsim::time::SimTime;
+use quartz_netsim::transport::TcpVariant;
 use quartz_topology::builders::quartz_mesh;
+use quartz_topology::graph::{Network, SwitchRole};
 use std::hint::black_box;
 
 /// One 2 ms run of a 4-switch mesh with 16 hosts at ~40 % load; returns
@@ -38,55 +40,40 @@ fn run_once(seed: u64) -> u64 {
     sim.stats().delivered
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let packets = run_once(1);
-    let mut g = c.benchmark_group("simulator");
-    g.throughput(Throughput::Elements(packets));
-    g.bench_function("mesh_2ms_40pct_load", |b| {
-        b.iter(|| black_box(run_once(black_box(1))))
+    println!("simulator: {packets} packets per iteration");
+    measure("simulator", "mesh_2ms_40pct_load", || {
+        run_once(black_box(1))
     });
-    g.finish();
-}
 
-fn bench_construction(c: &mut Criterion) {
-    c.bench_function("simulator_construction_64_hosts", |b| {
-        b.iter(|| {
-            let q = quartz_mesh(16, 4, 10.0, 10.0);
-            black_box(Simulator::new(q.net, SimConfig::default()))
-        })
+    measure("simulator", "construction_64_hosts", || {
+        let q = quartz_mesh(16, 4, 10.0, 10.0);
+        Simulator::new(q.net, SimConfig::default())
     });
-}
 
-criterion_group!(benches, bench_engine, bench_construction, bench_transport);
-criterion_main!(benches);
-
-fn bench_transport(c: &mut criterion::Criterion) {
-    use quartz_netsim::transport::TcpVariant;
-    use quartz_topology::graph::{Network, SwitchRole};
     // One 1 MB Reno transfer over a dumbbell: measures the whole
     // transport state machine + event loop.
-    c.bench_function("transport_reno_1mb_dumbbell", |b| {
-        b.iter(|| {
-            let mut net = Network::new();
-            let sw = net.add_switch(SwitchRole::TopOfRack, Some(0));
-            let h1 = net.add_host(Some(0));
-            let h2 = net.add_host(Some(0));
-            net.connect(h1, sw, 10.0);
-            net.connect(h2, sw, 10.0);
-            let mut sim = Simulator::new(net, SimConfig::default());
-            sim.add_flow(
-                h1,
-                h2,
-                1_000,
-                FlowKind::Transport {
-                    total_bytes: 1_000_000,
-                    variant: TcpVariant::Reno,
-                },
-                0,
-                SimTime::ZERO,
-            );
-            sim.run(SimTime::from_ms(50));
-            black_box(sim.stats().summary(0).count)
-        })
+    measure("simulator", "transport_reno_1mb_dumbbell", || {
+        let mut net = Network::new();
+        let sw = net.add_switch(SwitchRole::TopOfRack, Some(0));
+        let h1 = net.add_host(Some(0));
+        let h2 = net.add_host(Some(0));
+        net.connect(h1, sw, 10.0);
+        net.connect(h2, sw, 10.0);
+        let mut sim = Simulator::new(net, SimConfig::default());
+        sim.add_flow(
+            h1,
+            h2,
+            1_000,
+            FlowKind::Transport {
+                total_bytes: 1_000_000,
+                variant: TcpVariant::Reno,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        sim.run(SimTime::from_ms(50));
+        sim.stats().summary(0).count
     });
 }

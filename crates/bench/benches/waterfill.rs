@@ -1,27 +1,22 @@
 //! Max-min solver performance at the paper's full 33 × 32 mesh scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use quartz_bench::timing::measure;
 use quartz_core::routing::RoutingPolicy;
 use quartz_flowsim::fabric::{Fabric, QuartzFabric};
 use quartz_flowsim::matrix::{incast, random_permutation};
 use quartz_flowsim::waterfill::max_min_rates;
 use std::hint::black_box;
 
-fn bench_waterfill(c: &mut Criterion) {
-    let mut g = c.benchmark_group("waterfill");
+fn main() {
     let fabric = QuartzFabric::paper(RoutingPolicy::vlb(0.5));
     let perm = random_permutation(fabric.hosts(), 1);
     let p = fabric.problem(&perm);
-    g.bench_function("permutation_1056_hosts_vlb", |b| {
-        b.iter(|| black_box(max_min_rates(black_box(&p))))
+    measure("waterfill", "permutation_1056_hosts_vlb", || {
+        max_min_rates(black_box(&p))
     });
     let inc = incast(fabric.hosts(), 10, 1);
     let p = fabric.problem(&inc);
-    g.bench_function("incast10_10560_flows_vlb", |b| {
-        b.iter(|| black_box(max_min_rates(black_box(&p))))
+    measure("waterfill", "incast10_10560_flows_vlb", || {
+        max_min_rates(black_box(&p))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_waterfill);
-criterion_main!(benches);

@@ -15,11 +15,9 @@
 use crate::experiments::fig17::{add_task, Arch, Workload, PARTNERS};
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::rng::{SliceRandom, StdRng};
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
 use quartz_netsim::time::SimTime;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// The §1 request recipe: `(stage name, RPC count, payload bytes)`.
 pub const STAGES: [(&str, usize, u32); 3] = [

@@ -8,6 +8,7 @@
 
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::rng::{SliceRandom, StdRng};
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
 use quartz_netsim::time::SimTime;
 use quartz_topology::builders::{
@@ -15,9 +16,6 @@ use quartz_topology::builders::{
     three_tier,
 };
 use quartz_topology::graph::{Network, NodeId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// The simulated architectures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -10,12 +10,10 @@
 use crate::experiments::fig17::{add_task, Arch, Workload, MEAN_GAP_NS, PARTNERS};
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::rng::{SliceRandom, StdRng};
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
 use quartz_netsim::time::SimTime;
 use quartz_topology::graph::{Network, NodeId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Local-task partner count ("fewer targets than the non-local tasks").
 pub const LOCAL_PARTNERS: usize = 6;

@@ -15,6 +15,7 @@
 
 pub mod experiments;
 pub mod table;
+pub mod timing;
 
 /// Experiment fidelity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,63 @@
+//! A minimal wall-clock micro-benchmark harness for the `harness =
+//! false` benches — no external dependency, stable output format:
+//!
+//! ```text
+//! greedy_assignment/best_of_starts_m33   mean 1.234 ms  (min 1.201 ms, 405 iters)
+//! ```
+//!
+//! Each measurement warms up once, then repeats the closure until a
+//! time budget is spent (or an iteration cap is hit) and reports the
+//! mean and minimum per-iteration wall time. `QUARTZ_BENCH_FAST=1`
+//! shrinks the budget so the bench binaries can be smoke-tested in CI.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-measurement time budget.
+fn budget() -> Duration {
+    if std::env::var_os("QUARTZ_BENCH_FAST").is_some() {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(750)
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Runs `f` repeatedly and prints one result line labelled
+/// `group/name`. The closure's result is `black_box`ed so the work
+/// cannot be optimized away.
+pub fn measure<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
+    // One untimed warm-up (fills caches, faults pages, JITs nothing).
+    black_box(f());
+    let budget = budget();
+    let mut iters = 0u64;
+    let mut min_ns = f64::INFINITY;
+    let started = Instant::now();
+    let mut spent = Duration::ZERO;
+    while spent < budget && iters < 1_000_000 {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed();
+        min_ns = min_ns.min(dt.as_nanos() as f64);
+        iters += 1;
+        spent = started.elapsed();
+    }
+    let mean_ns = spent.as_nanos() as f64 / iters as f64;
+    println!(
+        "{group}/{name:<32} mean {:>10}  (min {}, {iters} iters)",
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns),
+    );
+}

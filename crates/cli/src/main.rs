@@ -5,6 +5,7 @@
 //! quartz plan       --switches 9 [--exact true] [--show-pairs 10]
 //! quartz grow       --switches 9
 //! quartz faults     --switches 33 --rings 2 [--failures 4 --trials 10000]
+//! quartz faults     --dynamic true [--switches 33 --cut-at-us 1000 --reconverge-us 50 --duration-ms 4]
 //! quartz configure
 //! quartz throughput --racks 16 --hosts 8 [--pattern permutation|incast|shuffle] [--policy ecmp|adaptive|vlb:0.5]
 //! quartz rpc        [--cross-mbps 150 --wiring quartz|tree]
@@ -17,6 +18,8 @@ use quartz_core::channel::{bounds, exact, greedy};
 use quartz_core::fault::FailureModel;
 use quartz_core::scalability;
 use quartz_core::QuartzRing;
+use quartz_netsim::faults::{ring_cut_scenario, CutScenarioConfig};
+use quartz_netsim::time::SimTime;
 
 fn main() {
     let args = match Args::from_env() {
@@ -56,7 +59,8 @@ fn usage() {
          \x20 design      check a ring design: ports, wavelengths, optics, fault plan\n\
          \x20 plan        wavelength assignment (greedy, optionally proven optimal)\n\
          \x20 grow        cost of expanding a ring by one switch\n\
-         \x20 faults      Monte-Carlo bandwidth-loss / partition analysis\n\
+         \x20 faults      Monte-Carlo bandwidth-loss / partition analysis;\n\
+         \x20             --dynamic true simulates a live mid-run fiber cut\n\
          \x20 configure   the cost/latency configurator (paper Table 8)\n\
          \x20 throughput  max-min throughput of a mesh under a traffic pattern\n\
          \x20 rpc         simulate the prototype RPC-under-cross-traffic experiment\n\
@@ -158,7 +162,21 @@ fn cmd_grow(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_faults(args: &Args) -> Result<(), String> {
-    args.expect_only(&["switches", "rings", "failures", "trials", "seed"])?;
+    args.expect_only(&[
+        "switches",
+        "rings",
+        "failures",
+        "trials",
+        "seed",
+        "dynamic",
+        "cut-at-us",
+        "reconverge-us",
+        "duration-ms",
+    ])?;
+    let dynamic: bool = args.num("dynamic", false)?;
+    if dynamic {
+        return cmd_faults_dynamic(args);
+    }
     let m: usize = args.num("switches", 33)?;
     let rings: usize = args.num("rings", 2)?;
     let failures: usize = args.num("failures", 4)?;
@@ -180,6 +198,76 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
         "  partition probability      {:.4}",
         r.partition_probability
     );
+    println!(
+        "  severed-pair detour        {:.2} hops (mesh-wide mean {:.2})",
+        r.mean_detour_stretch, r.mean_post_failure_hops
+    );
+    Ok(())
+}
+
+/// `faults --dynamic true`: cut one fiber mid-run under steady Poisson
+/// traffic and report what the packets saw.
+fn cmd_faults_dynamic(args: &Args) -> Result<(), String> {
+    let m: usize = args.num("switches", 33)?;
+    let cut_at_us: u64 = args.num("cut-at-us", 1_000)?;
+    let reconverge_us: u64 = args.num("reconverge-us", 50)?;
+    let duration_ms: u64 = args.num("duration-ms", 4)?;
+    let seed: u64 = args.num("seed", 42)?;
+    if m < 3 {
+        return Err("--switches must be ≥ 3".into());
+    }
+    let cut_at = SimTime::from_us(cut_at_us);
+    let duration = SimTime::from_ms(duration_ms);
+    if cut_at >= duration {
+        return Err("--cut-at-us must fall inside --duration-ms".into());
+    }
+    let cfg = CutScenarioConfig {
+        switches: m,
+        hosts_per_switch: 1,
+        cut_at,
+        reconvergence_ns: reconverge_us * 1_000,
+        duration,
+        mean_gap_ns: 4_000.0,
+        background_pairs: (m / 2).max(4),
+        seed,
+    };
+    let s = ring_cut_scenario(&cfg);
+    println!(
+        "{m}-switch mesh, fiber 0<->1 cut at {cut_at_us} us, {reconverge_us} us reconvergence, {duration_ms} ms run (seed {seed}):"
+    );
+    println!(
+        "  severed pair latency  p50 {:.2} -> {:.2} us, mean {:.2} -> {:.2} us",
+        s.pre.p50_ns as f64 / 1e3,
+        s.post.p50_ns as f64 / 1e3,
+        s.pre.mean_ns / 1e3,
+        s.post.mean_ns / 1e3
+    );
+    println!(
+        "  path stretch          {:.2} -> {:.2} links per packet",
+        s.pre_mean_hops, s.post_mean_hops
+    );
+    match s.reconvergence_ns {
+        Some(ns) => println!(
+            "  reconvergence         {:.1} us, {} packets lost during the outage",
+            ns as f64 / 1e3,
+            s.drops_during_outage
+        ),
+        None => {
+            println!("  reconvergence         never (run ended before the control plane acted)")
+        }
+    }
+    println!(
+        "  totals                {} generated, {} delivered, {} dropped",
+        s.generated, s.delivered, s.dropped
+    );
+    if !s.post_hop_distribution.is_empty() {
+        let dist: Vec<String> = s
+            .post_hop_distribution
+            .iter()
+            .map(|(h, n)| format!("{h} links x{n}"))
+            .collect();
+        println!("  post-cut paths        {}", dist.join(", "));
+    }
     Ok(())
 }
 

@@ -18,8 +18,7 @@
 //! partition probability for two failures on a single ring).
 
 use crate::channel::{greedy, Arc, Pair};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 /// The fault model for an `m`-switch Quartz network whose channels are
 /// spread over `rings` physical fiber rings.
@@ -75,6 +74,63 @@ pub struct FaultReport {
     pub mean_bandwidth_loss: f64,
     /// Fraction of trials in which the network partitioned.
     pub partition_probability: f64,
+    /// Mean hop count of the shortest surviving detour, over severed
+    /// pairs that stayed connected (1.0 = nothing severed: every pair
+    /// kept its direct channel). Sampled on a deterministic subset of
+    /// trials (see [`FailureModel::monte_carlo`]).
+    pub mean_detour_stretch: f64,
+    /// Mean shortest-path hop count over *all* still-connected pairs
+    /// after the failures (1.0 in an intact mesh). Same sampling.
+    pub mean_post_failure_hops: f64,
+}
+
+/// Connectivity detail of one failure trial: where the severed pairs'
+/// traffic can detour over the surviving direct channels, and how the
+/// whole mesh's hop-count distribution degrades.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetourOutcome {
+    /// The basic severed/partitioned outcome of the same trial.
+    pub outcome: TrialOutcome,
+    /// Shortest surviving detour length, in channel hops, for each
+    /// severed pair (`None` if that pair is disconnected entirely).
+    pub detour_hops: Vec<Option<usize>>,
+    /// `hop_histogram[h]` = number of connected pairs whose shortest
+    /// surviving path uses `h` channel hops (index 0 unused).
+    pub hop_histogram: Vec<usize>,
+}
+
+impl DetourOutcome {
+    /// Mean detour length over severed-but-still-connected pairs;
+    /// 1.0 when nothing was severed (no pair is stretched).
+    pub fn mean_stretch(&self) -> f64 {
+        let reachable: Vec<usize> = self.detour_hops.iter().filter_map(|h| *h).collect();
+        if reachable.is_empty() {
+            1.0
+        } else {
+            reachable.iter().sum::<usize>() as f64 / reachable.len() as f64
+        }
+    }
+
+    /// Longest detour any severed pair must take (`None` if nothing was
+    /// severed or nothing severed is reachable).
+    pub fn max_detour_hops(&self) -> Option<usize> {
+        self.detour_hops.iter().filter_map(|h| *h).max()
+    }
+
+    /// Mean hops over all connected pairs (severed pairs included via
+    /// their detours).
+    pub fn mean_hops(&self) -> f64 {
+        let (mut pairs, mut hops) = (0usize, 0usize);
+        for (h, &count) in self.hop_histogram.iter().enumerate() {
+            pairs += count;
+            hops += h * count;
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            hops as f64 / pairs as f64
+        }
+    }
 }
 
 impl FailureModel {
@@ -127,21 +183,103 @@ impl FailureModel {
         }
     }
 
+    /// The switch pairs whose direct channel a failure set severs
+    /// (normalized `a < b`) — the input a degraded capacity model (e.g.
+    /// `quartz_flowsim`'s waterfiller) needs.
+    pub fn severed_pairs(&self, broken: &[(usize, usize)]) -> Vec<(usize, usize)> {
+        self.paths
+            .iter()
+            .filter(|(_, arc, ring)| broken.iter().any(|(r, l)| r == ring && arc.covers(*l)))
+            .map(|(pair, _, _)| (pair.a.min(pair.b), pair.a.max(pair.b)))
+            .collect()
+    }
+
+    /// Evaluates one failure set in full: on top of [`FailureModel::trial`],
+    /// computes every severed pair's shortest surviving detour and the
+    /// post-failure hop-count distribution of the whole mesh (BFS over
+    /// the surviving direct-channel graph).
+    pub fn trial_detours(&self, broken: &[(usize, usize)]) -> DetourOutcome {
+        let outcome = self.trial(broken);
+        // Surviving channel adjacency.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.m];
+        let mut severed = Vec::new();
+        for (pair, arc, ring) in &self.paths {
+            if broken.iter().any(|(r, l)| r == ring && arc.covers(*l)) {
+                severed.push(*pair);
+            } else {
+                adj[pair.a].push(pair.b);
+                adj[pair.b].push(pair.a);
+            }
+        }
+        // All-pairs hops by BFS from every switch.
+        let mut dist = vec![vec![usize::MAX; self.m]; self.m];
+        for s in 0..self.m {
+            let d = &mut dist[s];
+            d[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if d[v] == usize::MAX {
+                        d[v] = d[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        let detour_hops = severed
+            .iter()
+            .map(|p| {
+                let d = dist[p.a][p.b];
+                (d != usize::MAX).then_some(d)
+            })
+            .collect();
+        let mut hop_histogram = vec![0usize; self.m];
+        for (a, row) in dist.iter().enumerate() {
+            for &d in row.iter().skip(a + 1) {
+                if d != usize::MAX {
+                    hop_histogram[d] += 1;
+                }
+            }
+        }
+        DetourOutcome {
+            outcome,
+            detour_hops,
+            hop_histogram,
+        }
+    }
+
     /// Runs `trials` independent trials of `failures` random fiber-link
     /// failures each and aggregates the Figure 6 statistics.
+    ///
+    /// The O(m²) detour analysis runs on a deterministic sample of at
+    /// most 200 evenly spaced trials (the loss/partition statistics use
+    /// every trial), keeping large Monte-Carlo sweeps cheap.
     pub fn monte_carlo(&self, failures: usize, trials: usize, seed: u64) -> FaultReport {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut loss_sum = 0.0;
         let mut partitions = 0usize;
+        let stride = trials.div_ceil(200).max(1);
+        let mut stretch_sum = 0.0;
+        let mut hops_sum = 0.0;
+        let mut sampled = 0usize;
         let mut broken = Vec::with_capacity(failures);
-        for _ in 0..trials {
+        for trial in 0..trials {
             broken.clear();
             for _ in 0..failures {
                 broken.push((rng.random_range(0..self.rings), rng.random_range(0..self.m)));
             }
-            let t = self.trial(&broken);
-            loss_sum += t.bandwidth_loss();
-            partitions += usize::from(t.partitioned);
+            if trial % stride == 0 {
+                let d = self.trial_detours(&broken);
+                loss_sum += d.outcome.bandwidth_loss();
+                partitions += usize::from(d.outcome.partitioned);
+                stretch_sum += d.mean_stretch();
+                hops_sum += d.mean_hops();
+                sampled += 1;
+            } else {
+                let t = self.trial(&broken);
+                loss_sum += t.bandwidth_loss();
+                partitions += usize::from(t.partitioned);
+            }
         }
         FaultReport {
             failures,
@@ -149,13 +287,18 @@ impl FailureModel {
             trials,
             mean_bandwidth_loss: loss_sum / trials as f64,
             partition_probability: partitions as f64 / trials as f64,
+            mean_detour_stretch: stretch_sum / sampled as f64,
+            mean_post_failure_hops: hops_sum / sampled as f64,
         }
     }
 }
 
-/// Minimal union–find for the partition check.
+/// Minimal union–find for the partition check: iterative path-halving
+/// find (no recursion, so arbitrarily deep parent chains cannot blow the
+/// stack) plus union by rank (which keeps chains logarithmic anyway).
 struct DisjointSet {
     parent: Vec<usize>,
+    rank: Vec<u8>,
     count: usize,
 }
 
@@ -163,24 +306,34 @@ impl DisjointSet {
     fn new(n: usize) -> Self {
         DisjointSet {
             parent: (0..n).collect(),
+            rank: vec![0; n],
             count: n,
         }
     }
 
-    fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let root = self.find(self.parent[x]);
-            self.parent[x] = root;
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
         }
-        self.parent[x]
+        x
     }
 
     fn union(&mut self, a: usize, b: usize) {
         let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra] = rb;
-            self.count -= 1;
+        if ra == rb {
+            return;
         }
+        let (child, root) = if self.rank[ra] < self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[child] = root;
+        if self.rank[child] == self.rank[root] {
+            self.rank[root] += 1;
+        }
+        self.count -= 1;
     }
 
     fn components(&mut self) -> usize {
@@ -269,6 +422,84 @@ mod tests {
             l4 < l1 / 2.5,
             "four rings should cut loss ~4x: {l1} vs {l4}"
         );
+    }
+
+    #[test]
+    fn union_find_survives_very_deep_chains() {
+        // Regression: `find` used to recurse once per parent-chain link,
+        // so a long sequential union chain could exhaust the stack. The
+        // iterative path-halving version (with union by rank) must not.
+        let n = 1_000_000;
+        let mut dsu = DisjointSet::new(n);
+        for i in 0..n - 1 {
+            dsu.union(i, i + 1);
+        }
+        assert_eq!(dsu.components(), 1);
+        assert_eq!(dsu.find(0), dsu.find(n - 1));
+        // Disjoint halves stay disjoint.
+        let mut dsu = DisjointSet::new(10);
+        for i in 0..4 {
+            dsu.union(i, i + 1);
+            dsu.union(5 + i, 6 + i);
+        }
+        assert_eq!(dsu.components(), 2);
+        assert_ne!(dsu.find(2), dsu.find(7));
+    }
+
+    #[test]
+    fn detours_stretch_severed_pairs_to_two_hops() {
+        // One cut on a single-ring mesh: severed pairs detour over the
+        // surviving channels, almost always in exactly two hops (the
+        // mesh's path diversity, §3.5 "routing protocols can route
+        // around failed links").
+        let fm = FailureModel::new(12, 1);
+        let d = fm.trial_detours(&[(0, 3)]);
+        assert!(d.outcome.lost_pairs > 0);
+        assert!(!d.outcome.partitioned);
+        // Every severed pair is still reachable, at ≥ 2 hops.
+        for h in &d.detour_hops {
+            assert!(h.unwrap() >= 2);
+        }
+        assert!(d.mean_stretch() >= 2.0);
+        // Histogram covers all pairs: none lost to disconnection.
+        let pairs: usize = d.hop_histogram.iter().sum();
+        assert_eq!(pairs, 12 * 11 / 2);
+        // Direct pairs (1 hop) plus the severed detours account for all.
+        assert_eq!(d.hop_histogram[1], pairs - d.outcome.lost_pairs);
+        assert!(d.mean_hops() > 1.0);
+    }
+
+    #[test]
+    fn intact_mesh_reports_unit_stretch() {
+        let fm = FailureModel::new(9, 2);
+        let d = fm.trial_detours(&[]);
+        assert_eq!(d.mean_stretch(), 1.0);
+        assert_eq!(d.mean_hops(), 1.0);
+        assert_eq!(d.max_detour_hops(), None);
+        assert!(fm.severed_pairs(&[]).is_empty());
+    }
+
+    #[test]
+    fn severed_pairs_match_trial_count() {
+        let fm = FailureModel::new(15, 2);
+        let broken = [(0, 4), (1, 9)];
+        let severed = fm.severed_pairs(&broken);
+        assert_eq!(severed.len(), fm.trial(&broken).lost_pairs);
+        for &(a, b) in &severed {
+            assert!(a < b && b < 15);
+        }
+    }
+
+    #[test]
+    fn partitioned_trial_reports_unreachable_detours() {
+        // Two distinct cuts on one ring split the mesh: some severed
+        // pairs have no surviving path at all.
+        let fm = FailureModel::new(12, 1);
+        let d = fm.trial_detours(&[(0, 2), (0, 7)]);
+        assert!(d.outcome.partitioned);
+        assert!(d.detour_hops.iter().any(|h| h.is_none()));
+        // The histogram only counts connected pairs now.
+        assert!(d.hop_histogram.iter().sum::<usize>() < 12 * 11 / 2);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod channel;
 pub mod fault;
 pub mod multiring;
 pub mod ring;
+pub mod rng;
 pub mod routing;
 pub mod scalability;
 

@@ -1,0 +1,345 @@
+//! Flow-level capacity of a Quartz mesh *after* fiber cuts.
+//!
+//! The static analysis in [`quartz_core::fault`] tells which direct
+//! channels a failure set severs; [`DegradedQuartzFabric`] feeds that
+//! into the max-min waterfiller: severed channels carry nothing, their
+//! pairs' traffic detours over surviving two-hop (or, in extremis,
+//! multi-hop) rack paths, and [`crate::throughput::normalized_throughput`]
+//! then quantifies how much aggregate capacity the degraded fabric
+//! retains — the flow-level counterpart of the packet-level rerouting in
+//! `quartz-netsim`.
+
+use crate::fabric::{Fabric, Host, MeshRouting, QuartzFabric};
+use crate::waterfill::Problem;
+use quartz_core::fault::FailureModel;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A [`QuartzFabric`] with some of its pairwise channels severed.
+///
+/// Routing over the wreckage mirrors what a reconverged control plane
+/// would install:
+///
+/// * pairs whose direct channel survives follow the base policy, but
+///   detour only over intermediates whose **both** channel legs survive;
+/// * pairs whose direct channel is severed spread all traffic over their
+///   surviving two-hop detours, or (if every intermediate lost a leg) a
+///   single shortest multi-hop rack path;
+/// * pairs in different connected components are **unroutable**: their
+///   demands are omitted from the allocation problem, and
+///   [`crate::throughput::normalized_throughput`] counts the omission
+///   against the fabric because the NIC-only ideal reference still
+///   includes them.
+#[derive(Clone, Debug)]
+pub struct DegradedQuartzFabric {
+    base: QuartzFabric,
+    /// Severed ordered rack pairs (both orders present).
+    dead: HashSet<(usize, usize)>,
+    /// Connected component of each rack over surviving channels.
+    comp: Vec<usize>,
+}
+
+impl DegradedQuartzFabric {
+    /// Degrades `base` by severing each (undirected) rack pair in
+    /// `severed`.
+    ///
+    /// # Panics
+    /// Panics if a pair names a rack out of range or is a self-pair.
+    pub fn new(base: QuartzFabric, severed: &[(usize, usize)]) -> Self {
+        let mut dead = HashSet::new();
+        for &(a, b) in severed {
+            assert!(
+                a != b && a < base.racks && b < base.racks,
+                "bad pair ({a},{b})"
+            );
+            dead.insert((a, b));
+            dead.insert((b, a));
+        }
+        // Connected components of the surviving channel graph.
+        let mut comp = vec![usize::MAX; base.racks];
+        let mut next = 0;
+        for start in 0..base.racks {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            let mut queue = VecDeque::from([start]);
+            while let Some(r) = queue.pop_front() {
+                for (w, c) in comp.iter_mut().enumerate() {
+                    if w != r && *c == usize::MAX && !dead.contains(&(r, w)) {
+                        *c = next;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        DegradedQuartzFabric { base, dead, comp }
+    }
+
+    /// Degrades `base` by a concrete fiber-failure set `broken`
+    /// (`(ring, physical link)` entries, as [`FailureModel::trial`]
+    /// takes): every channel the model maps across a broken segment is
+    /// severed.
+    ///
+    /// # Panics
+    /// Panics if the model's mesh size differs from the fabric's rack
+    /// count.
+    pub fn from_broken_links(
+        base: QuartzFabric,
+        model: &FailureModel,
+        broken: &[(usize, usize)],
+    ) -> Self {
+        assert_eq!(
+            model.switches(),
+            base.racks,
+            "failure model and fabric must agree on mesh size"
+        );
+        let severed = model.severed_pairs(broken);
+        DegradedQuartzFabric::new(base, &severed)
+    }
+
+    /// Whether racks `a` and `b` can still reach each other (possibly
+    /// multi-hop).
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.comp[a] == self.comp[b]
+    }
+
+    /// Whether the direct channel between `a` and `b` survives.
+    fn alive(&self, a: usize, b: usize) -> bool {
+        !self.dead.contains(&(a, b))
+    }
+
+    /// The severed (undirected) rack pairs, sorted.
+    pub fn severed_channels(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<_> = self.dead.iter().copied().filter(|&(a, b)| a < b).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The demands no reconverged routing can serve: endpoints in
+    /// different surviving components.
+    pub fn unroutable(&self, demands: &[(Host, Host)]) -> Vec<(Host, Host)> {
+        demands
+            .iter()
+            .copied()
+            .filter(|&(s, d)| !self.connected(self.base.rack_of(s), self.base.rack_of(d)))
+            .collect()
+    }
+
+    /// Shortest surviving rack path `from → … → to` (BFS, deterministic
+    /// tie-break by rack index). Both endpoints are in the same
+    /// component by the caller's check.
+    fn rack_path(&self, from: usize, to: usize) -> Vec<usize> {
+        let mut prev = vec![usize::MAX; self.base.racks];
+        prev[from] = from;
+        let mut queue = VecDeque::from([from]);
+        while let Some(r) = queue.pop_front() {
+            if r == to {
+                break;
+            }
+            for (w, p) in prev.iter_mut().enumerate() {
+                if w != r && *p == usize::MAX && self.alive(r, w) {
+                    *p = r;
+                    queue.push_back(w);
+                }
+            }
+        }
+        let mut path = vec![to];
+        while *path.last().expect("non-empty") != from {
+            path.push(prev[*path.last().expect("non-empty")]);
+        }
+        path.reverse();
+        path
+    }
+}
+
+impl Fabric for DegradedQuartzFabric {
+    fn hosts(&self) -> usize {
+        self.base.hosts()
+    }
+
+    fn rack_of(&self, h: Host) -> usize {
+        self.base.rack_of(h)
+    }
+
+    fn problem(&self, demands: &[(Host, Host)]) -> Problem {
+        let base = &self.base;
+        let mut p = Problem::default();
+        let nh = base.hosts();
+        // Identical link layout to `QuartzFabric::problem` (dead channels
+        // stay allocated at full capacity for O(1) indexing — no path
+        // ever references them, so they never constrain anything).
+        for _ in 0..2 * nh {
+            p.add_link(1.0);
+        }
+        for _ in 0..base.racks * base.racks {
+            p.add_link(base.channel_cap);
+        }
+
+        // Cross-rack sharers per ordered pair, for the adaptive policy.
+        let mut pair_flows: HashMap<(usize, usize), usize> = HashMap::new();
+        if base.policy == MeshRouting::VlbAdaptive {
+            for &(s, d) in demands {
+                let (ra, rb) = (base.rack_of(s), base.rack_of(d));
+                if ra != rb {
+                    *pair_flows.entry((ra, rb)).or_insert(0) += 1;
+                }
+            }
+        }
+
+        for &(s, d) in demands {
+            assert!(s < nh && d < nh && s != d, "bad demand ({s},{d})");
+            let (ra, rb) = (base.rack_of(s), base.rack_of(d));
+            let mut path = vec![(s, 1.0), (nh + d, 1.0)];
+            if ra != rb {
+                if !self.connected(ra, rb) {
+                    // Unroutable: omit the flow entirely (see the type
+                    // docs — the throughput normalization penalizes it).
+                    continue;
+                }
+                let survivors: Vec<usize> = (0..base.racks)
+                    .filter(|&w| w != ra && w != rb && self.alive(ra, w) && self.alive(w, rb))
+                    .collect();
+                if self.alive(ra, rb) {
+                    // Base policy, restricted to surviving detours.
+                    let k = match base.policy {
+                        MeshRouting::EcmpDirect => 0.0,
+                        MeshRouting::VlbUniform(k) => k,
+                        MeshRouting::VlbAdaptive => {
+                            let j = pair_flows[&(ra, rb)] as f64;
+                            (1.0 - base.channel_cap / j).max(0.0)
+                        }
+                    };
+                    let k = if survivors.is_empty() { 0.0 } else { k };
+                    if 1.0 - k > 0.0 {
+                        path.push((base.chan(ra, rb), 1.0 - k));
+                    }
+                    if k > 0.0 {
+                        let share = k / survivors.len() as f64;
+                        for w in survivors {
+                            path.push((base.chan(ra, w), share));
+                            path.push((base.chan(w, rb), share));
+                        }
+                    }
+                } else if !survivors.is_empty() {
+                    // Direct channel severed: everything detours, spread
+                    // over the surviving two-hop intermediates.
+                    let share = 1.0 / survivors.len() as f64;
+                    for w in survivors {
+                        path.push((base.chan(ra, w), share));
+                        path.push((base.chan(w, rb), share));
+                    }
+                } else {
+                    // Heavily damaged: single shortest multi-hop detour.
+                    for leg in self.rack_path(ra, rb).windows(2) {
+                        path.push((base.chan(leg[0], leg[1]), 1.0));
+                    }
+                }
+            }
+            p.add_flow(path);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::normalized_throughput;
+    use crate::waterfill::max_min_rates;
+
+    fn fabric(racks: usize, hpr: usize, policy: MeshRouting) -> QuartzFabric {
+        QuartzFabric {
+            racks,
+            hosts_per_rack: hpr,
+            channel_cap: 1.0,
+            policy,
+        }
+    }
+
+    #[test]
+    fn severed_pair_detours_over_two_hops() {
+        // 4 racks × 1 host; cut channel 0↔1. The 0→1 demand spreads over
+        // racks 2 and 3 and still reaches full line rate (nothing else
+        // competes for those legs).
+        let f = DegradedQuartzFabric::new(fabric(4, 1, MeshRouting::EcmpDirect), &[(0, 1)]);
+        assert!(f.connected(0, 1));
+        assert_eq!(f.severed_channels(), vec![(0, 1)]);
+        let r = max_min_rates(&f.problem(&[(0, 1)]));
+        assert_eq!(r.len(), 1);
+        assert!(r[0] > 0.99, "{r:?}");
+    }
+
+    #[test]
+    fn partitioned_demands_are_reported_and_omitted() {
+        // 3 racks: cutting 0↔1 and 0↔2 isolates rack 0 entirely.
+        let f = DegradedQuartzFabric::new(fabric(3, 2, MeshRouting::EcmpDirect), &[(0, 1), (0, 2)]);
+        assert!(!f.connected(0, 1));
+        let demands = vec![(0, 2), (2, 4), (4, 1)];
+        assert_eq!(f.unroutable(&demands), vec![(0, 2), (4, 1)]);
+        // Only the routable rack-1↔rack-2 demand enters the problem.
+        let r = max_min_rates(&f.problem(&demands));
+        assert_eq!(r.len(), 1);
+        // And the normalization charges for the two missing flows.
+        let t = normalized_throughput(&f, &demands);
+        assert!(t.normalized < 0.5, "{t:?}");
+    }
+
+    #[test]
+    fn multi_hop_fallback_when_every_intermediate_lost_a_leg() {
+        // 5 racks; the cuts leave no intermediate with both legs toward
+        // the 0↔1 pair (2 and 3 lost their leg to 1, 4 lost its leg to
+        // 0), yet the racks stay connected — the BFS fallback must find
+        // the 3-hop detour 0 → 2 → 4 → 1 and the flow still gets full
+        // rate.
+        let f = DegradedQuartzFabric::new(
+            fabric(5, 1, MeshRouting::EcmpDirect),
+            &[(0, 1), (2, 1), (3, 1), (4, 0)],
+        );
+        assert!(f.connected(0, 1));
+        let r = max_min_rates(&f.problem(&[(0, 1)]));
+        assert!(r[0] > 0.99, "{r:?}");
+    }
+
+    #[test]
+    fn degraded_throughput_sits_between_zero_and_intact() {
+        // A permutation on a 8×4 mesh with VLB: severing three channels
+        // costs some throughput but nowhere near all of it.
+        let intact = fabric(8, 4, MeshRouting::VlbUniform(0.5));
+        let d = crate::matrix::random_permutation(32, 11);
+        let t0 = normalized_throughput(&intact, &d).normalized;
+        let f = DegradedQuartzFabric::new(intact.clone(), &[(0, 1), (2, 5), (3, 7)]);
+        let t1 = normalized_throughput(&f, &d).normalized;
+        assert!(t1 <= t0 + 1e-9, "degraded {t1} vs intact {t0}");
+        assert!(t1 > 0.5 * t0, "the mesh degrades gracefully: {t1} vs {t0}");
+    }
+
+    #[test]
+    fn from_broken_links_matches_the_failure_model() {
+        let model = FailureModel::new(9, 1);
+        let broken = [(0usize, 2usize)];
+        let severed = model.severed_pairs(&broken);
+        assert!(!severed.is_empty());
+        let f = DegradedQuartzFabric::from_broken_links(
+            fabric(9, 1, MeshRouting::EcmpDirect),
+            &model,
+            &broken,
+        );
+        assert_eq!(f.severed_channels(), {
+            let mut s = severed.clone();
+            s.sort_unstable();
+            s.dedup();
+            s
+        });
+    }
+
+    #[test]
+    fn intact_degraded_fabric_equals_the_base() {
+        let base = fabric(6, 2, MeshRouting::VlbUniform(0.4));
+        let f = DegradedQuartzFabric::new(base.clone(), &[]);
+        let d = crate::matrix::random_permutation(12, 3);
+        let a = max_min_rates(&base.problem(&d));
+        let b = max_min_rates(&f.problem(&d));
+        assert_eq!(a, b, "no cuts ⇒ identical allocation");
+    }
+}

@@ -81,7 +81,7 @@ impl QuartzFabric {
 
     /// Directed channel link index for `a → b` within the problem's link
     /// table (after the 2·hosts host links).
-    fn chan(&self, a: usize, b: usize) -> usize {
+    pub(crate) fn chan(&self, a: usize, b: usize) -> usize {
         debug_assert!(a != b);
         2 * self.hosts() + a * self.racks + b
     }

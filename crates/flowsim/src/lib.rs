@@ -20,16 +20,21 @@
 //!   incast (10:1), and rack-level shuffle;
 //! * [`throughput`] — normalized-throughput computation ("equals 1 if
 //!   every server can send traffic at its full rate"), reproducing
-//!   Figure 10.
+//!   Figure 10;
+//! * [`degraded`] — the same capacity model after fiber cuts: severed
+//!   channels carry nothing and their traffic detours over surviving
+//!   paths, quantifying how gracefully the mesh loses throughput.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod degraded;
 pub mod fabric;
 pub mod matrix;
 pub mod throughput;
 pub mod waterfill;
 
+pub use degraded::DegradedQuartzFabric;
 pub use fabric::{Fabric, OversubscribedFabric, QuartzFabric};
 pub use matrix::{incast, rack_shuffle, random_permutation, Demand};
 pub use throughput::{normalized_throughput, NormalizedThroughput};

@@ -11,9 +11,7 @@
 //!
 //! Every generator is deterministic for a given seed.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use quartz_core::rng::{SliceRandom, StdRng};
 
 /// One demand: `(source host, destination host)`.
 pub type Demand = (usize, usize);

@@ -28,14 +28,14 @@
 //! One seeded RNG; event ties break on a monotone sequence number; ECMP
 //! picks by flow hash. Two runs with the same seed are bit-identical.
 
+use crate::faults::{FaultKind, FaultPlan};
 use crate::stats::Stats;
 use crate::switch::LatencyModel;
 use crate::time::SimTime;
 use crate::transport::{ReceiverState, SendAction, SenderState, TcpVariant};
-use quartz_topology::graph::{Network, NodeId, NodeKind};
+use quartz_core::rng::StdRng;
+use quartz_topology::graph::{LinkId, Network, NodeId, NodeKind};
 use quartz_topology::route::RouteTable;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -67,6 +67,11 @@ pub struct SimConfig {
     pub ecn_threshold_bytes: Option<u64>,
     /// Transport retransmission timeout, ns.
     pub rto_ns: u64,
+    /// Control-plane reconvergence delay: when a fault (or recovery)
+    /// fires, routes are recomputed over the degraded network this many
+    /// ns later. `None` (the default) models a static control plane —
+    /// call [`Simulator::reroute`] by hand.
+    pub reconvergence_ns: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -79,6 +84,7 @@ impl Default for SimConfig {
             vlb: None,
             ecn_threshold_bytes: None,
             rto_ns: 250_000,
+            reconvergence_ns: None,
         }
     }
 }
@@ -165,6 +171,9 @@ struct Packet {
     ecn: bool,
     hash: u64,
     vlb_decided: bool,
+    /// Links traversed so far (recorded at delivery: detours after a
+    /// fiber cut show up as hop-count stretch).
+    hops: u32,
 }
 
 /// Transport-layer role of a packet.
@@ -189,12 +198,37 @@ enum EvKind {
         tail: SimTime,
     },
     /// Both directions of a link fail (a fiber cut).
-    FailLink {
-        link: quartz_topology::graph::LinkId,
-    },
+    FailLink { link: LinkId },
+    /// A previously cut link carries traffic again.
+    RecoverLink { link: LinkId },
+    /// A switch dies: every frame arriving at it is lost.
+    FailSwitch { node: NodeId },
+    /// A dead switch comes back.
+    RecoverSwitch { node: NodeId },
+    /// Control-plane reconvergence completes: recompute routes over the
+    /// surviving elements and close open [`FaultRecord`]s.
+    Reroute,
     /// Transport retransmission timer for `flow`; ignored if `epoch` is
     /// stale.
     Rto { flow: usize, epoch: u64 },
+}
+
+/// One entry of the simulator's fault log: what failed (or recovered),
+/// when, and what the outage cost before routes reconverged.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultRecord {
+    /// When the fault fired.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: FaultKind,
+    /// When the control plane reconverged onto routes that account for
+    /// this event (`None` while the outage is still unrepaired).
+    pub reconverged_at: Option<SimTime>,
+    /// Packets dropped anywhere in the network between the event and
+    /// reconvergence (0 until reconvergence closes the record).
+    pub drops_during_outage: u64,
+    /// Total drops when the event fired, to difference against at close.
+    baseline_drops: u64,
 }
 
 struct Ev {
@@ -297,6 +331,10 @@ pub struct Simulator {
     /// Extra routing tables (per-VLAN spanning trees, §6's SPAIN
     /// technique); flows may pin themselves to one.
     extra_tables: Vec<RouteTable>,
+    /// Per-node failure state (only switches ever fail).
+    failed_nodes: Vec<bool>,
+    /// Every fault event that has fired, with reconvergence outcomes.
+    fault_log: Vec<FaultRecord>,
 }
 
 /// One reliable connection's two endpoints plus its start time.
@@ -336,6 +374,7 @@ impl Simulator {
             }
         }
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let failed_nodes = vec![false; net.node_count()];
         Simulator {
             net,
             table,
@@ -350,6 +389,8 @@ impl Simulator {
             vlb_domain_of,
             conns: Vec::new(),
             extra_tables: Vec::new(),
+            failed_nodes,
+            fault_log: Vec::new(),
         }
     }
 
@@ -449,10 +490,11 @@ impl Simulator {
         match ev.kind {
             EvKind::Gen { flow } => self.generate(flow, ev.time),
             EvKind::Head { pkt, at, tail } => self.forward(pkt, at, ev.time, tail),
-            EvKind::FailLink { link } => {
-                self.links[2 * link.0 as usize].failed = true;
-                self.links[2 * link.0 as usize + 1].failed = true;
-            }
+            EvKind::FailLink { link } => self.on_fault(FaultKind::LinkDown(link)),
+            EvKind::RecoverLink { link } => self.on_fault(FaultKind::LinkUp(link)),
+            EvKind::FailSwitch { node } => self.on_fault(FaultKind::SwitchDown(node)),
+            EvKind::RecoverSwitch { node } => self.on_fault(FaultKind::SwitchUp(node)),
+            EvKind::Reroute => self.complete_reroute(),
             EvKind::Rto { flow, epoch } => {
                 if let Some(conn) = self.conns[flow].as_mut() {
                     let actions = conn.sender.on_rto(epoch);
@@ -587,6 +629,7 @@ impl Simulator {
             ecn: false,
             hash,
             vlb_decided: false,
+            hops: 0,
         };
         self.stats.generated += 1;
         let t = now + self.cfg.latency.host_send_ns;
@@ -654,6 +697,7 @@ impl Simulator {
             ecn: false,
             hash,
             vlb_decided: false,
+            hops: 0,
         };
         self.stats.generated += 1;
         let t = now + self.cfg.latency.host_send_ns;
@@ -663,6 +707,11 @@ impl Simulator {
     /// Handles a packet whose head reached `at` at `head` (tail at
     /// `tail`): deliver or queue on the next output port.
     fn forward(&mut self, mut pkt: Packet, at: NodeId, head: SimTime, tail: SimTime) {
+        // A dead switch loses every frame that reaches it.
+        if self.failed_nodes[at.0 as usize] {
+            self.stats.dropped += 1;
+            return;
+        }
         let node_kind = self.net.node(at).kind;
 
         // Delivery.
@@ -672,6 +721,7 @@ impl Simulator {
             self.stats.delivered += 1;
             let tag = self.flows[pkt.flow as usize].tag;
             self.stats.record_bytes(tag, u64::from(pkt.size));
+            self.stats.record_hops(tag, pkt.hops);
             match pkt.transport {
                 TransportInfo::Data(seq) => {
                     // Receiver: reassemble and send a cumulative ACK
@@ -851,6 +901,7 @@ impl Simulator {
         dl.busy_ns += ser_ns;
         dl.bytes += u64::from(pkt.size);
         let prop = self.cfg.prop_delay_ns;
+        pkt.hops += 1;
         self.push(
             start + prop,
             EvKind::Head {
@@ -897,28 +948,119 @@ impl Simulator {
 
     /// Schedules a fiber cut: at `at`, both directions of `link` start
     /// dropping everything queued onto them (§3.5's failure model, live).
-    pub fn fail_link_at(&mut self, link: quartz_topology::graph::LinkId, at: SimTime) {
+    pub fn fail_link_at(&mut self, link: LinkId, at: SimTime) {
         assert!((link.0 as usize) < self.net.link_count(), "unknown link");
         self.push(at, EvKind::FailLink { link });
     }
 
-    /// Recomputes the ECMP tables over the surviving links only. Call
-    /// after a failure event has fired to model control-plane
-    /// reconvergence; in-flight packets are unaffected.
-    pub fn reroute(&mut self) {
-        let mut filtered = Network::new();
-        for node in self.net.nodes() {
-            match node.kind {
-                NodeKind::Host => filtered.add_host(node.rack),
-                NodeKind::Switch(r) => filtered.add_switch(r, node.rack),
-            };
-        }
-        for l in self.net.links() {
-            if !self.links[2 * l.id.0 as usize].failed {
-                filtered.connect(l.a, l.b, l.bandwidth_gbps);
+    /// Schedules the death of switch `node` at `at`: from then on, every
+    /// frame arriving at (or queued through) it is lost.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a switch.
+    pub fn fail_switch_at(&mut self, node: NodeId, at: SimTime) {
+        assert!(
+            self.net.node(node).kind.is_switch(),
+            "only switches fail; {node:?} is a host"
+        );
+        self.push(at, EvKind::FailSwitch { node });
+    }
+
+    /// Schedules every event of a [`FaultPlan`]. With
+    /// [`SimConfig::reconvergence_ns`] set, each fault (and recovery)
+    /// triggers an automatic route recomputation that much later;
+    /// otherwise call [`Simulator::reroute`] manually.
+    ///
+    /// # Panics
+    /// Panics if the plan names an unknown link or a non-switch node.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            match ev.kind {
+                FaultKind::LinkDown(link) => {
+                    assert!((link.0 as usize) < self.net.link_count(), "unknown link");
+                    self.push(ev.at, EvKind::FailLink { link });
+                }
+                FaultKind::LinkUp(link) => {
+                    assert!((link.0 as usize) < self.net.link_count(), "unknown link");
+                    self.push(ev.at, EvKind::RecoverLink { link });
+                }
+                FaultKind::SwitchDown(node) => {
+                    assert!(
+                        self.net.node(node).kind.is_switch(),
+                        "only switches fail; {node:?} is a host"
+                    );
+                    self.push(ev.at, EvKind::FailSwitch { node });
+                }
+                FaultKind::SwitchUp(node) => {
+                    assert!(
+                        self.net.node(node).kind.is_switch(),
+                        "only switches fail; {node:?} is a host"
+                    );
+                    self.push(ev.at, EvKind::RecoverSwitch { node });
+                }
             }
         }
-        self.table = RouteTable::all_shortest_paths(&filtered);
+    }
+
+    /// Applies one fault to the data plane and opens a log record. With
+    /// auto-reconvergence configured, schedules the route recomputation.
+    fn on_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkDown(l) => {
+                self.links[2 * l.0 as usize].failed = true;
+                self.links[2 * l.0 as usize + 1].failed = true;
+            }
+            FaultKind::LinkUp(l) => {
+                self.links[2 * l.0 as usize].failed = false;
+                self.links[2 * l.0 as usize + 1].failed = false;
+            }
+            FaultKind::SwitchDown(n) => self.failed_nodes[n.0 as usize] = true,
+            FaultKind::SwitchUp(n) => self.failed_nodes[n.0 as usize] = false,
+        }
+        self.fault_log.push(FaultRecord {
+            at: self.now,
+            kind,
+            reconverged_at: None,
+            drops_during_outage: 0,
+            baseline_drops: self.stats.dropped,
+        });
+        if let Some(delay) = self.cfg.reconvergence_ns {
+            self.push(self.now + delay, EvKind::Reroute);
+        }
+    }
+
+    /// Recomputes the ECMP tables over the surviving links and switches
+    /// only. Call after a failure event has fired to model control-plane
+    /// reconvergence (or set [`SimConfig::reconvergence_ns`] to have it
+    /// happen automatically); in-flight packets are unaffected.
+    pub fn reroute(&mut self) {
+        self.complete_reroute();
+    }
+
+    fn complete_reroute(&mut self) {
+        let links = &self.links;
+        let failed_nodes = &self.failed_nodes;
+        self.table = RouteTable::degraded(
+            &self.net,
+            |l| links[2 * l.0 as usize].failed,
+            |n| failed_nodes[n.0 as usize],
+        );
+        let now = self.now;
+        let dropped = self.stats.dropped;
+        for r in self
+            .fault_log
+            .iter_mut()
+            .filter(|r| r.reconverged_at.is_none())
+        {
+            r.reconverged_at = Some(now);
+            r.drops_during_outage = dropped - r.baseline_drops;
+        }
+    }
+
+    /// Every fault event that has fired so far, in firing order, with
+    /// its measured reconvergence time and outage cost.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.fault_log
     }
 
     /// Transmission statistics per link, in the network's link order.
@@ -1290,7 +1432,10 @@ mod tests {
             0,
             SimTime::ZERO,
         );
-        sim.run(SimTime::from_ms(50));
+        // Run past the stop time so the final packet drains off both
+        // links; conservation below must not depend on where in the
+        // pipeline the cutoff lands.
+        sim.run(SimTime::from_ms(51));
         let loads = sim.link_loads();
         // Link 0 is h1→switch.
         let rho = loads[0].peak_utilization(50_000_000);
@@ -1616,5 +1761,153 @@ mod tests {
             SimTime::ZERO,
         );
         sim.pin_flow_to_table(f, 3);
+    }
+
+    #[test]
+    fn auto_reconvergence_reroutes_and_logs_the_outage() {
+        // Same fiber cut as above, but the control plane reconverges by
+        // itself 100 µs after the fault; the log records exactly that.
+        let q = quartz_mesh(4, 1, 10.0, 10.0);
+        let mut sim = Simulator::new(
+            q.net.clone(),
+            SimConfig {
+                reconvergence_ns: Some(100_000),
+                ..no_prop_cfg()
+            },
+        );
+        let stop = SimTime::from_ms(9);
+        sim.add_flow(
+            q.hosts[0],
+            q.hosts[1],
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: 10_000.0,
+                stop,
+                respond: false,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        let direct = q.net.link_between(q.switches[0], q.switches[1]).unwrap();
+        let cut_at = SimTime::from_ms(3);
+        let mut plan = FaultPlan::new();
+        plan.link_down(direct, cut_at);
+        sim.apply_fault_plan(&plan);
+        sim.run(SimTime::from_ms(9));
+
+        let log = sim.fault_log();
+        assert_eq!(log.len(), 1);
+        let rec = &log[0];
+        assert_eq!(rec.at, cut_at);
+        assert_eq!(rec.kind, FaultKind::LinkDown(direct));
+        assert_eq!(
+            rec.reconverged_at.map(|t| t - rec.at),
+            Some(100_000),
+            "reconvergence fires exactly the configured delay later"
+        );
+        // ~10 packets emitted during the 100 µs blackhole window.
+        assert!(rec.drops_during_outage > 0, "outage must cost packets");
+        let st = sim.stats();
+        assert_eq!(st.dropped, rec.drops_during_outage, "no drops elsewhere");
+        assert!(
+            st.delivered > 100 + rec.drops_during_outage,
+            "traffic resumes over the detour after reconvergence"
+        );
+    }
+
+    #[test]
+    fn switch_death_blackholes_traffic_until_recovery() {
+        // Kill the destination's switch mid-run: even after reconverging
+        // there is no route, so everything drops; bring it back and the
+        // next reconvergence restores delivery.
+        let q = quartz_mesh(5, 1, 10.0, 10.0);
+        let mut sim = Simulator::new(
+            q.net.clone(),
+            SimConfig {
+                reconvergence_ns: Some(10_000),
+                ..no_prop_cfg()
+            },
+        );
+        sim.add_flow(
+            q.hosts[0],
+            q.hosts[2],
+            400,
+            FlowKind::Poisson {
+                mean_gap_ns: 10_000.0,
+                stop: SimTime::from_ms(12),
+                respond: false,
+            },
+            0,
+            SimTime::ZERO,
+        );
+        let mut plan = FaultPlan::new();
+        plan.switch_down(q.switches[2], SimTime::from_ms(3))
+            .switch_up(q.switches[2], SimTime::from_ms(6));
+        sim.apply_fault_plan(&plan);
+
+        sim.run(SimTime::from_ms(6));
+        let mid = sim.stats().clone();
+        assert!(mid.dropped > 100, "dead switch blackholes its hosts");
+        let healthy = sim.stats().delivered;
+
+        sim.run(SimTime::from_ms(20));
+        let st = sim.stats();
+        assert!(
+            st.delivered > healthy + 100,
+            "delivery resumes after the switch recovers"
+        );
+        assert_eq!(st.generated, st.delivered + st.dropped);
+        let log = sim.fault_log();
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|r| r.reconverged_at.is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "only switches fail")]
+    fn failing_a_host_panics() {
+        let (net, h1, _) = dumbbell(SwitchRole::TopOfRack, 10.0);
+        let mut sim = Simulator::new(net, SimConfig::default());
+        sim.fail_switch_at(h1, SimTime::ZERO);
+    }
+
+    #[test]
+    fn hop_counts_match_path_length_and_stretch_on_detour() {
+        // Mesh path h0 → sw0 → sw1 → h1 is 3 links; after the direct
+        // channel dies the detour h0 → sw0 → swX → sw1 → h1 is 4.
+        let q = quartz_mesh(4, 1, 10.0, 10.0);
+        let mut sim = Simulator::new(
+            q.net.clone(),
+            SimConfig {
+                reconvergence_ns: Some(1_000),
+                ..no_prop_cfg()
+            },
+        );
+        let cut_at = SimTime::from_ms(3);
+        // The post-cut flow starts after the 1 µs reconvergence window so
+        // every one of its packets rides the recomputed detour.
+        for (tag, start, stop) in [
+            (0u32, SimTime::ZERO, cut_at),
+            (1, cut_at + 2_000, SimTime::from_ms(6)),
+        ] {
+            sim.add_flow(
+                q.hosts[0],
+                q.hosts[1],
+                400,
+                FlowKind::Poisson {
+                    mean_gap_ns: 10_000.0,
+                    stop,
+                    respond: false,
+                },
+                tag,
+                start,
+            );
+        }
+        let direct = q.net.link_between(q.switches[0], q.switches[1]).unwrap();
+        sim.fail_link_at(direct, cut_at);
+        sim.run(SimTime::from_ms(10));
+        let st = sim.stats();
+        assert_eq!(st.mean_hops(0), 3.0, "direct mesh path is 3 links");
+        assert_eq!(st.mean_hops(1), 4.0, "the detour adds exactly one hop");
+        assert_eq!(st.hop_distribution(0), vec![(3, st.count(0))]);
     }
 }

@@ -394,7 +394,7 @@ mod tests {
         let _ = s.pump(); // seq 0, 1 in flight
         let epoch = s.rto_epoch;
         let _ = s.on_rto(epoch); // rewind: next_seq = 0, resend seq 0
-        // The original seq 0 and 1 were actually delivered: ACK 2 lands.
+                                 // The original seq 0 and 1 were actually delivered: ACK 2 lands.
         let acts = s.on_ack(2, false);
         assert!(s.in_flight() <= s.cwnd_pkts());
         // The connection keeps making progress.

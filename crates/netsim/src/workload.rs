@@ -14,10 +14,8 @@
 
 use crate::sim::{FlowKind, Simulator};
 use crate::time::SimTime;
+use quartz_core::rng::{SliceRandom, StdRng};
 use quartz_topology::graph::NodeId;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// The three §7 communication shapes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,926 @@
+//! Topology builders for every network structure the paper evaluates.
+//!
+//! Each builder returns a small struct exposing the [`Network`] plus the
+//! node groups an experiment needs (hosts, ToRs, cores, …) in a
+//! deterministic order:
+//!
+//! * switches are added before hosts, and hosts are grouped contiguously
+//!   under their switch, so `hosts[0..h]` is the first rack;
+//! * every stochastic builder (Jellyfish and the Quartz/Jellyfish
+//!   composite) takes an explicit seed and is reproducible.
+//!
+//! The Quartz structures model the logical view (§3): the WDM ring
+//! realizes a full mesh of ToR switches, so a "Quartz ring" here is a
+//! clique of [`SwitchRole::QuartzRing`] switches; which physical fiber a
+//! channel rides lives in `quartz_core` (channel plans, fault model),
+//! not in this graph.
+
+use crate::graph::{Network, NodeId, SwitchRole};
+use quartz_core::rng::StdRng;
+
+/// A Quartz logical mesh: `switches` forming a clique, with hosts.
+#[derive(Clone, Debug)]
+pub struct QuartzMesh {
+    /// The network graph.
+    pub net: Network,
+    /// Mesh (ToR) switches, in ring order.
+    pub switches: Vec<NodeId>,
+    /// Hosts, grouped contiguously per switch.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds an `m`-switch Quartz logical mesh (§3): every switch pair gets
+/// a dedicated channel of `chan_gbps`, every switch serves
+/// `hosts_per_sw` hosts at `host_gbps`. Switch `i` is rack `i`.
+pub fn quartz_mesh(m: usize, hosts_per_sw: usize, host_gbps: f64, chan_gbps: f64) -> QuartzMesh {
+    assert!(m >= 2, "a mesh needs at least two switches");
+    let mut net = Network::new();
+    let switches: Vec<NodeId> = (0..m)
+        .map(|i| net.add_switch(SwitchRole::QuartzRing(0), Some(i)))
+        .collect();
+    for a in 0..m {
+        for b in (a + 1)..m {
+            net.connect(switches[a], switches[b], chan_gbps);
+        }
+    }
+    let mut hosts = Vec::with_capacity(m * hosts_per_sw);
+    for (i, &sw) in switches.iter().enumerate() {
+        for _ in 0..hosts_per_sw {
+            let h = net.add_host(Some(i));
+            net.connect(h, sw, host_gbps);
+            hosts.push(h);
+        }
+    }
+    QuartzMesh {
+        net,
+        switches,
+        hosts,
+    }
+}
+
+/// A dual-ToR Quartz mesh (§3.1's scalability trick: "using a dual ToR
+/// switch design … a maximum of 2080 ports").
+#[derive(Clone, Debug)]
+pub struct DualTorMesh {
+    /// The network graph.
+    pub net: Network,
+    /// Both meshes' switches: `switches[0]` and `switches[1]` are the
+    /// primary and secondary ToR of rack 0, and so on.
+    pub switches: Vec<NodeId>,
+    /// Hosts, grouped per rack; each connects to both of its ToRs.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds a dual-ToR Quartz design: `racks` racks, each with **two**
+/// mesh switches; each mesh is a full clique at `chan_gbps`, and every
+/// host attaches to both of its rack's ToRs at `host_gbps`.
+pub fn dual_tor_mesh(
+    racks: usize,
+    hosts_per_rack: usize,
+    host_gbps: f64,
+    chan_gbps: f64,
+) -> DualTorMesh {
+    assert!(racks >= 2, "a mesh needs at least two racks");
+    let mut net = Network::new();
+    let mut switches = Vec::with_capacity(2 * racks);
+    for r in 0..racks {
+        for ring in 0..2 {
+            switches.push(net.add_switch(SwitchRole::QuartzRing(ring), Some(r)));
+        }
+    }
+    for ring in 0..2usize {
+        for a in 0..racks {
+            for b in (a + 1)..racks {
+                net.connect(switches[2 * a + ring], switches[2 * b + ring], chan_gbps);
+            }
+        }
+    }
+    let mut hosts = Vec::with_capacity(racks * hosts_per_rack);
+    for r in 0..racks {
+        for _ in 0..hosts_per_rack {
+            let h = net.add_host(Some(r));
+            net.connect(h, switches[2 * r], host_gbps);
+            net.connect(h, switches[2 * r + 1], host_gbps);
+            hosts.push(h);
+        }
+    }
+    DualTorMesh {
+        net,
+        switches,
+        hosts,
+    }
+}
+
+/// A two-tier tree (Table 9's "2-Tier Tree").
+#[derive(Clone, Debug)]
+pub struct TwoTier {
+    /// The network graph.
+    pub net: Network,
+    /// Root (aggregation) switches.
+    pub roots: Vec<NodeId>,
+    /// Top-of-rack switches.
+    pub tors: Vec<NodeId>,
+    /// Hosts, grouped per ToR.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds a two-tier tree: `tors` ToRs, each with `hosts_per_tor` hosts
+/// at `host_gbps`, uplinked to every one of `roots` root switches at
+/// `up_gbps`.
+pub fn two_tier(
+    tors: usize,
+    hosts_per_tor: usize,
+    roots: usize,
+    host_gbps: f64,
+    up_gbps: f64,
+) -> TwoTier {
+    assert!(tors >= 1 && roots >= 1);
+    let mut net = Network::new();
+    let roots: Vec<NodeId> = (0..roots)
+        .map(|_| net.add_switch(SwitchRole::Aggregation, None))
+        .collect();
+    let tors_v: Vec<NodeId> = (0..tors)
+        .map(|r| net.add_switch(SwitchRole::TopOfRack, Some(r)))
+        .collect();
+    for &t in &tors_v {
+        for &r in &roots {
+            net.connect(t, r, up_gbps);
+        }
+    }
+    let mut hosts = Vec::with_capacity(tors * hosts_per_tor);
+    for (r, &t) in tors_v.iter().enumerate() {
+        for _ in 0..hosts_per_tor {
+            let h = net.add_host(Some(r));
+            net.connect(h, t, host_gbps);
+            hosts.push(h);
+        }
+    }
+    TwoTier {
+        net,
+        roots,
+        tors: tors_v,
+        hosts,
+    }
+}
+
+/// A three-tier tree (ToR → aggregation → core).
+#[derive(Clone, Debug)]
+pub struct ThreeTier {
+    /// The network graph.
+    pub net: Network,
+    /// Core switches (store-and-forward CCS boxes).
+    pub cores: Vec<NodeId>,
+    /// Aggregation switches, two per pod.
+    pub aggs: Vec<NodeId>,
+    /// Top-of-rack switches, grouped per pod.
+    pub tors: Vec<NodeId>,
+    /// Hosts, grouped per ToR.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds a three-tier tree: `pods` pods of `tors_per_pod` ToRs, each
+/// ToR with `hosts_per_tor` hosts at `host_gbps`. Every pod has **two**
+/// aggregation switches (so each ToR has two equal-cost uplink choices);
+/// every aggregation switch uplinks to all `cores` core switches. Both
+/// uplink tiers use `up_gbps`. The global rack index is the global ToR
+/// index, so racks `0` and `1` share pod 0's aggregation pair.
+pub fn three_tier(
+    tors_per_pod: usize,
+    pods: usize,
+    hosts_per_tor: usize,
+    cores: usize,
+    host_gbps: f64,
+    up_gbps: f64,
+) -> ThreeTier {
+    assert!(tors_per_pod >= 1 && pods >= 1 && cores >= 1);
+    let mut net = Network::new();
+    let cores_v: Vec<NodeId> = (0..cores)
+        .map(|_| net.add_switch(SwitchRole::Core, None))
+        .collect();
+    let mut aggs = Vec::with_capacity(2 * pods);
+    let mut tors = Vec::with_capacity(pods * tors_per_pod);
+    let mut hosts = Vec::with_capacity(pods * tors_per_pod * hosts_per_tor);
+    for pod in 0..pods {
+        let pod_aggs: Vec<NodeId> = (0..2)
+            .map(|_| net.add_switch(SwitchRole::Aggregation, None))
+            .collect();
+        for &a in &pod_aggs {
+            for &c in &cores_v {
+                net.connect(a, c, up_gbps);
+            }
+        }
+        for t in 0..tors_per_pod {
+            let rack = pod * tors_per_pod + t;
+            let tor = net.add_switch(SwitchRole::TopOfRack, Some(rack));
+            for &a in &pod_aggs {
+                net.connect(tor, a, up_gbps);
+            }
+            for _ in 0..hosts_per_tor {
+                let h = net.add_host(Some(rack));
+                net.connect(h, tor, host_gbps);
+                hosts.push(h);
+            }
+            tors.push(tor);
+        }
+        aggs.extend(pod_aggs);
+    }
+    ThreeTier {
+        net,
+        cores: cores_v,
+        aggs,
+        tors,
+        hosts,
+    }
+}
+
+/// The §6 testbeds: four switches, a handful of hosts.
+#[derive(Clone, Debug)]
+pub struct Prototype {
+    /// The network graph.
+    pub net: Network,
+    /// Switches, in wiring order.
+    pub switches: Vec<NodeId>,
+    /// Hosts, grouped per switch.
+    pub hosts: Vec<NodeId>,
+}
+
+/// The §6 Quartz prototype: four 1 GbE switches in a full mesh (the
+/// optical ring realizes the K4), two servers per switch.
+pub fn prototype_quartz() -> Prototype {
+    let q = quartz_mesh(4, 2, 1.0, 1.0);
+    Prototype {
+        net: q.net,
+        switches: q.switches,
+        hosts: q.hosts,
+    }
+}
+
+/// The §6 baseline: the same switches rewired as a two-tier tree — one
+/// root, three ToRs with two servers each, all links 1 GbE.
+pub fn prototype_two_tier() -> Prototype {
+    let t = two_tier(3, 2, 1, 1.0, 1.0);
+    let mut switches = t.roots;
+    switches.extend(t.tors);
+    Prototype {
+        net: t.net,
+        switches,
+        hosts: t.hosts,
+    }
+}
+
+/// A k-ary fat-tree.
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    /// The network graph.
+    pub net: Network,
+    /// Core switches, `(k/2)²` of them.
+    pub cores: Vec<NodeId>,
+    /// Aggregation switches, `k/2` per pod.
+    pub aggs: Vec<NodeId>,
+    /// Edge (ToR) switches, `k/2` per pod.
+    pub edges: Vec<NodeId>,
+    /// Hosts, `k/2` per edge switch.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds the standard k-ary fat-tree (`k` even): `k` pods, each with
+/// `k/2` edge and `k/2` aggregation switches; `(k/2)²` cores; `k/2`
+/// hosts per edge switch; all links at `gbps`.
+pub fn fat_tree(k: usize, gbps: f64) -> FatTree {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+    let half = k / 2;
+    let mut net = Network::new();
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|_| net.add_switch(SwitchRole::Core, None))
+        .collect();
+    let mut aggs = Vec::with_capacity(k * half);
+    let mut edges = Vec::with_capacity(k * half);
+    let mut hosts = Vec::with_capacity(k * half * half);
+    for pod in 0..k {
+        let pod_aggs: Vec<NodeId> = (0..half)
+            .map(|_| net.add_switch(SwitchRole::Aggregation, None))
+            .collect();
+        // Aggregation switch j of every pod owns core group j.
+        for (j, &a) in pod_aggs.iter().enumerate() {
+            for c in 0..half {
+                net.connect(a, cores[j * half + c], gbps);
+            }
+        }
+        for e in 0..half {
+            let rack = pod * half + e;
+            let edge = net.add_switch(SwitchRole::TopOfRack, Some(rack));
+            for &a in &pod_aggs {
+                net.connect(edge, a, gbps);
+            }
+            for _ in 0..half {
+                let h = net.add_host(Some(rack));
+                net.connect(h, edge, gbps);
+                hosts.push(h);
+            }
+            edges.push(edge);
+        }
+        aggs.extend(pod_aggs);
+    }
+    FatTree {
+        net,
+        cores,
+        aggs,
+        edges,
+        hosts,
+    }
+}
+
+/// A two-stage leaf–spine Clos.
+#[derive(Clone, Debug)]
+pub struct LeafSpine {
+    /// The network graph.
+    pub net: Network,
+    /// Spine switches.
+    pub spines: Vec<NodeId>,
+    /// Leaf switches.
+    pub leaves: Vec<NodeId>,
+    /// Hosts, grouped per leaf.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds a leaf–spine Clos: every leaf connects to every spine with
+/// `links_per_pair` parallel links at `gbps`; `hosts_per_leaf` hosts per
+/// leaf.
+pub fn leaf_spine(
+    leaves: usize,
+    spines: usize,
+    hosts_per_leaf: usize,
+    links_per_pair: usize,
+    gbps: f64,
+) -> LeafSpine {
+    assert!(leaves >= 1 && spines >= 1 && links_per_pair >= 1);
+    let mut net = Network::new();
+    let spines_v: Vec<NodeId> = (0..spines)
+        .map(|_| net.add_switch(SwitchRole::Aggregation, None))
+        .collect();
+    let leaves_v: Vec<NodeId> = (0..leaves)
+        .map(|r| net.add_switch(SwitchRole::TopOfRack, Some(r)))
+        .collect();
+    for &l in &leaves_v {
+        for &s in &spines_v {
+            for _ in 0..links_per_pair {
+                net.connect(l, s, gbps);
+            }
+        }
+    }
+    let mut hosts = Vec::with_capacity(leaves * hosts_per_leaf);
+    for (r, &l) in leaves_v.iter().enumerate() {
+        for _ in 0..hosts_per_leaf {
+            let h = net.add_host(Some(r));
+            net.connect(h, l, gbps);
+            hosts.push(h);
+        }
+    }
+    LeafSpine {
+        net,
+        spines: spines_v,
+        leaves: leaves_v,
+        hosts,
+    }
+}
+
+/// Table 9's 1k-port "Fat-Tree" instance: a 3-stage folded Clos of
+/// 64-port switches — 32 leaves × 32 hosts, 16 spines, two parallel
+/// links per leaf–spine pair (1024 host ports, path diversity 32).
+pub fn table9_fat_tree() -> LeafSpine {
+    leaf_spine(32, 16, 32, 2, 10.0)
+}
+
+/// A Jellyfish random graph.
+#[derive(Clone, Debug)]
+pub struct Jellyfish {
+    /// The network graph.
+    pub net: Network,
+    /// Switches.
+    pub switches: Vec<NodeId>,
+    /// Hosts, grouped per switch.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds a Jellyfish topology: `switches` switches, each with `degree`
+/// switch-facing ports at `link_gbps` and `hosts_per_sw` hosts at
+/// `host_gbps`. Deterministic for a given `seed`, and **always
+/// connected**: two ports per switch form a Hamiltonian ring, the rest
+/// are wired by a seeded random matching (Jellyfish's own construction
+/// ends with exactly this kind of local repair, so a ring backbone is a
+/// faithful simplification).
+pub fn jellyfish(
+    switches: usize,
+    degree: usize,
+    hosts_per_sw: usize,
+    host_gbps: f64,
+    link_gbps: f64,
+    seed: u64,
+) -> Jellyfish {
+    assert!(switches >= 3, "jellyfish needs at least three switches");
+    assert!(degree >= 2, "jellyfish needs degree ≥ 2 to stay connected");
+    let mut net = Network::new();
+    let switches_v: Vec<NodeId> = (0..switches)
+        .map(|r| net.add_switch(SwitchRole::TopOfRack, Some(r)))
+        .collect();
+    // Ring backbone: consumes two of each switch's `degree` ports.
+    for i in 0..switches {
+        net.connect(switches_v[i], switches_v[(i + 1) % switches], link_gbps);
+    }
+    // Random matching over the remaining stubs.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<usize> = (0..switches)
+        .flat_map(|i| std::iter::repeat_n(i, degree.saturating_sub(2)))
+        .collect();
+    // Fisher–Yates via the in-tree RNG, then pair off; a stub pair that
+    // lands on one switch is dropped (self-loops are not allowed).
+    use quartz_core::rng::SliceRandom;
+    stubs.shuffle(&mut rng);
+    while stubs.len() >= 2 {
+        let a = stubs.pop().expect("len checked");
+        let b = stubs.pop().expect("len checked");
+        if a != b {
+            net.connect(switches_v[a], switches_v[b], link_gbps);
+        }
+    }
+    let mut hosts = Vec::with_capacity(switches * hosts_per_sw);
+    for (r, &sw) in switches_v.iter().enumerate() {
+        for _ in 0..hosts_per_sw {
+            let h = net.add_host(Some(r));
+            net.connect(h, sw, host_gbps);
+            hosts.push(h);
+        }
+    }
+    Jellyfish {
+        net,
+        switches: switches_v,
+        hosts,
+    }
+}
+
+/// A BCube server-centric structure.
+#[derive(Clone, Debug)]
+pub struct BCube {
+    /// The network graph.
+    pub net: Network,
+    /// Switches, level 0 first.
+    pub switches: Vec<NodeId>,
+    /// Hosts (servers), in address order.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds BCube(`n`, `k`): `n^(k+1)` servers addressed in base `n`,
+/// `k + 1` levels of `n^k` switches; level-`l` switch `j` connects the
+/// `n` servers whose address agrees with `j` outside digit `l`. Servers
+/// relay packets between levels (the §2.1.5 OS-stack penalty).
+pub fn bcube(n: usize, k: usize, gbps: f64) -> BCube {
+    assert!(n >= 2, "bcube needs n ≥ 2");
+    let n_hosts = n.pow(k as u32 + 1);
+    let per_level = n.pow(k as u32);
+    let mut net = Network::new();
+    let mut switches = Vec::with_capacity((k + 1) * per_level);
+    for _level in 0..=k {
+        for _ in 0..per_level {
+            switches.push(net.add_switch(SwitchRole::TopOfRack, None));
+        }
+    }
+    // Rack = level-0 switch index (the physical rack in BCube packaging).
+    let hosts: Vec<NodeId> = (0..n_hosts).map(|h| net.add_host(Some(h / n))).collect();
+    for (h, &host) in hosts.iter().enumerate() {
+        for level in 0..=k {
+            // Remove digit `level` from the address: the switch index.
+            let high = h / n.pow(level as u32 + 1) * n.pow(level as u32);
+            let low = h % n.pow(level as u32);
+            let j = high + low;
+            net.connect(host, switches[level * per_level + j], gbps);
+        }
+    }
+    BCube {
+        net,
+        switches,
+        hosts,
+    }
+}
+
+/// A DCell server-centric structure.
+#[derive(Clone, Debug)]
+pub struct DCell {
+    /// The network graph.
+    pub net: Network,
+    /// The per-cell mini-switches.
+    pub switches: Vec<NodeId>,
+    /// Hosts, grouped per cell.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds DCell₁(`n`): `n + 1` cells of `n` servers, each cell with one
+/// mini-switch; server `j` of cell `i` cross-links to server `i` of cell
+/// `j + 1` (for `i ≤ j`), giving full cell-to-cell connectivity through
+/// relaying servers.
+pub fn dcell_1(n: usize, gbps: f64) -> DCell {
+    assert!(n >= 2, "dcell needs n ≥ 2");
+    let cells = n + 1;
+    let mut net = Network::new();
+    let switches: Vec<NodeId> = (0..cells)
+        .map(|c| net.add_switch(SwitchRole::TopOfRack, Some(c)))
+        .collect();
+    let mut hosts = Vec::with_capacity(cells * n);
+    for (c, &sw) in switches.iter().enumerate() {
+        for _ in 0..n {
+            let h = net.add_host(Some(c));
+            net.connect(h, sw, gbps);
+            hosts.push(h);
+        }
+    }
+    // Cross links: (cell i, server j) ↔ (cell j+1, server i) for i ≤ j.
+    for i in 0..cells {
+        for j in i..n {
+            let a = hosts[i * n + j];
+            let b = hosts[(j + 1) * n + i];
+            net.connect(a, b, gbps);
+        }
+    }
+    DCell {
+        net,
+        switches,
+        hosts,
+    }
+}
+
+/// A CamCube 3D-torus structure.
+#[derive(Clone, Debug)]
+pub struct CamCube {
+    /// The network graph.
+    pub net: Network,
+    /// Hosts in (x, y, z) raster order.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds CamCube(`k`): a switchless `k × k × k` torus of servers, each
+/// directly cabled to its six neighbors (every hop is a relaying
+/// server).
+pub fn camcube(k: usize, gbps: f64) -> CamCube {
+    assert!(k >= 2, "camcube needs k ≥ 2");
+    let mut net = Network::new();
+    let idx = |x: usize, y: usize, z: usize| (x * k + y) * k + z;
+    let hosts: Vec<NodeId> = (0..k * k * k)
+        .map(|i| net.add_host(Some(i / (k * k))))
+        .collect();
+    for x in 0..k {
+        for y in 0..k {
+            for z in 0..k {
+                let a = hosts[idx(x, y, z)];
+                // +1 neighbor in each dimension covers every torus edge
+                // once; skip the wrap link when k == 2 (it would be a
+                // parallel duplicate of the +1 link).
+                for (nx, ny, nz) in [
+                    ((x + 1) % k, y, z),
+                    (x, (y + 1) % k, z),
+                    (x, y, (z + 1) % k),
+                ] {
+                    if k == 2 && (nx < x || ny < y || nz < z) {
+                        continue;
+                    }
+                    net.connect(a, hosts[idx(nx, ny, nz)], gbps);
+                }
+            }
+        }
+    }
+    CamCube { net, hosts }
+}
+
+/// A §7 composite: Quartz rings embedded in a larger wired structure.
+#[derive(Clone, Debug)]
+pub struct Composite {
+    /// The network graph.
+    pub net: Network,
+    /// Edge-tier switches (ToRs or ring switches), grouped per ring/pod.
+    pub edges: Vec<NodeId>,
+    /// Upper-tier switches (cores or core-ring switches).
+    pub uppers: Vec<NodeId>,
+    /// Hosts, grouped per edge switch.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Adds one Quartz ring (a clique of [`SwitchRole::QuartzRing`]
+/// switches) to `net`; rack numbering continues from `rack0`.
+fn add_ring(
+    net: &mut Network,
+    ring_idx: usize,
+    count: usize,
+    rack0: usize,
+    chan_gbps: f64,
+) -> Vec<NodeId> {
+    let sws: Vec<NodeId> = (0..count)
+        .map(|i| net.add_switch(SwitchRole::QuartzRing(ring_idx), Some(rack0 + i)))
+        .collect();
+    for a in 0..count {
+        for b in (a + 1)..count {
+            net.connect(sws[a], sws[b], chan_gbps);
+        }
+    }
+    sws
+}
+
+fn attach_hosts(net: &mut Network, sws: &[NodeId], per_sw: usize, gbps: f64) -> Vec<NodeId> {
+    let mut hosts = Vec::with_capacity(sws.len() * per_sw);
+    for &sw in sws {
+        let rack = net.node(sw).rack;
+        for _ in 0..per_sw {
+            let h = net.add_host(rack);
+            net.connect(h, sw, gbps);
+            hosts.push(h);
+        }
+    }
+    hosts
+}
+
+/// Quartz in the core (§7): a three-tier edge — `pods` pods of
+/// `tors_per_pod` ToRs with two aggregation switches each — whose core
+/// tier is replaced by an `m`-switch Quartz ring; every aggregation
+/// switch uplinks to every ring switch at 40 G.
+pub fn quartz_in_core(
+    tors_per_pod: usize,
+    pods: usize,
+    hosts_per_tor: usize,
+    m: usize,
+) -> Composite {
+    assert!(m >= 2 && pods >= 1 && tors_per_pod >= 1);
+    let mut net = Network::new();
+    let core = add_ring(&mut net, 0, m, 10_000, 40.0);
+    let mut edges = Vec::with_capacity(pods * tors_per_pod);
+    let mut hosts = Vec::with_capacity(pods * tors_per_pod * hosts_per_tor);
+    for pod in 0..pods {
+        let aggs: Vec<NodeId> = (0..2)
+            .map(|_| net.add_switch(SwitchRole::Aggregation, None))
+            .collect();
+        for &a in &aggs {
+            for &c in &core {
+                net.connect(a, c, 40.0);
+            }
+        }
+        for t in 0..tors_per_pod {
+            let rack = pod * tors_per_pod + t;
+            let tor = net.add_switch(SwitchRole::TopOfRack, Some(rack));
+            for &a in &aggs {
+                net.connect(tor, a, 40.0);
+            }
+            for _ in 0..hosts_per_tor {
+                let h = net.add_host(Some(rack));
+                net.connect(h, tor, 10.0);
+                hosts.push(h);
+            }
+            edges.push(tor);
+        }
+    }
+    Composite {
+        net,
+        edges,
+        uppers: core,
+        hosts,
+    }
+}
+
+/// Quartz in the edge (§7): `rings` edge rings of `sw_per_ring` mesh
+/// switches (each with `hosts_per_sw` hosts at 10 G), every edge switch
+/// uplinked at 40 G to each of `cores` store-and-forward core switches.
+pub fn quartz_in_edge(
+    rings: usize,
+    sw_per_ring: usize,
+    hosts_per_sw: usize,
+    cores: usize,
+) -> Composite {
+    assert!(rings >= 1 && sw_per_ring >= 2 && cores >= 1);
+    let mut net = Network::new();
+    let uppers: Vec<NodeId> = (0..cores)
+        .map(|_| net.add_switch(SwitchRole::Core, None))
+        .collect();
+    let mut edges = Vec::with_capacity(rings * sw_per_ring);
+    for ring in 0..rings {
+        let sws = add_ring(&mut net, ring, sw_per_ring, ring * sw_per_ring, 10.0);
+        for &sw in &sws {
+            for &c in &uppers {
+                net.connect(sw, c, 40.0);
+            }
+        }
+        edges.extend(sws);
+    }
+    let hosts = attach_hosts(&mut net, &edges, hosts_per_sw, 10.0);
+    Composite {
+        net,
+        edges,
+        uppers,
+        hosts,
+    }
+}
+
+/// Quartz in the edge **and** core (§7): `rings` edge rings whose
+/// switches uplink at 40 G into a `core_m`-switch core ring — edge
+/// switch `i` of every ring connects to core switch `i mod core_m`.
+pub fn quartz_in_edge_and_core(
+    rings: usize,
+    sw_per_ring: usize,
+    hosts_per_sw: usize,
+    core_m: usize,
+) -> Composite {
+    assert!(rings >= 1 && sw_per_ring >= 2 && core_m >= 2);
+    let mut net = Network::new();
+    // All channels run at the ring wavelength rate (10 Gb/s): a rate
+    // mismatch at the edge→core hop would force store-and-forward and
+    // cost a serialization delay on every inter-ring packet (§4.2).
+    let uppers = add_ring(&mut net, rings, core_m, 10_000, 10.0);
+    let mut edges = Vec::with_capacity(rings * sw_per_ring);
+    for ring in 0..rings {
+        let sws = add_ring(&mut net, ring, sw_per_ring, ring * sw_per_ring, 10.0);
+        for (i, &sw) in sws.iter().enumerate() {
+            // Two uplinks, offset by half the core ring: ECMP spreads
+            // inter-ring traffic over both while the worst host pair
+            // still crosses two edge + two core switches (Table 9).
+            net.connect(sw, uppers[i % core_m], 10.0);
+            net.connect(sw, uppers[(i + 2) % core_m], 10.0);
+        }
+        edges.extend(sws);
+    }
+    let hosts = attach_hosts(&mut net, &edges, hosts_per_sw, 10.0);
+    Composite {
+        net,
+        edges,
+        uppers,
+        hosts,
+    }
+}
+
+/// Quartz rings dropped into a Jellyfish backbone (§7's "Quartz can also
+/// be applied to … randomly wired structures"): `rings` internally
+/// meshed rings; each ring switch additionally gets `ext_degree` random
+/// inter-ring links (seeded, ring-backbone-guaranteed connected).
+pub fn quartz_in_jellyfish(
+    rings: usize,
+    sw_per_ring: usize,
+    hosts_per_sw: usize,
+    ext_degree: usize,
+    seed: u64,
+) -> Composite {
+    assert!(rings >= 2 && sw_per_ring >= 2 && ext_degree >= 2);
+    let mut net = Network::new();
+    let mut edges = Vec::with_capacity(rings * sw_per_ring);
+    let mut ring_of = Vec::with_capacity(rings * sw_per_ring);
+    for ring in 0..rings {
+        let sws = add_ring(&mut net, ring, sw_per_ring, ring * sw_per_ring, 10.0);
+        ring_of.extend(std::iter::repeat_n(ring, sws.len()));
+        edges.extend(sws);
+    }
+    // Inter-ring backbone ring (guarantees connectivity for any seed):
+    // switch 0 of ring r links to switch 0 of ring r+1.
+    for r in 0..rings {
+        net.connect(
+            edges[r * sw_per_ring],
+            edges[((r + 1) % rings) * sw_per_ring],
+            10.0,
+        );
+    }
+    // Remaining external ports: a seeded random matching that only
+    // accepts cross-ring pairs.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<usize> = (0..edges.len())
+        .flat_map(|i| {
+            let used = usize::from(i % sw_per_ring == 0) * 2;
+            std::iter::repeat_n(i, ext_degree.saturating_sub(used))
+        })
+        .collect();
+    use quartz_core::rng::SliceRandom;
+    stubs.shuffle(&mut rng);
+    while stubs.len() >= 2 {
+        let a = stubs.pop().expect("len checked");
+        let b = stubs.pop().expect("len checked");
+        if ring_of[a] != ring_of[b] {
+            net.connect(edges[a], edges[b], 10.0);
+        }
+    }
+    let hosts = attach_hosts(&mut net, &edges, hosts_per_sw, 10.0);
+    Composite {
+        net,
+        edges,
+        uppers: Vec::new(),
+        hosts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_shape() {
+        let q = quartz_mesh(5, 3, 10.0, 10.0);
+        assert_eq!(q.switches.len(), 5);
+        assert_eq!(q.hosts.len(), 15);
+        // K5: 10 channels + 15 host links.
+        assert_eq!(q.net.link_count(), 10 + 15);
+        assert!(q.net.is_connected());
+        // Hosts grouped per switch: the first three share rack 0.
+        assert_eq!(q.net.node(q.hosts[0]).rack, Some(0));
+        assert_eq!(q.net.node(q.hosts[2]).rack, Some(0));
+        assert_eq!(q.net.node(q.hosts[3]).rack, Some(1));
+    }
+
+    #[test]
+    fn dual_tor_doubles_the_switches() {
+        let d = dual_tor_mesh(4, 2, 10.0, 10.0);
+        assert_eq!(d.switches.len(), 8);
+        assert_eq!(d.hosts.len(), 8);
+        // Two K4 meshes + two uplinks per host.
+        assert_eq!(d.net.link_count(), 2 * 6 + 2 * 8);
+        assert!(d.net.is_connected());
+        assert_eq!(d.net.degree(d.hosts[0]), 2);
+    }
+
+    #[test]
+    fn three_tier_has_two_aggs_per_pod() {
+        let t = three_tier(3, 2, 2, 2, 10.0, 40.0);
+        assert_eq!(t.tors.len(), 6);
+        assert_eq!(t.aggs.len(), 4);
+        assert_eq!(t.cores.len(), 2);
+        assert_eq!(t.hosts.len(), 12);
+        assert!(t.net.is_connected());
+        // Each ToR uplinks to exactly its pod's two aggs.
+        let nbrs = t.net.neighbors(t.tors[0]);
+        let sw_nbrs = nbrs
+            .iter()
+            .filter(|(n, _)| t.net.node(*n).kind.is_switch())
+            .count();
+        assert_eq!(sw_nbrs, 2);
+    }
+
+    #[test]
+    fn fat_tree_counts() {
+        let f = fat_tree(4, 10.0);
+        assert_eq!(f.cores.len(), 4);
+        assert_eq!(f.aggs.len(), 8);
+        assert_eq!(f.edges.len(), 8);
+        assert_eq!(f.hosts.len(), 16);
+        assert!(f.net.is_connected());
+    }
+
+    #[test]
+    fn table9_fat_tree_matches_the_paper_accounting() {
+        let f = table9_fat_tree();
+        assert_eq!(f.leaves.len() + f.spines.len(), 48);
+        assert_eq!(f.hosts.len(), 1024);
+        // 32 leaves × 16 spines × 2 parallel links.
+        assert_eq!(f.net.switch_to_switch_links(), 1024);
+    }
+
+    #[test]
+    fn jellyfish_connected_and_deterministic() {
+        for seed in [0u64, 1, 7, 99] {
+            let j = jellyfish(10, 4, 2, 10.0, 10.0, seed);
+            assert!(j.net.is_connected(), "seed {seed}");
+        }
+        let a = jellyfish(12, 5, 2, 10.0, 10.0, 3);
+        let b = jellyfish(12, 5, 2, 10.0, 10.0, 3);
+        assert_eq!(a.net.link_count(), b.net.link_count());
+    }
+
+    #[test]
+    fn bcube_addressing() {
+        let b = bcube(4, 1, 10.0);
+        assert_eq!(b.hosts.len(), 16);
+        assert_eq!(b.switches.len(), 8);
+        assert!(b.net.is_connected());
+        // Every server has one port per level.
+        assert_eq!(b.net.degree(b.hosts[0]), 2);
+    }
+
+    #[test]
+    fn dcell_and_camcube_connect() {
+        let d = dcell_1(4, 10.0);
+        assert_eq!(d.hosts.len(), 20);
+        assert!(d.net.is_connected());
+        let c = camcube(3, 10.0);
+        assert_eq!(c.hosts.len(), 27);
+        assert!(c.net.is_connected());
+        // Torus: every server has 6 neighbors.
+        assert_eq!(c.net.degree(c.hosts[0]), 6);
+    }
+
+    #[test]
+    fn composites_connect_and_group_hosts() {
+        let c1 = quartz_in_core(2, 2, 2, 4);
+        assert!(c1.net.is_connected());
+        assert_eq!(c1.hosts.len(), 8);
+        let c2 = quartz_in_edge(2, 4, 2, 2);
+        assert!(c2.net.is_connected());
+        assert_eq!(c2.hosts.len(), 16);
+        let c3 = quartz_in_edge_and_core(2, 4, 2, 4);
+        assert!(c3.net.is_connected());
+        assert_eq!(c3.hosts.len(), 16);
+        // Ring 0's racks are 0..4 (the fig18 locality filter).
+        assert_eq!(c3.net.node(c3.hosts[0]).rack, Some(0));
+        assert_eq!(c3.net.node(c3.hosts[7]).rack, Some(3));
+        assert_eq!(c3.net.node(c3.hosts[8]).rack, Some(4));
+        let c4 = quartz_in_jellyfish(4, 4, 4, 4, 71);
+        assert!(c4.net.is_connected());
+        assert_eq!(c4.hosts.len(), 64);
+    }
+}

@@ -12,7 +12,7 @@
 //! equal-cost hops is by flow hash, so a flow's packets stay on one path
 //! (no reordering), which is how real ECMP behaves.
 
-use crate::graph::{Network, NodeId};
+use crate::graph::{LinkId, Network, NodeId};
 use std::collections::VecDeque;
 
 /// All-pairs next-hop table.
@@ -41,11 +41,31 @@ pub struct RouteTable {
 impl RouteTable {
     /// Builds the full ECMP table with one reverse BFS per destination.
     pub fn all_shortest_paths(net: &Network) -> Self {
+        Self::degraded(net, |_| false, |_| false)
+    }
+
+    /// Builds the ECMP table over the network *minus* failed elements —
+    /// the table a converged control plane installs after the failures
+    /// in §3.5's model. `dead_link` / `dead_node` mark the casualties; a
+    /// dead node implicitly kills every link incident to it, and no
+    /// route ever enters or leaves a dead node.
+    pub fn degraded(
+        net: &Network,
+        dead_link: impl Fn(LinkId) -> bool,
+        dead_node: impl Fn(NodeId) -> bool,
+    ) -> Self {
         let n = net.node_count();
         let mut dist = Vec::with_capacity(n);
         let mut next = Vec::with_capacity(n);
         for d in 0..n {
-            let (dv, nv) = bfs_to(net, NodeId(d as u32));
+            let dst = NodeId(d as u32);
+            if dead_node(dst) {
+                // Nothing routes toward a dead destination.
+                dist.push(vec![u32::MAX; n]);
+                next.push(vec![Vec::new(); n]);
+                continue;
+            }
+            let (dv, nv) = bfs_to(net, dst, &dead_link, &dead_node);
             dist.push(dv);
             next.push(nv);
         }
@@ -131,15 +151,24 @@ impl RouteTable {
     }
 }
 
-/// Reverse BFS from `dst`: distances and next-hop sets toward `dst`.
-fn bfs_to(net: &Network, dst: NodeId) -> (Vec<u32>, Vec<Vec<NodeId>>) {
+/// Reverse BFS from `dst` over the surviving graph: distances and
+/// next-hop sets toward `dst`.
+fn bfs_to(
+    net: &Network,
+    dst: NodeId,
+    dead_link: &impl Fn(LinkId) -> bool,
+    dead_node: &impl Fn(NodeId) -> bool,
+) -> (Vec<u32>, Vec<Vec<NodeId>>) {
     let n = net.node_count();
     let mut dist = vec![u32::MAX; n];
     let mut q = VecDeque::new();
     dist[dst.0 as usize] = 0;
     q.push_back(dst);
     while let Some(u) = q.pop_front() {
-        for &(v, _) in net.neighbors(u) {
+        for &(v, l) in net.neighbors(u) {
+            if dead_link(l) || dead_node(v) {
+                continue;
+            }
             if dist[v.0 as usize] == u32::MAX {
                 dist[v.0 as usize] = dist[u.0 as usize] + 1;
                 q.push_back(v);
@@ -148,10 +177,13 @@ fn bfs_to(net: &Network, dst: NodeId) -> (Vec<u32>, Vec<Vec<NodeId>>) {
     }
     let mut next = vec![Vec::new(); n];
     for u in 0..n {
-        if dist[u] == u32::MAX || dist[u] == 0 {
+        if dist[u] == u32::MAX || dist[u] == 0 || dead_node(NodeId(u as u32)) {
             continue;
         }
-        for &(v, _) in net.neighbors(NodeId(u as u32)) {
+        for &(v, l) in net.neighbors(NodeId(u as u32)) {
+            if dead_link(l) || dead_node(v) {
+                continue;
+            }
             if dist[v.0 as usize] + 1 == dist[u] {
                 next[u].push(v);
             }
@@ -217,6 +249,39 @@ mod tests {
                 assert_eq!(p.len() - 1, table.path_len(a, b).unwrap());
             }
         }
+    }
+
+    #[test]
+    fn degraded_table_detours_around_a_cut_link() {
+        // Cut the direct S0↔S3 channel of the prototype mesh: ECMP must
+        // fall back to the two-hop detours through S1/S2 (§3.5).
+        let p = prototype_quartz();
+        let cut = p.net.link_between(p.switches[0], p.switches[3]).unwrap();
+        let t = RouteTable::degraded(&p.net, |l| l == cut, |_| false);
+        assert_eq!(t.path_len(p.switches[0], p.switches[3]), Some(2));
+        let hops = t.next_hops(p.switches[0], p.switches[3]);
+        assert_eq!(hops.len(), 2, "{hops:?}");
+        assert!(!hops.contains(&p.switches[3]));
+        // Untouched pairs keep their direct hop.
+        assert_eq!(t.next_hops(p.switches[0], p.switches[1]), &[p.switches[1]]);
+    }
+
+    #[test]
+    fn degraded_table_excludes_a_dead_switch() {
+        let p = prototype_quartz();
+        let dead = p.switches[2];
+        let t = RouteTable::degraded(&p.net, |_| false, |n| n == dead);
+        // No route enters, leaves, or targets the dead switch.
+        for &s in &p.switches {
+            if s != dead {
+                assert_eq!(t.path_len(s, dead), None);
+                assert!(!t.next_hops(s, p.hosts[0]).contains(&dead));
+            }
+        }
+        // Its hosts are cut off; everyone else still talks.
+        let orphan = p.hosts[4]; // hosts 4,5 hang off switch 2
+        assert_eq!(t.path_len(p.hosts[0], orphan), None);
+        assert_eq!(t.path_len(p.hosts[0], p.hosts[7]), Some(3));
     }
 
     #[test]

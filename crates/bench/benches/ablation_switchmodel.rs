@@ -53,4 +53,6 @@ fn main() {
     measure("switch_model_ablation", "ideal_zero_latency", || {
         run(LatencyModel::ideal())
     });
+
+    quartz_bench::timing::write_json("ablation_switchmodel", None);
 }

@@ -36,4 +36,6 @@ fn main() {
     measure("fault", "monte_carlo_1k_trials", || {
         model.monte_carlo(4, 1_000, 7)
     });
+
+    quartz_bench::timing::write_json("channel_assignment", None);
 }

@@ -28,4 +28,6 @@ fn main() {
     measure("route_tables", "path_diversity_mesh33", || {
         path_diversity(&q.net, q.switches[0], q.switches[16])
     });
+
+    quartz_bench::timing::write_json("routing_tables", None);
 }

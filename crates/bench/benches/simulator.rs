@@ -76,4 +76,6 @@ fn main() {
         sim.run(SimTime::from_ms(50));
         sim.stats().summary(0).count
     });
+
+    quartz_bench::timing::write_json("simulator", None);
 }

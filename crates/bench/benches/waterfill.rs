@@ -19,4 +19,6 @@ fn main() {
     measure("waterfill", "incast10_10560_flows_vlb", || {
         max_min_rates(black_box(&p))
     });
+
+    quartz_bench::timing::write_json("waterfill", None);
 }

@@ -1,5 +1,9 @@
 //! Extension experiment E1: protocol fixes vs topology (§2.1.4
-//! quantified). Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_ext01_protocols.json`.
 fn main() {
-    quartz_bench::experiments::ext01::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "ext01_protocols",
+        quartz_bench::experiments::ext01::print_with,
+    );
 }

@@ -1,5 +1,9 @@
 //! Extension experiment E2: server-centric structures vs the Quartz mesh
-//! (§2.1.5). Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_ext02_server_centric.json`.
 fn main() {
-    quartz_bench::experiments::ext02::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "ext02_server_centric",
+        quartz_bench::experiments::ext02::print_with,
+    );
 }

@@ -1,5 +1,9 @@
 //! Extension experiment E3: the §1 Facebook-style request (88 cache +
-//! 35 DB + 392 backend RPCs) end to end. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_ext03_request_workload.json`.
 fn main() {
-    quartz_bench::experiments::ext03::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "ext03_request_workload",
+        quartz_bench::experiments::ext03::print_with,
+    );
 }

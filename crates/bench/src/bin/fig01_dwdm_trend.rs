@@ -1,4 +1,9 @@
 //! Regenerates fig01 of the paper. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig01_dwdm_trend.json`.
 fn main() {
-    quartz_bench::experiments::fig01::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "fig01_dwdm_trend",
+        quartz_bench::experiments::fig01::print_with,
+    );
 }

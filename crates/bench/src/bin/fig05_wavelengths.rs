@@ -1,4 +1,9 @@
 //! Regenerates fig05 of the paper. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig05_wavelengths.json`.
 fn main() {
-    quartz_bench::experiments::fig05::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "fig05_wavelengths",
+        quartz_bench::experiments::fig05::print_with,
+    );
 }

@@ -1,4 +1,9 @@
 //! Regenerates fig06 of the paper. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig06_fault_tolerance.json`.
 fn main() {
-    quartz_bench::experiments::fig06::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "fig06_fault_tolerance",
+        quartz_bench::experiments::fig06::print_with,
+    );
 }

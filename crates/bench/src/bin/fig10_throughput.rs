@@ -1,4 +1,9 @@
 //! Regenerates fig10 of the paper. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig10_throughput.json`.
 fn main() {
-    quartz_bench::experiments::fig10::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "fig10_throughput",
+        quartz_bench::experiments::fig10::print_with,
+    );
 }

@@ -1,4 +1,9 @@
 //! Regenerates fig17 of the paper. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig17_global_latency.json`.
 fn main() {
-    quartz_bench::experiments::fig17::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "fig17_global_latency",
+        quartz_bench::experiments::fig17::print_with,
+    );
 }

@@ -1,4 +1,9 @@
 //! Regenerates fig18 of the paper. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig18_local_latency.json`.
 fn main() {
-    quartz_bench::experiments::fig18::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "fig18_local_latency",
+        quartz_bench::experiments::fig18::print_with,
+    );
 }

@@ -1,4 +1,9 @@
 //! Regenerates fig20 of the paper. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig20_pathological.json`.
 fn main() {
-    quartz_bench::experiments::fig20::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "fig20_pathological",
+        quartz_bench::experiments::fig20::print_with,
+    );
 }

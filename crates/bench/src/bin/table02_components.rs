@@ -1,4 +1,9 @@
 //! Regenerates table02 of the paper. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_table02_components.json`.
 fn main() {
-    quartz_bench::experiments::table02::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "table02_components",
+        quartz_bench::experiments::table02::print_with,
+    );
 }

@@ -1,4 +1,9 @@
 //! Regenerates table08 of the paper. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_table08_configurator.json`.
 fn main() {
-    quartz_bench::experiments::table08::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "table08_configurator",
+        quartz_bench::experiments::table08::print_with,
+    );
 }

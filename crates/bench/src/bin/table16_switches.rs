@@ -1,4 +1,9 @@
 //! Regenerates table16 of the paper. Pass `--quick` for a reduced run.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_table16_switches.json`.
 fn main() {
-    quartz_bench::experiments::table16::print(quartz_bench::Scale::from_args());
+    quartz_bench::run_bin(
+        "table16_switches",
+        quartz_bench::experiments::table16::print_with,
+    );
 }

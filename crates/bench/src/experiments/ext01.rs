@@ -18,6 +18,7 @@
 
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::pool::ThreadPool;
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
 use quartz_netsim::time::SimTime;
 use quartz_netsim::transport::TcpVariant;
@@ -112,8 +113,13 @@ fn run_one(quartz: bool, variant: TcpVariant, ecn: Option<u64>, rpc_count: u32) 
 }
 
 /// Runs the three §2.1.4 configurations (plus Quartz+DCTCP for
-/// completeness).
+/// completeness), over one worker per hardware thread.
 pub fn run(scale: Scale) -> Vec<Row> {
+    run_with(scale, &ThreadPool::default())
+}
+
+/// Runs the four configurations as independent units over `pool`.
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<Row> {
     // Counts sized so even the slowest configuration (tree + Reno, whose
     // probe RTT averages ~1.7 ms under the bulk transfers) finishes
     // within the horizon.
@@ -124,18 +130,27 @@ pub fn run(scale: Scale) -> Vec<Row> {
     // DCTCP's K: ~30 kB at 1 Gb/s (the DCTCP paper's guidance scales K
     // with link rate).
     let k = Some(30_000);
-    vec![
-        run_one(false, TcpVariant::Reno, None, rpc_count),
-        run_one(false, TcpVariant::Dctcp, k, rpc_count),
-        run_one(true, TcpVariant::Reno, None, rpc_count),
-        run_one(true, TcpVariant::Dctcp, k, rpc_count),
-    ]
+    let configs = [
+        (false, TcpVariant::Reno, None),
+        (false, TcpVariant::Dctcp, k),
+        (true, TcpVariant::Reno, None),
+        (true, TcpVariant::Dctcp, k),
+    ];
+    pool.par_map(configs.len(), |i| {
+        let (quartz, variant, ecn) = configs[i];
+        run_one(quartz, variant, ecn, rpc_count)
+    })
 }
 
 /// Prints the E1 table.
 pub fn print(scale: Scale) {
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints the E1 table, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
     println!("Extension E1: protocol fixes vs topology (probe RPC under bulk transfers)\n");
-    let rows: Vec<Vec<String>> = run(scale)
+    let rows: Vec<Vec<String>> = run_with(scale, pool)
         .into_iter()
         .map(|r| {
             vec![

@@ -11,6 +11,7 @@
 
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::pool::ThreadPool;
 use quartz_topology::builders::{bcube, camcube, dcell_1, quartz_mesh};
 use quartz_topology::metrics::{diameter_hops, latency_no_congestion_us, HopCounts};
 use quartz_topology::route::RouteTable;
@@ -28,57 +29,74 @@ pub struct Row {
     pub latency_us: f64,
 }
 
-/// Measures the four structures at comparable small scale.
+/// Measures the four structures at comparable small scale (over one
+/// worker per hardware thread).
 pub fn run(scale: Scale) -> Vec<Row> {
-    let paper = scale == Scale::Paper;
-    let mut rows = Vec::new();
+    run_with(scale, &ThreadPool::default())
+}
 
-    let mut push = |name, net: &quartz_topology::Network| {
+/// Measures the four structures as independent units over `pool` (each
+/// unit builds its topology and runs the all-pairs shortest-path
+/// analysis).
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<Row> {
+    let paper = scale == Scale::Paper;
+
+    let build_row = |name, net: &quartz_topology::Network| {
         let t = RouteTable::all_shortest_paths(net);
         let hops = diameter_hops(net, &t);
-        rows.push(Row {
+        Row {
             name,
             servers: net.hosts().len(),
             hops,
             latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
-        });
+        }
     };
 
-    let q = if paper {
-        quartz_mesh(8, 8, 10.0, 10.0)
-    } else {
-        quartz_mesh(4, 4, 10.0, 10.0)
-    };
-    push("Quartz mesh", &q.net);
-
-    let b = if paper {
-        bcube(8, 1, 10.0)
-    } else {
-        bcube(4, 1, 10.0)
-    };
-    push("BCube(n,1)", &b.net);
-
-    let d = if paper {
-        dcell_1(8, 10.0)
-    } else {
-        dcell_1(4, 10.0)
-    };
-    push("DCell_1(n)", &d.net);
-
-    let c = if paper {
-        camcube(4, 10.0)
-    } else {
-        camcube(3, 10.0)
-    };
-    push("CamCube", &c.net);
-
-    rows
+    pool.par_map(4, |i| match i {
+        0 => {
+            let q = if paper {
+                quartz_mesh(8, 8, 10.0, 10.0)
+            } else {
+                quartz_mesh(4, 4, 10.0, 10.0)
+            };
+            build_row("Quartz mesh", &q.net)
+        }
+        1 => {
+            let b = if paper {
+                bcube(8, 1, 10.0)
+            } else {
+                bcube(4, 1, 10.0)
+            };
+            build_row("BCube(n,1)", &b.net)
+        }
+        2 => {
+            let d = if paper {
+                dcell_1(8, 10.0)
+            } else {
+                dcell_1(4, 10.0)
+            };
+            build_row("DCell_1(n)", &d.net)
+        }
+        _ => {
+            let c = if paper {
+                camcube(4, 10.0)
+            } else {
+                camcube(3, 10.0)
+            };
+            build_row("CamCube", &c.net)
+        }
+    })
 }
 
 /// Prints the E2 table.
 pub fn print(scale: Scale) {
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints the E2 table, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
     println!("Extension E2: server-centric structures vs the Quartz mesh (§2.1.5)\n");
-    let rows: Vec<Vec<String>> = run(scale)
+    let rows: Vec<Vec<String>> = run_with(scale, pool)
         .into_iter()
         .map(|r| {
             vec![

@@ -15,6 +15,7 @@
 use crate::experiments::fig17::{add_task, Arch, Workload, PARTNERS};
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::pool::ThreadPool;
 use quartz_core::rng::{SliceRandom, StdRng};
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
 use quartz_netsim::time::SimTime;
@@ -105,8 +106,16 @@ pub fn one_request_us(arch: Arch, cross_tasks: usize, seed: u64) -> f64 {
     sim.now().saturating_sub(t0) as f64 / 1e3
 }
 
-/// Measures all architectures at 0 and 4 cross-traffic tasks.
+/// Measures all architectures at 0 and 4 cross-traffic tasks (over one
+/// worker per hardware thread).
 pub fn run(scale: Scale) -> Vec<Row> {
+    run_with(scale, &ThreadPool::default())
+}
+
+/// Measures all architectures over `pool`: one unit per `(arch, cross
+/// level, request)` simulation; per-row means fold in request order on
+/// this thread, bit-identical at any worker count.
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<Row> {
     let (requests, cross_levels): (usize, Vec<usize>) = match scale {
         Scale::Paper => (5, vec![0, 2, 4]),
         Scale::Quick => (1, vec![0, 2]),
@@ -117,11 +126,24 @@ pub fn run(scale: Scale) -> Vec<Row> {
         Arch::QuartzInCore,
         Arch::QuartzInEdgeAndCore,
     ];
+    let mut units = Vec::new();
+    for &arch in &archs {
+        for &cross in &cross_levels {
+            for r in 0..requests {
+                units.push((arch, cross, r));
+            }
+        }
+    }
+    let cells = pool.par_map(units.len(), |i| {
+        let (arch, cross, r) = units[i];
+        one_request_us(arch, cross, 0xE300 + r as u64)
+    });
+    let mut cells = cells.into_iter();
     let mut rows = Vec::new();
     for &arch in &archs {
         for &cross in &cross_levels {
             let mean = (0..requests)
-                .map(|r| one_request_us(arch, cross, 0xE300 + r as u64))
+                .map(|_| cells.next().expect("one cell per unit"))
                 .sum::<f64>()
                 / requests as f64;
             rows.push(Row {
@@ -136,10 +158,15 @@ pub fn run(scale: Scale) -> Vec<Row> {
 
 /// Prints the E3 table.
 pub fn print(scale: Scale) {
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints the E3 table, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
     println!(
         "Extension E3: the §1 request — 88 cache + 35 DB + 392 backend RPCs, sequential stages\n"
     );
-    let rows = run(scale);
+    let rows = run_with(scale, pool);
     let cross_levels: Vec<usize> = {
         let mut v: Vec<usize> = rows.iter().map(|r| r.cross_tasks).collect();
         v.sort_unstable();

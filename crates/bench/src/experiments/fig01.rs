@@ -15,6 +15,17 @@ pub fn run(_scale: Scale) -> Vec<Row> {
         .collect()
 }
 
+/// Pass-through for the shared `--jobs` plumbing: the series is a
+/// static table, so the pool is unused.
+pub fn run_with(scale: Scale, _pool: &quartz_core::ThreadPool) -> Vec<Row> {
+    run(scale)
+}
+
+/// Pass-through for the shared `--jobs` plumbing (see [`run_with`]).
+pub fn print_with(scale: Scale, _pool: &quartz_core::ThreadPool) {
+    print(scale);
+}
+
 /// Prints the Figure 1 series.
 pub fn print(scale: Scale) {
     println!("Figure 1: backbone DWDM per-bit, per-km relative cost (1993 = 1.0)\n");

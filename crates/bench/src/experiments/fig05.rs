@@ -12,6 +12,7 @@ use crate::Scale;
 use quartz_core::channel::bounds::load_lower_bound;
 use quartz_core::channel::exact::{solve, ExactStatus};
 use quartz_core::channel::greedy;
+use quartz_core::pool::ThreadPool;
 
 /// One ring size's result.
 #[derive(Clone, Copy, Debug)]
@@ -26,8 +27,15 @@ pub struct Row {
     pub lower_bound: usize,
 }
 
-/// Sweeps ring sizes 2..=41 (the figure's x-range).
+/// Sweeps ring sizes 2..=41 (over one worker per hardware thread).
 pub fn run(scale: Scale) -> Vec<Row> {
+    run_with(scale, &ThreadPool::default())
+}
+
+/// Sweeps ring sizes over `pool`: each size's greedy + exact solve is
+/// one independent unit (the even sizes' branch-and-bound infeasibility
+/// proofs dominate, so they spread across workers).
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<Row> {
     let (max_m, exact_horizon, budget) = match scale {
         // Attempt the exact solver at every size: odd rings prove their
         // optimum quickly at any size; even rings ≥ 10 usually exhaust
@@ -36,28 +44,27 @@ pub fn run(scale: Scale) -> Vec<Row> {
         Scale::Paper => (41, 41, 30_000_000u64),
         Scale::Quick => (12, 9, 2_000_000u64),
     };
-    (2..=max_m)
-        .map(|m| {
-            let g = greedy::wavelengths_required(m);
-            let lb = load_lower_bound(m);
-            let optimal = if m <= exact_horizon {
-                let r = solve(m, budget);
-                (r.status == ExactStatus::Optimal).then_some(r.channels)
-            } else if g == lb {
-                // Greedy meeting the load bound is a proof of optimality
-                // at any size.
-                Some(g)
-            } else {
-                None
-            };
-            Row {
-                m,
-                greedy: g,
-                optimal,
-                lower_bound: lb,
-            }
-        })
-        .collect()
+    pool.par_map(max_m - 1, |i| {
+        let m = i + 2;
+        let g = greedy::wavelengths_required(m);
+        let lb = load_lower_bound(m);
+        let optimal = if m <= exact_horizon {
+            let r = solve(m, budget);
+            (r.status == ExactStatus::Optimal).then_some(r.channels)
+        } else if g == lb {
+            // Greedy meeting the load bound is a proof of optimality
+            // at any size.
+            Some(g)
+        } else {
+            None
+        };
+        Row {
+            m,
+            greedy: g,
+            optimal,
+            lower_bound: lb,
+        }
+    })
 }
 
 /// The largest ring a 160-channel fiber supports — the paper's "maximum
@@ -72,8 +79,13 @@ pub fn max_ring_size(rows: &[Row]) -> usize {
 
 /// Prints the Figure 5 series.
 pub fn print(scale: Scale) {
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints the Figure 5 series, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
     println!("Figure 5: wavelengths required vs ring size (greedy vs optimal)\n");
-    let rows = run(scale);
+    let rows = run_with(scale, pool);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -12,23 +12,38 @@
 use crate::table::{pct, print_table};
 use crate::Scale;
 use quartz_core::fault::{FailureModel, FaultReport};
+use quartz_core::pool::ThreadPool;
 use quartz_flowsim::degraded::DegradedQuartzFabric;
 use quartz_flowsim::fabric::{MeshRouting, QuartzFabric};
 use quartz_flowsim::matrix::random_permutation;
 use quartz_flowsim::throughput::normalized_throughput;
 use quartz_netsim::faults::{ring_cut_scenario, CutScenarioConfig, CutScenarioReport};
 
-/// The full grid: `reports[rings-1][failures-1]`.
+/// The full grid: `reports[rings-1][failures-1]` (computed over one
+/// worker per hardware thread).
 pub fn run(scale: Scale) -> Vec<Vec<FaultReport>> {
+    run_with(scale, &ThreadPool::default())
+}
+
+/// The full grid over `pool`: one unit per `(rings, failures)` cell.
+/// Each cell's Monte-Carlo stream depends only on its own seed, so the
+/// grid is bit-identical at any worker count. The cells themselves run
+/// monte_carlo sequentially — parallelism at the grid level already
+/// saturates the pool without nesting.
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<Vec<FaultReport>> {
     let (m, trials) = match scale {
         Scale::Paper => (33, 20_000),
         Scale::Quick => (17, 1_000),
     };
+    let cells = pool.par_map(16, |i| {
+        let (rings, failures) = (i / 4 + 1, i % 4 + 1);
+        FailureModel::new(m, rings).monte_carlo(failures, trials, 0xF16 + failures as u64)
+    });
+    let mut cells = cells.into_iter();
     (1..=4usize)
-        .map(|rings| {
-            let model = FailureModel::new(m, rings);
+        .map(|_| {
             (1..=4usize)
-                .map(|failures| model.monte_carlo(failures, trials, 0xF16 + failures as u64))
+                .map(|_| cells.next().expect("16 cells"))
                 .collect()
         })
         .collect()
@@ -49,35 +64,67 @@ pub struct DynamicReport {
 /// Runs the dynamic panel: one fiber cut at t = T during steady Poisson
 /// traffic on the mesh, plus the waterfill before/after comparison.
 pub fn run_dynamic(scale: Scale) -> DynamicReport {
+    run_dynamic_with(scale, &ThreadPool::default())
+}
+
+/// Runs the dynamic panel over `pool`. The packet-level cut scenario
+/// and the flow-level waterfill comparison share no state, so they run
+/// as two parallel units; each is internally sequential and seeded, so
+/// the report is bit-identical at any worker count.
+pub fn run_dynamic_with(scale: Scale, pool: &ThreadPool) -> DynamicReport {
     let cfg = match scale {
         Scale::Paper => CutScenarioConfig::paper(0xD16),
         Scale::Quick => CutScenarioConfig::quick(0xD16),
     };
     let racks = cfg.switches;
-    let scenario = ring_cut_scenario(&cfg);
 
-    let intact = QuartzFabric {
-        racks,
-        hosts_per_rack: 4,
-        channel_cap: 1.0,
-        policy: MeshRouting::VlbUniform(0.5),
+    enum Half {
+        Scenario(CutScenarioReport),
+        Waterfill { intact: f64, degraded: f64 },
+    }
+    let mut halves = pool
+        .par_map(2, |i| {
+            if i == 0 {
+                Half::Scenario(ring_cut_scenario(&cfg))
+            } else {
+                let intact = QuartzFabric {
+                    racks,
+                    hosts_per_rack: 4,
+                    channel_cap: 1.0,
+                    policy: MeshRouting::VlbUniform(0.5),
+                };
+                let demands = random_permutation(racks * 4, 0xD16);
+                let intact_throughput = normalized_throughput(&intact, &demands).normalized;
+                // Sever the same channel the scenario cuts: switches 0 ↔ 1.
+                let degraded = DegradedQuartzFabric::new(intact, &[(0, 1)]);
+                Half::Waterfill {
+                    intact: intact_throughput,
+                    degraded: normalized_throughput(&degraded, &demands).normalized,
+                }
+            }
+        })
+        .into_iter();
+
+    let (Some(Half::Scenario(scenario)), Some(Half::Waterfill { intact, degraded })) =
+        (halves.next(), halves.next())
+    else {
+        unreachable!("par_map returns both halves in index order");
     };
-    let demands = random_permutation(racks * 4, 0xD16);
-    let intact_throughput = normalized_throughput(&intact, &demands).normalized;
-    // Sever the same channel the scenario cuts: switches 0 ↔ 1.
-    let degraded = DegradedQuartzFabric::new(intact, &[(0, 1)]);
-    let degraded_throughput = normalized_throughput(&degraded, &demands).normalized;
-
     DynamicReport {
         scenario,
-        intact_throughput,
-        degraded_throughput,
+        intact_throughput: intact,
+        degraded_throughput: degraded,
     }
 }
 
 /// Prints both Figure 6 panels.
 pub fn print(scale: Scale) {
-    let grid = run(scale);
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints both Figure 6 panels, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
+    let grid = run_with(scale, pool);
     println!("Figure 6 (top): mean bandwidth loss vs broken fiber links\n");
     let headers = [
         "Rings",
@@ -136,7 +183,7 @@ pub fn print(scale: Scale) {
         grid[1][3].partition_probability
     );
 
-    let dyn_report = run_dynamic(scale);
+    let dyn_report = run_dynamic_with(scale, pool);
     let s = &dyn_report.scenario;
     println!("\nFigure 6 (dynamic): one fiber cut mid-run under steady Poisson traffic\n");
     println!(

@@ -4,12 +4,13 @@
 
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::pool::ThreadPool;
 use quartz_flowsim::fabric::OversubscribedFabric;
 use quartz_flowsim::matrix::{incast, rack_shuffle, random_permutation};
 use quartz_flowsim::throughput::{adaptive_quartz_throughput, normalized_throughput, DEFAULT_KS};
 
 /// One pattern's bars.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Row {
     /// Pattern name.
     pub pattern: &'static str,
@@ -25,30 +26,57 @@ pub struct Row {
     pub quarter: f64,
 }
 
-/// Runs the three patterns over the four fabrics. Paper scale uses the
-/// flagship 33 × 32 mesh; quick scale a 9 × 8 one.
+/// Runs the three patterns over the four fabrics (over one worker per
+/// hardware thread). Paper scale uses the flagship 33 × 32 mesh; quick
+/// scale a 9 × 8 one.
 pub fn run(scale: Scale) -> Vec<Row> {
+    run_with(scale, &ThreadPool::default())
+}
+
+/// Names of the three Figure 10 traffic patterns, in panel order.
+const PATTERNS: [&str; 3] = ["Random Permutation", "Incast", "Rack-Level Shuffle"];
+
+/// Runs the three patterns over `pool`: one unit per `(pattern, seed)`
+/// cell (each cell regenerates its own demand matrix from the seed, so
+/// cells share nothing); per-pattern sums fold in seed order, keeping
+/// the rows bit-identical at any worker count.
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<Row> {
     let (racks, hpr, seeds) = match scale {
         Scale::Paper => (33usize, 32usize, 5u64),
         Scale::Quick => (9, 8, 2),
     };
     let hosts = racks * hpr;
-    type Generator = Box<dyn Fn(u64) -> Vec<(usize, usize)>>;
-    let patterns: Vec<(&'static str, Generator)> = vec![
-        (
-            "Random Permutation",
-            Box::new(move |s| random_permutation(hosts, s)),
-        ),
-        ("Incast", Box::new(move |s| incast(hosts, 10, s))),
-        (
-            "Rack-Level Shuffle",
-            Box::new(move |s| rack_shuffle(racks, hpr, 4, s)),
-        ),
-    ];
+    let cells = pool.par_map(PATTERNS.len() * seeds as usize, |i| {
+        let (pattern, seed) = (i / seeds as usize, (i % seeds as usize) as u64);
+        let d = match pattern {
+            0 => random_permutation(hosts, seed),
+            1 => incast(hosts, 10, seed),
+            _ => rack_shuffle(racks, hpr, 4, seed),
+        };
+        let over = |o: f64| {
+            normalized_throughput(
+                &OversubscribedFabric {
+                    racks,
+                    hosts_per_rack: hpr,
+                    oversub: o,
+                },
+                &d,
+            )
+            .normalized
+        };
+        // Evaluation order matches the sequential loop: full, half,
+        // quarter, then the adaptive sweep.
+        let full = over(1.0);
+        let half = over(2.0);
+        let quarter = over(4.0);
+        let (t, k) = adaptive_quartz_throughput(racks, hpr, 1.0, &d, &DEFAULT_KS);
+        (full, half, quarter, t.normalized, k)
+    });
 
-    patterns
-        .into_iter()
-        .map(|(name, generate)| {
+    PATTERNS
+        .iter()
+        .enumerate()
+        .map(|(p, &name)| {
             let mut acc = Row {
                 pattern: name,
                 full: 0.0,
@@ -57,24 +85,12 @@ pub fn run(scale: Scale) -> Vec<Row> {
                 half: 0.0,
                 quarter: 0.0,
             };
-            for seed in 0..seeds {
-                let d = generate(seed);
-                let over = |o: f64| {
-                    normalized_throughput(
-                        &OversubscribedFabric {
-                            racks,
-                            hosts_per_rack: hpr,
-                            oversub: o,
-                        },
-                        &d,
-                    )
-                    .normalized
-                };
-                acc.full += over(1.0);
-                acc.half += over(2.0);
-                acc.quarter += over(4.0);
-                let (t, k) = adaptive_quartz_throughput(racks, hpr, 1.0, &d, &DEFAULT_KS);
-                acc.quartz += t.normalized;
+            for seed in 0..seeds as usize {
+                let (full, half, quarter, quartz, k) = cells[p * seeds as usize + seed];
+                acc.full += full;
+                acc.half += half;
+                acc.quarter += quarter;
+                acc.quartz += quartz;
                 acc.quartz_k += k;
             }
             let n = seeds as f64;
@@ -94,8 +110,13 @@ pub fn run(scale: Scale) -> Vec<Row> {
 
 /// Prints the Figure 10 bars.
 pub fn print(scale: Scale) {
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints the Figure 10 bars, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
     println!("Figure 10: normalized throughput (1.0 = every server at full rate)\n");
-    let rows: Vec<Vec<String>> = run(scale)
+    let rows: Vec<Vec<String>> = run_with(scale, pool)
         .into_iter()
         .map(|r| {
             vec![

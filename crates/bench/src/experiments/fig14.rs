@@ -12,6 +12,7 @@
 //! interference at shared 1 Gb/s ports.
 
 use crate::Scale;
+use quartz_core::pool::ThreadPool;
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
 use quartz_netsim::switch::{LatencyModel, SwitchSpec};
 use quartz_netsim::time::SimTime;
@@ -134,31 +135,58 @@ fn rpc_latency_ns(quartz: bool, cross_mbps: f64, rpc_count: u32, seed: u64) -> f
     s.mean_ns
 }
 
-/// Sweeps cross-traffic 0..=200 Mb/s per source.
+/// Sweeps cross-traffic 0..=200 Mb/s per source (over one worker per
+/// hardware thread).
 pub fn run(scale: Scale) -> Vec<Point> {
+    run_with(scale, &ThreadPool::default())
+}
+
+/// Sweeps cross-traffic over `pool`: the two zero-cross baselines and
+/// every `(wiring, Mb/s)` sweep point are independent simulations, so
+/// all of them parallelize; ratios are formed afterwards on this
+/// thread, bit-identical at any worker count.
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<Point> {
     let (rpc_count, step) = match scale {
         Scale::Paper => (10_000, 25.0),
         Scale::Quick => (300, 100.0),
     };
-    let base_tree = rpc_latency_ns(false, 0.0, rpc_count, 1);
-    let base_quartz = rpc_latency_ns(true, 0.0, rpc_count, 1);
-    let mut out = Vec::new();
+    let mut sweep = Vec::new();
     let mut mbps = 0.0;
     while mbps <= 200.0 + 1e-9 {
-        out.push(Point {
-            cross_mbps: mbps,
-            tree: rpc_latency_ns(false, mbps, rpc_count, 1) / base_tree,
-            quartz: rpc_latency_ns(true, mbps, rpc_count, 1) / base_quartz,
-        });
+        sweep.push(mbps);
         mbps += step;
     }
-    out
+    // Units: the two baselines first, then (tree, quartz) per point —
+    // the exact evaluation order of the sequential loop.
+    let units: Vec<(bool, f64)> = [(false, 0.0), (true, 0.0)]
+        .into_iter()
+        .chain(sweep.iter().flat_map(|&m| [(false, m), (true, m)]))
+        .collect();
+    let lat = pool.par_map(units.len(), |i| {
+        let (quartz, mbps) = units[i];
+        rpc_latency_ns(quartz, mbps, rpc_count, 1)
+    });
+    let (base_tree, base_quartz) = (lat[0], lat[1]);
+    sweep
+        .iter()
+        .enumerate()
+        .map(|(j, &m)| Point {
+            cross_mbps: m,
+            tree: lat[2 + 2 * j] / base_tree,
+            quartz: lat[3 + 2 * j] / base_quartz,
+        })
+        .collect()
 }
 
 /// Prints the Figure 14 series.
 pub fn print(scale: Scale) {
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints the Figure 14 series, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
     println!("Figure 14: impact of cross-traffic on normalized RPC latency\n");
-    let rows: Vec<Vec<String>> = run(scale)
+    let rows: Vec<Vec<String>> = run_with(scale, pool)
         .into_iter()
         .map(|p| {
             vec![

@@ -8,6 +8,7 @@
 
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::pool::ThreadPool;
 use quartz_core::rng::{SliceRandom, StdRng};
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
 use quartz_netsim::time::SimTime;
@@ -168,8 +169,16 @@ pub fn simulate(arch: Arch, workload: Workload, tasks: usize, sim_ms: u64, seed:
 /// One panel: latency series per architecture.
 pub type Panel = Vec<(Arch, Vec<(usize, f64)>)>;
 
-/// Runs all three panels.
+/// Runs all three panels (over one worker per hardware thread).
 pub fn run(scale: Scale) -> Vec<(Workload, Panel)> {
+    run_with(scale, &ThreadPool::default())
+}
+
+/// Runs all three panels over `pool`. Every `(workload, arch, tasks,
+/// seed)` cell is one independent simulation with its own seed, so the
+/// cells parallelize freely; means fold in seed order on this thread,
+/// making the output bit-identical at any worker count.
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<(Workload, Panel)> {
     let (sim_ms, max_sg, max_tasks) = match scale {
         Scale::Paper => (4, 4, 8),
         Scale::Quick => (1, 2, 2),
@@ -185,38 +194,62 @@ pub fn run(scale: Scale) -> Vec<(Workload, Panel)> {
         Scale::Paper => 3,
         Scale::Quick => 1,
     };
-    [
+    let panels = [
         (Workload::Scatter, max_tasks),
         (Workload::Gather, max_tasks),
         (Workload::ScatterGather, max_sg),
-    ]
-    .into_iter()
-    .map(|(w, max)| {
-        let panel: Panel = archs
-            .iter()
-            .map(|&a| {
-                let series = (1..=max)
-                    .map(|t| {
-                        // Mean over independent placements, matching the
-                        // paper's error-bar methodology.
-                        let mean = (0..seeds)
-                            .map(|s| simulate(a, w, t, sim_ms, 42 + t as u64 + 1000 * s))
-                            .sum::<f64>()
-                            / seeds as f64;
-                        (t, mean)
-                    })
-                    .collect();
-                (a, series)
-            })
-            .collect();
-        (w, panel)
-    })
-    .collect()
+    ];
+    let mut units = Vec::new();
+    for (w, max) in panels {
+        for &a in &archs {
+            for t in 1..=max {
+                for s in 0..seeds {
+                    units.push((w, a, t, s));
+                }
+            }
+        }
+    }
+    let cells = pool.par_map(units.len(), |i| {
+        let (w, a, t, s) = units[i];
+        // Mean over independent placements, matching the paper's
+        // error-bar methodology; seed expression unchanged.
+        simulate(a, w, t, sim_ms, 42 + t as u64 + 1000 * s)
+    });
+    // Reassemble in the original nesting order — unit order equals the
+    // sequential iteration order, so the per-point means sum the same
+    // floats in the same order.
+    let mut cells = cells.into_iter();
+    panels
+        .into_iter()
+        .map(|(w, max)| {
+            let panel: Panel = archs
+                .iter()
+                .map(|&a| {
+                    let series = (1..=max)
+                        .map(|t| {
+                            let mean = (0..seeds)
+                                .map(|_| cells.next().expect("one cell per unit"))
+                                .sum::<f64>()
+                                / seeds as f64;
+                            (t, mean)
+                        })
+                        .collect();
+                    (a, series)
+                })
+                .collect();
+            (w, panel)
+        })
+        .collect()
 }
 
 /// Prints the three Figure 17 panels.
 pub fn print(scale: Scale) {
-    for (w, panel) in run(scale) {
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints the three Figure 17 panels, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
+    for (w, panel) in run_with(scale, pool) {
         println!(
             "\nFigure 17 ({}): average latency per packet (µs) vs number of tasks\n",
             w.name()

@@ -10,6 +10,7 @@
 use crate::experiments::fig17::{add_task, Arch, Workload, MEAN_GAP_NS, PARTNERS};
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::pool::ThreadPool;
 use quartz_core::rng::{SliceRandom, StdRng};
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator};
 use quartz_netsim::time::SimTime;
@@ -110,8 +111,16 @@ pub fn simulate(arch: Arch, workload: Workload, tasks: usize, sim_ms: u64, seed:
 /// One panel: per-architecture series of `(total tasks, local-task µs)`.
 pub type Panel = Vec<(Arch, Vec<(usize, f64)>)>;
 
-/// Runs all three localized panels for the Figure 18 architecture set.
+/// Runs all three localized panels for the Figure 18 architecture set
+/// (over one worker per hardware thread).
 pub fn run(scale: Scale) -> Vec<(Workload, Panel)> {
+    run_with(scale, &ThreadPool::default())
+}
+
+/// Runs all three localized panels over `pool`; every `(workload,
+/// arch, tasks)` point is an independent seeded simulation, so output
+/// is bit-identical at any worker count.
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<(Workload, Panel)> {
     let (sim_ms, max_sg, max_tasks) = match scale {
         Scale::Paper => (4, 5, 6),
         Scale::Quick => (1, 2, 2),
@@ -122,30 +131,49 @@ pub fn run(scale: Scale) -> Vec<(Workload, Panel)> {
         Arch::QuartzInJellyfish,
         Arch::QuartzInEdgeAndCore,
     ];
-    [
+    let panels = [
         (Workload::Scatter, max_tasks),
         (Workload::Gather, max_tasks),
         (Workload::ScatterGather, max_sg),
-    ]
-    .into_iter()
-    .map(|(w, max)| {
-        let panel: Panel = archs
-            .iter()
-            .map(|&a| {
-                let series = (1..=max)
-                    .map(|t| (t, simulate(a, w, t, sim_ms, 180 + t as u64)))
-                    .collect();
-                (a, series)
-            })
-            .collect();
-        (w, panel)
-    })
-    .collect()
+    ];
+    let mut units = Vec::new();
+    for (w, max) in panels {
+        for &a in &archs {
+            for t in 1..=max {
+                units.push((w, a, t));
+            }
+        }
+    }
+    let cells = pool.par_map(units.len(), |i| {
+        let (w, a, t) = units[i];
+        simulate(a, w, t, sim_ms, 180 + t as u64)
+    });
+    let mut cells = cells.into_iter();
+    panels
+        .into_iter()
+        .map(|(w, max)| {
+            let panel: Panel = archs
+                .iter()
+                .map(|&a| {
+                    let series = (1..=max)
+                        .map(|t| (t, cells.next().expect("one cell per unit")))
+                        .collect();
+                    (a, series)
+                })
+                .collect();
+            (w, panel)
+        })
+        .collect()
 }
 
 /// Prints the three Figure 18 panels.
 pub fn print(scale: Scale) {
-    for (w, panel) in run(scale) {
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints the three Figure 18 panels, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
+    for (w, panel) in run_with(scale, pool) {
         println!(
             "\nFigure 18 (Localized {}): local-task latency per packet (µs) vs total tasks\n",
             w.name()

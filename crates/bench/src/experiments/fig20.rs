@@ -6,6 +6,7 @@
 
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::pool::ThreadPool;
 use quartz_netsim::sim::{FlowKind, SimConfig, Simulator, VlbConfig};
 use quartz_netsim::time::SimTime;
 use quartz_topology::builders::quartz_mesh;
@@ -122,28 +123,44 @@ pub fn designs() -> [Design; 3] {
     ]
 }
 
-/// Sweeps aggregate traffic 10..=50 Gb/s.
+/// Sweeps aggregate traffic 10..=50 Gb/s (over one worker per hardware
+/// thread).
 pub fn run(scale: Scale) -> Vec<Point> {
+    run_with(scale, &ThreadPool::default())
+}
+
+/// Sweeps aggregate traffic over `pool`: one unit per `(load point,
+/// design)` simulation, reassembled in sweep order — bit-identical at
+/// any worker count.
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<Point> {
     let (sim_ms, points): (u64, Vec<f64>) = match scale {
         Scale::Paper => (8, vec![10.0, 20.0, 30.0, 40.0, 45.0, 50.0]),
         Scale::Quick => (1, vec![10.0, 50.0]),
     };
+    let n_designs = designs().len();
+    let cells = pool.par_map(points.len() * n_designs, |i| {
+        let (gbps, d) = (points[i / n_designs], designs()[i % n_designs]);
+        simulate(d, gbps, sim_ms, 7)
+    });
     points
         .into_iter()
-        .map(|gbps| Point {
+        .enumerate()
+        .map(|(p, gbps)| Point {
             gbps,
-            results: designs()
-                .iter()
-                .map(|&d| simulate(d, gbps, sim_ms, 7))
-                .collect(),
+            results: cells[p * n_designs..(p + 1) * n_designs].to_vec(),
         })
         .collect()
 }
 
 /// Prints the Figure 20 series.
 pub fn print(scale: Scale) {
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints the Figure 20 series, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
     println!("Figure 20: pathological S1→S2 pattern — latency per packet (µs)\n");
-    let pts = run(scale);
+    let pts = run_with(scale, pool);
     let mut headers: Vec<String> = vec!["Traffic (Gb/s)".into()];
     headers.extend(designs().iter().map(|d| d.name().to_string()));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();

@@ -21,6 +21,17 @@ pub fn run(_scale: Scale) -> Vec<Row> {
     ]
 }
 
+/// Pass-through for the shared `--jobs` plumbing: the table is static,
+/// so the pool is unused.
+pub fn run_with(scale: Scale, _pool: &quartz_core::ThreadPool) -> Vec<Row> {
+    run(scale)
+}
+
+/// Pass-through for the shared `--jobs` plumbing (see [`run_with`]).
+pub fn print_with(scale: Scale, _pool: &quartz_core::ThreadPool) {
+    print(scale);
+}
+
 /// Prints Table 2.
 pub fn print(scale: Scale) {
     println!("Table 2: network latencies of different network components\n");

@@ -11,6 +11,17 @@ pub fn run(_scale: Scale) -> Vec<Row> {
     configure(&PriceCatalog::era_2014())
 }
 
+/// Pass-through for the shared `--jobs` plumbing: one configurator
+/// evaluation is already sub-millisecond, so the pool is unused.
+pub fn run_with(scale: Scale, _pool: &quartz_core::ThreadPool) -> Vec<Row> {
+    run(scale)
+}
+
+/// Pass-through for the shared `--jobs` plumbing (see [`run_with`]).
+pub fn print_with(scale: Scale, _pool: &quartz_core::ThreadPool) {
+    print(scale);
+}
+
 fn size_name(s: DatacenterSize) -> &'static str {
     match s {
         DatacenterSize::Small => "Small (500)",

@@ -12,6 +12,7 @@
 
 use crate::table::print_table;
 use crate::Scale;
+use quartz_core::pool::ThreadPool;
 use quartz_topology::builders::{
     bcube, jellyfish, leaf_spine, quartz_mesh, table9_fat_tree, two_tier,
 };
@@ -39,127 +40,142 @@ pub struct Row {
     pub path_diversity: usize,
 }
 
-/// Builds and measures all five structures.
+/// Builds and measures all five structures (over one worker per
+/// hardware thread).
 pub fn run(scale: Scale) -> Vec<Row> {
+    run_with(scale, &ThreadPool::default())
+}
+
+/// Builds and measures all five structures over `pool`: each
+/// structure's build + all-pairs shortest-path + max-flow analysis is
+/// one independent unit.
+pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<Row> {
     // Quick scale shrinks each instance but keeps the structure.
     let paper = scale == Scale::Paper;
-    let mut rows = Vec::new();
+    pool.par_map(5, |i| build_row(i, paper))
+}
 
-    // 2-tier tree: 16 ToRs under one root (17 switches, 16 cross links).
-    {
-        let t = if paper {
-            two_tier(16, 63, 1, 10.0, 40.0)
-        } else {
-            two_tier(8, 8, 1, 10.0, 40.0)
-        };
-        let table = RouteTable::all_shortest_paths(&t.net);
-        let hops = diameter_hops(&t.net, &table);
-        rows.push(Row {
-            name: "2-Tier Tree",
-            hops,
-            latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
-            switches_64p: 17,
-            wiring: t.net.switch_to_switch_links(),
-            wiring_with_wdm: None,
-            path_diversity: path_diversity(&t.net, t.tors[0], t.tors[1]),
-        });
+/// Builds and measures structure `i` of the table's five rows.
+fn build_row(i: usize, paper: bool) -> Row {
+    match i {
+        // 2-tier tree: 16 ToRs under one root (17 switches, 16 cross
+        // links).
+        0 => {
+            let t = if paper {
+                two_tier(16, 63, 1, 10.0, 40.0)
+            } else {
+                two_tier(8, 8, 1, 10.0, 40.0)
+            };
+            let table = RouteTable::all_shortest_paths(&t.net);
+            let hops = diameter_hops(&t.net, &table);
+            Row {
+                name: "2-Tier Tree",
+                hops,
+                latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
+                switches_64p: 17,
+                wiring: t.net.switch_to_switch_links(),
+                wiring_with_wdm: None,
+                path_diversity: path_diversity(&t.net, t.tors[0], t.tors[1]),
+            }
+        }
+        // Fat-Tree: the paper's 1k-port instance is a 3-stage folded
+        // Clos of 64-port switches (32 leaves × 32 hosts, 16 spines, 2
+        // parallel links per leaf-spine pair = 48 switches, 1024 links,
+        // diversity 32).
+        1 => {
+            let f = if paper {
+                table9_fat_tree()
+            } else {
+                leaf_spine(4, 2, 4, 2, 10.0)
+            };
+            let table = RouteTable::all_shortest_paths(&f.net);
+            let hops = diameter_hops(&f.net, &table);
+            let last = *f.leaves.last().unwrap();
+            Row {
+                name: "Fat-Tree",
+                hops,
+                latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
+                switches_64p: f.leaves.len() + f.spines.len(),
+                wiring: f.net.switch_to_switch_links(),
+                wiring_with_wdm: None,
+                path_diversity: path_diversity(&f.net, f.leaves[0], last),
+            }
+        }
+        // BCube(32,1) (1024 hosts) or BCube(4,1) quick.
+        2 => {
+            let b = if paper {
+                bcube(32, 1, 10.0)
+            } else {
+                bcube(4, 1, 10.0)
+            };
+            let table = RouteTable::all_shortest_paths(&b.net);
+            let hops = diameter_hops(&b.net, &table);
+            // Cross-rack cables: every level-1 (non-rack-local) server
+            // link.
+            let wiring = b.hosts.len();
+            Row {
+                name: "BCube",
+                hops,
+                latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
+                switches_64p: 32, // the paper counts the per-pod 32-port tier
+                wiring,
+                wiring_with_wdm: None,
+                path_diversity: path_diversity(&b.net, b.hosts[0], *b.hosts.last().unwrap()),
+            }
+        }
+        // Jellyfish: 24 switches, degree 20, 44 hosts each (1056 hosts).
+        3 => {
+            let j = if paper {
+                jellyfish(24, 20, 44, 10.0, 10.0, 9)
+            } else {
+                jellyfish(8, 4, 4, 10.0, 10.0, 9)
+            };
+            let table = RouteTable::all_shortest_paths(&j.net);
+            let hops = diameter_hops(&j.net, &table);
+            Row {
+                name: "Jellyfish",
+                hops,
+                latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
+                switches_64p: 24,
+                wiring: j.net.switch_to_switch_links(),
+                wiring_with_wdm: None,
+                path_diversity: path_diversity(&j.net, j.switches[0], j.switches[1]),
+            }
+        }
+        // Quartz mesh: 33 switches × 32 hosts = 1056 ports.
+        _ => {
+            let q = if paper {
+                quartz_mesh(33, 32, 10.0, 10.0)
+            } else {
+                quartz_mesh(6, 2, 10.0, 10.0)
+            };
+            let table = RouteTable::all_shortest_paths(&q.net);
+            let hops = diameter_hops(&q.net, &table);
+            let m = q.switches.len();
+            Row {
+                name: "Mesh (Quartz)",
+                hops,
+                latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
+                switches_64p: 33,
+                wiring: q.net.switch_to_switch_links(),
+                // Two fiber cables per switch once channels ride the
+                // ring (§3.5: a 33-switch ring needs two physical rings).
+                wiring_with_wdm: Some(2 * m),
+                path_diversity: path_diversity(&q.net, q.switches[0], q.switches[1]),
+            }
+        }
     }
-
-    // Fat-Tree: the paper's 1k-port instance is a 3-stage folded Clos
-    // of 64-port switches (32 leaves × 32 hosts, 16 spines, 2 parallel
-    // links per leaf-spine pair = 48 switches, 1024 links, diversity 32).
-    {
-        let f = if paper {
-            table9_fat_tree()
-        } else {
-            leaf_spine(4, 2, 4, 2, 10.0)
-        };
-        let table = RouteTable::all_shortest_paths(&f.net);
-        let hops = diameter_hops(&f.net, &table);
-        let last = *f.leaves.last().unwrap();
-        rows.push(Row {
-            name: "Fat-Tree",
-            hops,
-            latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
-            switches_64p: f.leaves.len() + f.spines.len(),
-            wiring: f.net.switch_to_switch_links(),
-            wiring_with_wdm: None,
-            path_diversity: path_diversity(&f.net, f.leaves[0], last),
-        });
-    }
-
-    // BCube(32,1) (1024 hosts) or BCube(4,1) quick.
-    {
-        let b = if paper {
-            bcube(32, 1, 10.0)
-        } else {
-            bcube(4, 1, 10.0)
-        };
-        let table = RouteTable::all_shortest_paths(&b.net);
-        let hops = diameter_hops(&b.net, &table);
-        // Cross-rack cables: every level-1 (non-rack-local) server link.
-        let wiring = b.hosts.len();
-        rows.push(Row {
-            name: "BCube",
-            hops,
-            latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
-            switches_64p: 32, // the paper counts the per-pod 32-port tier
-            wiring,
-            wiring_with_wdm: None,
-            path_diversity: path_diversity(&b.net, b.hosts[0], *b.hosts.last().unwrap()),
-        });
-    }
-
-    // Jellyfish: 24 switches, degree 20, 44 hosts each (1056 hosts).
-    {
-        let j = if paper {
-            jellyfish(24, 20, 44, 10.0, 10.0, 9)
-        } else {
-            jellyfish(8, 4, 4, 10.0, 10.0, 9)
-        };
-        let table = RouteTable::all_shortest_paths(&j.net);
-        let hops = diameter_hops(&j.net, &table);
-        rows.push(Row {
-            name: "Jellyfish",
-            hops,
-            latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
-            switches_64p: 24,
-            wiring: j.net.switch_to_switch_links(),
-            wiring_with_wdm: None,
-            path_diversity: path_diversity(&j.net, j.switches[0], j.switches[1]),
-        });
-    }
-
-    // Quartz mesh: 33 switches × 32 hosts = 1056 ports.
-    {
-        let q = if paper {
-            quartz_mesh(33, 32, 10.0, 10.0)
-        } else {
-            quartz_mesh(6, 2, 10.0, 10.0)
-        };
-        let table = RouteTable::all_shortest_paths(&q.net);
-        let hops = diameter_hops(&q.net, &table);
-        let m = q.switches.len();
-        rows.push(Row {
-            name: "Mesh (Quartz)",
-            hops,
-            latency_us: latency_no_congestion_us(hops, 0.5, 15.0),
-            switches_64p: 33,
-            wiring: q.net.switch_to_switch_links(),
-            // Two fiber cables per switch once channels ride the ring
-            // (§3.5: a 33-switch ring needs two physical rings).
-            wiring_with_wdm: Some(2 * m),
-            path_diversity: path_diversity(&q.net, q.switches[0], q.switches[1]),
-        });
-    }
-
-    rows
 }
 
 /// Prints Table 9.
 pub fn print(scale: Scale) {
+    print_with(scale, &ThreadPool::default());
+}
+
+/// Prints Table 9, computed over `pool`.
+pub fn print_with(scale: Scale, pool: &ThreadPool) {
     println!("Table 9: summary of different network structures (~1k server ports)\n");
-    let rows: Vec<Vec<String>> = run(scale)
+    let rows: Vec<Vec<String>> = run_with(scale, pool)
         .into_iter()
         .map(|r| {
             let hop_desc = if r.hops.server_hops > 0 {

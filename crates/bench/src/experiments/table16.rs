@@ -9,6 +9,17 @@ pub fn run(_scale: Scale) -> Vec<SwitchSpec> {
     vec![CISCO_NEXUS_7000, ARISTA_7150S]
 }
 
+/// Pass-through for the shared `--jobs` plumbing: the table is static,
+/// so the pool is unused.
+pub fn run_with(scale: Scale, _pool: &quartz_core::ThreadPool) -> Vec<SwitchSpec> {
+    run(scale)
+}
+
+/// Pass-through for the shared `--jobs` plumbing (see [`run_with`]).
+pub fn print_with(scale: Scale, _pool: &quartz_core::ThreadPool) {
+    print(scale);
+}
+
 /// Prints Table 16.
 pub fn print(scale: Scale) {
     println!("Table 16: specifications of switches used in the simulations\n");

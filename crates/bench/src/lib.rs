@@ -36,3 +36,50 @@ impl Scale {
         }
     }
 }
+
+/// Parses `--jobs N` (or `--jobs=N`) from process args. Absent or `0`
+/// means one worker per hardware thread; `--jobs 1` is the sequential
+/// pre-pool behavior.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            if let Ok(n) = v.parse() {
+                return n;
+            }
+        }
+    }
+    0
+}
+
+/// The worker pool the process args ask for (see [`jobs_from_args`]).
+pub fn pool_from_args() -> quartz_core::ThreadPool {
+    quartz_core::ThreadPool::new(jobs_from_args())
+}
+
+/// Shared `main` for the experiment binaries: runs `print_fn` at the
+/// arg-selected scale over the arg-selected pool, timing the whole run,
+/// and emits `BENCH_<name>.json` when `QUARTZ_BENCH_JSON` is set (see
+/// [`timing::write_json`]).
+pub fn run_bin(name: &str, print_fn: impl FnOnce(Scale, &quartz_core::ThreadPool)) {
+    let scale = Scale::from_args();
+    let pool = pool_from_args();
+    let t0 = std::time::Instant::now();
+    print_fn(scale, &pool);
+    let wall_ns = t0.elapsed().as_nanos() as f64;
+    timing::note(
+        name,
+        match scale {
+            Scale::Paper => "total_paper",
+            Scale::Quick => "total_quick",
+        },
+        wall_ns,
+        wall_ns,
+        1,
+    );
+    timing::write_json(name, Some(pool.threads()));
+}

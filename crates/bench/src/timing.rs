@@ -9,9 +9,35 @@
 //! time budget is spent (or an iteration cap is hit) and reports the
 //! mean and minimum per-iteration wall time. `QUARTZ_BENCH_FAST=1`
 //! shrinks the budget so the bench binaries can be smoke-tested in CI.
+//!
+//! Besides the human-readable line, every measurement is collected in a
+//! process-wide buffer; [`write_json`] drains it into
+//! `BENCH_<experiment>.json` (mean/min ns, iters, git rev — hand-rolled
+//! JSON, no serde) when `QUARTZ_BENCH_JSON` is set, so successive PRs
+//! can track the perf trajectory mechanically.
 
 use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed measurement, as collected by [`measure`] / [`note`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Benchmark group label.
+    pub group: String,
+    /// Measurement name within the group.
+    pub name: String,
+    /// Mean per-iteration wall time, ns.
+    pub mean_ns: f64,
+    /// Fastest iteration, ns.
+    pub min_ns: f64,
+    /// Iterations timed.
+    pub iters: u64,
+}
+
+/// Measurements accumulated since the last [`write_json`].
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
 
 /// Per-measurement time budget.
 fn budget() -> Duration {
@@ -60,4 +86,91 @@ pub fn measure<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
         fmt_ns(mean_ns),
         fmt_ns(min_ns),
     );
+    note(group, name, mean_ns, min_ns, iters);
+}
+
+/// Records an externally timed measurement (e.g. an experiment binary's
+/// total wall time) for the next [`write_json`], without printing.
+pub fn note(group: &str, name: &str, mean_ns: f64, min_ns: f64, iters: u64) {
+    RECORDS.lock().unwrap().push(Record {
+        group: group.to_string(),
+        name: name.to_string(),
+        mean_ns,
+        min_ns,
+        iters,
+    });
+}
+
+/// The working tree's `git rev-parse --short HEAD`, or `"unknown"`.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Escapes `s` for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Drains every measurement collected so far into
+/// `BENCH_<experiment>.json` and returns the path written.
+///
+/// Gated on the `QUARTZ_BENCH_JSON` environment variable: unset → no
+/// file, returns `None` (the records stay buffered); set to `1` or the
+/// empty string → the current directory; anything else → that
+/// directory (created if missing). `jobs` records the worker count the
+/// run used, if the caller threads one through.
+pub fn write_json(experiment: &str, jobs: Option<usize>) -> Option<PathBuf> {
+    let dir = match std::env::var("QUARTZ_BENCH_JSON") {
+        Ok(v) if v.is_empty() || v == "1" => PathBuf::from("."),
+        Ok(v) => PathBuf::from(v),
+        Err(_) => return None,
+    };
+    std::fs::create_dir_all(&dir).ok()?;
+    let records = std::mem::take(&mut *RECORDS.lock().unwrap());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"experiment\": \"{}\",\n",
+        json_escape(experiment)
+    ));
+    json.push_str(&format!(
+        "  \"git_rev\": \"{}\",\n",
+        json_escape(&git_rev())
+    ));
+    if let Some(jobs) = jobs {
+        json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    }
+    json.push_str("  \"measurements\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}}}{}\n",
+            json_escape(&r.group),
+            json_escape(&r.name),
+            r.mean_ns,
+            r.min_ns,
+            r.iters,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, json).ok()?;
+    eprintln!("bench json: {}", path.display());
+    Some(path)
 }

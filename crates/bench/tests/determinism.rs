@@ -1,0 +1,39 @@
+//! The pool determinism contract, pinned end-to-end: every experiment
+//! must produce bit-identical results at any worker count, because each
+//! unit derives its RNG from its unit index (never from which worker ran
+//! it) and results fold in unit order on the calling thread.
+
+use quartz_bench::experiments::{fig06, fig10, fig17};
+use quartz_bench::Scale;
+use quartz_core::ThreadPool;
+
+#[test]
+fn fig10_rows_are_identical_at_one_and_four_workers() {
+    let seq = fig10::run_with(Scale::Quick, &ThreadPool::new(1));
+    let par = fig10::run_with(Scale::Quick, &ThreadPool::new(4));
+    assert_eq!(seq, par, "fig10 quick rows must not depend on --jobs");
+}
+
+#[test]
+fn fig06_grid_is_identical_at_one_and_four_workers() {
+    let seq = fig06::run_with(Scale::Quick, &ThreadPool::new(1));
+    let par = fig06::run_with(Scale::Quick, &ThreadPool::new(4));
+    assert_eq!(seq, par, "fig6 grid must not depend on --jobs");
+}
+
+#[test]
+fn fig06_dynamic_ring_cut_is_identical_at_one_and_four_workers() {
+    let seq = fig06::run_dynamic_with(Scale::Quick, &ThreadPool::new(1));
+    let par = fig06::run_dynamic_with(Scale::Quick, &ThreadPool::new(4));
+    assert_eq!(
+        seq, par,
+        "fig6 dynamic ring-cut scenario must not depend on --jobs"
+    );
+}
+
+#[test]
+fn fig17_panels_are_identical_at_one_and_four_workers() {
+    let seq = fig17::run_with(Scale::Quick, &ThreadPool::new(1));
+    let par = fig17::run_with(Scale::Quick, &ThreadPool::new(4));
+    assert_eq!(seq, par, "fig17 quick panels must not depend on --jobs");
+}

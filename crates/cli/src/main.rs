@@ -4,7 +4,7 @@
 //! quartz design     --switches 33 [--server-ports 32 --trunk-ports 32 --rate 10]
 //! quartz plan       --switches 9 [--exact true] [--show-pairs 10]
 //! quartz grow       --switches 9
-//! quartz faults     --switches 33 --rings 2 [--failures 4 --trials 10000]
+//! quartz faults     --switches 33 --rings 2 [--failures 4 --trials 10000 --jobs 4]
 //! quartz faults     --dynamic true [--switches 33 --cut-at-us 1000 --reconverge-us 50 --duration-ms 4]
 //! quartz configure
 //! quartz throughput --racks 16 --hosts 8 [--pattern permutation|incast|shuffle] [--policy ecmp|adaptive|vlb:0.5]
@@ -16,6 +16,7 @@ mod args;
 use args::Args;
 use quartz_core::channel::{bounds, exact, greedy};
 use quartz_core::fault::FailureModel;
+use quartz_core::pool::ThreadPool;
 use quartz_core::scalability;
 use quartz_core::QuartzRing;
 use quartz_netsim::faults::{ring_cut_scenario, CutScenarioConfig};
@@ -168,6 +169,7 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
         "failures",
         "trials",
         "seed",
+        "jobs",
         "dynamic",
         "cut-at-us",
         "reconverge-us",
@@ -182,11 +184,14 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     let failures: usize = args.num("failures", 4)?;
     let trials: usize = args.num("trials", 10_000)?;
     let seed: u64 = args.num("seed", 42)?;
+    // 0 = one worker per hardware thread; the report is identical at
+    // any worker count.
+    let jobs: usize = args.num("jobs", 0)?;
     if m < 3 {
         return Err("--switches must be ≥ 3".into());
     }
     let model = FailureModel::new(m, rings);
-    let r = model.monte_carlo(failures, trials, seed);
+    let r = model.monte_carlo_with(failures, trials, seed, &ThreadPool::new(jobs));
     println!(
         "{m}-switch ring, {rings} physical fiber ring(s), {failures} random cut(s), {trials} trials:"
     );

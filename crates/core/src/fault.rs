@@ -18,6 +18,7 @@
 //! partition probability for two failures on a single ring).
 
 use crate::channel::{greedy, Arc, Pair};
+use crate::pool::ThreadPool;
 use crate::rng::StdRng;
 
 /// The fault model for an `m`-switch Quartz network whose channels are
@@ -255,30 +256,59 @@ impl FailureModel {
     /// most 200 evenly spaced trials (the loss/partition statistics use
     /// every trial), keeping large Monte-Carlo sweeps cheap.
     pub fn monte_carlo(&self, failures: usize, trials: usize, seed: u64) -> FaultReport {
+        self.monte_carlo_with(failures, trials, seed, &ThreadPool::sequential())
+    }
+
+    /// The same statistics as [`FailureModel::monte_carlo`], with the
+    /// per-trial evaluations spread over `pool`.
+    ///
+    /// All failure locations are drawn up front from one sequential RNG
+    /// stream (identical to the stream `monte_carlo` consumes) and the
+    /// per-trial results fold in trial order, so the report is
+    /// bit-identical at any worker count.
+    pub fn monte_carlo_with(
+        &self,
+        failures: usize,
+        trials: usize,
+        seed: u64,
+        pool: &ThreadPool,
+    ) -> FaultReport {
         let mut rng = StdRng::seed_from_u64(seed);
+        let draws: Vec<Vec<(usize, usize)>> = (0..trials)
+            .map(|_| {
+                (0..failures)
+                    .map(|_| (rng.random_range(0..self.rings), rng.random_range(0..self.m)))
+                    .collect()
+            })
+            .collect();
+        let stride = trials.div_ceil(200).max(1);
+        // `(loss, partitioned, Some((stretch, hops)))` for sampled trials.
+        let cells = pool.par_map(trials, |trial| {
+            let broken = &draws[trial];
+            if trial % stride == 0 {
+                let d = self.trial_detours(broken);
+                (
+                    d.outcome.bandwidth_loss(),
+                    d.outcome.partitioned,
+                    Some((d.mean_stretch(), d.mean_hops())),
+                )
+            } else {
+                let t = self.trial(broken);
+                (t.bandwidth_loss(), t.partitioned, None)
+            }
+        });
         let mut loss_sum = 0.0;
         let mut partitions = 0usize;
-        let stride = trials.div_ceil(200).max(1);
         let mut stretch_sum = 0.0;
         let mut hops_sum = 0.0;
         let mut sampled = 0usize;
-        let mut broken = Vec::with_capacity(failures);
-        for trial in 0..trials {
-            broken.clear();
-            for _ in 0..failures {
-                broken.push((rng.random_range(0..self.rings), rng.random_range(0..self.m)));
-            }
-            if trial % stride == 0 {
-                let d = self.trial_detours(&broken);
-                loss_sum += d.outcome.bandwidth_loss();
-                partitions += usize::from(d.outcome.partitioned);
-                stretch_sum += d.mean_stretch();
-                hops_sum += d.mean_hops();
+        for (loss, partitioned, detours) in cells {
+            loss_sum += loss;
+            partitions += usize::from(partitioned);
+            if let Some((stretch, hops)) = detours {
+                stretch_sum += stretch;
+                hops_sum += hops;
                 sampled += 1;
-            } else {
-                let t = self.trial(&broken);
-                loss_sum += t.bandwidth_loss();
-                partitions += usize::from(t.partitioned);
             }
         }
         FaultReport {

@@ -32,6 +32,7 @@
 pub mod channel;
 pub mod fault;
 pub mod multiring;
+pub mod pool;
 pub mod ring;
 pub mod rng;
 pub mod routing;
@@ -40,6 +41,7 @@ pub mod scalability;
 pub use channel::{Arc, Assignment, ChannelPlan, Direction, Pair};
 pub use fault::{FailureModel, FaultReport};
 pub use multiring::{MultiRingError, MultiRingPlan};
+pub use pool::{available_parallelism, unit_seed, ThreadPool};
 pub use ring::{DesignError, QuartzRing, ScaledDesign};
 pub use routing::{RoutingPolicy, TwoHopPaths};
 pub use scalability::{expansion_step, max_mesh_server_ports, ExpansionStep};

@@ -1,0 +1,326 @@
+//! A std-only scoped thread pool with work-stealing deques and a
+//! determinism contract, for the embarrassingly parallel experiment
+//! sweeps (seeds × workloads × scenario points).
+//!
+//! The workspace is deliberately hermetic — no rayon — so this module
+//! implements the minimum that the evaluation harness needs:
+//!
+//! * [`ThreadPool::par_map`] maps a closure over `0..units` with the
+//!   configured number of worker threads. Work is dealt out as
+//!   contiguous chunks onto per-worker deques; a worker pops from the
+//!   back of its own deque and, when empty, steals from the front of a
+//!   victim's (the classic work-stealing discipline, here with plain
+//!   mutexed deques rather than lock-free Chase–Lev ones — the units we
+//!   schedule are whole simulations, so queue overhead is noise).
+//! * Results are merged **in unit-index order**, whatever order the
+//!   workers finished in.
+//!
+//! ## Determinism contract
+//!
+//! Parallel output must be bit-identical to sequential output. Two rules
+//! make that hold across every caller:
+//!
+//! 1. a unit never shares mutable state with another unit — each derives
+//!    any randomness it needs from [`unit_seed`]`(base_seed, unit_index)`
+//!    (the `unit_index`-th output of the splitmix64 stream seeded with
+//!    `base_seed`), so no RNG stream is ever split across threads;
+//! 2. reductions over unit results (sums of floats, appends to result
+//!    rows) happen on the caller's thread, in unit-index order, over the
+//!    vector [`ThreadPool::par_map`] returns.
+//!
+//! Under those rules `ThreadPool::new(1)` (today's sequential behavior)
+//! and `ThreadPool::new(n)` produce byte-identical experiment rows; the
+//! integration tests assert exactly that.
+//!
+//! A worker panic is propagated to the caller after the scope joins, so
+//! `par_map` never silently drops units.
+
+use crate::rng::splitmix64;
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// Number of hardware threads (1 if the platform won't say).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The seed for parallel unit `unit_index` under `base_seed`: the
+/// `unit_index`-th output of the splitmix64 stream seeded with
+/// `base_seed`.
+///
+/// splitmix64 advances its state by a fixed odd constant per step, so
+/// the stream can be indexed randomly: jumping the state by
+/// `unit_index` increments and mixing once yields exactly the value a
+/// sequential caller would reach after `unit_index` draws. Units can
+/// therefore be evaluated in any order — or on any thread — and still
+/// see the seed a sequential loop would have handed them.
+pub fn unit_seed(base_seed: u64, unit_index: u64) -> u64 {
+    let mut state = base_seed.wrapping_add(unit_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    splitmix64(&mut state)
+}
+
+/// A fixed-width scoped thread pool (see the module docs).
+///
+/// The pool holds no threads between calls: each [`ThreadPool::par_map`]
+/// spawns its workers inside a [`std::thread::scope`], which lets the
+/// mapped closure borrow from the caller's stack without `'static`
+/// bounds — experiment runners pass borrowed unit tables directly.
+///
+/// # Examples
+///
+/// ```
+/// use quartz_core::pool::{unit_seed, ThreadPool};
+///
+/// let pool = ThreadPool::new(4);
+/// let squares = pool.par_map(10, |i| i * i);
+/// assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+///
+/// // Per-unit seeding: identical results at any thread count.
+/// let seq = ThreadPool::new(1).par_map(8, |i| unit_seed(42, i as u64));
+/// let par = pool.par_map(8, |i| unit_seed(42, i as u64));
+/// assert_eq!(seq, par);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers; `0` means [`available_parallelism`].
+    pub fn new(threads: usize) -> ThreadPool {
+        ThreadPool {
+            threads: if threads == 0 {
+                available_parallelism()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// The single-threaded pool: `par_map` runs every unit on the
+    /// calling thread, in order — exactly the pre-pool behavior.
+    pub fn sequential() -> ThreadPool {
+        ThreadPool::new(1)
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `0..units` and returns the results in unit-index
+    /// order, regardless of which worker ran which unit when.
+    ///
+    /// With one thread (or at most one unit) this is a plain sequential
+    /// map on the calling thread. Otherwise `min(threads, units)`
+    /// scoped workers split the index range into contiguous chunks and
+    /// work-steal across them until every deque is drained.
+    ///
+    /// # Panics
+    /// Re-raises the first worker panic after all workers have stopped,
+    /// so a panicking unit behaves like it would in a sequential loop.
+    pub fn par_map<T, F>(&self, units: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || units <= 1 {
+            return (0..units).map(f).collect();
+        }
+        let workers = self.threads.min(units);
+        let chunk = units.div_ceil(workers);
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(units);
+                let hi = ((w + 1) * chunk).min(units);
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+
+        let f = &f;
+        let deques = &deques;
+        let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut done = Vec::with_capacity(chunk);
+                        loop {
+                            // Own deque first (back), then steal from a
+                            // victim's front. A poisoned lock just means
+                            // some unit panicked; the queued indices are
+                            // still valid, so keep draining — the panic
+                            // is re-raised at join time.
+                            let mut job = deques[w]
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .pop_back();
+                            if job.is_none() {
+                                for v in 1..workers {
+                                    let victim = (w + v) % workers;
+                                    job = deques[victim]
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner)
+                                        .pop_front();
+                                    if job.is_some() {
+                                        break;
+                                    }
+                                }
+                            }
+                            match job {
+                                Some(i) => done.push((i, f(i))),
+                                None => return done,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+
+        let mut slots: Vec<Option<T>> = (0..units).map(|_| None).collect();
+        for (i, v) in parts.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "unit {i} ran twice");
+            slots[i] = Some(v);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every unit runs exactly once"))
+            .collect()
+    }
+}
+
+impl Default for ThreadPool {
+    /// One worker per hardware thread.
+    fn default() -> Self {
+        ThreadPool::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_range_yields_empty_vec() {
+        for threads in [1, 4] {
+            let out: Vec<u32> = ThreadPool::new(threads).par_map(0, |_| unreachable!());
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn pool_of_one_degenerates_to_sequential_in_order() {
+        // With one thread the units must run on the calling thread in
+        // strictly ascending order (pre-pool behavior, observable via
+        // side effects).
+        let order = Mutex::new(Vec::new());
+        let out = ThreadPool::sequential().par_map(10, |i| {
+            order.lock().unwrap().push(i);
+            i * 3
+        });
+        assert_eq!(out, (0..10).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_units_than_threads_covers_every_unit_once() {
+        let hits = AtomicUsize::new(0);
+        let out = ThreadPool::new(3).par_map(257, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i * i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+        assert_eq!(out, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_units_still_works() {
+        let out = ThreadPool::new(16).par_map(3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn results_merge_in_index_order_under_skewed_work() {
+        // Early units do far more work than late ones, so workers
+        // finish out of order; the result vector must not care.
+        let out = ThreadPool::new(4).par_map(64, |i| {
+            let spin = if i < 8 { 20_000 } else { 10 };
+            let mut acc = i as u64;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        for (i, &(unit, _)) in out.iter().enumerate() {
+            assert_eq!(i, unit);
+        }
+    }
+
+    #[test]
+    fn panic_in_worker_propagates() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            ThreadPool::new(4).par_map(32, |i| {
+                if i == 17 {
+                    panic!("unit 17 exploded");
+                }
+                i
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        assert!(msg.contains("unit 17 exploded"), "payload: {msg}");
+    }
+
+    #[test]
+    fn unit_seed_indexes_the_splitmix_stream() {
+        // unit_seed(base, i) must equal the i-th sequential draw.
+        let base = 0xDEAD_BEEF_u64;
+        let mut state = base;
+        for i in 0..100 {
+            let sequential = splitmix64(&mut state);
+            assert_eq!(unit_seed(base, i), sequential, "index {i}");
+        }
+    }
+
+    #[test]
+    fn unit_seeds_are_pairwise_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(unit_seed(7, i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_seeded_units() {
+        let work = |i: usize| {
+            let mut rng = crate::rng::StdRng::seed_from_u64(unit_seed(99, i as u64));
+            (0..50)
+                .map(|_| rng.next_u64())
+                .fold(0u64, u64::wrapping_add)
+        };
+        let seq = ThreadPool::sequential().par_map(40, work);
+        for threads in [2, 4, 8] {
+            assert_eq!(seq, ThreadPool::new(threads).par_map(40, work));
+        }
+    }
+
+    #[test]
+    fn zero_thread_request_uses_available_parallelism() {
+        assert_eq!(ThreadPool::new(0).threads(), available_parallelism());
+        assert_eq!(ThreadPool::default().threads(), available_parallelism());
+    }
+}

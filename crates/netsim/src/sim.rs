@@ -90,7 +90,7 @@ impl Default for SimConfig {
 }
 
 /// A traffic source shape.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub enum FlowKind {
     /// Open-loop Poisson stream with the given mean inter-arrival gap.
     /// With `respond`, the receiver echoes every packet and the recorded
@@ -138,14 +138,22 @@ pub enum FlowKind {
     },
 }
 
-#[derive(Clone, Debug)]
-struct Flow {
+/// Per-flow metadata, fixed at [`Simulator::add_flow`]. `Copy`, so the
+/// per-event handlers read it by value without cloning and stay free to
+/// mutate the parallel [`FlowState`] table.
+#[derive(Clone, Copy, Debug)]
+struct FlowMeta {
     src: NodeId,
     dst: NodeId,
     size: u32,
     kind: FlowKind,
     tag: u32,
     hash: u64,
+}
+
+/// Per-flow mutable progress, parallel to the [`FlowMeta`] table.
+#[derive(Clone, Debug)]
+struct FlowState {
     sent: u32,
     /// First emission time (file transfers measure completion from it).
     t0: SimTime,
@@ -317,7 +325,9 @@ pub struct Simulator {
     net: Network,
     table: RouteTable,
     cfg: SimConfig,
-    flows: Vec<Flow>,
+    flows: Vec<FlowMeta>,
+    /// Mutable per-flow progress, parallel to `flows`.
+    flow_state: Vec<FlowState>,
     links: Vec<DirLink>, // 2 per undirected link: [2l] = a→b, [2l+1] = b→a
     events: BinaryHeap<Reverse<Ev>>,
     seq: u64,
@@ -380,6 +390,7 @@ impl Simulator {
             table,
             cfg,
             flows: Vec::new(),
+            flow_state: Vec::new(),
             links,
             events: BinaryHeap::new(),
             seq: 0,
@@ -413,7 +424,7 @@ impl Simulator {
     /// corresponding virtual interface".
     pub fn pin_flow_to_table(&mut self, flow: usize, table: usize) {
         assert!(table < self.extra_tables.len(), "unknown table {table}");
-        self.flows[flow].table = Some(table);
+        self.flow_state[flow].table = Some(table);
     }
 
     /// Registers a flow starting at `start`; returns its index.
@@ -450,13 +461,15 @@ impl Simulator {
             }
             _ => None,
         };
-        self.flows.push(Flow {
+        self.flows.push(FlowMeta {
             src,
             dst,
             size: size_bytes,
             kind,
             tag,
             hash,
+        });
+        self.flow_state.push(FlowState {
             sent: 0,
             t0: start,
             table: None,
@@ -505,7 +518,9 @@ impl Simulator {
     }
 
     fn generate(&mut self, flow_idx: usize, now: SimTime) {
-        let flow = self.flows[flow_idx].clone();
+        // Metadata is `Copy`; mutable progress lives in `flow_state`, so
+        // no per-event clone is needed to satisfy the borrow checker.
+        let flow = self.flows[flow_idx];
         match flow.kind {
             FlowKind::Poisson {
                 mean_gap_ns, stop, ..
@@ -522,10 +537,10 @@ impl Simulator {
                 }
             }
             FlowKind::Rpc { count } => {
-                if flow.sent >= count {
+                if self.flow_state[flow_idx].sent >= count {
                     return;
                 }
-                self.flows[flow_idx].sent += 1;
+                self.flow_state[flow_idx].sent += 1;
                 self.emit(flow_idx, now, false, None);
             }
             FlowKind::Burst {
@@ -546,7 +561,8 @@ impl Simulator {
             }
             FlowKind::Transport { .. } => {
                 // Connection start: open the window.
-                if self.flows[flow_idx].t0 == SimTime::ZERO || now >= self.flows[flow_idx].t0 {
+                let t0 = self.flow_state[flow_idx].t0;
+                if t0 == SimTime::ZERO || now >= t0 {
                     let actions = self.conns[flow_idx]
                         .as_mut()
                         .expect("transport flow has a connection")
@@ -560,17 +576,18 @@ impl Simulator {
                 // slot of the source's access link, so the transfer
                 // never overflows its own output queue.
                 let pkts = (total_bytes.div_ceil(u64::from(flow.size)).max(1)) as u32;
-                if flow.sent >= pkts {
+                let sent = self.flow_state[flow_idx].sent;
+                if sent >= pkts {
                     return;
                 }
-                if flow.sent == 0 {
-                    self.flows[flow_idx].t0 = now;
+                if sent == 0 {
+                    self.flow_state[flow_idx].t0 = now;
                 }
-                self.flows[flow_idx].sent += 1;
-                let is_last = flow.sent + 1 == pkts;
+                self.flow_state[flow_idx].sent += 1;
+                let is_last = sent + 1 == pkts;
                 // The final packet carries the flow's start time so its
                 // delivery latency *is* the flow completion time.
-                let created = is_last.then(|| self.flows[flow_idx].t0);
+                let created = is_last.then(|| self.flow_state[flow_idx].t0);
                 self.emit_inner(flow_idx, now, false, created, is_last);
                 if !is_last {
                     let (_, link_id) = self.net.neighbors(flow.src)[0];
@@ -756,12 +773,12 @@ impl Simulator {
                 }
                 TransportInfo::None => {}
             }
-            let flow = self.flows[pkt.flow as usize].clone();
+            let flow = self.flows[pkt.flow as usize];
             if pkt.is_response {
                 self.stats
                     .record(flow.tag, delivered_at.saturating_sub(pkt.created));
                 if let FlowKind::Rpc { count } = flow.kind {
-                    if flow.sent < count {
+                    if self.flow_state[pkt.flow as usize].sent < count {
                         self.push(
                             delivered_at,
                             EvKind::Gen {
@@ -827,7 +844,7 @@ impl Simulator {
         }
 
         let target = pkt.intermediate.unwrap_or(pkt.dst);
-        let routing = match self.flows[pkt.flow as usize].table {
+        let routing = match self.flow_state[pkt.flow as usize].table {
             Some(i) => &self.extra_tables[i],
             None => &self.table,
         };

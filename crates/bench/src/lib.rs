@@ -11,6 +11,7 @@
 //! whole suite can run inside the integration tests.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
@@ -68,9 +69,7 @@ pub fn pool_from_args() -> quartz_core::ThreadPool {
 pub fn run_bin(name: &str, print_fn: impl FnOnce(Scale, &quartz_core::ThreadPool)) {
     let scale = Scale::from_args();
     let pool = pool_from_args();
-    let t0 = std::time::Instant::now();
-    print_fn(scale, &pool);
-    let wall_ns = t0.elapsed().as_nanos() as f64;
+    let ((), wall_ns) = timing::wall_timed(|| print_fn(scale, &pool));
     timing::note(
         name,
         match scale {

@@ -89,6 +89,19 @@ pub fn measure<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
     note(group, name, mean_ns, min_ns, iters);
 }
 
+/// Times one closure with the process wall clock and returns its result
+/// plus the elapsed nanoseconds.
+///
+/// This is the only sanctioned wall-clock entry point outside this
+/// module: the `wall-clock` lint rule (`quartz-lint`) confines
+/// `Instant`/`SystemTime` to this file so no timing source can leak
+/// into experiment output.
+pub fn wall_timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_nanos() as f64)
+}
+
 /// Records an externally timed measurement (e.g. an experiment binary's
 /// total wall time) for the next [`write_json`], without printing.
 pub fn note(group: &str, name: &str, mean_ns: f64, min_ns: f64, iters: u64) {

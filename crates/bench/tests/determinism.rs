@@ -22,13 +22,15 @@ fn fig06_grid_is_identical_at_one_and_four_workers() {
 }
 
 #[test]
-fn fig06_dynamic_ring_cut_is_identical_at_one_and_four_workers() {
+fn fig06_dynamic_ring_cut_is_identical_across_worker_counts() {
     let seq = fig06::run_dynamic_with(Scale::Quick, &ThreadPool::new(1));
-    let par = fig06::run_dynamic_with(Scale::Quick, &ThreadPool::new(4));
-    assert_eq!(
-        seq, par,
-        "fig6 dynamic ring-cut scenario must not depend on --jobs"
-    );
+    for workers in [2, 4, 8] {
+        let par = fig06::run_dynamic_with(Scale::Quick, &ThreadPool::new(workers));
+        assert_eq!(
+            seq, par,
+            "fig6 dynamic ring-cut scenario must not depend on --jobs (workers={workers})"
+        );
+    }
 }
 
 #[test]

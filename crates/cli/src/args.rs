@@ -1,13 +1,16 @@
 //! Minimal `--key value` argument parsing (no external dependencies).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed command line: a subcommand plus `--key value` options.
+///
+/// Options live in a `BTreeMap` so error reporting (e.g. which unknown
+/// option [`Args::expect_only`] names first) is deterministic.
 #[derive(Clone, Debug, Default)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: Option<String>,
-    opts: HashMap<String, String>,
+    opts: BTreeMap<String, String>,
 }
 
 impl Args {

@@ -11,6 +11,10 @@
 //! quartz rpc        [--cross-mbps 150 --wiring quartz|tree]
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
 mod args;
 
 use args::Args;

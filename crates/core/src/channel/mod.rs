@@ -200,7 +200,7 @@ impl Assignment {
 
     /// Number of distinct channels used.
     pub fn channels_used(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (_, _, c) in &self.entries {
             seen.insert(*c);
         }
@@ -230,7 +230,7 @@ impl Assignment {
     /// and no channel repeats on any link.
     pub fn validate(&self) -> Result<(), AssignmentError> {
         // Completeness and uniqueness.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (pair, _, _) in &self.entries {
             if !seen.insert(*pair) {
                 return Err(AssignmentError::DuplicatePair(*pair));
@@ -242,8 +242,8 @@ impl Assignment {
             }
         }
         // Conflict-freedom: per (link, channel) at most one occupant.
-        let mut occupant: std::collections::HashMap<(usize, u16), Pair> =
-            std::collections::HashMap::new();
+        let mut occupant: std::collections::BTreeMap<(usize, u16), Pair> =
+            std::collections::BTreeMap::new();
         for (pair, dir, ch) in &self.entries {
             for link in Arc::of(*pair, *dir, self.m).links() {
                 if let Some(prev) = occupant.insert((link, *ch), *pair) {
@@ -446,8 +446,8 @@ mod tests {
     fn arcs_of_both_directions_partition_the_ring() {
         let m = 9;
         let p = Pair::new(1, 6);
-        let cw: std::collections::HashSet<_> = Arc::of(p, Direction::Cw, m).links().collect();
-        let ccw: std::collections::HashSet<_> = Arc::of(p, Direction::Ccw, m).links().collect();
+        let cw: std::collections::BTreeSet<_> = Arc::of(p, Direction::Cw, m).links().collect();
+        let ccw: std::collections::BTreeSet<_> = Arc::of(p, Direction::Ccw, m).links().collect();
         assert!(cw.is_disjoint(&ccw));
         assert_eq!(cw.len() + ccw.len(), m);
     }

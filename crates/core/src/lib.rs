@@ -27,6 +27,7 @@
 //! topology/simulation layers.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod channel;

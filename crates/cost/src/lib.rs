@@ -20,6 +20,7 @@
 //! * [`trend`] — the Figure 1 backbone-DWDM cost-decline series.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod bom;

@@ -12,7 +12,7 @@
 use crate::fabric::{Fabric, Host, MeshRouting, QuartzFabric};
 use crate::waterfill::Problem;
 use quartz_core::fault::FailureModel;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A [`QuartzFabric`] with some of its pairwise channels severed.
 ///
@@ -32,8 +32,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 #[derive(Clone, Debug)]
 pub struct DegradedQuartzFabric {
     base: QuartzFabric,
-    /// Severed ordered rack pairs (both orders present).
-    dead: HashSet<(usize, usize)>,
+    /// Severed ordered rack pairs (both orders present). Ordered so any
+    /// iteration over the wreckage is deterministic.
+    dead: BTreeSet<(usize, usize)>,
     /// Connected component of each rack over surviving channels.
     comp: Vec<usize>,
 }
@@ -45,7 +46,7 @@ impl DegradedQuartzFabric {
     /// # Panics
     /// Panics if a pair names a rack out of range or is a self-pair.
     pub fn new(base: QuartzFabric, severed: &[(usize, usize)]) -> Self {
-        let mut dead = HashSet::new();
+        let mut dead = BTreeSet::new();
         for &(a, b) in severed {
             assert!(
                 a != b && a < base.racks && b < base.racks,
@@ -109,11 +110,10 @@ impl DegradedQuartzFabric {
         !self.dead.contains(&(a, b))
     }
 
-    /// The severed (undirected) rack pairs, sorted.
+    /// The severed (undirected) rack pairs, sorted (the set iterates in
+    /// ascending `(a, b)` order already).
     pub fn severed_channels(&self) -> Vec<(usize, usize)> {
-        let mut v: Vec<_> = self.dead.iter().copied().filter(|&(a, b)| a < b).collect();
-        v.sort_unstable();
-        v
+        self.dead.iter().copied().filter(|&(a, b)| a < b).collect()
     }
 
     /// The demands no reconverged routing can serve: endpoints in
@@ -177,7 +177,7 @@ impl Fabric for DegradedQuartzFabric {
         }
 
         // Cross-rack sharers per ordered pair, for the adaptive policy.
-        let mut pair_flows: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut pair_flows: BTreeMap<(usize, usize), usize> = BTreeMap::new();
         if base.policy == MeshRouting::VlbAdaptive {
             for &(s, d) in demands {
                 let (ra, rb) = (base.rack_of(s), base.rack_of(d));

@@ -13,7 +13,7 @@
 
 use crate::waterfill::Problem;
 use quartz_core::routing::RoutingPolicy;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A demand endpoint: global host index.
 pub type Host = usize;
@@ -111,7 +111,7 @@ impl Fabric for QuartzFabric {
 
         // For adaptive VLB: how many cross-rack flows share each ordered
         // rack pair — the "traffic characteristics" k adapts to.
-        let mut pair_flows: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut pair_flows: BTreeMap<(usize, usize), usize> = BTreeMap::new();
         if self.policy == MeshRouting::VlbAdaptive {
             for &(s, d) in demands {
                 let (ra, rb) = (self.rack_of(s), self.rack_of(d));

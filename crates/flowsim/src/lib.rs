@@ -26,6 +26,7 @@
 //!   paths, quantifying how gracefully the mesh loses throughput.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod degraded;

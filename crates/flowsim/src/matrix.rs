@@ -83,13 +83,13 @@ pub fn rack_shuffle(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     #[test]
     fn permutation_is_a_derangement() {
         let d = random_permutation(100, 7);
         assert_eq!(d.len(), 100);
-        let mut in_deg = HashMap::new();
+        let mut in_deg = BTreeMap::new();
         for &(s, t) in &d {
             assert_ne!(s, t, "self-demand");
             *in_deg.entry(t).or_insert(0) += 1;
@@ -108,7 +108,7 @@ mod tests {
     fn incast_has_exact_fan_in() {
         let d = incast(50, 10, 1);
         assert_eq!(d.len(), 500);
-        let mut in_deg = HashMap::new();
+        let mut in_deg = BTreeMap::new();
         for &(s, t) in &d {
             assert_ne!(s, t);
             *in_deg.entry(t).or_insert(0usize) += 1;
@@ -147,7 +147,7 @@ mod tests {
         let (racks, hpr) = (8, 6);
         let d = rack_shuffle(racks, hpr, 3, 2);
         // Rack 0's servers must hit 3 distinct racks.
-        let targets: std::collections::HashSet<_> =
+        let targets: std::collections::BTreeSet<_> =
             d[..hpr].iter().map(|&(_, t)| t / hpr).collect();
         assert_eq!(targets.len(), 3);
     }

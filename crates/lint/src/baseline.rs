@@ -1,0 +1,108 @@
+//! The `lint-baseline.toml` ratchet.
+//!
+//! The baseline records, per rule, how many `lint:allow` suppressions
+//! the workspace is permitted to carry. The count may only go *down*:
+//! adding a suppression without bumping the baseline fails the lint,
+//! and removing one without lowering the baseline also fails (so the
+//! checked-in file always states the true debt). An empty file — the
+//! state this workspace ships in — permits no suppressions at all.
+//!
+//! Format (a tiny TOML subset parsed without dependencies):
+//!
+//! ```toml
+//! [allow]
+//! hash-iter = 2
+//! wall-clock = 1
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed ratchet state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Permitted suppression count per rule name.
+    pub allow: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Permitted suppressions for `rule` (0 when absent).
+    pub fn allowed(&self, rule: &str) -> usize {
+        self.allow.get(rule).copied().unwrap_or(0)
+    }
+}
+
+/// Loads a baseline file; a missing file is the empty baseline.
+pub fn load(path: &Path) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Parses the TOML subset described in the module docs.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut baseline = Baseline::default();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(format!("line {lineno}: malformed section header"));
+            };
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `rule = count`"));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {lineno}: `{}` is not a count", value.trim()))?;
+        match section.as_str() {
+            "allow" => {
+                if baseline.allow.insert(key.clone(), count).is_some() {
+                    return Err(format!("line {lineno}: rule `{key}` listed twice"));
+                }
+            }
+            "" => return Err(format!("line {lineno}: entry outside a section")),
+            other => return Err(format!("line {lineno}: unknown section `[{other}]`")),
+        }
+    }
+    Ok(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_comment_only_files_permit_nothing() {
+        let b = parse("# ratchet\n\n").unwrap();
+        assert_eq!(b, Baseline::default());
+        assert_eq!(b.allowed("hash-iter"), 0);
+    }
+
+    #[test]
+    fn counts_parse_per_rule() {
+        let b = parse("[allow]\nhash-iter = 2\n\"wall-clock\" = 1 # trailing\n").unwrap();
+        assert_eq!(b.allowed("hash-iter"), 2);
+        assert_eq!(b.allowed("wall-clock"), 1);
+        assert_eq!(b.allowed("seed-discipline"), 0);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(parse("hash-iter = 2\n").is_err(), "entry outside section");
+        assert!(parse("[allow]\nhash-iter = many\n").is_err());
+        assert!(parse("[allow]\nhash-iter = 1\nhash-iter = 2\n").is_err());
+        assert!(parse("[permit]\nx = 1\n").is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Workspace walking, rule orchestration, suppression application, and
+//! the suppression-audit ratchet check.
+
+use crate::baseline::Baseline;
+use crate::rules::{self, Finding};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// Lints every `.rs` file under `root` against `baseline`; returns the
+/// surviving findings sorted by `(file, line, rule)`.
+pub fn run(root: &Path, baseline: &Baseline) -> Result<Vec<Finding>, String> {
+    let mut rs_files = Vec::new();
+    let mut manifests = Vec::new();
+    walk(root, &mut rs_files, &mut manifests)?;
+    rs_files.sort();
+    manifests.sort();
+
+    let crate_roots = crate_roots(&manifests)?;
+
+    let mut findings = Vec::new();
+    // Suppression directives across the workspace, with a usage mark.
+    let mut directives: Vec<(SourceFile, usize, bool)> = Vec::new();
+
+    for path in &rs_files {
+        let rel = relpath(root, path);
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let file = SourceFile::new(rel, &text);
+
+        let mut raw = Vec::new();
+        raw.extend(rules::hash_iter(&file));
+        raw.extend(rules::wall_clock(&file));
+        raw.extend(rules::seed_discipline(&file));
+        if crate_roots.contains(path) {
+            raw.extend(rules::crate_hygiene(&file));
+        }
+
+        // A directive on line L silences matching findings on L
+        // (trailing comment) and L+1 (comment directly above).
+        let mut used = vec![false; file.suppressions.len()];
+        for finding in raw {
+            let silenced = file.suppressions.iter().enumerate().find(|(_, s)| {
+                s.rule == finding.rule && (s.line == finding.line || s.line + 1 == finding.line)
+            });
+            match silenced {
+                Some((idx, _)) => used[idx] = true,
+                None => findings.push(finding),
+            }
+        }
+        for (idx, was_used) in used.into_iter().enumerate() {
+            directives.push((file.clone(), idx, was_used));
+        }
+    }
+
+    findings.extend(audit(&directives, baseline));
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+/// The `suppression-audit` rule: justification, liveness, rule-name
+/// validity, and the baseline ratchet.
+fn audit(directives: &[(SourceFile, usize, bool)], baseline: &Baseline) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (file, idx, used) in directives {
+        let s = &file.suppressions[*idx];
+        *counts.entry(s.rule.clone()).or_insert(0) += 1;
+        if !rules::ALL_RULES.contains(&s.rule.as_str()) {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: s.line,
+                rule: rules::SUPPRESSION_AUDIT,
+                message: format!(
+                    "lint:allow({}) names no rule (known: {})",
+                    s.rule,
+                    rules::ALL_RULES.join(", ")
+                ),
+            });
+            continue;
+        }
+        if !s.justified {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: s.line,
+                rule: rules::SUPPRESSION_AUDIT,
+                message: format!(
+                    "lint:allow({}) carries no justification — write \
+                     `lint:allow({}) — <why the invariant cannot break here>`",
+                    s.rule, s.rule
+                ),
+            });
+        }
+        if !used {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: s.line,
+                rule: rules::SUPPRESSION_AUDIT,
+                message: format!(
+                    "lint:allow({}) suppresses nothing on this or the next line — remove it",
+                    s.rule
+                ),
+            });
+        }
+    }
+    // Ratchet: the workspace count must equal the baselined count in
+    // both directions, so the checked-in file always states the truth.
+    for rule in rules::ALL_RULES {
+        let have = counts.get(rule).copied().unwrap_or(0);
+        let allowed = baseline.allowed(rule);
+        if have > allowed {
+            out.push(Finding {
+                file: "lint-baseline.toml".to_string(),
+                line: 0,
+                rule: rules::SUPPRESSION_AUDIT,
+                message: format!(
+                    "{have} lint:allow({rule}) suppression(s) in the workspace but the \
+                     ratchet permits {allowed} — fix the violations instead of suppressing"
+                ),
+            });
+        } else if have < allowed {
+            out.push(Finding {
+                file: "lint-baseline.toml".to_string(),
+                line: 0,
+                rule: rules::SUPPRESSION_AUDIT,
+                message: format!(
+                    "the ratchet permits {allowed} lint:allow({rule}) suppression(s) but \
+                     only {have} remain — ratchet the baseline down to {have}"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files and `Cargo.toml` manifests.
+fn walk(
+    dir: &Path,
+    rs_files: &mut Vec<PathBuf>,
+    manifests: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, rs_files, manifests)?;
+        } else if name.ends_with(".rs") {
+            rs_files.push(path);
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Maps each `[package]` manifest to its crate root (`src/lib.rs`,
+/// falling back to `src/main.rs`).
+fn crate_roots(manifests: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut roots = Vec::new();
+    for manifest in manifests {
+        let text = std::fs::read_to_string(manifest)
+            .map_err(|e| format!("{}: {e}", manifest.display()))?;
+        if !text.lines().any(|l| l.trim() == "[package]") {
+            continue; // virtual workspace manifest
+        }
+        let dir = manifest.parent().expect("manifest has a directory");
+        let lib = dir.join("src/lib.rs");
+        let main = dir.join("src/main.rs");
+        if lib.is_file() {
+            roots.push(lib);
+        } else if main.is_file() {
+            roots.push(main);
+        }
+    }
+    Ok(roots)
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn relpath(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a throwaway workspace in target/-adjacent temp space.
+    struct TempWs(PathBuf);
+
+    impl TempWs {
+        fn new(tag: &str, files: &[(&str, &str)]) -> TempWs {
+            let dir = std::env::temp_dir().join(format!("quartz-lint-test-{tag}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            for (rel, text) in files {
+                let path = dir.join(rel);
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(path, text).unwrap();
+            }
+            TempWs(dir)
+        }
+    }
+
+    impl Drop for TempWs {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    const CLEAN_ROOT: &str =
+        "//! docs\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+
+    #[test]
+    fn clean_workspace_yields_no_findings() {
+        let ws = TempWs::new(
+            "clean",
+            &[
+                ("Cargo.toml", "[package]\nname = \"x\"\n"),
+                ("src/lib.rs", CLEAN_ROOT),
+            ],
+        );
+        let findings = run(&ws.0, &Baseline::default()).unwrap();
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn violation_is_reported_with_file_line_rule() {
+        let ws = TempWs::new(
+            "hit",
+            &[
+                ("Cargo.toml", "[package]\nname = \"x\"\n"),
+                (
+                    "src/lib.rs",
+                    "//! docs\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\n\
+                     /// doc\npub fn f() { let m = HashMap::new(); for v in &m { drop(v); } }\n",
+                ),
+            ],
+        );
+        let findings = run(&ws.0, &Baseline::default()).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].file, "src/lib.rs");
+        assert_eq!(findings[0].line, 5);
+        assert_eq!(findings[0].rule, rules::HASH_ITER);
+    }
+
+    #[test]
+    fn justified_suppression_silences_but_must_be_baselined() {
+        let src = "//! docs\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\n\
+                   /// doc\npub fn f() { let m = HashMap::new();\n\
+                   // lint:allow(hash-iter) — order folds into a commutative sum below\n\
+                   for v in &m { drop(v); } }\n";
+        let ws = TempWs::new(
+            "suppr",
+            &[
+                ("Cargo.toml", "[package]\nname = \"x\"\n"),
+                ("src/lib.rs", src),
+            ],
+        );
+        // Empty baseline: the suppression itself trips the ratchet.
+        let findings = run(&ws.0, &Baseline::default()).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, rules::SUPPRESSION_AUDIT);
+        assert!(findings[0].message.contains("permits 0"));
+        // Baseline of 1: fully clean.
+        let baseline = crate::baseline::parse("[allow]\nhash-iter = 1\n").unwrap();
+        assert!(run(&ws.0, &baseline).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unjustified_and_unused_suppressions_are_findings() {
+        let src = "//! docs\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\n\
+                   /// doc\npub fn f() { let m = HashMap::new();\n\
+                   // lint:allow(hash-iter)\n\
+                   for v in &m { drop(v); }\n\
+                   // lint:allow(wall-clock) — nothing here actually reads a clock\n\
+                   let x = 1; drop(x); }\n";
+        let ws = TempWs::new(
+            "audit",
+            &[
+                ("Cargo.toml", "[package]\nname = \"x\"\n"),
+                ("src/lib.rs", src),
+            ],
+        );
+        let baseline = crate::baseline::parse("[allow]\nhash-iter = 1\nwall-clock = 1\n").unwrap();
+        let findings = run(&ws.0, &baseline).unwrap();
+        let audit: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == rules::SUPPRESSION_AUDIT)
+            .collect();
+        assert_eq!(audit.len(), 2, "{findings:?}");
+        assert!(audit.iter().any(|f| f.message.contains("no justification")));
+        assert!(audit
+            .iter()
+            .any(|f| f.message.contains("suppresses nothing")));
+    }
+
+    #[test]
+    fn stale_baseline_must_ratchet_down() {
+        let ws = TempWs::new(
+            "ratchet",
+            &[
+                ("Cargo.toml", "[package]\nname = \"x\"\n"),
+                ("src/lib.rs", CLEAN_ROOT),
+            ],
+        );
+        let baseline = crate::baseline::parse("[allow]\nhash-iter = 3\n").unwrap();
+        let findings = run(&ws.0, &baseline).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0]
+            .message
+            .contains("ratchet the baseline down to 0"));
+    }
+
+    #[test]
+    fn missing_hygiene_attrs_reported_for_crate_roots_only() {
+        let ws = TempWs::new(
+            "hygiene",
+            &[
+                ("Cargo.toml", "[package]\nname = \"x\"\n"),
+                ("src/lib.rs", "//! docs\npub mod helper;\n"),
+                ("src/helper.rs", "//! module, not a crate root\n"),
+            ],
+        );
+        let findings = run(&ws.0, &Baseline::default()).unwrap();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.file == "src/lib.rs"));
+    }
+}

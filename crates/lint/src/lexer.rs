@@ -1,0 +1,318 @@
+//! A minimal Rust source scanner for the lint rules.
+//!
+//! The scanner is not a full lexer: it produces the identifier, number,
+//! and punctuation tokens the rules match on, and it collects comments
+//! (which carry suppression directives). String literals (including raw
+//! and byte strings), character literals, and lifetimes are consumed
+//! and *dropped* — no rule should ever fire on text inside a string or
+//! a doc example, so the token stream simply never contains it.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// An integer or float literal (including `0x…` forms and suffixes).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (one char for punctuation).
+    pub text: String,
+}
+
+/// One comment with its 1-based source line.
+///
+/// `doc` distinguishes `///` / `//!` documentation from plain `//`
+/// comments: suppression directives are only honored in plain comments,
+/// so documentation may *mention* the directive syntax freely.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment body (text after the `//` or inside `/* … */`).
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub doc: bool,
+}
+
+/// Scans `src`, returning `(tokens, comments)`.
+pub fn scan(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start_line = line;
+                let doc = matches!(b.get(i + 2), Some('/') | Some('!'))
+                    // `////…` dividers are plain comments, not docs.
+                    && b.get(i + 3) != Some(&'/');
+                let mut text = String::new();
+                i += 2;
+                while i < b.len() && b[i] != '\n' {
+                    text.push(b[i]);
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text,
+                    doc,
+                });
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let doc = matches!(b.get(i + 2), Some('*') | Some('!'));
+                let mut depth = 1;
+                let mut text = String::new();
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        text.push(b[i]);
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text,
+                    doc,
+                });
+            }
+            '"' => i = skip_string(&b, i, &mut line),
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => i = skip_raw_or_byte(&b, i, &mut line),
+            '\'' => i = skip_char_or_lifetime(&b, i, &mut line),
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.' && b.get(i + 1).is_some_and(char::is_ascii_digit) {
+                        // `1.5` continues the number; `0..n` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Num,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            c => {
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#"`), byte string
+/// (`b"`), or raw byte string (`br#"`).
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    j > i && b.get(j) == Some(&'"')
+}
+
+/// Consumes a raw/byte string starting at `i`; returns the index past it.
+fn skip_raw_or_byte(b: &[char], mut i: usize, line: &mut usize) -> usize {
+    if b[i] == 'b' {
+        i += 1;
+    }
+    let raw = b.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(b.get(i), Some(&'"'));
+    if !raw {
+        return skip_string(b, i, line);
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+        }
+        if b[i] == '"' {
+            let mut k = 0;
+            while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a normal (escaped) string literal starting at the quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Consumes a char literal or a lifetime starting at the `'`.
+fn skip_char_or_lifetime(b: &[char], i: usize, line: &mut usize) -> usize {
+    // Lifetime: `'ident` not closed by a quote (`'a'` is a char).
+    if b.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_') && b.get(i + 2) != Some(&'\'') {
+        let mut j = i + 1;
+        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        return j;
+    }
+    // Char literal, possibly escaped: `'x'`, `'\n'`, `'\u{1F600}'`.
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_chars_vanish_from_the_stream() {
+        let src = r##"let x = "HashMap.iter()"; let c = 'h'; let r = r#"Instant"#;"##;
+        assert_eq!(idents(src), vec!["let", "x", "let", "c", "let", "r"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        assert!(idents(src).contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn comments_collected_with_doc_flag() {
+        let src = "// plain\n/// doc\n//! inner doc\nfn main() {}\n";
+        let (_, comments) = scan(src);
+        assert_eq!(comments.len(), 3);
+        assert!(!comments[0].doc);
+        assert!(comments[1].doc);
+        assert!(comments[2].doc);
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[2].line, 3);
+    }
+
+    #[test]
+    fn code_inside_comments_is_not_tokenized() {
+        let src = "//! let m = HashMap::new();\nfn f() {}\n";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let (toks, _) = scan("for i in 0..10 { }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let s = \"a\nb\";\nlet t = 1;\n";
+        let (toks, _) = scan(src);
+        let t = toks.iter().find(|t| t.text == "t").unwrap();
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still */ fn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # quartz-lint
+//!
+//! An in-tree, dependency-free static-analysis engine that turns the
+//! workspace's determinism contract from convention into a checked
+//! property. PR 2 made every experiment binary bit-identical at any
+//! `--jobs` count; this crate *enforces* the invariants that proof
+//! rests on, as named, individually suppressible rules:
+//!
+//! * `hash-iter` — no iteration over `HashMap`/`HashSet` anywhere in
+//!   the workspace (hash iteration order could silently leak into
+//!   fig06/fig10/fig17 output); use `BTreeMap`/`BTreeSet` or sort
+//!   first. Order-free operations (`insert`, `get`, `contains`, `len`)
+//!   remain legal.
+//! * `wall-clock` — `Instant`/`SystemTime` are confined to
+//!   `crates/bench/src/timing.rs`.
+//! * `seed-discipline` — no literal-seeded RNG outside tests: seeds
+//!   flow from explicit parameters or `quartz_core::pool::unit_seed`.
+//! * `crate-hygiene` — every crate root carries
+//!   `#![deny(missing_docs)]` and `#![forbid(unsafe_code)]`.
+//! * `suppression-audit` — every `lint:allow(rule) — justification`
+//!   escape hatch must be justified, must actually suppress something,
+//!   and is counted against the `lint-baseline.toml` ratchet, whose
+//!   numbers may only go down.
+//!
+//! The engine tokenizes each `.rs` file (dropping strings and doc
+//! comments, so quoted code never trips a rule), applies the rules, and
+//! reports findings as `file:line rule message` (or JSON with
+//! `--format json`), exiting nonzero on any unbaselined finding. Run it
+//! with `cargo run -p quartz-lint`; CI runs it on every push.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use baseline::Baseline;
+pub use engine::run;
+pub use rules::Finding;

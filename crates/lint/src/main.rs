@@ -1,0 +1,146 @@
+//! `quartz-lint` — the determinism lint CLI.
+//!
+//! ```text
+//! cargo run -p quartz-lint [-- --format json] [--root DIR] [--baseline FILE]
+//! ```
+//!
+//! Exit status: 0 when the workspace is clean, 1 on any unbaselined
+//! finding, 2 on usage or I/O errors.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--format" => match take("--format") {
+                Ok(v) if v == "text" || v == "json" => format = v,
+                Ok(v) => return usage(&format!("unknown format `{v}`")),
+                Err(e) => return usage(&e),
+            },
+            "--root" => match take("--root") {
+                Ok(v) => root = Some(PathBuf::from(v)),
+                Err(e) => return usage(&e),
+            },
+            "--baseline" => match take("--baseline") {
+                Ok(v) => baseline_path = Some(PathBuf::from(v)),
+                Err(e) => return usage(&e),
+            },
+            "--help" | "-h" => {
+                print!("{}", HELP);
+                return 0;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let root = match root.canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: root {}: {e}", root.display());
+            return 2;
+        }
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    let baseline = match quartz_lint::baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: baseline {e}");
+            return 2;
+        }
+    };
+    let findings = match quartz_lint::run(&root, &baseline) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    if format == "json" {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}:{} {} {}", f.file, f.line, f.rule, f.message);
+        }
+        eprintln!(
+            "quartz-lint: {} finding(s) across {} rule(s)",
+            findings.len(),
+            quartz_lint::rules::ALL_RULES.len()
+        );
+    }
+    if findings.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+fn usage(err: &str) -> i32 {
+    eprintln!("error: {err}\n\n{HELP}");
+    2
+}
+
+const HELP: &str = "quartz-lint — determinism lint for the Quartz workspace
+
+USAGE:
+    cargo run -p quartz-lint [-- OPTIONS]
+
+OPTIONS:
+    --format text|json   output format (default: text)
+    --root DIR           workspace root (default: this workspace)
+    --baseline FILE      ratchet file (default: <root>/lint-baseline.toml)
+    --help               this message
+
+Rules: hash-iter, wall-clock, seed-discipline, crate-hygiene,
+suppression-audit. Suppress one finding with a justified comment,
+`// lint:allow(rule) - why the invariant cannot break here`, and record
+it in lint-baseline.toml (counts may only decrease).
+";
+
+/// Serializes findings as a stable JSON document (no dependencies).
+fn to_json(findings: &[quartz_lint::Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(&f.file),
+            f.line,
+            esc(f.rule),
+            esc(&f.message),
+            if i + 1 < findings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!("  ],\n  \"count\": {}\n}}", findings.len()));
+    out
+}
+
+/// Escapes a JSON string body.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,407 @@
+//! The determinism rules.
+//!
+//! Every rule reports [`Finding`]s as `file:line rule message`. A
+//! finding can be silenced with a justified suppression comment (see
+//! [`crate::source::Suppression`]), which the `suppression-audit` rule
+//! then counts against the `lint-baseline.toml` ratchet.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `hash-iter` | no iteration over `HashMap`/`HashSet` anywhere — iteration order could leak into experiment output |
+//! | `wall-clock` | `Instant`/`SystemTime` only in `crates/bench/src/timing.rs` |
+//! | `seed-discipline` | no literal-seeded RNG outside tests — seeds flow from parameters or `pool::unit_seed` |
+//! | `crate-hygiene` | every crate root carries `#![deny(missing_docs)]` and `#![forbid(unsafe_code)]` |
+//! | `suppression-audit` | every `lint:allow` is justified, used, and counted by the ratchet |
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line (0 for whole-workspace findings).
+    pub line: usize,
+    /// Rule name.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The `hash-iter` rule name.
+pub const HASH_ITER: &str = "hash-iter";
+/// The `wall-clock` rule name.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// The `seed-discipline` rule name.
+pub const SEED_DISCIPLINE: &str = "seed-discipline";
+/// The `crate-hygiene` rule name.
+pub const CRATE_HYGIENE: &str = "crate-hygiene";
+/// The `suppression-audit` rule name.
+pub const SUPPRESSION_AUDIT: &str = "suppression-audit";
+
+/// Every rule name, in reporting order.
+pub const ALL_RULES: [&str; 5] = [
+    HASH_ITER,
+    WALL_CLOCK,
+    SEED_DISCIPLINE,
+    CRATE_HYGIENE,
+    SUPPRESSION_AUDIT,
+];
+
+/// Methods whose call on a hash container exposes iteration order.
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+/// The only file allowed to touch the wall clock.
+const WALL_CLOCK_SANCTUARY: &str = "crates/bench/src/timing.rs";
+
+/// `hash-iter`: no iteration over `HashMap`/`HashSet`.
+///
+/// The detector is heuristic but deliberately conservative in what it
+/// *tracks*: a name is considered hash-typed when it is bound or
+/// declared with a `HashMap`/`HashSet` type or constructor in the same
+/// file. Only *iteration* over a tracked name fires — key lookups,
+/// `insert`, `contains`, and `len` are order-free and stay legal, which
+/// is why e.g. duplicate-detection sets in tests pass untouched.
+pub fn hash_iter(f: &SourceFile) -> Vec<Finding> {
+    let names = tracked_hash_names(f);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let toks = &f.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name.iter()` and friends.
+        if names.contains(&t.text)
+            && f.punct_at(i + 1, '.')
+            && toks.get(i + 2).is_some_and(|m| {
+                m.kind == TokKind::Ident && ITER_METHODS.contains(&m.text.as_str())
+            })
+            && f.punct_at(i + 3, '(')
+        {
+            out.push(Finding {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: HASH_ITER,
+                message: format!(
+                    "iteration over hash container `{}` via `.{}()` — hash order is \
+                     nondeterministic; use BTreeMap/BTreeSet or sort before iterating",
+                    t.text,
+                    toks[i + 2].text
+                ),
+            });
+        }
+        // `for x in &name {` / `for x in name {`.
+        if t.text == "for" {
+            let stop = (i + 60).min(toks.len());
+            let mut j = i + 1;
+            while j < stop && toks[j].text != "in" && toks[j].text != "{" {
+                j += 1;
+            }
+            if j < stop && toks[j].text == "in" {
+                let mut k = j + 1;
+                while k < toks.len() && (toks[k].text == "&" || toks[k].text == "mut") {
+                    k += 1;
+                }
+                if toks.get(k).is_some_and(|t| t.kind == TokKind::Ident)
+                    && names.contains(&toks[k].text)
+                    && f.punct_at(k + 1, '{')
+                {
+                    out.push(Finding {
+                        file: f.rel.clone(),
+                        line: toks[k].line,
+                        rule: HASH_ITER,
+                        message: format!(
+                            "`for … in` over hash container `{}` — hash order is \
+                             nondeterministic; use BTreeMap/BTreeSet or sort before iterating",
+                            toks[k].text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Names bound or declared with a `HashMap`/`HashSet` type in this file.
+fn tracked_hash_names(f: &SourceFile) -> BTreeSet<String> {
+    let toks = &f.toks;
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Type position: `name: [&] [mut] path::to::Hash…`.
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].text == ":"
+            && toks[j - 2].text == ":"
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        while j >= 1 && (toks[j - 1].text == "&" || toks[j - 1].text == "mut") {
+            j -= 1;
+        }
+        if j >= 2
+            && toks[j - 1].text == ":"
+            && toks[j - 2].kind == TokKind::Ident
+            && (j < 3 || toks[j - 3].text != ":")
+        {
+            names.insert(toks[j - 2].text.clone());
+            continue;
+        }
+        // Constructor / collect position: the enclosing `let` binding.
+        if let Some(name) = let_binding_before(f, i) {
+            names.insert(name);
+        }
+    }
+    names
+}
+
+/// The name bound by the `let` statement enclosing token `i`, if any.
+fn let_binding_before(f: &SourceFile, i: usize) -> Option<String> {
+    let toks = &f.toks;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text.as_str() {
+            ";" | "{" | "}" => return None,
+            "let" => {
+                let mut k = j + 1;
+                if toks.get(k).is_some_and(|t| t.text == "mut") {
+                    k += 1;
+                }
+                return toks
+                    .get(k)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `wall-clock`: `Instant`/`SystemTime` confined to the timing module.
+pub fn wall_clock(f: &SourceFile) -> Vec<Finding> {
+    if f.rel == WALL_CLOCK_SANCTUARY {
+        return Vec::new();
+    }
+    f.toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime"))
+        .map(|t| Finding {
+            file: f.rel.clone(),
+            line: t.line,
+            rule: WALL_CLOCK,
+            message: format!(
+                "`{}` outside {WALL_CLOCK_SANCTUARY} — wall-clock readings are \
+                 nondeterministic; route timing through quartz_bench::timing",
+                t.text
+            ),
+        })
+        .collect()
+}
+
+/// `seed-discipline`: RNG constructions must flow from a seed parameter
+/// or `pool::unit_seed`; literal seeds are for tests only.
+pub fn seed_discipline(f: &SourceFile) -> Vec<Finding> {
+    let toks = &f.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "seed_from_u64"
+            && f.punct_at(i + 1, '(')
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Num)
+            && !f.is_test_line(toks[i].line)
+        {
+            out.push(Finding {
+                file: f.rel.clone(),
+                line: toks[i].line,
+                rule: SEED_DISCIPLINE,
+                message: format!(
+                    "RNG seeded with the literal `{}` outside tests — derive the seed \
+                     from an explicit parameter or pool::unit_seed",
+                    toks[i + 2].text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `crate-hygiene`: crate roots must deny missing docs and forbid
+/// `unsafe`.
+pub fn crate_hygiene(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !f.has_seq(&["#", "!", "[", "deny", "(", "missing_docs", ")", "]"]) {
+        out.push(Finding {
+            file: f.rel.clone(),
+            line: 1,
+            rule: CRATE_HYGIENE,
+            message: "crate root is missing `#![deny(missing_docs)]`".to_string(),
+        });
+    }
+    if !f.has_seq(&["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"]) {
+        out.push(Finding {
+            file: f.rel.clone(),
+            line: 1,
+            rule: CRATE_HYGIENE,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::new(rel.to_string(), src)
+    }
+
+    // ---- hash-iter ----
+
+    #[test]
+    fn hash_iter_flags_values_iteration() {
+        let f = file(
+            "crates/x/src/a.rs",
+            "fn f() { let mut m = HashMap::new(); m.insert(1, 2); for v in m.values() { use_(v); } }",
+        );
+        let hits = hash_iter(&f);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, HASH_ITER);
+        assert!(hits[0].message.contains("values"));
+    }
+
+    #[test]
+    fn hash_iter_flags_for_over_reference() {
+        let f = file(
+            "a.rs",
+            "fn f(m: &HashMap<u32, u32>) { for (k, v) in &m { use_(k, v); } }",
+        );
+        assert_eq!(hash_iter(&f).len(), 1);
+    }
+
+    #[test]
+    fn hash_iter_flags_struct_field_drain() {
+        let f = file(
+            "a.rs",
+            "struct S { dead: HashSet<u32> }\nimpl S { fn f(&mut self) { self.dead.drain(); } }",
+        );
+        let hits = hash_iter(&f);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("drain"));
+    }
+
+    #[test]
+    fn hash_iter_ignores_order_free_use() {
+        // insert/contains/get/len never observe iteration order.
+        let f = file(
+            "a.rs",
+            "fn f() { let mut s = HashSet::new(); s.insert(3); assert!(s.contains(&3)); s.len(); }",
+        );
+        assert!(hash_iter(&f).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_ignores_btree_iteration() {
+        let f = file(
+            "a.rs",
+            "fn f() { let mut m = BTreeMap::new(); m.insert(1, 2); for v in m.values() { use_(v); } }",
+        );
+        assert!(hash_iter(&f).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_ignores_code_in_strings_and_docs() {
+        let f = file(
+            "a.rs",
+            "/// let m = HashMap::new(); m.iter();\nfn f() { let s = \"HashMap.iter()\"; drop(s); }",
+        );
+        assert!(hash_iter(&f).is_empty());
+    }
+
+    // ---- wall-clock ----
+
+    #[test]
+    fn wall_clock_flags_instant_elsewhere() {
+        let f = file(
+            "crates/netsim/src/sim.rs",
+            "fn f() { let t = std::time::Instant::now(); drop(t); }",
+        );
+        let hits = wall_clock(&f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, WALL_CLOCK);
+    }
+
+    #[test]
+    fn wall_clock_allows_the_timing_module() {
+        let f = file(
+            "crates/bench/src/timing.rs",
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); drop((t, s)); }",
+        );
+        assert!(wall_clock(&f).is_empty());
+    }
+
+    // ---- seed-discipline ----
+
+    #[test]
+    fn seed_discipline_flags_literal_seed_in_src() {
+        let f = file(
+            "crates/x/src/a.rs",
+            "fn f() { let rng = StdRng::seed_from_u64(42); drop(rng); }",
+        );
+        let hits = seed_discipline(&f);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("42"));
+    }
+
+    #[test]
+    fn seed_discipline_allows_parameters_and_unit_seed() {
+        let f = file(
+            "crates/x/src/a.rs",
+            "fn f(seed: u64, i: u64) {\n  let a = StdRng::seed_from_u64(seed);\n  let b = StdRng::seed_from_u64(unit_seed(seed, i));\n  drop((a, b));\n}",
+        );
+        assert!(seed_discipline(&f).is_empty());
+    }
+
+    #[test]
+    fn seed_discipline_allows_literals_in_tests() {
+        let cfg = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn g() { let r = StdRng::seed_from_u64(7); drop(r); }\n}";
+        assert!(seed_discipline(&file("crates/x/src/a.rs", cfg)).is_empty());
+        let it = "fn g() { let r = StdRng::seed_from_u64(7); drop(r); }";
+        assert!(seed_discipline(&file("crates/x/tests/it.rs", it)).is_empty());
+    }
+
+    // ---- crate-hygiene ----
+
+    #[test]
+    fn crate_hygiene_requires_both_attributes() {
+        let f = file("crates/x/src/lib.rs", "//! docs\npub fn f() {}\n");
+        let hits = crate_hygiene(&f);
+        assert_eq!(hits.len(), 2);
+        let clean = file(
+            "crates/x/src/lib.rs",
+            "//! docs\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(crate_hygiene(&clean).is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! A scanned source file plus the classifications rules need: test
+//! regions, test-tree membership, and suppression directives.
+
+use crate::lexer::{scan, Comment, Tok, TokKind};
+
+/// A `lint:allow` directive parsed from a plain `//` comment.
+///
+/// Syntax: `// lint:allow(rule-name) — justification`. The directive
+/// suppresses findings of `rule` on its own line (trailing form) or on
+/// the next line (standalone form). Doc comments (`///`, `//!`) never
+/// carry directives, so documentation can quote the syntax.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Whether a justification follows the closing parenthesis.
+    pub justified: bool,
+}
+
+/// One scanned `.rs` file with everything the rules consume.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with forward slashes.
+    pub rel: String,
+    /// Token stream (strings and lifetimes already dropped).
+    pub toks: Vec<Tok>,
+    /// Comments, in order.
+    pub comments: Vec<Comment>,
+    /// Inclusive 1-based line ranges of `#[cfg(test)]` modules.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Whether the whole file is test collateral (`tests/` or
+    /// `benches/` directory).
+    pub in_test_tree: bool,
+    /// Suppression directives parsed from plain comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Scans `src` found at workspace-relative path `rel`.
+    pub fn new(rel: String, src: &str) -> SourceFile {
+        let (toks, comments) = scan(src);
+        let test_ranges = cfg_test_ranges(&toks);
+        let in_test_tree = rel.split('/').any(|seg| seg == "tests" || seg == "benches");
+        let suppressions = parse_suppressions(&comments);
+        SourceFile {
+            rel,
+            toks,
+            comments,
+            test_ranges,
+            in_test_tree,
+            suppressions,
+        }
+    }
+
+    /// Whether `line` sits in test code: a `tests/`/`benches/` file or
+    /// inside a `#[cfg(test)]` module.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test_tree
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Convenience: token at `i` is an identifier with this exact text.
+    pub fn ident_at(&self, i: usize, text: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+    }
+
+    /// Convenience: token at `i` is this punctuation character.
+    pub fn punct_at(&self, i: usize, ch: char) -> bool {
+        self.toks.get(i).is_some_and(|t| {
+            t.kind == TokKind::Punct && t.text.len() == 1 && t.text.starts_with(ch)
+        })
+    }
+
+    /// Whether the token sequence `pat` (matched on token text) occurs
+    /// anywhere in the file.
+    pub fn has_seq(&self, pat: &[&str]) -> bool {
+        self.toks
+            .windows(pat.len())
+            .any(|w| w.iter().zip(pat).all(|(t, p)| t.text == *p))
+    }
+}
+
+/// Finds the inclusive line spans of `#[cfg(test)] mod … { … }` blocks.
+fn cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let txt = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // `# [ cfg ( test ) ]`
+        let is_cfg_test = txt(i) == Some("#")
+            && txt(i + 1) == Some("[")
+            && txt(i + 2) == Some("cfg")
+            && txt(i + 3) == Some("(")
+            && txt(i + 4) == Some("test")
+            && txt(i + 5) == Some(")")
+            && txt(i + 6) == Some("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Scan forward for the `mod name {` this attribute decorates
+        // (skipping further attributes). The search is bounded so a
+        // `#[cfg(test)]` on a non-module item doesn't grab an unrelated
+        // module further down the file.
+        let mut j = i + 7;
+        let bound = (i + 27).min(toks.len());
+        while j < bound && txt(j) != Some("mod") {
+            j += 1;
+        }
+        if txt(j) != Some("mod") {
+            i += 7;
+            continue;
+        }
+        // `mod name ;` (out-of-line test module) has no local span.
+        let Some(open) = (j..toks.len()).find(|&k| txt(k) == Some("{") || txt(k) == Some(";"))
+        else {
+            break;
+        };
+        if txt(open) == Some(";") {
+            i = open + 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut k = open;
+        let end_line = loop {
+            match txt(k) {
+                Some("{") => depth += 1,
+                Some("}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break toks[k].line;
+                    }
+                }
+                None => break toks[toks.len() - 1].line,
+                _ => {}
+            }
+            k += 1;
+        };
+        ranges.push((start_line, end_line));
+        i = k + 1;
+    }
+    ranges
+}
+
+/// Extracts every `lint:allow(rule)` directive from plain comments.
+fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        if c.doc {
+            continue;
+        }
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            let after = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let rule = after[..close].trim().to_string();
+            let tail = after[close + 1..]
+                .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+                .trim();
+            out.push(Suppression {
+                line: c.line,
+                rule,
+                justified: tail.len() >= 10,
+            });
+            rest = &after[close + 1..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_span_covers_the_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { if true {} }\n}\nfn c() {}\n";
+        let f = SourceFile::new("crates/x/src/lib.rs".into(), src);
+        assert_eq!(f.test_ranges, vec![(2, 5)]);
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn tests_tree_files_are_all_test_code() {
+        let f = SourceFile::new("crates/x/tests/it.rs".into(), "fn a() {}");
+        assert!(f.is_test_line(1));
+    }
+
+    #[test]
+    fn suppression_with_and_without_justification() {
+        let src = "// lint:allow(hash-iter) — the result is sorted before printing\n\
+                   // lint:allow(wall-clock)\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert!(f.suppressions[0].justified);
+        assert_eq!(f.suppressions[0].rule, "hash-iter");
+        assert!(!f.suppressions[1].justified);
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let src = "/// syntax: lint:allow(hash-iter) — why order cannot escape\nfn a() {}\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        assert!(f.suppressions.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! The workspace must lint clean against its own shipped (empty)
+//! baseline — the same invariant CI enforces with
+//! `cargo run -p quartz-lint`. Running it from `cargo test` means
+//! tier-1 verification catches a determinism regression even before
+//! the lint CI job does.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_with_the_shipped_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let baseline =
+        quartz_lint::baseline::load(&root.join("lint-baseline.toml")).expect("baseline parses");
+    assert_eq!(
+        baseline,
+        quartz_lint::Baseline::default(),
+        "the shipped baseline must stay empty — fix violations, don't baseline them"
+    );
+    let findings = quartz_lint::run(&root, &baseline).expect("lint runs");
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean, found:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {}:{} {} {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn an_introduced_violation_is_caught() {
+    // Sanity-check the end-to-end plumbing: the same engine must flag a
+    // fixture workspace carrying one violation of each code rule.
+    let dir = std::env::temp_dir().join("quartz-lint-e2e-fixture");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[package]\nname = \"fixture\"\n").unwrap();
+    std::fs::write(
+        dir.join("src/lib.rs"),
+        concat!(
+            "//! fixture crate root (hygiene attrs deliberately missing)\n",
+            "pub fn f() {\n",
+            "    let m = HashMap::new();\n",
+            "    for v in &m { drop(v); }\n",
+            "    let t = std::time::Instant::now(); drop(t);\n",
+            "    let r = StdRng::seed_from_u64(42); drop(r);\n",
+            "}\n",
+        ),
+    )
+    .unwrap();
+    let findings = quartz_lint::run(&dir, &quartz_lint::Baseline::default()).unwrap();
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    for rule in [
+        "hash-iter",
+        "wall-clock",
+        "seed-discipline",
+        "crate-hygiene",
+    ] {
+        assert!(rules.contains(&rule), "missing {rule} in {findings:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

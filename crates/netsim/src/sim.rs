@@ -37,7 +37,7 @@ use quartz_core::rng::StdRng;
 use quartz_topology::graph::{LinkId, Network, NodeId, NodeKind};
 use quartz_topology::route::RouteTable;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Valiant load balancing configuration (§3.4).
 #[derive(Clone, Debug)]
@@ -334,7 +334,7 @@ pub struct Simulator {
     rng: StdRng,
     stats: Stats,
     now: SimTime,
-    vlb_domain_of: HashMap<NodeId, usize>,
+    vlb_domain_of: BTreeMap<NodeId, usize>,
     /// Transport connection state, parallel to `flows` (None for
     /// non-transport flows).
     conns: Vec<Option<Conn>>,
@@ -371,7 +371,7 @@ impl Simulator {
                 [d.clone(), d]
             })
             .collect();
-        let mut vlb_domain_of = HashMap::new();
+        let mut vlb_domain_of = BTreeMap::new();
         if let Some(v) = &cfg.vlb {
             assert!(
                 (0.0..=1.0).contains(&v.fraction),

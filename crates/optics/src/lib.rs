@@ -37,6 +37,7 @@
 //! crate is a pure model library in the spirit of `smoltcp`.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod budget;

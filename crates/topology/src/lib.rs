@@ -25,6 +25,7 @@
 //! * [`dot`] — Graphviz export of any topology.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod builders;

@@ -37,6 +37,10 @@
 //! assert!(plan.validate().is_ok());
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
 pub use quartz_core as core;
 pub use quartz_cost as cost;
 pub use quartz_flowsim as flowsim;

@@ -1,9 +1,10 @@
 //! Extension experiment E1: protocol fixes vs topology (§2.1.4
 //! `--jobs N` sets the worker count (default: all hardware threads);
+//! `--trace-out PATH` writes an ndjson trace;
 //! set `QUARTZ_BENCH_JSON` to also write `BENCH_ext01_protocols.json`.
 fn main() {
     quartz_bench::run_bin(
         "ext01_protocols",
-        quartz_bench::experiments::ext01::print_with,
+        quartz_bench::experiments::ext01::print_ctx,
     );
 }

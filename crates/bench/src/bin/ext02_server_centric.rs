@@ -1,9 +1,10 @@
 //! Extension experiment E2: server-centric structures vs the Quartz mesh
 //! `--jobs N` sets the worker count (default: all hardware threads);
+//! `--trace-out PATH` writes an ndjson trace;
 //! set `QUARTZ_BENCH_JSON` to also write `BENCH_ext02_server_centric.json`.
 fn main() {
     quartz_bench::run_bin(
         "ext02_server_centric",
-        quartz_bench::experiments::ext02::print_with,
+        quartz_bench::experiments::ext02::print_ctx,
     );
 }

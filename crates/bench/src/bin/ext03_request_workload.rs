@@ -1,9 +1,10 @@
 //! Extension experiment E3: the §1 Facebook-style request (88 cache +
 //! `--jobs N` sets the worker count (default: all hardware threads);
+//! `--trace-out PATH` writes an ndjson trace;
 //! set `QUARTZ_BENCH_JSON` to also write `BENCH_ext03_request_workload.json`.
 fn main() {
     quartz_bench::run_bin(
         "ext03_request_workload",
-        quartz_bench::experiments::ext03::print_with,
+        quartz_bench::experiments::ext03::print_ctx,
     );
 }

@@ -1,9 +1,10 @@
 //! Regenerates fig01 of the paper. Pass `--quick` for a reduced run.
 //! `--jobs N` sets the worker count (default: all hardware threads);
+//! `--trace-out PATH` writes an ndjson trace;
 //! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig01_dwdm_trend.json`.
 fn main() {
     quartz_bench::run_bin(
         "fig01_dwdm_trend",
-        quartz_bench::experiments::fig01::print_with,
+        quartz_bench::experiments::fig01::print_ctx,
     );
 }

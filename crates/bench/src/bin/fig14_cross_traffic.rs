@@ -1,9 +1,10 @@
 //! Regenerates fig14 of the paper. Pass `--quick` for a reduced run.
 //! `--jobs N` sets the worker count (default: all hardware threads);
+//! `--trace-out PATH` writes an ndjson trace;
 //! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig14_cross_traffic.json`.
 fn main() {
     quartz_bench::run_bin(
         "fig14_cross_traffic",
-        quartz_bench::experiments::fig14::print_with,
+        quartz_bench::experiments::fig14::print_ctx,
     );
 }

@@ -1,9 +1,10 @@
 //! Regenerates fig17 of the paper. Pass `--quick` for a reduced run.
 //! `--jobs N` sets the worker count (default: all hardware threads);
+//! `--trace-out PATH` writes an ndjson trace;
 //! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig17_global_latency.json`.
 fn main() {
     quartz_bench::run_bin(
         "fig17_global_latency",
-        quartz_bench::experiments::fig17::print_with,
+        quartz_bench::experiments::fig17::print_ctx,
     );
 }

@@ -1,9 +1,10 @@
 //! Regenerates fig20 of the paper. Pass `--quick` for a reduced run.
 //! `--jobs N` sets the worker count (default: all hardware threads);
+//! `--trace-out PATH` writes an ndjson trace;
 //! set `QUARTZ_BENCH_JSON` to also write `BENCH_fig20_pathological.json`.
 fn main() {
     quartz_bench::run_bin(
         "fig20_pathological",
-        quartz_bench::experiments::fig20::print_with,
+        quartz_bench::experiments::fig20::print_ctx,
     );
 }

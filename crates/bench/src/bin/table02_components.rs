@@ -1,9 +1,10 @@
 //! Regenerates table02 of the paper. Pass `--quick` for a reduced run.
 //! `--jobs N` sets the worker count (default: all hardware threads);
+//! `--trace-out PATH` writes an ndjson trace;
 //! set `QUARTZ_BENCH_JSON` to also write `BENCH_table02_components.json`.
 fn main() {
     quartz_bench::run_bin(
         "table02_components",
-        quartz_bench::experiments::table02::print_with,
+        quartz_bench::experiments::table02::print_ctx,
     );
 }

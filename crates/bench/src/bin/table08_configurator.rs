@@ -1,9 +1,10 @@
 //! Regenerates table08 of the paper. Pass `--quick` for a reduced run.
 //! `--jobs N` sets the worker count (default: all hardware threads);
+//! `--trace-out PATH` writes an ndjson trace;
 //! set `QUARTZ_BENCH_JSON` to also write `BENCH_table08_configurator.json`.
 fn main() {
     quartz_bench::run_bin(
         "table08_configurator",
-        quartz_bench::experiments::table08::print_with,
+        quartz_bench::experiments::table08::print_ctx,
     );
 }

@@ -149,9 +149,42 @@ pub fn print(scale: Scale) {
 
 /// Prints the E1 table, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    println!("Extension E1: protocol fixes vs topology (probe RPC under bulk transfers)\n");
-    let rows: Vec<Vec<String>> = run_with(scale, pool)
-        .into_iter()
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook: the
+/// configurations run once; the same rows feed both the table and the
+/// metrics trace.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
+    let rows = run_with(scale, pool);
+    render(&rows);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&rows));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(rows: &[Row]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("ext01.rows", rows.len() as u64);
+    for r in rows {
+        let key = r
+            .config
+            .to_ascii_lowercase()
+            .replace([' ', '+'], "_")
+            .replace("__", "_");
+        m.set_gauge(&format!("ext01.probe_mean_us.{key}"), r.probe_mean_us);
+        m.set_gauge(&format!("ext01.probe_p99_us.{key}"), r.probe_p99_us);
+        m.inc(&format!("ext01.drops.{key}"), r.drops);
+    }
+    m.to_ndjson()
+}
+
+/// Renders the computed rows as the E1 table.
+fn render(rows: &[Row]) {
+    crate::outln!("Extension E1: protocol fixes vs topology (probe RPC under bulk transfers)\n");
+    let rows: Vec<Vec<String>> = rows
+        .iter()
         .map(|r| {
             vec![
                 r.config.to_string(),
@@ -170,5 +203,5 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         ],
         &rows,
     );
-    println!("\n§2.1.4: DCTCP shortens the tree's shared queue by an order of magnitude, but the Quartz mesh removes the shared queue entirely — topology beats protocol.");
+    crate::outln!("\n§2.1.4: DCTCP shortens the tree's shared queue by an order of magnitude, but the Quartz mesh removes the shared queue entirely — topology beats protocol.");
 }

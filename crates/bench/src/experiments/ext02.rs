@@ -95,9 +95,45 @@ pub fn print(scale: Scale) {
 
 /// Prints the E2 table, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    println!("Extension E2: server-centric structures vs the Quartz mesh (§2.1.5)\n");
-    let rows: Vec<Vec<String>> = run_with(scale, pool)
-        .into_iter()
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook: the structures
+/// build once; the same rows feed both the table and the metrics trace.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
+    let rows = run_with(scale, pool);
+    render(&rows);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&rows));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(rows: &[Row]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("ext02.rows", rows.len() as u64);
+    for r in rows {
+        let key = r
+            .name
+            .to_ascii_lowercase()
+            .replace([' ', '(', ')', ','], "_")
+            .replace("__", "_");
+        let key = key.trim_matches('_');
+        m.set_gauge(&format!("ext02.servers.{key}"), r.servers as f64);
+        m.set_gauge(&format!("ext02.latency_us.{key}"), r.latency_us);
+        m.set_gauge(
+            &format!("ext02.server_hops.{key}"),
+            r.hops.server_hops as f64,
+        );
+    }
+    m.to_ndjson()
+}
+
+/// Renders the computed rows as the E2 table.
+fn render(rows: &[Row]) {
+    crate::outln!("Extension E2: server-centric structures vs the Quartz mesh (§2.1.5)\n");
+    let rows: Vec<Vec<String>> = rows
+        .iter()
         .map(|r| {
             vec![
                 r.name.to_string(),
@@ -116,5 +152,5 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         ],
         &rows,
     );
-    println!("\nEvery relay *server* costs ~15 µs of OS stack (Table 2) — the cliff between switch-forwarded (Quartz: 1.0 µs) and server-forwarded designs.");
+    crate::outln!("\nEvery relay *server* costs ~15 µs of OS stack (Table 2) — the cliff between switch-forwarded (Quartz: 1.0 µs) and server-forwarded designs.");
 }

@@ -163,10 +163,38 @@ pub fn print(scale: Scale) {
 
 /// Prints the E3 table, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    println!(
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook: the requests run
+/// once; the same rows feed both the table and the metrics trace.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
+    let rows = run_with(scale, pool);
+    render(&rows);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&rows));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(rows: &[Row]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("ext03.rows", rows.len() as u64);
+    for r in rows {
+        let key = r.arch.name().to_ascii_lowercase().replace([' ', '+'], "_");
+        m.set_gauge(
+            &format!("ext03.completion_us.{key}.x{}", r.cross_tasks),
+            r.completion_us,
+        );
+    }
+    m.to_ndjson()
+}
+
+/// Renders the computed rows as the E3 table.
+fn render(rows: &[Row]) {
+    crate::outln!(
         "Extension E3: the §1 request — 88 cache + 35 DB + 392 backend RPCs, sequential stages\n"
     );
-    let rows = run_with(scale, pool);
     let cross_levels: Vec<usize> = {
         let mut v: Vec<usize> = rows.iter().map(|r| r.cross_tasks).collect();
         v.sort_unstable();
@@ -197,5 +225,5 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         })
         .collect();
     print_table(&headers_ref, &table);
-    println!("\nEach stage waits for its slowest RPC, so the request completion tracks the *tail*: the architectures' mean-latency gap (Figure 17) widens into user-visible request time (§1's motivation).");
+    crate::outln!("\nEach stage waits for its slowest RPC, so the request completion tracks the *tail*: the architectures' mean-latency gap (Figure 17) widens into user-visible request time (§1's motivation).");
 }

@@ -26,9 +26,29 @@ pub fn print_with(scale: Scale, _pool: &quartz_core::ThreadPool) {
     print(scale);
 }
 
+/// [`print_with`] plus the shared `--trace-out` hook: also writes the
+/// printed series as a metrics trace (one gauge pair per year).
+pub fn print_ctx(scale: Scale, pool: &quartz_core::ThreadPool, trace: Option<&std::path::Path>) {
+    print_with(scale, pool);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&run(scale)));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(rows: &[Row]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("fig01.rows", rows.len() as u64);
+    for (year, _label, cost, fit) in rows {
+        m.set_gauge(&format!("fig01.cost.y{year}"), *cost);
+        m.set_gauge(&format!("fig01.fit.y{year}"), *fit);
+    }
+    m.to_ndjson()
+}
+
 /// Prints the Figure 1 series.
 pub fn print(scale: Scale) {
-    println!("Figure 1: backbone DWDM per-bit, per-km relative cost (1993 = 1.0)\n");
+    crate::outln!("Figure 1: backbone DWDM per-bit, per-km relative cost (1993 = 1.0)\n");
     let rows: Vec<Vec<String>> = run(scale)
         .into_iter()
         .map(|(y, label, c, f)| {
@@ -45,7 +65,7 @@ pub fn print(scale: Scale) {
         &rows,
     );
     let annual = quartz_cost::trend::annual_decline_factor();
-    println!(
+    crate::outln!(
         "\nFitted decline: ×{annual:.2} per year (−{:.0}%/yr) — \"Quartz will only become more cost-competitive over time\" (§2.2).",
         (1.0 - annual) * 100.0
     );

@@ -84,8 +84,44 @@ pub fn print(scale: Scale) {
 
 /// Prints the Figure 5 series, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    println!("Figure 5: wavelengths required vs ring size (greedy vs optimal)\n");
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook: the sweep runs
+/// once; the same rows feed both the table and the metrics trace.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
     let rows = run_with(scale, pool);
+    render(&rows);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&rows));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(rows: &[Row]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("fig05.rows", rows.len() as u64);
+    m.inc(
+        "fig05.optimal_proven",
+        rows.iter().filter(|r| r.optimal.is_some()).count() as u64,
+    );
+    m.set_gauge("fig05.max_ring_size", max_ring_size(rows) as f64);
+    for r in rows {
+        m.set_gauge(&format!("fig05.greedy.m{:02}", r.m), r.greedy as f64);
+        m.set_gauge(
+            &format!("fig05.lower_bound.m{:02}", r.m),
+            r.lower_bound as f64,
+        );
+        if let Some(o) = r.optimal {
+            m.set_gauge(&format!("fig05.optimal.m{:02}", r.m), o as f64);
+        }
+    }
+    m.to_ndjson()
+}
+
+/// Renders the computed rows as the Figure 5 table.
+fn render(rows: &[Row]) {
+    crate::outln!("Figure 5: wavelengths required vs ring size (greedy vs optimal)\n");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -103,16 +139,16 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         &["Ring size", "Greedy", "Optimal (exact)", "Load bound"],
         &table,
     );
-    println!(
+    crate::outln!(
         "\nMax ring size within 160 fiber channels: {} (paper: 35).",
-        max_ring_size(&rows)
+        max_ring_size(rows)
     );
     let worst = rows
         .iter()
         .filter_map(|r| r.optimal.map(|o| (r.m, r.greedy as f64 / o as f64)))
         .max_by(|a, b| a.1.total_cmp(&b.1));
     if let Some((m, ratio)) = worst {
-        println!(
+        crate::outln!(
             "Greedy vs proven optimum: worst ratio {ratio:.3}x at M = {m} — \"our greedy heuristic performs nearly as well as the optimal solution\" (§3.1.1)."
         );
     }

@@ -16,8 +16,11 @@ use quartz_core::pool::ThreadPool;
 use quartz_flowsim::degraded::DegradedQuartzFabric;
 use quartz_flowsim::fabric::{MeshRouting, QuartzFabric};
 use quartz_flowsim::matrix::random_permutation;
-use quartz_flowsim::throughput::normalized_throughput;
-use quartz_netsim::faults::{ring_cut_scenario, CutScenarioConfig, CutScenarioReport};
+use quartz_flowsim::throughput::{normalized_throughput, normalized_throughput_metered};
+use quartz_netsim::faults::{
+    ring_cut_scenario, ring_cut_scenario_traced, CutScenarioConfig, CutScenarioReport,
+};
+use quartz_obs::{Event, MetricsRegistry};
 
 /// The full grid: `reports[rings-1][failures-1]` (computed over one
 /// worker per hardware thread).
@@ -47,6 +50,43 @@ pub fn run_with(scale: Scale, pool: &ThreadPool) -> Vec<Vec<FaultReport>> {
                 .collect()
         })
         .collect()
+}
+
+/// [`run_with`] with per-cell observability: the same grid, plus a
+/// registry of `fig06.loss.r<rings>.f<failures>` /
+/// `fig06.partition.r<rings>.f<failures>` gauges aggregated in
+/// unit-index order (bit-identical at any worker count).
+pub fn run_observed_with(
+    scale: Scale,
+    pool: &ThreadPool,
+) -> (Vec<Vec<FaultReport>>, MetricsRegistry) {
+    let (m, trials) = match scale {
+        Scale::Paper => (33, 20_000),
+        Scale::Quick => (17, 1_000),
+    };
+    let (cells, metrics) = pool.par_map_observed(16, |i, reg| {
+        let (rings, failures) = (i / 4 + 1, i % 4 + 1);
+        let r = FailureModel::new(m, rings).monte_carlo(failures, trials, 0xF16 + failures as u64);
+        reg.inc("fig06.grid.cells", 1);
+        reg.set_gauge(
+            &format!("fig06.loss.r{rings}.f{failures}"),
+            r.mean_bandwidth_loss,
+        );
+        reg.set_gauge(
+            &format!("fig06.partition.r{rings}.f{failures}"),
+            r.partition_probability,
+        );
+        r
+    });
+    let mut cells = cells.into_iter();
+    let grid = (1..=4usize)
+        .map(|_| {
+            (1..=4usize)
+                .map(|_| cells.next().expect("16 cells"))
+                .collect()
+        })
+        .collect();
+    (grid, metrics)
 }
 
 /// The dynamic fiber-cut measurement: the packet-level scenario plus the
@@ -117,6 +157,81 @@ pub fn run_dynamic_with(scale: Scale, pool: &ThreadPool) -> DynamicReport {
     }
 }
 
+/// [`run_dynamic_with`] with full observability: the packet-level
+/// scenario records every event through a `MemoryRecorder` and its sim
+/// metrics, while the waterfill half meters its solver iterations; the
+/// two units' registries fold in unit-index order. The report is
+/// bit-identical to [`run_dynamic_with`]'s (tracing is observe-only),
+/// and the events and metrics are bit-identical at any worker count.
+pub fn run_dynamic_traced_with(
+    scale: Scale,
+    pool: &ThreadPool,
+) -> (DynamicReport, Vec<Event>, MetricsRegistry) {
+    let cfg = match scale {
+        Scale::Paper => CutScenarioConfig::paper(0xD16),
+        Scale::Quick => CutScenarioConfig::quick(0xD16),
+    };
+    let racks = cfg.switches;
+
+    enum Half {
+        Scenario(Box<(CutScenarioReport, Vec<Event>)>),
+        Waterfill { intact: f64, degraded: f64 },
+    }
+    let (halves, metrics) = pool.par_map_observed(2, |i, reg| {
+        if i == 0 {
+            let (scenario, events, sim_metrics) = ring_cut_scenario_traced(&cfg);
+            reg.merge(&sim_metrics);
+            Half::Scenario(Box::new((scenario, events)))
+        } else {
+            let intact = QuartzFabric {
+                racks,
+                hosts_per_rack: 4,
+                channel_cap: 1.0,
+                policy: MeshRouting::VlbUniform(0.5),
+            };
+            let demands = random_permutation(racks * 4, 0xD16);
+            let intact_throughput =
+                normalized_throughput_metered(&intact, &demands, reg).normalized;
+            // Sever the same channel the scenario cuts: switches 0 ↔ 1.
+            let degraded = DegradedQuartzFabric::new(intact, &[(0, 1)]);
+            Half::Waterfill {
+                intact: intact_throughput,
+                degraded: normalized_throughput_metered(&degraded, &demands, reg).normalized,
+            }
+        }
+    });
+
+    let mut halves = halves.into_iter();
+    let (Some(Half::Scenario(boxed)), Some(Half::Waterfill { intact, degraded })) =
+        (halves.next(), halves.next())
+    else {
+        unreachable!("par_map_observed returns both halves in index order");
+    };
+    let (scenario, events) = *boxed;
+    (
+        DynamicReport {
+            scenario,
+            intact_throughput: intact,
+            degraded_throughput: degraded,
+        },
+        events,
+        metrics,
+    )
+}
+
+/// The full Figure 6 trace body: the dynamic panel's packet events
+/// (ndjson, time-ordered) followed by the merged metrics of both panels
+/// (grid gauges, sim counters/histograms, waterfill meters). Byte-
+/// identical at any worker count.
+pub fn trace_ndjson_with(scale: Scale, pool: &ThreadPool) -> String {
+    let (_, grid_metrics) = run_observed_with(scale, pool);
+    let (_, events, mut metrics) = run_dynamic_traced_with(scale, pool);
+    metrics.merge(&grid_metrics);
+    let mut out = quartz_obs::event::to_ndjson(&events);
+    out.push_str(&metrics.to_ndjson());
+    out
+}
+
 /// Prints both Figure 6 panels.
 pub fn print(scale: Scale) {
     print_with(scale, &ThreadPool::default());
@@ -124,8 +239,29 @@ pub fn print(scale: Scale) {
 
 /// Prints both Figure 6 panels, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    let grid = run_with(scale, pool);
-    println!("Figure 6 (top): mean bandwidth loss vs broken fiber links\n");
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook. Without a trace
+/// path this is exactly the untraced run (no recorder anywhere near the
+/// simulator); with one, both panels rerun in observed mode — reports
+/// are bit-identical either way — and the packet events + merged
+/// metrics land at `trace`. Both stages are phase-timed, so
+/// `BENCH_fig06_fault_tolerance.json` carries a `phase` breakdown.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
+    let grid = crate::timing::phase_timed("fig06.grid", || run_with(scale, pool));
+    render_grid(&grid);
+    let dyn_report = crate::timing::phase_timed("fig06.dynamic", || run_dynamic_with(scale, pool));
+    render_dynamic(&dyn_report);
+    if let Some(path) = trace {
+        let body = crate::timing::phase_timed("fig06.trace", || trace_ndjson_with(scale, pool));
+        crate::trace::write(path, &body);
+    }
+}
+
+/// Renders the three static-panel tables.
+fn render_grid(grid: &[Vec<FaultReport>]) {
+    crate::outln!("Figure 6 (top): mean bandwidth loss vs broken fiber links\n");
     let headers = [
         "Rings",
         "1 failure",
@@ -144,7 +280,7 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         .collect();
     print_table(&headers, &loss_rows);
 
-    println!("\nFigure 6 (bottom): probability of network partition\n");
+    crate::outln!("\nFigure 6 (bottom): probability of network partition\n");
     let part_rows: Vec<Vec<String>> = grid
         .iter()
         .enumerate()
@@ -159,7 +295,7 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         .collect();
     print_table(&headers, &part_rows);
 
-    println!("\nFigure 6 (companion): detour stretch over surviving channels\n");
+    crate::outln!("\nFigure 6 (companion): detour stretch over surviving channels\n");
     let stretch_rows: Vec<Vec<String>> = grid
         .iter()
         .enumerate()
@@ -175,37 +311,40 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         })
         .collect();
     print_table(&headers, &stretch_rows);
-    println!("(severed pairs' mean detour hop count / mesh-wide mean post-failure hops)");
+    crate::outln!("(severed pairs' mean detour hop count / mesh-wide mean post-failure hops)");
 
-    println!(
+    crate::outln!(
         "\nPaper: one ring loses ~20% bandwidth per cut (ours ~{}); with two rings, four simultaneous failures partition with probability ~0.24% (ours {:.4}).",
         pct(grid[0][0].mean_bandwidth_loss),
         grid[1][3].partition_probability
     );
+}
 
-    let dyn_report = run_dynamic_with(scale, pool);
+/// Renders the dynamic-panel summary lines.
+fn render_dynamic(dyn_report: &DynamicReport) {
     let s = &dyn_report.scenario;
-    println!("\nFigure 6 (dynamic): one fiber cut mid-run under steady Poisson traffic\n");
-    println!(
+    crate::outln!("\nFigure 6 (dynamic): one fiber cut mid-run under steady Poisson traffic\n");
+    crate::outln!(
         "  severed pair latency: p50 {:.2} -> {:.2} us (mean {:.2} -> {:.2} us)",
         s.pre.p50_ns as f64 / 1e3,
         s.post.p50_ns as f64 / 1e3,
         s.pre.mean_ns / 1e3,
         s.post.mean_ns / 1e3,
     );
-    println!(
+    crate::outln!(
         "  path stretch: {:.2} -> {:.2} links per packet",
-        s.pre_mean_hops, s.post_mean_hops
+        s.pre_mean_hops,
+        s.post_mean_hops
     );
     match s.reconvergence_ns {
-        Some(ns) => println!(
+        Some(ns) => crate::outln!(
             "  reconvergence: {:.1} us ({} packets lost during the outage)",
             ns as f64 / 1e3,
             s.drops_during_outage
         ),
-        None => println!("  reconvergence: never (routes stayed stale)"),
+        None => crate::outln!("  reconvergence: never (routes stayed stale)"),
     }
-    println!(
+    crate::outln!(
         "  waterfill throughput: {:.3} intact -> {:.3} degraded ({:.1}% retained)",
         dyn_report.intact_throughput,
         dyn_report.degraded_throughput,

@@ -115,9 +115,39 @@ pub fn print(scale: Scale) {
 
 /// Prints the Figure 10 bars, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    println!("Figure 10: normalized throughput (1.0 = every server at full rate)\n");
-    let rows: Vec<Vec<String>> = run_with(scale, pool)
-        .into_iter()
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook: the patterns run
+/// once; the same rows feed both the table and the metrics trace.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
+    let rows = run_with(scale, pool);
+    render(&rows);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&rows));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(rows: &[Row]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("fig10.rows", rows.len() as u64);
+    for r in rows {
+        let key = r.pattern.to_ascii_lowercase().replace([' ', '-'], "_");
+        m.set_gauge(&format!("fig10.full.{key}"), r.full);
+        m.set_gauge(&format!("fig10.quartz.{key}"), r.quartz);
+        m.set_gauge(&format!("fig10.quartz_k.{key}"), r.quartz_k);
+        m.set_gauge(&format!("fig10.half.{key}"), r.half);
+        m.set_gauge(&format!("fig10.quarter.{key}"), r.quarter);
+    }
+    m.to_ndjson()
+}
+
+/// Renders the computed rows as the Figure 10 table.
+fn render(rows: &[Row]) {
+    crate::outln!("Figure 10: normalized throughput (1.0 = every server at full rate)\n");
+    let rows: Vec<Vec<String>> = rows
+        .iter()
         .map(|r| {
             vec![
                 r.pattern.to_string(),
@@ -142,5 +172,5 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         ],
         &rows,
     );
-    println!("\nPaper: Quartz ≈0.9 on permutation/incast, ≈0.75 on shuffle — above 1/2 bisection, below full (§5.1).");
+    crate::outln!("\nPaper: Quartz ≈0.9 on permutation/incast, ≈0.75 on shuffle — above 1/2 bisection, below full (§5.1).");
 }

@@ -185,9 +185,35 @@ pub fn print(scale: Scale) {
 
 /// Prints the Figure 14 series, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    println!("Figure 14: impact of cross-traffic on normalized RPC latency\n");
-    let rows: Vec<Vec<String>> = run_with(scale, pool)
-        .into_iter()
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook: the sweep runs
+/// once; the same points feed both the table and the metrics trace.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
+    let points = run_with(scale, pool);
+    render(&points);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&points));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(points: &[Point]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("fig14.points", points.len() as u64);
+    for p in points {
+        m.set_gauge(&format!("fig14.tree.mbps{:03.0}", p.cross_mbps), p.tree);
+        m.set_gauge(&format!("fig14.quartz.mbps{:03.0}", p.cross_mbps), p.quartz);
+    }
+    m.to_ndjson()
+}
+
+/// Renders the computed points as the Figure 14 table.
+fn render(points: &[Point]) {
+    crate::outln!("Figure 14: impact of cross-traffic on normalized RPC latency\n");
+    let rows: Vec<Vec<String>> = points
+        .iter()
         .map(|p| {
             vec![
                 format!("{:.0}", p.cross_mbps),
@@ -197,5 +223,7 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         })
         .collect();
     crate::table::print_table(&["Cross-traffic (Mb/s)", "Two-tier tree", "Quartz"], &rows);
-    println!("\nPaper: at 200 Mb/s the tree RPC slows by >70% while Quartz is unaffected (§6.1).");
+    crate::outln!(
+        "\nPaper: at 200 Mb/s the tree RPC slows by >70% while Quartz is unaffected (§6.1)."
+    );
 }

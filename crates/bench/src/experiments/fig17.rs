@@ -249,8 +249,40 @@ pub fn print(scale: Scale) {
 
 /// Prints the three Figure 17 panels, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    for (w, panel) in run_with(scale, pool) {
-        println!(
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook: the panels run
+/// once; the same series feed both the tables and the metrics trace.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
+    let panels = run_with(scale, pool);
+    render(&panels);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&panels));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`]: one
+/// `fig17.<workload>.<arch>.t<tasks>` latency gauge per point.
+fn trace_ndjson(panels: &[(Workload, Panel)]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    for (w, panel) in panels {
+        let wkey = w.name().to_ascii_lowercase().replace('-', "_");
+        for (a, series) in panel {
+            let akey = a.name().to_ascii_lowercase().replace([' ', '+'], "_");
+            for (t, us) in series {
+                m.inc("fig17.points", 1);
+                m.set_gauge(&format!("fig17.{wkey}.{akey}.t{t}"), *us);
+            }
+        }
+    }
+    m.to_ndjson()
+}
+
+/// Renders the computed panels as the Figure 17 tables.
+fn render(panels: &[(Workload, Panel)]) {
+    for (w, panel) in panels {
+        crate::outln!(
             "\nFigure 17 ({}): average latency per packet (µs) vs number of tasks\n",
             w.name()
         );
@@ -268,5 +300,5 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
             .collect();
         print_table(&headers_ref, &rows);
     }
-    println!("\nPaper: the three-tier tree is worst and grows with tasks; Quartz in edge+core roughly halves latency (§7.1).");
+    crate::outln!("\nPaper: the three-tier tree is worst and grows with tasks; Quartz in edge+core roughly halves latency (§7.1).");
 }

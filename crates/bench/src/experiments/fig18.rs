@@ -173,8 +173,40 @@ pub fn print(scale: Scale) {
 
 /// Prints the three Figure 18 panels, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    for (w, panel) in run_with(scale, pool) {
-        println!(
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook: the panels run
+/// once; the same series feed both the tables and the metrics trace.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
+    let panels = run_with(scale, pool);
+    render(&panels);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&panels));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`]: one
+/// `fig18.<workload>.<arch>.t<tasks>` latency gauge per point.
+fn trace_ndjson(panels: &[(Workload, Panel)]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    for (w, panel) in panels {
+        let wkey = w.name().to_ascii_lowercase().replace('-', "_");
+        for (a, series) in panel {
+            let akey = a.name().to_ascii_lowercase().replace([' ', '+'], "_");
+            for (t, us) in series {
+                m.inc("fig18.points", 1);
+                m.set_gauge(&format!("fig18.{wkey}.{akey}.t{t}"), *us);
+            }
+        }
+    }
+    m.to_ndjson()
+}
+
+/// Renders the computed panels as the Figure 18 tables.
+fn render(panels: &[(Workload, Panel)]) {
+    for (w, panel) in panels {
+        crate::outln!(
             "\nFigure 18 (Localized {}): local-task latency per packet (µs) vs total tasks\n",
             w.name()
         );
@@ -192,5 +224,5 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
             .collect();
         print_table(&headers_ref, &rows);
     }
-    println!("\nPaper: Jellyfish cannot exploit locality (highest); Quartz rings keep local traffic inside the ring, mostly unaffected by cross-traffic (§7.1).");
+    crate::outln!("\nPaper: Jellyfish cannot exploit locality (highest); Quartz rings keep local traffic inside the ring, mostly unaffected by cross-traffic (§7.1).");
 }

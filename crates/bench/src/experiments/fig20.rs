@@ -159,8 +159,36 @@ pub fn print(scale: Scale) {
 
 /// Prints the Figure 20 series, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    println!("Figure 20: pathological S1→S2 pattern — latency per packet (µs)\n");
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook: the sweep runs
+/// once; the same points feed both the table and the metrics trace.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
     let pts = run_with(scale, pool);
+    render(&pts);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&pts));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(points: &[Point]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("fig20.points", points.len() as u64);
+    for p in points {
+        for (d, &(lat_us, loss)) in designs().iter().zip(&p.results) {
+            let key = d.name().to_ascii_lowercase().replace([' ', '+'], "_");
+            m.set_gauge(&format!("fig20.latency_us.g{:02.0}.{key}", p.gbps), lat_us);
+            m.set_gauge(&format!("fig20.loss.g{:02.0}.{key}", p.gbps), loss);
+        }
+    }
+    m.to_ndjson()
+}
+
+/// Renders the computed points as the Figure 20 table.
+fn render(pts: &[Point]) {
+    crate::outln!("Figure 20: pathological S1→S2 pattern — latency per packet (µs)\n");
     let mut headers: Vec<String> = vec!["Traffic (Gb/s)".into()];
     headers.extend(designs().iter().map(|d| d.name().to_string()));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -179,5 +207,5 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         })
         .collect();
     print_table(&headers_ref, &rows);
-    println!("\nPaper: the non-blocking switch is flat but pays its 6 µs store-and-forward latency; Quartz+ECMP is far lower until the 40 Gb/s direct channel saturates (then unbounded, ~125 µs with our 512 KiB ports); Quartz+VLB stays low through 50 Gb/s (§7.2).");
+    crate::outln!("\nPaper: the non-blocking switch is flat but pays its 6 µs store-and-forward latency; Quartz+ECMP is far lower until the 40 Gb/s direct channel saturates (then unbounded, ~125 µs with our 512 KiB ports); Quartz+VLB stays low through 50 Gb/s (§7.2).");
 }

@@ -32,9 +32,30 @@ pub fn print_with(scale: Scale, _pool: &quartz_core::ThreadPool) {
     print(scale);
 }
 
+/// [`print_with`] plus the shared `--trace-out` hook: also writes the
+/// component latencies as a metrics trace.
+pub fn print_ctx(scale: Scale, pool: &quartz_core::ThreadPool, trace: Option<&std::path::Path>) {
+    print_with(scale, pool);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&run(scale)));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(rows: &[Row]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("table02.rows", rows.len() as u64);
+    for (component, std_ns, art_ns) in rows {
+        let key = component.to_ascii_lowercase().replace(' ', "_");
+        m.set_gauge(&format!("table02.standard_ns.{key}"), *std_ns as f64);
+        m.set_gauge(&format!("table02.state_of_art_ns.{key}"), *art_ns as f64);
+    }
+    m.to_ndjson()
+}
+
 /// Prints Table 2.
 pub fn print(scale: Scale) {
-    println!("Table 2: network latencies of different network components\n");
+    crate::outln!("Table 2: network latencies of different network components\n");
     let rows: Vec<Vec<String>> = run(scale)
         .into_iter()
         .map(|(c, s, a)| {
@@ -46,5 +67,5 @@ pub fn print(scale: Scale) {
         })
         .collect();
     print_table(&["Component", "Standard (µs)", "State of Art (µs)"], &rows);
-    println!("\nNote: congestion is the Table 2 ~50 µs queueing figure; Quartz attacks it with topology rather than protocol changes (§1).");
+    crate::outln!("\nNote: congestion is the Table 2 ~50 µs queueing figure; Quartz attacks it with topology rather than protocol changes (§1).");
 }

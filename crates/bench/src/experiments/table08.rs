@@ -22,6 +22,39 @@ pub fn print_with(scale: Scale, _pool: &quartz_core::ThreadPool) {
     print(scale);
 }
 
+/// [`print_with`] plus the shared `--trace-out` hook: also writes the
+/// configurator rows as a metrics trace.
+pub fn print_ctx(scale: Scale, pool: &quartz_core::ThreadPool, trace: Option<&std::path::Path>) {
+    print_with(scale, pool);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&run(scale)));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(rows: &[Row]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("table08.rows", rows.len() as u64);
+    for r in rows {
+        let key = format!(
+            "{}.{}",
+            size_name(r.size)
+                .split(' ')
+                .next()
+                .unwrap()
+                .to_ascii_lowercase(),
+            util_name(r.utilization).to_ascii_lowercase()
+        );
+        m.set_gauge(&format!("table08.baseline_cost.{key}"), r.baseline_cost);
+        m.set_gauge(&format!("table08.quartz_cost.{key}"), r.quartz_cost);
+        m.set_gauge(
+            &format!("table08.latency_reduction.{key}"),
+            r.latency_reduction,
+        );
+    }
+    m.to_ndjson()
+}
+
 fn size_name(s: DatacenterSize) -> &'static str {
     match s {
         DatacenterSize::Small => "Small (500)",
@@ -39,7 +72,7 @@ fn util_name(u: Utilization) -> &'static str {
 
 /// Prints Table 8.
 pub fn print(scale: Scale) {
-    println!("Table 8: approximate cost and latency comparison (network hardware only)\n");
+    crate::outln!("Table 8: approximate cost and latency comparison (network hardware only)\n");
     let rows: Vec<Vec<String>> = run(scale)
         .into_iter()
         .flat_map(|r| {
@@ -71,5 +104,5 @@ pub fn print(scale: Scale) {
         ],
         &rows,
     );
-    println!("\nPaper's rows: small $589→$633 (33%/50%), medium $544→$612 (20%/40%), large $525→$525 core (70%) and $525→$614 edge+core (74%).");
+    crate::outln!("\nPaper's rows: small $589→$633 (33%/50%), medium $544→$612 (20%/40%), large $525→$525 core (70%) and $525→$614 edge+core (74%).");
 }

@@ -174,9 +174,45 @@ pub fn print(scale: Scale) {
 
 /// Prints Table 9, computed over `pool`.
 pub fn print_with(scale: Scale, pool: &ThreadPool) {
-    println!("Table 9: summary of different network structures (~1k server ports)\n");
-    let rows: Vec<Vec<String>> = run_with(scale, pool)
-        .into_iter()
+    print_ctx(scale, pool, None);
+}
+
+/// [`print_with`] plus the shared `--trace-out` hook: the structures
+/// build once; the same rows feed both the table and the metrics trace.
+pub fn print_ctx(scale: Scale, pool: &ThreadPool, trace: Option<&std::path::Path>) {
+    let rows = run_with(scale, pool);
+    render(&rows);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&rows));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(rows: &[Row]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("table09.rows", rows.len() as u64);
+    for r in rows {
+        let key = r
+            .name
+            .to_ascii_lowercase()
+            .replace([' ', '(', ')'], "_")
+            .replace('-', "_");
+        let key = key.trim_matches('_');
+        m.set_gauge(&format!("table09.latency_us.{key}"), r.latency_us);
+        m.set_gauge(&format!("table09.wiring.{key}"), r.wiring as f64);
+        m.set_gauge(
+            &format!("table09.path_diversity.{key}"),
+            r.path_diversity as f64,
+        );
+    }
+    m.to_ndjson()
+}
+
+/// Renders the computed rows as the Table 9 table.
+fn render(rows: &[Row]) {
+    crate::outln!("Table 9: summary of different network structures (~1k server ports)\n");
+    let rows: Vec<Vec<String>> = rows
+        .iter()
         .map(|r| {
             let hop_desc = if r.hops.server_hops > 0 {
                 format!(
@@ -208,5 +244,5 @@ pub fn print_with(scale: Scale, pool: &ThreadPool) {
         ],
         &rows,
     );
-    println!("\nPaper row values: 1.5µs/17/16/1, 1.5µs/48/1024/32, 16µs/32/960/2, 1.5µs/24/240/≤32, 1.0µs/33/528/32.");
+    crate::outln!("\nPaper row values: 1.5µs/17/16/1, 1.5µs/48/1024/32, 16µs/32/960/2, 1.5µs/24/240/≤32, 1.0µs/33/528/32.");
 }

@@ -20,9 +20,34 @@ pub fn print_with(scale: Scale, _pool: &quartz_core::ThreadPool) {
     print(scale);
 }
 
+/// [`print_with`] plus the shared `--trace-out` hook: also writes the
+/// switch specifications as a metrics trace.
+pub fn print_ctx(scale: Scale, pool: &quartz_core::ThreadPool, trace: Option<&std::path::Path>) {
+    print_with(scale, pool);
+    if let Some(path) = trace {
+        crate::trace::write(path, &trace_ndjson(&run(scale)));
+    }
+}
+
+/// The metrics-trace body for [`print_ctx`].
+fn trace_ndjson(rows: &[SwitchSpec]) -> String {
+    let mut m = quartz_obs::MetricsRegistry::new();
+    m.inc("table16.rows", rows.len() as u64);
+    for s in rows {
+        let key = s.name.to_ascii_lowercase().replace(' ', "_");
+        m.set_gauge(&format!("table16.latency_ns.{key}"), s.latency_ns as f64);
+        m.set_gauge(&format!("table16.ports_10g.{key}"), s.ports_10g as f64);
+        m.inc(
+            &format!("table16.cut_through.{key}"),
+            u64::from(s.cut_through),
+        );
+    }
+    m.to_ndjson()
+}
+
 /// Prints Table 16.
 pub fn print(scale: Scale) {
-    println!("Table 16: specifications of switches used in the simulations\n");
+    crate::outln!("Table 16: specifications of switches used in the simulations\n");
     let rows: Vec<Vec<String>> = run(scale)
         .into_iter()
         .map(|s| {

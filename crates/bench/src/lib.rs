@@ -17,6 +17,7 @@
 pub mod experiments;
 pub mod table;
 pub mod timing;
+pub mod trace;
 
 /// Experiment fidelity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,13 +64,19 @@ pub fn pool_from_args() -> quartz_core::ThreadPool {
 }
 
 /// Shared `main` for the experiment binaries: runs `print_fn` at the
-/// arg-selected scale over the arg-selected pool, timing the whole run,
-/// and emits `BENCH_<name>.json` when `QUARTZ_BENCH_JSON` is set (see
-/// [`timing::write_json`]).
-pub fn run_bin(name: &str, print_fn: impl FnOnce(Scale, &quartz_core::ThreadPool)) {
+/// arg-selected scale over the arg-selected pool, passing through the
+/// arg-selected `--trace-out` path (see [`trace::trace_out_from_args`]),
+/// timing the whole run, and emits `BENCH_<name>.json` — including any
+/// [`timing::phase_timed`] breakdown — when `QUARTZ_BENCH_JSON` is set
+/// (see [`timing::write_json`]).
+pub fn run_bin(
+    name: &str,
+    print_fn: impl FnOnce(Scale, &quartz_core::ThreadPool, Option<&std::path::Path>),
+) {
     let scale = Scale::from_args();
     let pool = pool_from_args();
-    let ((), wall_ns) = timing::wall_timed(|| print_fn(scale, &pool));
+    let trace_out = trace::trace_out_from_args();
+    let ((), wall_ns) = timing::wall_timed(|| print_fn(scale, &pool, trace_out.as_deref()));
     timing::note(
         name,
         match scale {
@@ -80,5 +87,6 @@ pub fn run_bin(name: &str, print_fn: impl FnOnce(Scale, &quartz_core::ThreadPool
         wall_ns,
         1,
     );
+    timing::flush_phases();
     timing::write_json(name, Some(pool.threads()));
 }

@@ -1,4 +1,27 @@
 //! Fixed-width text tables for experiment output.
+//!
+//! This module is also the crate's single stdout sink: the
+//! `stdout-discipline` lint rule (`quartz-lint`) forbids bare
+//! `println!` in library code, so every experiment line goes through
+//! [`emit_line`] — usually via the [`outln!`](crate::outln) macro.
+
+/// Writes one line of experiment output to stdout. The only sanctioned
+/// `println!` call site in the crate's library code (this file is a
+/// `stdout-discipline` sanctuary); everything funnels through here so
+/// output stays auditable and byte-stable.
+pub fn emit_line(args: std::fmt::Arguments<'_>) {
+    println!("{args}");
+}
+
+/// `println!` for experiment output, routed through
+/// [`table::emit_line`](emit_line). Formats identically to `println!`
+/// (same macro input, same trailing newline) so converting a call site
+/// never changes a byte of output.
+#[macro_export]
+macro_rules! outln {
+    () => { $crate::table::emit_line(::core::format_args!("")) };
+    ($($arg:tt)*) => { $crate::table::emit_line(::core::format_args!($($arg)*)) };
+}
 
 /// Prints a fixed-width table: a header row, a rule, then rows. Column
 /// widths fit the widest cell; numeric-looking cells are right-aligned.

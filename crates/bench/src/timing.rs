@@ -102,6 +102,35 @@ pub fn wall_timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_nanos() as f64)
 }
 
+/// Named-phase wall-time accumulator (see [`phase_timed`]).
+static PHASES: Mutex<quartz_obs::Phases> = Mutex::new(quartz_obs::Phases::new());
+
+/// Runs `f` and attributes its wall time to the named phase.
+///
+/// Phases are the coarse profiling layer over `quartz-obs`: experiments
+/// wrap their major stages (`"fig06.grid"`, `"fig06.dynamic"`, …) so
+/// the per-binary wall time in `BENCH_<name>.json` decomposes into
+/// stage budgets. Like every wall-clock reading, the timing lives in
+/// this sanctuary module only; phase *accumulation* is plain arithmetic
+/// in `quartz_obs::Phases` and never touches experiment output.
+pub fn phase_timed<T>(phase: &str, f: impl FnOnce() -> T) -> T {
+    let (out, ns) = wall_timed(f);
+    PHASES.lock().unwrap().add(phase, ns);
+    out
+}
+
+/// Drains the phase accumulator into the measurement buffer, one record
+/// per phase under the `phase` group (`mean_ns` = `min_ns` = total /
+/// calls, `iters` = calls; total = mean × iters), so the next
+/// [`write_json`] folds the phase breakdown into
+/// `BENCH_<experiment>.json`.
+pub fn flush_phases() {
+    for p in PHASES.lock().unwrap().take() {
+        let per_call = p.total_ns / p.calls as f64;
+        note("phase", &p.name, per_call, per_call, p.calls);
+    }
+}
+
 /// Records an externally timed measurement (e.g. an experiment binary's
 /// total wall time) for the next [`write_json`], without printing.
 pub fn note(group: &str, name: &str, mean_ns: f64, min_ns: f64, iters: u64) {

@@ -39,3 +39,73 @@ fn fig17_panels_are_identical_at_one_and_four_workers() {
     let par = fig17::run_with(Scale::Quick, &ThreadPool::new(4));
     assert_eq!(seq, par, "fig17 quick panels must not depend on --jobs");
 }
+
+/// The observability contract extends the pool contract: the full fig06
+/// trace body (static grid metrics + dynamic ring-cut events + merged
+/// metrics) must be byte-identical at any worker count, because events
+/// come from the serial simulator and metrics merge in unit-index order.
+#[test]
+fn fig06_trace_body_is_identical_at_one_and_four_workers() {
+    let seq = fig06::trace_ndjson_with(Scale::Quick, &ThreadPool::new(1));
+    let par = fig06::trace_ndjson_with(Scale::Quick, &ThreadPool::new(4));
+    assert_eq!(seq, par, "fig06 trace ndjson must not depend on --jobs");
+    assert!(!seq.is_empty() && seq.ends_with('\n'));
+}
+
+/// The `--trace-out` files themselves — written through
+/// [`quartz_bench::trace::write`] exactly as the experiment binaries do
+/// — must be byte-identical on disk at `--jobs 1` vs `--jobs 4`.
+#[test]
+fn fig06_trace_files_are_byte_identical_across_worker_counts() {
+    let dir = std::env::temp_dir();
+    let p1 = dir.join("quartz-determinism-fig06-j1.ndjson");
+    let p4 = dir.join("quartz-determinism-fig06-j4.ndjson");
+    quartz_bench::trace::write(
+        &p1,
+        &fig06::trace_ndjson_with(Scale::Quick, &ThreadPool::new(1)),
+    );
+    quartz_bench::trace::write(
+        &p4,
+        &fig06::trace_ndjson_with(Scale::Quick, &ThreadPool::new(4)),
+    );
+    let b1 = std::fs::read(&p1).unwrap();
+    let b4 = std::fs::read(&p4).unwrap();
+    assert!(!b1.is_empty());
+    assert_eq!(
+        b1, b4,
+        "fig06 --trace-out files must be bit-identical across --jobs"
+    );
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p4);
+}
+
+/// A streaming [`quartz_obs::NdjsonRecorder`] writing straight to disk
+/// must reproduce the in-memory event serialization byte for byte, run
+/// after run.
+#[test]
+fn ndjson_recorder_streams_the_exact_event_bytes() {
+    use quartz_netsim::faults::{
+        ring_cut_scenario_observed, ring_cut_scenario_traced, CutScenarioConfig,
+    };
+    use quartz_obs::NdjsonRecorder;
+
+    let cfg = CutScenarioConfig::quick(0xD16);
+    let path = std::env::temp_dir().join("quartz-determinism-recorder.ndjson");
+    let rec = NdjsonRecorder::create(&path).unwrap();
+    let (report, rec, _metrics) = ring_cut_scenario_observed(&cfg, Box::new(rec));
+    drop(rec); // flush
+    let streamed = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let (report2, events, _metrics2) = ring_cut_scenario_traced(&cfg);
+    assert_eq!(report.delivered, report2.delivered);
+    assert_eq!(
+        streamed,
+        quartz_obs::event::to_ndjson(&events),
+        "streamed ndjson must equal the in-memory serialization"
+    );
+    assert!(
+        streamed.lines().count() > 100,
+        "quick scenario should emit many events"
+    );
+}

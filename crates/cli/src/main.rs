@@ -9,6 +9,7 @@
 //! quartz configure
 //! quartz throughput --racks 16 --hosts 8 [--pattern permutation|incast|shuffle] [--policy ecmp|adaptive|vlb:0.5]
 //! quartz rpc        [--cross-mbps 150 --wiring quartz|tree]
+//! quartz trace      [--quick true --switches 33 --seed 3350 --out trace.ndjson --timeline 40]
 //! ```
 
 #![deny(missing_docs)]
@@ -23,7 +24,7 @@ use quartz_core::fault::FailureModel;
 use quartz_core::pool::ThreadPool;
 use quartz_core::scalability;
 use quartz_core::QuartzRing;
-use quartz_netsim::faults::{ring_cut_scenario, CutScenarioConfig};
+use quartz_netsim::faults::{ring_cut_scenario, ring_cut_scenario_traced, CutScenarioConfig};
 use quartz_netsim::time::SimTime;
 
 fn main() {
@@ -45,6 +46,7 @@ fn main() {
         Some("rpc") => cmd_rpc(&args),
         Some("topo") => cmd_topo(&args),
         Some("power") => cmd_power(&args),
+        Some("trace") => cmd_trace(&args),
         Some("help") | None => {
             usage();
             Ok(())
@@ -70,7 +72,9 @@ fn usage() {
          \x20 throughput  max-min throughput of a mesh under a traffic pattern\n\
          \x20 rpc         simulate the prototype RPC-under-cross-traffic experiment\n\
          \x20 topo        emit a topology as Graphviz DOT on stdout\n\
-         \x20 power       network power draw per design (watts/server)\n\n\
+         \x20 power       network power draw per design (watts/server)\n\
+         \x20 trace       replay the ring-cut scenario with full event tracing;\n\
+         \x20             prints a sim-time timeline, --out writes the ndjson trace\n\n\
          run a command with wrong flags to see its options"
     );
 }
@@ -437,6 +441,59 @@ fn cmd_topo(args: &Args) -> Result<(), String> {
         }
     };
     print!("{}", to_dot(&net, title));
+    Ok(())
+}
+
+/// `trace`: replay the mid-run fiber-cut scenario (the Figure 6 dynamic
+/// panel) with the `quartz-obs` recorder attached, print a rendered
+/// sim-time timeline plus a summary, and optionally write the full
+/// event + metrics trace as ndjson. Everything is keyed to simulated
+/// time, so the same seed always produces a byte-identical trace.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    args.expect_only(&["switches", "seed", "quick", "out", "timeline"])?;
+    let quick: bool = args.num("quick", false)?;
+    let seed: u64 = args.num("seed", 0xD16)?;
+    let mut cfg = if quick {
+        CutScenarioConfig::quick(seed)
+    } else {
+        CutScenarioConfig::paper(seed)
+    };
+    let m: usize = args.num("switches", cfg.switches)?;
+    if m < 3 {
+        return Err("--switches must be ≥ 3".into());
+    }
+    if m != cfg.switches {
+        cfg.switches = m;
+        cfg.background_pairs = (m / 2).max(4);
+    }
+    let timeline: usize = args.num("timeline", 40)?;
+
+    let (report, events, metrics) = ring_cut_scenario_traced(&cfg);
+    println!(
+        "{m}-switch mesh, fiber 0<->1 cut at {:.0} us (seed {seed}): {} events, {} metrics",
+        cfg.cut_at.ns() as f64 / 1e3,
+        events.len(),
+        metrics.len()
+    );
+    println!(
+        "  generated {} / delivered {} / dropped {}; reconvergence {}",
+        report.generated,
+        report.delivered,
+        report.dropped,
+        match report.reconvergence_ns {
+            Some(ns) => format!("{:.1} us", ns as f64 / 1e3),
+            None => "never".to_string(),
+        }
+    );
+    println!();
+    print!("{}", quartz_obs::timeline::render(&events, timeline));
+
+    if let Some(out) = args.get("out") {
+        let mut body = quartz_obs::event::to_ndjson(&events);
+        body.push_str(&metrics.to_ndjson());
+        std::fs::write(out, body).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("\ntrace written: {out}");
+    }
     Ok(())
 }
 

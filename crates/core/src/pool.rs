@@ -195,6 +195,41 @@ impl ThreadPool {
             .map(|s| s.expect("every unit runs exactly once"))
             .collect()
     }
+
+    /// [`ThreadPool::par_map`] with observability: each unit receives a
+    /// private [`quartz_obs::MetricsRegistry`], and the per-unit
+    /// registries are folded **in unit-index order** on the caller's
+    /// thread after the scope joins.
+    ///
+    /// That fold order is the whole point: which *worker* ran a unit is
+    /// timing-dependent and must never surface, so the pool meters work
+    /// per *unit* (`pool.units_completed`, plus whatever the closure
+    /// records) and the aggregate — like every other `par_map`
+    /// reduction — is bit-identical at any thread count.
+    pub fn par_map_observed<T, F>(
+        &self,
+        units: usize,
+        f: F,
+    ) -> (Vec<T>, quartz_obs::MetricsRegistry)
+    where
+        T: Send,
+        F: Fn(usize, &mut quartz_obs::MetricsRegistry) -> T + Sync,
+    {
+        let pairs = self.par_map(units, |i| {
+            let mut unit_metrics = quartz_obs::MetricsRegistry::new();
+            let v = f(i, &mut unit_metrics);
+            (v, unit_metrics)
+        });
+        let mut merged = quartz_obs::MetricsRegistry::new();
+        merged.inc("pool.par_map_calls", 1);
+        let mut out = Vec::with_capacity(units);
+        for (v, unit_metrics) in pairs {
+            merged.inc("pool.units_completed", 1);
+            merged.merge(&unit_metrics);
+            out.push(v);
+        }
+        (out, merged)
+    }
 }
 
 impl Default for ThreadPool {
@@ -209,6 +244,31 @@ mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn observed_map_aggregates_identically_at_any_thread_count() {
+        let run = |threads: usize| {
+            let (out, metrics) = ThreadPool::new(threads).par_map_observed(16, |i, m| {
+                m.inc("unit.work", (i as u64 + 1) * 3);
+                m.set_gauge("unit.last", i as f64);
+                m.observe("unit.series", i as u64 * 1_000, i as u64);
+                i * 2
+            });
+            (out, metrics.to_ndjson())
+        };
+        let (out1, ndjson1) = run(1);
+        assert_eq!(out1, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+        for threads in [2, 4, 8] {
+            let (out_n, ndjson_n) = run(threads);
+            assert_eq!(out_n, out1, "{threads} threads");
+            // The rendered registry — counters, the last-unit gauge,
+            // histogram buckets — is byte-identical: worker identity
+            // never leaks into the aggregate.
+            assert_eq!(ndjson_n, ndjson1, "{threads} threads");
+        }
+        assert!(ndjson1.contains("\"name\":\"pool.units_completed\",\"value\":16"));
+        assert!(ndjson1.contains("\"name\":\"unit.last\",\"value\":15"));
+    }
 
     #[test]
     fn empty_range_yields_empty_vec() {

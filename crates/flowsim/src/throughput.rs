@@ -98,6 +98,28 @@ pub fn normalized_throughput<F: Fabric>(
     demands: &[(usize, usize)],
 ) -> NormalizedThroughput {
     let rates = max_min_rates(&fabric.problem(demands));
+    score(fabric, demands, rates)
+}
+
+/// [`normalized_throughput`] with the waterfill solver metered into
+/// `metrics` (`waterfill.calls` / `waterfill.iterations` counters; see
+/// [`crate::waterfill::max_min_rates_metered`]). Same answer, same
+/// numerics — the observability layer only counts.
+pub fn normalized_throughput_metered<F: Fabric>(
+    fabric: &F,
+    demands: &[(usize, usize)],
+    metrics: &mut quartz_obs::MetricsRegistry,
+) -> NormalizedThroughput {
+    let rates = crate::waterfill::max_min_rates_metered(&fabric.problem(demands), metrics);
+    score(fabric, demands, rates)
+}
+
+/// Folds solved per-flow rates into the normalized score.
+fn score<F: Fabric>(
+    fabric: &F,
+    demands: &[(usize, usize)],
+    rates: Vec<f64>,
+) -> NormalizedThroughput {
     let aggregate: f64 = rates.iter().sum();
     let ideal_aggregate = nic_only_aggregate(fabric.hosts(), demands);
     NormalizedThroughput {
@@ -136,6 +158,18 @@ mod tests {
         let d = random_permutation(RACKS * HPR, 1);
         let t = normalized_throughput(&f, &d);
         assert!((t.normalized - 1.0).abs() < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn metered_throughput_is_bit_identical_and_counts_solver_work() {
+        let f = quartz(RoutingPolicy::EcmpDirect);
+        let d = random_permutation(RACKS * HPR, 3);
+        let plain = normalized_throughput(&f, &d);
+        let mut m = quartz_obs::MetricsRegistry::new();
+        let metered = normalized_throughput_metered(&f, &d, &mut m);
+        assert_eq!(plain, metered);
+        assert_eq!(m.counter("waterfill.calls"), 1);
+        assert!(m.counter("waterfill.iterations") >= 1);
     }
 
     #[test]

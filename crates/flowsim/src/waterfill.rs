@@ -102,6 +102,16 @@ impl Problem {
 /// assert_eq!(max_min_rates(&p), vec![5.0, 5.0]);
 /// ```
 pub fn max_min_rates(p: &Problem) -> Vec<f64> {
+    max_min_rates_counted(p).0
+}
+
+/// [`max_min_rates`] plus the number of progressive-filling iterations
+/// (bottleneck links frozen). The count is the solver-cost signal the
+/// observability layer aggregates: each iteration saturates one link,
+/// so it is bounded by the link count and deterministic for a given
+/// problem.
+pub fn max_min_rates_counted(p: &Problem) -> (Vec<f64>, u64) {
+    let mut iterations = 0u64;
     let p = &p.lowered();
     let nf = p.flows.len();
     let nl = p.caps.len();
@@ -131,6 +141,7 @@ pub fn max_min_rates(p: &Problem) -> Vec<f64> {
         let Some((l_star, share)) = best else {
             break; // every flow frozen
         };
+        iterations += 1;
         let share = share.max(0.0);
 
         // Freeze every unfrozen flow touching l_star at `share`.
@@ -158,7 +169,21 @@ pub fn max_min_rates(p: &Problem) -> Vec<f64> {
             *r = 0.0;
         }
     }
-    rate
+    (rate, iterations)
+}
+
+/// [`max_min_rates`] that meters itself into a metrics registry:
+/// bumps `waterfill.calls` and `waterfill.iterations`, and tracks the
+/// per-call iteration maximum in `waterfill.iterations_max`.
+pub fn max_min_rates_metered(p: &Problem, metrics: &mut quartz_obs::MetricsRegistry) -> Vec<f64> {
+    let (rates, iterations) = max_min_rates_counted(p);
+    metrics.inc("waterfill.calls", 1);
+    metrics.inc("waterfill.iterations", iterations);
+    let prev = metrics.counter("waterfill.iterations_max");
+    if iterations > prev {
+        metrics.inc("waterfill.iterations_max", iterations - prev);
+    }
+    rates
 }
 
 /// Checks the max-min property: the allocation is feasible, and every
@@ -351,5 +376,32 @@ mod tests {
         let mut p = Problem::default();
         let l = p.add_link(1.0);
         p.add_flow_with_demand(vec![(l, 1.0)], 0.0);
+    }
+
+    #[test]
+    fn counted_and_metered_solvers_match_the_plain_one() {
+        // Two links, three flows: the 1 G link bottlenecks first, the
+        // 10 G link second — exactly two progressive-filling rounds.
+        let mut p = Problem::default();
+        let fast = p.add_link(10.0);
+        let slow = p.add_link(1.0);
+        p.add_flow(vec![(fast, 1.0), (slow, 1.0)]);
+        p.add_flow(vec![(fast, 1.0)]);
+        p.add_flow(vec![(slow, 1.0)]);
+
+        let plain = max_min_rates(&p);
+        let (counted, iterations) = max_min_rates_counted(&p);
+        assert_eq!(plain, counted);
+        assert_eq!(iterations, 2);
+        // Each iteration saturates one link, so ≤ link count always.
+        assert!(iterations <= p.caps.len() as u64);
+
+        let mut m = quartz_obs::MetricsRegistry::new();
+        let metered = max_min_rates_metered(&p, &mut m);
+        let _ = max_min_rates_metered(&p, &mut m);
+        assert_eq!(metered, plain);
+        assert_eq!(m.counter("waterfill.calls"), 2);
+        assert_eq!(m.counter("waterfill.iterations"), 2 * iterations);
+        assert_eq!(m.counter("waterfill.iterations_max"), iterations);
     }
 }

@@ -33,6 +33,7 @@ pub fn run(root: &Path, baseline: &Baseline) -> Result<Vec<Finding>, String> {
         let mut raw = Vec::new();
         raw.extend(rules::hash_iter(&file));
         raw.extend(rules::wall_clock(&file));
+        raw.extend(rules::stdout_discipline(&file));
         raw.extend(rules::seed_discipline(&file));
         if crate_roots.contains(path) {
             raw.extend(rules::crate_hygiene(&file));

@@ -13,6 +13,10 @@
 //!   remain legal.
 //! * `wall-clock` — `Instant`/`SystemTime` are confined to
 //!   `crates/bench/src/timing.rs`.
+//! * `stdout-discipline` — no `println!`/`eprintln!` in library code:
+//!   experiment output funnels through `quartz_bench::outln!` into the
+//!   single `table::emit_line` sink (binaries, tests, and the
+//!   table/timing modules keep direct access).
 //! * `seed-discipline` — no literal-seeded RNG outside tests: seeds
 //!   flow from explicit parameters or `quartz_core::pool::unit_seed`.
 //! * `crate-hygiene` — every crate root carries

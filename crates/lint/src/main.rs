@@ -108,10 +108,10 @@ OPTIONS:
     --baseline FILE      ratchet file (default: <root>/lint-baseline.toml)
     --help               this message
 
-Rules: hash-iter, wall-clock, seed-discipline, crate-hygiene,
-suppression-audit. Suppress one finding with a justified comment,
-`// lint:allow(rule) - why the invariant cannot break here`, and record
-it in lint-baseline.toml (counts may only decrease).
+Rules: hash-iter, wall-clock, stdout-discipline, seed-discipline,
+crate-hygiene, suppression-audit. Suppress one finding with a justified
+comment, `// lint:allow(rule) - why the invariant cannot break here`,
+and record it in lint-baseline.toml (counts may only decrease).
 ";
 
 /// Serializes findings as a stable JSON document (no dependencies).

@@ -9,6 +9,7 @@
 //! |------|-----------|
 //! | `hash-iter` | no iteration over `HashMap`/`HashSet` anywhere — iteration order could leak into experiment output |
 //! | `wall-clock` | `Instant`/`SystemTime` only in `crates/bench/src/timing.rs` |
+//! | `stdout-discipline` | no `println!`/`eprintln!` in library code — experiment output flows through `quartz_bench::outln!` |
 //! | `seed-discipline` | no literal-seeded RNG outside tests — seeds flow from parameters or `pool::unit_seed` |
 //! | `crate-hygiene` | every crate root carries `#![deny(missing_docs)]` and `#![forbid(unsafe_code)]` |
 //! | `suppression-audit` | every `lint:allow` is justified, used, and counted by the ratchet |
@@ -34,6 +35,8 @@ pub struct Finding {
 pub const HASH_ITER: &str = "hash-iter";
 /// The `wall-clock` rule name.
 pub const WALL_CLOCK: &str = "wall-clock";
+/// The `stdout-discipline` rule name.
+pub const STDOUT_DISCIPLINE: &str = "stdout-discipline";
 /// The `seed-discipline` rule name.
 pub const SEED_DISCIPLINE: &str = "seed-discipline";
 /// The `crate-hygiene` rule name.
@@ -42,9 +45,10 @@ pub const CRATE_HYGIENE: &str = "crate-hygiene";
 pub const SUPPRESSION_AUDIT: &str = "suppression-audit";
 
 /// Every rule name, in reporting order.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     HASH_ITER,
     WALL_CLOCK,
+    STDOUT_DISCIPLINE,
     SEED_DISCIPLINE,
     CRATE_HYGIENE,
     SUPPRESSION_AUDIT,
@@ -219,6 +223,54 @@ pub fn wall_clock(f: &SourceFile) -> Vec<Finding> {
         .collect()
 }
 
+/// Stdout macros that leak experiment output past the table sink.
+const STDOUT_MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
+
+/// Library files that *are* the sanctioned output sinks: the table
+/// module (every `outln!` line funnels through its `emit_line`) and the
+/// timing module (bench progress/JSON notes on stderr).
+const STDOUT_SANCTUARIES: [&str; 2] = ["crates/bench/src/table.rs", "crates/bench/src/timing.rs"];
+
+/// `stdout-discipline`: no `println!`/`eprintln!`/`print!`/`eprint!` in
+/// library code.
+///
+/// Experiment output must flow through `quartz_bench::outln!` (and thus
+/// `table::emit_line`) so there is exactly one place where simulation
+/// results become bytes on stdout — the byte-identity golden checks
+/// depend on that funnel. Binaries (`src/main.rs`, `src/bin/**`,
+/// `examples/**`), test collateral, and the two sanctuary sinks keep
+/// direct access.
+pub fn stdout_discipline(f: &SourceFile) -> Vec<Finding> {
+    if STDOUT_SANCTUARIES.contains(&f.rel.as_str())
+        || f.rel.ends_with("src/main.rs")
+        || f.rel.contains("/src/bin/")
+        || f.rel.split('/').any(|seg| seg == "examples")
+    {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in f.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && STDOUT_MACROS.contains(&t.text.as_str())
+            && f.punct_at(i + 1, '!')
+            && !f.is_test_line(t.line)
+        {
+            out.push(Finding {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: STDOUT_DISCIPLINE,
+                message: format!(
+                    "`{}!` in library code — stdout/stderr writes belong to binaries \
+                     and the table/timing sinks; route experiment lines through \
+                     quartz_bench::outln! or return the data to the caller",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// `seed-discipline`: RNG constructions must flow from a seed parameter
 /// or `pool::unit_seed`; literal seeds are for tests only.
 pub fn seed_discipline(f: &SourceFile) -> Vec<Finding> {
@@ -359,6 +411,65 @@ mod tests {
             "fn f() { let t = Instant::now(); let s = SystemTime::now(); drop((t, s)); }",
         );
         assert!(wall_clock(&f).is_empty());
+    }
+
+    // ---- stdout-discipline ----
+
+    #[test]
+    fn stdout_discipline_flags_library_println() {
+        let f = file(
+            "crates/netsim/src/sim.rs",
+            "fn f() { println!(\"queue {}\", 3); eprintln!(\"warn\"); }",
+        );
+        let hits = stdout_discipline(&f);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == STDOUT_DISCIPLINE));
+        assert!(hits[0].message.contains("println"));
+        assert!(hits[1].message.contains("eprintln"));
+    }
+
+    #[test]
+    fn stdout_discipline_exempts_binaries() {
+        let main = file("crates/cli/src/main.rs", "fn main() { println!(\"hi\"); }");
+        assert!(stdout_discipline(&main).is_empty());
+        let bin = file(
+            "crates/bench/src/bin/fig06_fault_tolerance.rs",
+            "fn main() { print!(\"hi\"); }",
+        );
+        assert!(stdout_discipline(&bin).is_empty());
+        let example = file("examples/quickstart.rs", "fn main() { println!(\"hi\"); }");
+        assert!(stdout_discipline(&example).is_empty());
+    }
+
+    #[test]
+    fn stdout_discipline_exempts_test_code() {
+        let it = file(
+            "crates/x/tests/it.rs",
+            "fn f() { println!(\"debugging a failure\"); }",
+        );
+        assert!(stdout_discipline(&it).is_empty());
+        let unit = file(
+            "crates/x/src/a.rs",
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn g() { println!(\"{}\", 1); }\n}",
+        );
+        assert!(stdout_discipline(&unit).is_empty());
+    }
+
+    #[test]
+    fn stdout_discipline_allows_the_sanctioned_sinks() {
+        for rel in super::STDOUT_SANCTUARIES {
+            let f = file(rel, "fn f() { println!(\"line\"); eprintln!(\"note\"); }");
+            assert!(stdout_discipline(&f).is_empty(), "{rel} should be exempt");
+        }
+    }
+
+    #[test]
+    fn stdout_discipline_ignores_quoted_and_doc_mentions() {
+        let f = file(
+            "crates/x/src/a.rs",
+            "/// never call println! here\nfn f() { let s = \"println!(hi)\"; drop(s); }",
+        );
+        assert!(stdout_discipline(&f).is_empty());
     }
 
     // ---- seed-discipline ----

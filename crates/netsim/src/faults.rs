@@ -20,6 +20,7 @@ use crate::sim::{FlowKind, SimConfig, Simulator};
 use crate::stats::LatencySummary;
 use crate::time::SimTime;
 use quartz_core::rng::StdRng;
+use quartz_obs::{Event, MemoryRecorder, MetricsRegistry, Recorder};
 use quartz_topology::builders::quartz_mesh;
 use quartz_topology::graph::{LinkId, Network, NodeId, NodeKind};
 
@@ -256,6 +257,43 @@ pub const TAG_BACKGROUND: u32 = 2;
 /// control plane reconverge onto the degraded routes, and report the
 /// severed pair's before/after latency and path stretch.
 pub fn ring_cut_scenario(cfg: &CutScenarioConfig) -> CutScenarioReport {
+    let mut sim = scenario_sim(cfg);
+    sim.run(cfg.duration + 2_000_000);
+    scenario_report(&sim)
+}
+
+/// [`ring_cut_scenario`] with the caller's event recorder attached for
+/// the duration of the run (e.g. a `quartz_obs::NdjsonRecorder`
+/// streaming to a file) and metric collection enabled. Returns the
+/// identical report — observation never perturbs the simulation — plus
+/// the recorder (drain/flush it via `Recorder::finish`) and the
+/// collected metrics.
+pub fn ring_cut_scenario_observed(
+    cfg: &CutScenarioConfig,
+    recorder: Box<dyn Recorder>,
+) -> (CutScenarioReport, Box<dyn Recorder>, MetricsRegistry) {
+    let mut sim = scenario_sim(cfg);
+    sim.set_recorder(recorder);
+    sim.enable_metrics();
+    sim.run(cfg.duration + 2_000_000);
+    let recorder = sim.take_recorder().expect("recorder was attached");
+    let metrics = sim.take_metrics().expect("metrics were enabled");
+    (scenario_report(&sim), recorder, metrics)
+}
+
+/// [`ring_cut_scenario`] traced into memory: the report, the full event
+/// stream, and the metrics registry.
+pub fn ring_cut_scenario_traced(
+    cfg: &CutScenarioConfig,
+) -> (CutScenarioReport, Vec<Event>, MetricsRegistry) {
+    let (report, recorder, metrics) =
+        ring_cut_scenario_observed(cfg, Box::new(MemoryRecorder::new()));
+    (report, recorder.finish(), metrics)
+}
+
+/// Builds the scenario simulator: mesh, severed-pair flows, background
+/// load, and the scheduled cut.
+fn scenario_sim(cfg: &CutScenarioConfig) -> Simulator {
     assert!(cfg.switches >= 3, "a detour needs a third switch");
     assert!(cfg.cut_at < cfg.duration, "cut must land inside the run");
     let q = quartz_mesh(cfg.switches, cfg.hosts_per_switch, 10.0, 10.0);
@@ -325,9 +363,11 @@ pub fn ring_cut_scenario(cfg: &CutScenarioConfig) -> CutScenarioReport {
     let mut plan = FaultPlan::new();
     plan.link_down(cut, cfg.cut_at);
     sim.apply_fault_plan(&plan);
+    sim
+}
 
-    sim.run(cfg.duration + 2_000_000);
-
+/// Summarizes a finished scenario run.
+fn scenario_report(sim: &Simulator) -> CutScenarioReport {
     let record = sim.fault_log().first().expect("one fault was injected");
     let stats = sim.stats();
     CutScenarioReport {
@@ -387,6 +427,38 @@ mod tests {
                 assert!(ev.at >= window.0 && ev.at < window.1);
             }
         }
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_scenario() {
+        // The observe-only contract: a run with a recorder and metrics
+        // attached reports *exactly* what an unobserved run reports
+        // (CutScenarioReport's PartialEq is float-exact).
+        let cfg = CutScenarioConfig::quick(0xD16);
+        let plain = ring_cut_scenario(&cfg);
+        let (traced, events, metrics) = ring_cut_scenario_traced(&cfg);
+        assert_eq!(plain, traced);
+
+        // The trace tells the same story as the report.
+        assert!(!events.is_empty());
+        assert_eq!(events[0].tag(), "gen");
+        assert!(events.iter().any(|e| e.tag() == "fault"));
+        assert!(events.iter().any(|e| e.tag() == "reroute"));
+        let cuts = events
+            .iter()
+            .filter(|e| matches!(e, Event::Fault { kind, .. } if *kind == "link_down"))
+            .count();
+        assert_eq!(cuts, 1);
+        assert_eq!(metrics.counter("sim.packets.generated"), traced.generated);
+        assert_eq!(metrics.counter("sim.packets.delivered"), traced.delivered);
+        assert_eq!(metrics.counter("sim.packets.dropped"), traced.dropped);
+        assert_eq!(metrics.counter("sim.fault.link_down"), 1);
+        assert!(metrics.counter("sim.reroutes") >= 1);
+        // Per-link series exist for the mesh links the traffic used.
+        assert!(metrics
+            .to_ndjson()
+            .lines()
+            .any(|l| l.contains("queue.link")));
     }
 
     #[test]

@@ -30,10 +30,11 @@
 
 use crate::faults::{FaultKind, FaultPlan};
 use crate::stats::Stats;
-use crate::switch::LatencyModel;
+use crate::switch::{ForwardMode, LatencyModel};
 use crate::time::SimTime;
 use crate::transport::{ReceiverState, SendAction, SenderState, TcpVariant};
 use quartz_core::rng::StdRng;
+use quartz_obs::{DropReason, Event, MetricsRegistry, Recorder};
 use quartz_topology::graph::{LinkId, Network, NodeId, NodeKind};
 use quartz_topology::route::RouteTable;
 use std::cmp::Reverse;
@@ -345,6 +346,11 @@ pub struct Simulator {
     failed_nodes: Vec<bool>,
     /// Every fault event that has fired, with reconvergence outcomes.
     fault_log: Vec<FaultRecord>,
+    /// Observability: optional event sink. `None` (the default) keeps
+    /// every emission site down to one branch.
+    recorder: Option<Box<dyn Recorder>>,
+    /// Observability: optional metrics registry.
+    metrics: Option<MetricsRegistry>,
 }
 
 /// One reliable connection's two endpoints plus its start time.
@@ -402,6 +408,66 @@ impl Simulator {
             extra_tables: Vec::new(),
             failed_nodes,
             fault_log: Vec::new(),
+            recorder: None,
+            metrics: None,
+        }
+    }
+
+    /// Attaches an event recorder. Recording is observe-only: it never
+    /// draws from the simulation RNG and never reorders events, so a
+    /// run with any recorder produces the same [`Stats`] as a run with
+    /// none (asserted by `faults::tests`).
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches the recorder; drain or flush it via `Recorder::finish`.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// Enables metric collection (per-link queue/utilization series,
+    /// per-switch forwarded/dropped counters, lifecycle totals).
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(MetricsRegistry::new());
+        }
+    }
+
+    /// Detaches and returns the metrics registry.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.take()
+    }
+
+    /// Whether any observability sink is attached.
+    #[inline]
+    fn observing(&self) -> bool {
+        self.recorder.is_some() || self.metrics.is_some()
+    }
+
+    /// Feeds one event to the attached recorder, if any.
+    #[inline]
+    fn record(&mut self, ev: Event) {
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(&ev);
+        }
+    }
+
+    /// Shared bookkeeping for every discard site in [`Simulator::forward`].
+    /// Only called when observing.
+    fn drop_hook(&mut self, flow: u32, at: NodeId, t: SimTime, reason: DropReason) {
+        self.record(Event::Drop {
+            t_ns: t.ns(),
+            node: at.0,
+            flow,
+            reason,
+        });
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("sim.packets.dropped", 1);
+            m.inc(&format!("sim.drop.{}", reason.as_str()), 1);
+            if self.net.node(at).kind.is_switch() {
+                m.inc(&format!("switch.{:03}.dropped", at.0), 1);
+            }
         }
     }
 
@@ -649,6 +715,17 @@ impl Simulator {
             hops: 0,
         };
         self.stats.generated += 1;
+        if self.observing() {
+            self.record(Event::Gen {
+                t_ns: now.ns(),
+                flow: flow_idx as u32,
+                size_bytes: f_size,
+                response: is_response,
+            });
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("sim.packets.generated", 1);
+            }
+        }
         let t = now + self.cfg.latency.host_send_ns;
         self.forward(pkt, origin, t, t);
     }
@@ -717,6 +794,17 @@ impl Simulator {
             hops: 0,
         };
         self.stats.generated += 1;
+        if self.observing() {
+            self.record(Event::Gen {
+                t_ns: now.ns(),
+                flow: flow_idx as u32,
+                size_bytes: size,
+                response: false,
+            });
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("sim.packets.generated", 1);
+            }
+        }
         let t = now + self.cfg.latency.host_send_ns;
         self.forward(pkt, origin, t, t);
     }
@@ -727,6 +815,9 @@ impl Simulator {
         // A dead switch loses every frame that reaches it.
         if self.failed_nodes[at.0 as usize] {
             self.stats.dropped += 1;
+            if self.observing() {
+                self.drop_hook(pkt.flow, at, head, DropReason::DeadSwitch);
+            }
             return;
         }
         let node_kind = self.net.node(at).kind;
@@ -739,6 +830,18 @@ impl Simulator {
             let tag = self.flows[pkt.flow as usize].tag;
             self.stats.record_bytes(tag, u64::from(pkt.size));
             self.stats.record_hops(tag, pkt.hops);
+            if self.observing() {
+                self.record(Event::Deliver {
+                    t_ns: delivered_at.ns(),
+                    node: at.0,
+                    flow: pkt.flow,
+                    latency_ns: delivered_at.saturating_sub(pkt.created),
+                    hops: pkt.hops,
+                });
+                if let Some(m) = self.metrics.as_mut() {
+                    m.inc("sim.packets.delivered", 1);
+                }
+            }
             match pkt.transport {
                 TransportInfo::Data(seq) => {
                     // Receiver: reassemble and send a cumulative ACK
@@ -815,6 +918,7 @@ impl Simulator {
         }
 
         // VLB decision at the mesh ingress switch.
+        let mut vlb_detour: Option<NodeId> = None;
         if !pkt.vlb_decided && !self.vlb_domain_of.is_empty() && node_kind.is_switch() {
             if let Some(&dom_idx) = self.vlb_domain_of.get(&at) {
                 pkt.vlb_decided = true;
@@ -832,6 +936,7 @@ impl Simulator {
                             if !candidates.is_empty() {
                                 let w = candidates[self.rng.random_range(0..candidates.len())];
                                 pkt.intermediate = Some(w);
+                                vlb_detour = Some(w);
                                 // Per-packet spraying: differentiate the
                                 // hash so detour packets of one flow use
                                 // their own ECMP choices.
@@ -843,6 +948,20 @@ impl Simulator {
             }
         }
 
+        if self.observing() {
+            if let Some(w) = vlb_detour {
+                self.record(Event::Vlb {
+                    t_ns: head.ns(),
+                    node: at.0,
+                    flow: pkt.flow,
+                    via: w.0,
+                });
+                if let Some(m) = self.metrics.as_mut() {
+                    m.inc("sim.vlb.detours", 1);
+                }
+            }
+        }
+
         let target = pkt.intermediate.unwrap_or(pkt.dst);
         let routing = match self.flow_state[pkt.flow as usize].table {
             Some(i) => &self.extra_tables[i],
@@ -850,6 +969,9 @@ impl Simulator {
         };
         let Some(next) = routing.ecmp_next(at, target, pkt.hash) else {
             self.stats.dropped += 1;
+            if self.observing() {
+                self.drop_hook(pkt.flow, at, head, DropReason::NoRoute);
+            }
             return;
         };
         let link_id = self
@@ -863,13 +985,18 @@ impl Simulator {
             // A cut fiber: everything forwarded onto it is lost until
             // routes are recomputed (see [`Simulator::reroute`]).
             self.stats.dropped += 1;
+            if self.observing() {
+                self.drop_hook(pkt.flow, at, head, DropReason::DeadLink);
+            }
             return;
         }
         let rate = dl.rate_gbps;
+        let free_at = dl.free_at;
 
         // Device delay + cut-through eligibility.
         let ser_ns = ((pkt.size as f64 * 8.0) / rate).ceil() as u64;
         let inbound_ns = tail - head; // 0 at the origin host
+        let mut forward_decision: Option<(ForwardMode, u64)> = None;
         let earliest = match node_kind {
             NodeKind::Host => {
                 if inbound_ns == 0 {
@@ -884,19 +1011,45 @@ impl Simulator {
             }
             NodeKind::Switch(role) => {
                 let spec = self.cfg.latency.spec_for(role);
-                if spec.cut_through && ser_ns >= inbound_ns {
-                    head + spec.latency_ns
-                } else {
-                    tail + spec.latency_ns
+                let mode = spec.forward_mode(inbound_ns, ser_ns);
+                if self.observing() {
+                    forward_decision = Some((mode, spec.latency_ns));
+                }
+                match mode {
+                    ForwardMode::CutThrough => head + spec.latency_ns,
+                    ForwardMode::StoreForward => tail + spec.latency_ns,
                 }
             }
         };
+        if let Some((mode, latency_ns)) = forward_decision {
+            let cut_through = mode == ForwardMode::CutThrough;
+            self.record(Event::Forward {
+                t_ns: head.ns(),
+                node: at.0,
+                flow: pkt.flow,
+                cut_through,
+                latency_ns,
+            });
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc(
+                    if cut_through {
+                        "sim.forward.cut_through"
+                    } else {
+                        "sim.forward.store_forward"
+                    },
+                    1,
+                );
+            }
+        }
 
         // Drop-tail check on the output port.
-        let backlog_ns = dl.free_at.saturating_sub(earliest);
+        let backlog_ns = free_at.saturating_sub(earliest);
         let backlog_bytes = (backlog_ns as f64 * rate / 8.0) as u64;
         if backlog_bytes > self.cfg.queue_cap_bytes {
             self.stats.dropped += 1;
+            if self.observing() {
+                self.drop_hook(pkt.flow, at, earliest, DropReason::QueueFull);
+            }
             return;
         }
         // DCTCP-style ECN: mark packets that queue behind more than K
@@ -907,8 +1060,8 @@ impl Simulator {
             }
         }
 
-        let start = if dl.free_at > earliest {
-            dl.free_at
+        let start = if free_at > earliest {
+            free_at
         } else {
             earliest
         };
@@ -917,6 +1070,42 @@ impl Simulator {
         dl.free_at = done;
         dl.busy_ns += ser_ns;
         dl.bytes += u64::from(pkt.size);
+        if self.observing() {
+            let queue_bytes = backlog_bytes + u64::from(pkt.size);
+            let to_b = dir == 0;
+            self.record(Event::Enqueue {
+                t_ns: earliest.ns(),
+                node: at.0,
+                link: link_id.0,
+                to_b,
+                flow: pkt.flow,
+                queue_bytes,
+            });
+            self.record(Event::Transmit {
+                t_ns: start.ns(),
+                link: link_id.0,
+                to_b,
+                flow: pkt.flow,
+                serialize_ns: ser_ns,
+            });
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("sim.packets.forwarded", 1);
+                if node_kind.is_switch() {
+                    m.inc(&format!("switch.{:03}.forwarded", at.0), 1);
+                }
+                let dir_tag = if to_b { "ab" } else { "ba" };
+                m.observe(
+                    &format!("queue.link{:04}.{dir_tag}", link_id.0),
+                    earliest.ns(),
+                    queue_bytes,
+                );
+                m.observe(
+                    &format!("util.link{:04}.{dir_tag}", link_id.0),
+                    start.ns(),
+                    ser_ns,
+                );
+            }
+        }
         let prop = self.cfg.prop_delay_ns;
         pkt.hops += 1;
         self.push(
@@ -1041,6 +1230,22 @@ impl Simulator {
             drops_during_outage: 0,
             baseline_drops: self.stats.dropped,
         });
+        if self.observing() {
+            let (kind_str, element) = match kind {
+                FaultKind::LinkDown(l) => ("link_down", l.0),
+                FaultKind::LinkUp(l) => ("link_up", l.0),
+                FaultKind::SwitchDown(n) => ("switch_down", n.0),
+                FaultKind::SwitchUp(n) => ("switch_up", n.0),
+            };
+            self.record(Event::Fault {
+                t_ns: self.now.ns(),
+                kind: kind_str,
+                element,
+            });
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc(&format!("sim.fault.{kind_str}"), 1);
+            }
+        }
         if let Some(delay) = self.cfg.reconvergence_ns {
             self.push(self.now + delay, EvKind::Reroute);
         }
@@ -1064,6 +1269,7 @@ impl Simulator {
         );
         let now = self.now;
         let dropped = self.stats.dropped;
+        let mut resolved = 0u32;
         for r in self
             .fault_log
             .iter_mut()
@@ -1071,6 +1277,16 @@ impl Simulator {
         {
             r.reconverged_at = Some(now);
             r.drops_during_outage = dropped - r.baseline_drops;
+            resolved += 1;
+        }
+        if self.observing() {
+            self.record(Event::Reroute {
+                t_ns: now.ns(),
+                resolved,
+            });
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("sim.reroutes", 1);
+            }
         }
     }
 

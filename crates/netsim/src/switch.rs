@@ -28,6 +28,31 @@ pub struct SwitchSpec {
     pub ports_40g: u32,
 }
 
+/// How a switch forwards one frame: the per-hop decision the simulator
+/// records as a `forward` observability event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardMode {
+    /// Start forwarding `latency_ns` after the **head** arrives.
+    CutThrough,
+    /// Wait for the **tail**, then forward `latency_ns` later.
+    StoreForward,
+}
+
+impl SwitchSpec {
+    /// Decides cut-through vs store-and-forward for a frame arriving
+    /// with `inbound_ns` of head-to-tail spacing that serializes out in
+    /// `ser_ns`: cut-through is only possible when the output is no
+    /// faster than the input, otherwise the transmitter would underrun
+    /// mid-frame and the switch degrades to store-and-forward.
+    pub fn forward_mode(&self, inbound_ns: u64, ser_ns: u64) -> ForwardMode {
+        if self.cut_through && ser_ns >= inbound_ns {
+            ForwardMode::CutThrough
+        } else {
+            ForwardMode::StoreForward
+        }
+    }
+}
+
 /// The Cisco Nexus 7000 core switch (CCS): big, store-and-forward, 6 µs.
 pub const CISCO_NEXUS_7000: SwitchSpec = SwitchSpec {
     name: "Cisco Nexus 7000 (CCS)",
@@ -126,6 +151,30 @@ mod tests {
         }
         assert_eq!(ARISTA_7150S.ports_10g, 64);
         assert_eq!(ARISTA_7150S.ports_40g, 16);
+    }
+
+    #[test]
+    fn forward_mode_matches_the_timing_model() {
+        // A cut-through device cuts through when the output serializes
+        // no faster than the input delivers…
+        assert_eq!(
+            ARISTA_7150S.forward_mode(1_200, 1_200),
+            ForwardMode::CutThrough
+        );
+        assert_eq!(
+            ARISTA_7150S.forward_mode(300, 1_200),
+            ForwardMode::CutThrough
+        );
+        // …degrades to store-and-forward onto a faster output link…
+        assert_eq!(
+            ARISTA_7150S.forward_mode(1_200, 300),
+            ForwardMode::StoreForward
+        );
+        // …and a store-and-forward device never cuts through.
+        assert_eq!(
+            CISCO_NEXUS_7000.forward_mode(300, 1_200),
+            ForwardMode::StoreForward
+        );
     }
 
     #[test]

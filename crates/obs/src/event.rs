@@ -1,0 +1,343 @@
+//! Typed observability events keyed to simulated time.
+//!
+//! Every variant carries `t_ns`, the simulated-time nanosecond at which
+//! the observation holds. Node, link, and flow identities are plain
+//! integers so this crate stays dependency-free; the emitting layer
+//! (`quartz-netsim`) owns the typed ids and unwraps them at the
+//! emission site.
+
+use std::fmt::Write as _;
+
+/// Why the simulator discarded a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The packet arrived at a failed switch.
+    DeadSwitch,
+    /// The chosen output link is administratively down.
+    DeadLink,
+    /// The forwarding table has no entry toward the destination.
+    NoRoute,
+    /// The output queue exceeded its byte cap.
+    QueueFull,
+}
+
+impl DropReason {
+    /// Stable lower-snake name used in the ndjson encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::DeadSwitch => "dead_switch",
+            DropReason::DeadLink => "dead_link",
+            DropReason::NoRoute => "no_route",
+            DropReason::QueueFull => "queue_full",
+        }
+    }
+}
+
+/// One observation from the simulated network.
+///
+/// The packet lifecycle reads `Gen` → (`Vlb`)? → per hop: `Forward`
+/// (the cut-through decision) → `Enqueue` → `Transmit` → finally
+/// `Deliver` or `Drop`. `Fault` and `Reroute` mark control-plane
+/// transitions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A flow generated (injected) one packet at its source host.
+    Gen {
+        /// Simulated time of injection, ns.
+        t_ns: u64,
+        /// Flow index.
+        flow: u32,
+        /// Packet size in bytes.
+        size_bytes: u32,
+        /// Whether this is a response packet of a request/response flow.
+        response: bool,
+    },
+    /// A switch (or host NIC) decided how to forward a frame.
+    Forward {
+        /// Simulated arrival time of the frame head, ns.
+        t_ns: u64,
+        /// Node making the decision.
+        node: u32,
+        /// Flow index.
+        flow: u32,
+        /// `true` for cut-through, `false` for store-and-forward.
+        cut_through: bool,
+        /// The node's forwarding latency contribution, ns.
+        latency_ns: u64,
+    },
+    /// A frame joined an output-link queue.
+    Enqueue {
+        /// Simulated time the frame became eligible to transmit, ns.
+        t_ns: u64,
+        /// Node that owns the queue.
+        node: u32,
+        /// Undirected link index.
+        link: u32,
+        /// Direction: `true` = a→b, `false` = b→a.
+        to_b: bool,
+        /// Flow index.
+        flow: u32,
+        /// Queue backlog in bytes after this frame joined.
+        queue_bytes: u64,
+    },
+    /// A frame began serializing onto the wire.
+    Transmit {
+        /// Simulated transmission start, ns.
+        t_ns: u64,
+        /// Undirected link index.
+        link: u32,
+        /// Direction: `true` = a→b, `false` = b→a.
+        to_b: bool,
+        /// Flow index.
+        flow: u32,
+        /// Serialization time on this link, ns.
+        serialize_ns: u64,
+    },
+    /// A packet reached its destination host.
+    Deliver {
+        /// Simulated delivery time (tail received), ns.
+        t_ns: u64,
+        /// Destination node.
+        node: u32,
+        /// Flow index.
+        flow: u32,
+        /// End-to-end latency, ns.
+        latency_ns: u64,
+        /// Switch hops traversed.
+        hops: u32,
+    },
+    /// A packet was discarded.
+    Drop {
+        /// Simulated time of the discard, ns.
+        t_ns: u64,
+        /// Node at which the discard happened.
+        node: u32,
+        /// Flow index.
+        flow: u32,
+        /// Why.
+        reason: DropReason,
+    },
+    /// Valiant load balancing chose a detour switch for a packet.
+    Vlb {
+        /// Simulated time of the choice, ns.
+        t_ns: u64,
+        /// Node making the choice (the ingress switch).
+        node: u32,
+        /// Flow index.
+        flow: u32,
+        /// The intermediate switch the packet will bounce through.
+        via: u32,
+    },
+    /// A fault-plan transition fired (link/switch down or up).
+    Fault {
+        /// Simulated time of the transition, ns.
+        t_ns: u64,
+        /// `"link_down"`, `"link_up"`, `"switch_down"`, or `"switch_up"`.
+        kind: &'static str,
+        /// Failed/restored element id (link or node index).
+        element: u32,
+    },
+    /// Routing reconverged after the configured holddown.
+    Reroute {
+        /// Simulated time routing became consistent again, ns.
+        t_ns: u64,
+        /// Number of fault transitions folded into the new tables.
+        resolved: u32,
+    },
+}
+
+impl Event {
+    /// The simulated time this event is keyed to, in nanoseconds.
+    pub fn t_ns(&self) -> u64 {
+        match *self {
+            Event::Gen { t_ns, .. }
+            | Event::Forward { t_ns, .. }
+            | Event::Enqueue { t_ns, .. }
+            | Event::Transmit { t_ns, .. }
+            | Event::Deliver { t_ns, .. }
+            | Event::Drop { t_ns, .. }
+            | Event::Vlb { t_ns, .. }
+            | Event::Fault { t_ns, .. }
+            | Event::Reroute { t_ns, .. } => t_ns,
+        }
+    }
+
+    /// Stable short tag used as the `"ev"` field of the ndjson encoding.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::Gen { .. } => "gen",
+            Event::Forward { .. } => "forward",
+            Event::Enqueue { .. } => "enqueue",
+            Event::Transmit { .. } => "transmit",
+            Event::Deliver { .. } => "deliver",
+            Event::Drop { .. } => "drop",
+            Event::Vlb { .. } => "vlb",
+            Event::Fault { .. } => "fault",
+            Event::Reroute { .. } => "reroute",
+        }
+    }
+
+    /// Appends the event's single-line JSON object (no trailing newline)
+    /// to `out`. Key order is fixed, all values are integers, booleans,
+    /// or the fixed tag strings, so the encoding is byte-stable.
+    pub fn write_ndjson(&self, out: &mut String) {
+        // Infallible: `fmt::Write` for `String` never errors.
+        let _ = match *self {
+            Event::Gen {
+                t_ns,
+                flow,
+                size_bytes,
+                response,
+            } => write!(
+                out,
+                "{{\"ev\":\"gen\",\"t\":{t_ns},\"flow\":{flow},\"size\":{size_bytes},\"response\":{response}}}"
+            ),
+            Event::Forward {
+                t_ns,
+                node,
+                flow,
+                cut_through,
+                latency_ns,
+            } => write!(
+                out,
+                "{{\"ev\":\"forward\",\"t\":{t_ns},\"node\":{node},\"flow\":{flow},\"cut\":{cut_through},\"lat\":{latency_ns}}}"
+            ),
+            Event::Enqueue {
+                t_ns,
+                node,
+                link,
+                to_b,
+                flow,
+                queue_bytes,
+            } => write!(
+                out,
+                "{{\"ev\":\"enqueue\",\"t\":{t_ns},\"node\":{node},\"link\":{link},\"to_b\":{to_b},\"flow\":{flow},\"queue\":{queue_bytes}}}"
+            ),
+            Event::Transmit {
+                t_ns,
+                link,
+                to_b,
+                flow,
+                serialize_ns,
+            } => write!(
+                out,
+                "{{\"ev\":\"transmit\",\"t\":{t_ns},\"link\":{link},\"to_b\":{to_b},\"flow\":{flow},\"ser\":{serialize_ns}}}"
+            ),
+            Event::Deliver {
+                t_ns,
+                node,
+                flow,
+                latency_ns,
+                hops,
+            } => write!(
+                out,
+                "{{\"ev\":\"deliver\",\"t\":{t_ns},\"node\":{node},\"flow\":{flow},\"lat\":{latency_ns},\"hops\":{hops}}}"
+            ),
+            Event::Drop {
+                t_ns,
+                node,
+                flow,
+                reason,
+            } => write!(
+                out,
+                "{{\"ev\":\"drop\",\"t\":{t_ns},\"node\":{node},\"flow\":{flow},\"reason\":\"{}\"}}",
+                reason.as_str()
+            ),
+            Event::Vlb {
+                t_ns,
+                node,
+                flow,
+                via,
+            } => write!(
+                out,
+                "{{\"ev\":\"vlb\",\"t\":{t_ns},\"node\":{node},\"flow\":{flow},\"via\":{via}}}"
+            ),
+            Event::Fault {
+                t_ns,
+                kind,
+                element,
+            } => write!(
+                out,
+                "{{\"ev\":\"fault\",\"t\":{t_ns},\"kind\":\"{kind}\",\"element\":{element}}}"
+            ),
+            Event::Reroute { t_ns, resolved } => write!(
+                out,
+                "{{\"ev\":\"reroute\",\"t\":{t_ns},\"resolved\":{resolved}}}"
+            ),
+        };
+    }
+
+    /// The event as one ndjson line, newline included.
+    pub fn ndjson_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_ndjson(&mut s);
+        s.push('\n');
+        s
+    }
+}
+
+/// Renders a slice of events as ndjson, one line per event.
+pub fn to_ndjson(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        ev.write_ndjson(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_encoding_is_stable() {
+        let ev = Event::Forward {
+            t_ns: 1_500,
+            node: 3,
+            flow: 7,
+            cut_through: true,
+            latency_ns: 380,
+        };
+        assert_eq!(
+            ev.ndjson_line(),
+            "{\"ev\":\"forward\",\"t\":1500,\"node\":3,\"flow\":7,\"cut\":true,\"lat\":380}\n"
+        );
+        assert_eq!(ev.t_ns(), 1_500);
+        assert_eq!(ev.tag(), "forward");
+    }
+
+    #[test]
+    fn drop_reasons_have_distinct_names() {
+        let all = [
+            DropReason::DeadSwitch,
+            DropReason::DeadLink,
+            DropReason::NoRoute,
+            DropReason::QueueFull,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.as_str(), b.as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn to_ndjson_joins_lines() {
+        let evs = [
+            Event::Gen {
+                t_ns: 0,
+                flow: 0,
+                size_bytes: 1500,
+                response: false,
+            },
+            Event::Reroute {
+                t_ns: 9,
+                resolved: 1,
+            },
+        ];
+        let s = to_ndjson(&evs);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.ends_with('\n'));
+    }
+}

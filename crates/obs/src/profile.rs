@@ -1,0 +1,115 @@
+//! Named-phase profiling accumulator.
+//!
+//! This crate never reads a clock (that would trip the workspace
+//! wall-clock lint, and rightly so). Instead, the one sanctioned
+//! wall-clock site — `quartz-bench`'s `timing` module — measures phase
+//! durations and deposits them here; [`Phases`] just accumulates and
+//! renders. Phase order is first-appearance order, which is
+//! deterministic because phases are entered from straight-line harness
+//! code, not from worker threads.
+
+use std::fmt::Write as _;
+
+/// One named phase's accumulated wall time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    /// Phase name, e.g. `"fig06.dynamic"`.
+    pub name: String,
+    /// Total nanoseconds attributed to this phase.
+    pub total_ns: f64,
+    /// Number of times the phase was entered.
+    pub calls: u64,
+}
+
+/// An append-only set of named phases.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Phases {
+    entries: Vec<Phase>,
+}
+
+impl Phases {
+    /// An empty accumulator (usable in `static` initializers).
+    pub const fn new() -> Phases {
+        Phases {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `ns` nanoseconds to phase `name`, creating it on first use.
+    pub fn add(&mut self, name: &str, ns: f64) {
+        if let Some(p) = self.entries.iter_mut().find(|p| p.name == name) {
+            p.total_ns += ns;
+            p.calls += 1;
+        } else {
+            self.entries.push(Phase {
+                name: name.to_string(),
+                total_ns: ns,
+                calls: 1,
+            });
+        }
+    }
+
+    /// The phases, in first-appearance order.
+    pub fn entries(&self) -> &[Phase] {
+        &self.entries
+    }
+
+    /// Whether no phase has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drains the accumulator, returning the recorded phases.
+    pub fn take(&mut self) -> Vec<Phase> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Renders a compact text breakdown (one line per phase).
+    pub fn render_text(&self) -> String {
+        let total: f64 = self.entries.iter().map(|p| p.total_ns).sum();
+        let mut out = String::new();
+        for p in &self.entries {
+            let share = if total > 0.0 {
+                100.0 * p.total_ns / total
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>12.1} us  {:>5.1}%  ({} call{})",
+                p.name,
+                p.total_ns / 1_000.0,
+                share,
+                p.calls,
+                if p.calls == 1 { "" } else { "s" }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_first_appearance_order() {
+        let mut p = Phases::new();
+        assert!(p.is_empty());
+        p.add("b", 10.0);
+        p.add("a", 5.0);
+        p.add("b", 2.5);
+        let e = p.entries();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].name, "b");
+        assert_eq!(e[0].total_ns, 12.5);
+        assert_eq!(e[0].calls, 2);
+        assert_eq!(e[1].name, "a");
+        assert_eq!(e[1].calls, 1);
+        let text = p.render_text();
+        assert!(text.contains("2 calls"));
+        let drained = p.take();
+        assert_eq!(drained.len(), 2);
+        assert!(p.is_empty());
+    }
+}

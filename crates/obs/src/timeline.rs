@@ -1,0 +1,155 @@
+//! Text rendering of a recorded event stream.
+//!
+//! Turns a `&[Event]` (as returned by `MemoryRecorder::finish`) into a
+//! fixed-width timeline: one line per event, simulated time in
+//! microseconds on the left, a short tag, and a human-readable detail
+//! column. Used by the CLI `trace` subcommand.
+
+use std::fmt::Write as _;
+
+use crate::event::Event;
+
+/// Renders up to `max_lines` events as a text timeline. When the
+/// stream is longer, the head is shown and a trailing line reports how
+/// many events were elided. `max_lines == 0` means no limit.
+pub fn render(events: &[Event], max_lines: usize) -> String {
+    let shown = if max_lines == 0 {
+        events.len()
+    } else {
+        events.len().min(max_lines)
+    };
+    let mut out = String::with_capacity(shown * 64 + 64);
+    let _ = writeln!(out, "{:>12}  {:<8}  detail", "t (us)", "event");
+    for ev in &events[..shown] {
+        let _ = writeln!(
+            out,
+            "{:>12.3}  {:<8}  {}",
+            ev.t_ns() as f64 / 1_000.0,
+            ev.tag(),
+            describe(ev)
+        );
+    }
+    if shown < events.len() {
+        let _ = writeln!(out, "… {} more event(s)", events.len() - shown);
+    }
+    out
+}
+
+/// One-line human-readable description of an event's payload.
+fn describe(ev: &Event) -> String {
+    match *ev {
+        Event::Gen {
+            flow,
+            size_bytes,
+            response,
+            ..
+        } => format!(
+            "flow {flow} injects {size_bytes} B{}",
+            if response { " (response)" } else { "" }
+        ),
+        Event::Forward {
+            node,
+            flow,
+            cut_through,
+            latency_ns,
+            ..
+        } => format!(
+            "node {node} {} flow {flow} (+{latency_ns} ns)",
+            if cut_through {
+                "cuts through"
+            } else {
+                "stores-and-forwards"
+            }
+        ),
+        Event::Enqueue {
+            node,
+            link,
+            to_b,
+            flow,
+            queue_bytes,
+            ..
+        } => format!(
+            "node {node} queues flow {flow} on link {link}{} ({queue_bytes} B backlog)",
+            dir(to_b)
+        ),
+        Event::Transmit {
+            link,
+            to_b,
+            flow,
+            serialize_ns,
+            ..
+        } => format!(
+            "link {link}{} serializes flow {flow} for {serialize_ns} ns",
+            dir(to_b)
+        ),
+        Event::Deliver {
+            node,
+            flow,
+            latency_ns,
+            hops,
+            ..
+        } => format!("host {node} receives flow {flow}: {latency_ns} ns over {hops} hop(s)"),
+        Event::Drop {
+            node, flow, reason, ..
+        } => format!("node {node} drops flow {flow}: {}", reason.as_str()),
+        Event::Vlb {
+            node, flow, via, ..
+        } => format!("node {node} detours flow {flow} via switch {via}"),
+        Event::Fault { kind, element, .. } => format!("{kind} element {element}"),
+        Event::Reroute { resolved, .. } => {
+            format!("routing reconverged ({resolved} fault(s) absorbed)")
+        }
+    }
+}
+
+fn dir(to_b: bool) -> &'static str {
+    if to_b {
+        "→"
+    } else {
+        "←"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropReason;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::Gen {
+                t_ns: 0,
+                flow: 1,
+                size_bytes: 1500,
+                response: false,
+            },
+            Event::Vlb {
+                t_ns: 10,
+                node: 2,
+                flow: 1,
+                via: 9,
+            },
+            Event::Drop {
+                t_ns: 2_500,
+                node: 4,
+                flow: 1,
+                reason: DropReason::QueueFull,
+            },
+        ]
+    }
+
+    #[test]
+    fn timeline_shows_every_event_without_limit() {
+        let text = render(&sample(), 0);
+        assert_eq!(text.lines().count(), 4); // header + 3 events
+        assert!(text.contains("queue_full"));
+        assert!(text.contains("via switch 9"));
+        assert!(text.contains("2.500"));
+    }
+
+    #[test]
+    fn timeline_elides_beyond_max_lines() {
+        let text = render(&sample(), 2);
+        assert!(text.contains("… 1 more event(s)"));
+    }
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Gate: the disabled-recorder (NullRecorder) observability wiring may
+# cost at most OVERHEAD_MAX (default 2 %) of fig06 wall time.
+#
+#   scripts/check_overhead.sh BASELINE.json CURRENT.json [CURRENT2.json ...]
+#
+# Each file is a BENCH_<name>.json report from the bench harness
+# (QUARTZ_BENCH_JSON=…). The script reads the `total_quick` wall time
+# from the baseline and from every current file, takes the *best*
+# (minimum) current run — wall clocks are noisy, so callers pass several
+# runs — and fails when best/baseline exceeds the allowed ratio.
+set -euo pipefail
+
+usage="usage: scripts/check_overhead.sh BASELINE.json CURRENT.json [CURRENT2.json ...]"
+baseline=${1:?$usage}
+shift
+[ $# -ge 1 ] || {
+    echo "$usage" >&2
+    exit 2
+}
+max=${OVERHEAD_MAX:-1.02}
+
+total_quick_ns() {
+    sed -n 's/.*"name": "total_quick", "mean_ns": \([0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+
+base=$(total_quick_ns "$baseline")
+[ -n "$base" ] || {
+    echo "error: no total_quick measurement in $baseline" >&2
+    exit 2
+}
+
+best=
+for f in "$@"; do
+    cur=$(total_quick_ns "$f")
+    [ -n "$cur" ] || {
+        echo "error: no total_quick measurement in $f" >&2
+        exit 2
+    }
+    if [ -z "$best" ] || awk -v a="$cur" -v b="$best" 'BEGIN { exit !(a < b) }'; then
+        best=$cur
+    fi
+done
+
+awk -v b="$base" -v c="$best" -v m="$max" 'BEGIN {
+    r = c / b
+    printf "fig06 total_quick: baseline %.1f ms, best current %.1f ms, ratio %.4f (max %s)\n",
+           b / 1e6, c / 1e6, r, m
+    if (r <= m) {
+        print "overhead gate: OK"
+        exit 0
+    }
+    print "overhead gate: FAIL — recorder-off wiring regressed past the budget"
+    exit 1
+}'

@@ -23,6 +23,8 @@
 //! * [`flowsim`] — the flow-level max-min fair throughput solver used for
 //!   bisection-bandwidth experiments.
 //! * [`cost`] — the hardware price catalog and the Table 8 configurator.
+//! * [`obs`] — deterministic sim-time tracing, metrics, and profiling
+//!   (recorders, the metrics registry, and the trace timeline renderer).
 //!
 //! ## Quickstart
 //!
@@ -45,5 +47,6 @@ pub use quartz_core as core;
 pub use quartz_cost as cost;
 pub use quartz_flowsim as flowsim;
 pub use quartz_netsim as netsim;
+pub use quartz_obs as obs;
 pub use quartz_optics as optics;
 pub use quartz_topology as topology;

@@ -1,0 +1,65 @@
+//! A/B wall time of the two event engines — the timing wheel against
+//! the reference binary heap — on the Figure 17 workload, the busiest
+//! simulation in the harness (64-host composite topologies, Poisson
+//! scatter/gather load). Both engines drain events in the same order
+//! (asserted below before timing), so any delta is pure engine cost.
+
+use quartz_bench::experiments::fig17::{simulate_with_scheduler, Arch, Workload};
+use quartz_bench::timing::measure;
+use quartz_netsim::sched::SchedulerKind;
+use std::hint::black_box;
+
+/// One fig17 cell: 2 gather tasks on the paper's best architecture,
+/// 1 ms of simulated time.
+fn cell(kind: SchedulerKind) -> f64 {
+    simulate_with_scheduler(
+        Arch::QuartzInEdgeAndCore,
+        Workload::Gather,
+        black_box(2),
+        1,
+        42,
+        kind,
+    )
+}
+
+/// The same cell on the architecture with the deepest paths (three-tier
+/// tree through CCS cores), scatter/gather for two-way traffic.
+fn cell_tree(kind: SchedulerKind) -> f64 {
+    simulate_with_scheduler(
+        Arch::ThreeTier,
+        Workload::ScatterGather,
+        black_box(2),
+        1,
+        42,
+        kind,
+    )
+}
+
+fn main() {
+    // The ordering contract first: identical results, bit for bit.
+    assert_eq!(
+        cell(SchedulerKind::TimingWheel).to_bits(),
+        cell(SchedulerKind::BinaryHeap).to_bits(),
+        "engines must produce bit-identical fig17 latencies"
+    );
+    assert_eq!(
+        cell_tree(SchedulerKind::TimingWheel).to_bits(),
+        cell_tree(SchedulerKind::BinaryHeap).to_bits(),
+        "engines must produce bit-identical fig17 latencies"
+    );
+
+    measure("scheduler", "wheel_fig17_gather", || {
+        cell(SchedulerKind::TimingWheel)
+    });
+    measure("scheduler", "heap_fig17_gather", || {
+        cell(SchedulerKind::BinaryHeap)
+    });
+    measure("scheduler", "wheel_fig17_scatter_gather_tree", || {
+        cell_tree(SchedulerKind::TimingWheel)
+    });
+    measure("scheduler", "heap_fig17_scatter_gather_tree", || {
+        cell_tree(SchedulerKind::BinaryHeap)
+    });
+
+    quartz_bench::timing::write_json("scheduler", None);
+}

@@ -35,6 +35,11 @@ pub struct DegradedQuartzFabric {
     /// Severed ordered rack pairs (both orders present). Ordered so any
     /// iteration over the wreckage is deterministic.
     dead: BTreeSet<(usize, usize)>,
+    /// Dense channel-liveness map, `racks × racks`, indexed
+    /// `a * racks + b`: the hot [`DegradedQuartzFabric::alive`] lookup
+    /// is one indexed load instead of a `BTreeSet` probe (`problem`
+    /// scans every intermediate per cross-rack demand).
+    alive_map: Vec<bool>,
     /// Connected component of each rack over surviving channels.
     comp: Vec<usize>,
 }
@@ -55,6 +60,10 @@ impl DegradedQuartzFabric {
             dead.insert((a, b));
             dead.insert((b, a));
         }
+        let mut alive_map = vec![true; base.racks * base.racks];
+        for &(a, b) in &dead {
+            alive_map[a * base.racks + b] = false;
+        }
         // Connected components of the surviving channel graph.
         let mut comp = vec![usize::MAX; base.racks];
         let mut next = 0;
@@ -66,7 +75,7 @@ impl DegradedQuartzFabric {
             let mut queue = VecDeque::from([start]);
             while let Some(r) = queue.pop_front() {
                 for (w, c) in comp.iter_mut().enumerate() {
-                    if w != r && *c == usize::MAX && !dead.contains(&(r, w)) {
+                    if w != r && *c == usize::MAX && alive_map[r * base.racks + w] {
                         *c = next;
                         queue.push_back(w);
                     }
@@ -74,7 +83,12 @@ impl DegradedQuartzFabric {
             }
             next += 1;
         }
-        DegradedQuartzFabric { base, dead, comp }
+        DegradedQuartzFabric {
+            base,
+            dead,
+            alive_map,
+            comp,
+        }
     }
 
     /// Degrades `base` by a concrete fiber-failure set `broken`
@@ -106,8 +120,9 @@ impl DegradedQuartzFabric {
     }
 
     /// Whether the direct channel between `a` and `b` survives.
+    #[inline]
     fn alive(&self, a: usize, b: usize) -> bool {
-        !self.dead.contains(&(a, b))
+        self.alive_map[a * self.base.racks + b]
     }
 
     /// The severed (undirected) rack pairs, sorted (the set iterates in

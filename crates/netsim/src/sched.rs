@@ -1,0 +1,530 @@
+//! Event schedulers: the timing-wheel engine and its reference heap.
+//!
+//! The discrete-event loop in [`crate::sim`] is bounded by how fast it
+//! can push and pop timestamped events. A `BinaryHeap` gives `O(log n)`
+//! per operation and — worse for a packet simulator — every sift moves
+//! the full event payload several times. This module replaces it with a
+//! calendar-queue-style **timing wheel** ([`TimingWheel`]):
+//!
+//! * a **near wheel** of `NUM_BUCKETS` buckets, each covering
+//!   `GRANULARITY` ns of simulated time, holding every event within the
+//!   sliding horizon `[cursor, cursor + NUM_BUCKETS × GRANULARITY)`;
+//! * an **overflow heap** for far-future events (retransmission timers,
+//!   scheduled faults), migrated into the wheel as the cursor slides
+//!   over their slot;
+//! * a **slot arena** with a free list: event payloads live in recycled
+//!   slots and buckets store 4-byte slot ids, so the steady-state event
+//!   loop allocates nothing and bucket maintenance moves `u32`s, not
+//!   multi-hundred-byte packets.
+//!
+//! ## Ordering contract
+//!
+//! Both schedulers implement [`Scheduler`] and drain events in exactly
+//! `(time, seq)` order, where `seq` is a monotone sequence number
+//! assigned at push. This is the tie-break rule the simulator's
+//! determinism contract (DESIGN.md §6) is built on: two schedulers fed
+//! the same pushes pop the same events in the same order, bit for bit.
+//! [`BinaryHeapScheduler`] is kept as the executable reference for
+//! differential tests (`tests/scheduler_differential.rs`); the wheel
+//! achieves the same order because
+//!
+//! * every bucket within the horizon maps to exactly one absolute slot,
+//!   so the first non-empty bucket at the cursor holds the globally
+//!   earliest events, and
+//! * the pop scans that bucket for the `(time, seq)` minimum — exact
+//!   even when a bucket mixes timestamps (events pushed for the past
+//!   are clamped into the cursor bucket and still win the scan).
+//!
+//! Pushing an event earlier than the last popped time is allowed (it
+//! pops next, same as the heap); pushing while mid-drain of the same
+//! timestamp is the common case (a packet forwarded at `now`) and
+//! ordered correctly by `seq`.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Near-wheel bucket count (power of two; index masks instead of `%`).
+pub const NUM_BUCKETS: usize = 4096;
+/// log2 of the nanoseconds each bucket spans.
+pub const GRANULARITY_LOG2: u32 = 6;
+/// Nanoseconds per bucket.
+pub const GRANULARITY: u64 = 1 << GRANULARITY_LOG2;
+const BUCKET_MASK: u64 = (NUM_BUCKETS as u64) - 1;
+
+/// Which event engine a simulator runs on (see
+/// [`crate::sim::SimConfig::scheduler`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The timing wheel ([`TimingWheel`]) — the default engine.
+    #[default]
+    TimingWheel,
+    /// The reference binary heap ([`BinaryHeapScheduler`]), retained
+    /// for differential testing and A/B benches.
+    BinaryHeap,
+}
+
+/// A deterministic future-event set: timestamped items drain in
+/// `(time, push order)` order.
+pub trait Scheduler<T> {
+    /// Queues `item` at `time`, assigning it the next sequence number.
+    fn push(&mut self, time: SimTime, item: T);
+    /// Removes and returns the earliest `(time, seq)` event.
+    fn pop(&mut self) -> Option<(SimTime, T)>;
+    /// [`Scheduler::pop`], but only if the earliest event's time is
+    /// `<= bound`; otherwise the queue is untouched.
+    fn pop_before(&mut self, bound: SimTime) -> Option<(SimTime, T)>;
+    /// The earliest queued time, if any. Takes `&mut self` because the
+    /// wheel may advance its cursor to find it (not observable).
+    fn next_time(&mut self) -> Option<SimTime>;
+    /// Queued event count.
+    fn len(&self) -> usize;
+    /// Whether nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The reference scheduler: a binary min-heap ordered by `(time, seq)`.
+/// Exactly the engine the simulator used before the timing wheel; kept
+/// as the executable specification of the ordering contract.
+#[derive(Debug)]
+pub struct BinaryHeapScheduler<T> {
+    heap: BinaryHeap<Reverse<HeapEv<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct HeapEv<T> {
+    time: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEv<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEv<T> {}
+impl<T> PartialOrd for HeapEv<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEv<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<T> Default for BinaryHeapScheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BinaryHeapScheduler<T> {
+    /// An empty heap scheduler.
+    pub fn new() -> Self {
+        BinaryHeapScheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T> Scheduler<T> for BinaryHeapScheduler<T> {
+    fn push(&mut self, time: SimTime, item: T) {
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEv {
+            time,
+            seq: self.seq,
+            item,
+        }));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.item))
+    }
+
+    fn pop_before(&mut self, bound: SimTime) -> Option<(SimTime, T)> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.time <= bound) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// One arena slot: the payload plus its ordering key. `item` is `None`
+/// only while the slot sits on the free list.
+#[derive(Debug)]
+struct Slot<T> {
+    time: SimTime,
+    seq: u64,
+    item: Option<T>,
+}
+
+/// The timing-wheel scheduler (see the module docs for geometry and the
+/// ordering argument).
+#[derive(Debug)]
+pub struct TimingWheel<T> {
+    /// Near-wheel buckets of arena slot ids; bucket `i` holds exactly
+    /// the events of absolute slot `s` with `s & BUCKET_MASK == i` for
+    /// the unique `s` in `[cursor, cursor + NUM_BUCKETS)`.
+    buckets: Vec<Vec<u32>>,
+    /// Events at `slot >= cursor + NUM_BUCKETS`, ordered by
+    /// `(time, seq)` for exact migration.
+    far: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Payload arena; freed slots are recycled through `free`.
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    /// Absolute slot index (`time >> GRANULARITY_LOG2`) of the bucket
+    /// the drain cursor is on. Only ever advances.
+    cursor: u64,
+    /// Events currently in the near wheel.
+    near_len: usize,
+    /// Total queued events (near + far).
+    len: usize,
+    seq: u64,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// An empty wheel with the cursor at time zero.
+    pub fn new() -> Self {
+        TimingWheel {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            far: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            cursor: 0,
+            near_len: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Takes a recycled arena slot (or grows the arena) for an event.
+    fn alloc(&mut self, time: SimTime, seq: u64, item: T) -> u32 {
+        if let Some(id) = self.free.pop() {
+            let s = &mut self.slots[id as usize];
+            s.time = time;
+            s.seq = seq;
+            s.item = Some(item);
+            id
+        } else {
+            let id = self.slots.len() as u32;
+            self.slots.push(Slot {
+                time,
+                seq,
+                item: Some(item),
+            });
+            id
+        }
+    }
+
+    /// Frees slot `id`, returning its payload.
+    fn release(&mut self, id: u32) -> (SimTime, T) {
+        let s = &mut self.slots[id as usize];
+        let item = s.item.take().expect("slot is live");
+        self.free.push(id);
+        (s.time, item)
+    }
+
+    /// Files a slot id under its near-wheel bucket. Events earlier than
+    /// the cursor (allowed, rare) clamp into the cursor bucket, where
+    /// the min-scan still pops them first.
+    fn file_near(&mut self, slot: u64, id: u32) {
+        let s = slot.max(self.cursor);
+        self.buckets[(s & BUCKET_MASK) as usize].push(id);
+        self.near_len += 1;
+    }
+
+    /// Pulls every far event whose slot has entered the horizon into
+    /// the near wheel. (Slot math goes through
+    /// [`SimTime::wheel_slot`], the single definition of the mapping.)
+    fn migrate(&mut self) {
+        let horizon = self.cursor + NUM_BUCKETS as u64;
+        while let Some(&Reverse((t, _, id))) = self.far.peek() {
+            let slot = t.wheel_slot(GRANULARITY_LOG2);
+            if slot >= horizon {
+                break;
+            }
+            self.far.pop();
+            self.file_near(slot, id);
+        }
+    }
+
+    /// Advances the cursor to the first non-empty bucket, jumping
+    /// straight to the overflow heap's earliest slot when the near
+    /// wheel is empty. Returns `false` when nothing is queued.
+    fn seek(&mut self) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        loop {
+            if self.near_len == 0 {
+                // Everything queued is in the overflow heap: jump the
+                // cursor to its earliest slot and pull the horizon in.
+                let &Reverse((t, _, _)) = self.far.peek().expect("len > 0 with empty near wheel");
+                self.cursor = t.wheel_slot(GRANULARITY_LOG2);
+                self.migrate();
+                debug_assert!(self.near_len > 0);
+                continue;
+            }
+            if !self.buckets[(self.cursor & BUCKET_MASK) as usize].is_empty() {
+                return true;
+            }
+            self.cursor += 1;
+            self.migrate();
+        }
+    }
+
+    /// Index (within the cursor bucket) of the `(time, seq)`-minimum
+    /// event. Caller guarantees the bucket is non-empty.
+    fn scan_min(&self) -> usize {
+        let bucket = &self.buckets[(self.cursor & BUCKET_MASK) as usize];
+        let mut best = 0;
+        let mut best_key = {
+            let s = &self.slots[bucket[0] as usize];
+            (s.time, s.seq)
+        };
+        for (i, &id) in bucket.iter().enumerate().skip(1) {
+            let s = &self.slots[id as usize];
+            if (s.time, s.seq) < best_key {
+                best_key = (s.time, s.seq);
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Removes the bucket-minimum located by [`TimingWheel::scan_min`].
+    fn take_min(&mut self) -> (SimTime, T) {
+        let best = self.scan_min();
+        let id = self.buckets[(self.cursor & BUCKET_MASK) as usize].swap_remove(best);
+        self.near_len -= 1;
+        self.len -= 1;
+        self.release(id)
+    }
+}
+
+impl<T> Scheduler<T> for TimingWheel<T> {
+    fn push(&mut self, time: SimTime, item: T) {
+        self.seq += 1;
+        let seq = self.seq;
+        let id = self.alloc(time, seq, item);
+        let slot = time.wheel_slot(GRANULARITY_LOG2);
+        if slot >= self.cursor + NUM_BUCKETS as u64 {
+            self.far.push(Reverse((time, seq, id)));
+        } else {
+            self.file_near(slot, id);
+        }
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        if !self.seek() {
+            return None;
+        }
+        Some(self.take_min())
+    }
+
+    fn pop_before(&mut self, bound: SimTime) -> Option<(SimTime, T)> {
+        if !self.seek() {
+            return None;
+        }
+        let best = self.scan_min();
+        let bucket = &self.buckets[(self.cursor & BUCKET_MASK) as usize];
+        if self.slots[bucket[best] as usize].time > bound {
+            return None;
+        }
+        Some(self.take_min())
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        if !self.seek() {
+            return None;
+        }
+        let best = self.scan_min();
+        let bucket = &self.buckets[(self.cursor & BUCKET_MASK) as usize];
+        Some(self.slots[bucket[best] as usize].time)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_core::rng::StdRng;
+
+    /// Drains both schedulers fed the same pushes and asserts identical
+    /// pop streams. Interleaves pushes mid-drain the way the simulator
+    /// does: some popped events re-push at `now + delta`.
+    fn differential(seed: u64, initial: usize, respawn_num: u64, respawn_den: u64) {
+        let mut wheel = TimingWheel::new();
+        let mut heap = BinaryHeapScheduler::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pushes: Vec<(SimTime, u32)> = Vec::new();
+        for i in 0..initial {
+            // Mix near (same-bucket bursts), mid, and far-horizon times.
+            let t = match rng.random_range(0..4) {
+                0 => rng.random_range(0..64) as u64,
+                1 => rng.random_range(0..10_000) as u64,
+                2 => 5_000 + rng.random_range(0..8) as u64, // equal-time bursts
+                _ => rng.random_range(0..5_000_000) as u64, // beyond horizon
+            };
+            pushes.push((SimTime::from_ns(t), i as u32));
+        }
+        for &(t, v) in &pushes {
+            wheel.push(t, v);
+            heap.push(t, v);
+        }
+        let mut next_tag = initial as u32;
+        let mut popped = 0u64;
+        loop {
+            let w = wheel.pop();
+            let h = heap.pop();
+            assert_eq!(w, h, "divergence after {popped} pops (seed {seed})");
+            let Some((t, _)) = w else {
+                break;
+            };
+            popped += 1;
+            // Deterministic respawn: mid-drain pushes, often landing in
+            // the bucket being drained (delta 0) or exactly on another
+            // queued timestamp.
+            if popped % respawn_den < respawn_num && next_tag < initial as u32 + 400 {
+                let delta = match rng.random_range(0..3) {
+                    0 => 0,
+                    1 => rng.random_range(0..100) as u64,
+                    _ => 300_000 + rng.random_range(0..300_000) as u64,
+                };
+                wheel.push(t + delta, next_tag);
+                heap.push(t + delta, next_tag);
+                next_tag += 1;
+            }
+        }
+        assert!(wheel.is_empty() && heap.is_empty());
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_seeded_streams() {
+        for seed in 0..8 {
+            differential(seed, 300, 1, 3);
+        }
+    }
+
+    #[test]
+    fn wheel_matches_heap_under_heavy_respawn() {
+        differential(0xFEED, 50, 1, 1);
+    }
+
+    #[test]
+    fn equal_timestamps_drain_in_push_order() {
+        let mut w = TimingWheel::new();
+        for i in 0..100u32 {
+            w.push(SimTime::from_ns(42), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(w.pop(), Some((SimTime::from_ns(42), i)));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn far_future_events_migrate_in_order() {
+        let mut w = TimingWheel::new();
+        // All beyond the 4096 × 64 ns ≈ 262 µs horizon.
+        w.push(SimTime::from_ms(3), 0u32);
+        w.push(SimTime::from_ms(1), 1);
+        w.push(SimTime::from_ms(2), 2);
+        w.push(SimTime::from_ms(1), 3);
+        assert_eq!(w.next_time(), Some(SimTime::from_ms(1)));
+        assert_eq!(w.pop(), Some((SimTime::from_ms(1), 1)));
+        assert_eq!(w.pop(), Some((SimTime::from_ms(1), 3)));
+        assert_eq!(w.pop(), Some((SimTime::from_ms(2), 2)));
+        assert_eq!(w.pop(), Some((SimTime::from_ms(3), 0)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn pop_before_leaves_later_events_queued() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime::from_ns(10), 'a');
+        w.push(SimTime::from_ns(2_000_000), 'b');
+        assert_eq!(
+            w.pop_before(SimTime::from_ns(100)),
+            Some((SimTime::from_ns(10), 'a'))
+        );
+        assert_eq!(w.pop_before(SimTime::from_ns(100)), None);
+        assert_eq!(w.len(), 1);
+        assert_eq!(
+            w.pop_before(SimTime::from_ms(5)),
+            Some((SimTime::from_ns(2_000_000), 'b'))
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_pushes_pop_immediately() {
+        // The heap would pop an earlier-than-now push first; the wheel
+        // clamps it into the cursor bucket and must do the same.
+        let mut w = TimingWheel::new();
+        let mut h = BinaryHeapScheduler::new();
+        for s in [&mut w as &mut dyn Scheduler<u32>, &mut h] {
+            s.push(SimTime::from_us(50), 0);
+            s.push(SimTime::from_us(60), 1);
+            assert_eq!(s.pop(), Some((SimTime::from_us(50), 0)));
+            // Now push "into the past" relative to the cursor.
+            s.push(SimTime::from_us(1), 2);
+            assert_eq!(s.pop(), Some((SimTime::from_us(1), 2)));
+            assert_eq!(s.pop(), Some((SimTime::from_us(60), 1)));
+        }
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        let mut w = TimingWheel::new();
+        for round in 0..10u64 {
+            for i in 0..50u32 {
+                w.push(SimTime::from_ns(round * 1000 + i as u64), i);
+            }
+            while w.pop().is_some() {}
+        }
+        // Ten rounds of 50 events reuse the same 50 arena slots.
+        assert!(w.slots.len() <= 50, "arena grew to {}", w.slots.len());
+        assert_eq!(w.free.len(), w.slots.len());
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut w: TimingWheel<u8> = TimingWheel::new();
+        assert!(w.is_empty());
+        w.push(SimTime::from_ns(5), 1);
+        w.push(SimTime::from_ms(5), 2);
+        assert_eq!(w.len(), 2);
+        w.pop();
+        assert_eq!(w.len(), 1);
+        w.pop();
+        assert!(w.is_empty());
+        assert_eq!(w.next_time(), None);
+    }
+}

@@ -29,6 +29,7 @@
 //! picks by flow hash. Two runs with the same seed are bit-identical.
 
 use crate::faults::{FaultKind, FaultPlan};
+use crate::sched::{BinaryHeapScheduler, Scheduler, SchedulerKind, TimingWheel};
 use crate::stats::Stats;
 use crate::switch::{ForwardMode, LatencyModel};
 use crate::time::SimTime;
@@ -36,9 +37,7 @@ use crate::transport::{ReceiverState, SendAction, SenderState, TcpVariant};
 use quartz_core::rng::StdRng;
 use quartz_obs::{DropReason, Event, MetricsRegistry, Recorder};
 use quartz_topology::graph::{LinkId, Network, NodeId, NodeKind};
-use quartz_topology::route::RouteTable;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use quartz_topology::route::{FlatRoutes, RouteChange, RouteTable};
 
 /// Valiant load balancing configuration (§3.4).
 #[derive(Clone, Debug)]
@@ -73,6 +72,11 @@ pub struct SimConfig {
     /// ns later. `None` (the default) models a static control plane —
     /// call [`Simulator::reroute`] by hand.
     pub reconvergence_ns: Option<u64>,
+    /// Which event engine drives the run. The default
+    /// [`SchedulerKind::TimingWheel`] and the reference
+    /// [`SchedulerKind::BinaryHeap`] drain events in an identical
+    /// order, so this knob changes wall time only — never output.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -86,6 +90,7 @@ impl Default for SimConfig {
             ecn_threshold_bytes: None,
             rto_ns: 250_000,
             reconvergence_ns: None,
+            scheduler: SchedulerKind::TimingWheel,
         }
     }
 }
@@ -240,26 +245,45 @@ pub struct FaultRecord {
     baseline_drops: u64,
 }
 
-struct Ev {
-    time: SimTime,
-    seq: u64,
-    kind: EvKind,
+/// The simulator's event engine: static dispatch over the two
+/// [`Scheduler`] implementations (a `dyn` scheduler would cost a
+/// virtual call per push/pop on the hottest loop in the workspace; the
+/// enum costs one predictable branch).
+enum EventQueue {
+    Wheel(TimingWheel<EvKind>),
+    Heap(BinaryHeapScheduler<EvKind>),
 }
 
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl EventQueue {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::TimingWheel => EventQueue::Wheel(TimingWheel::new()),
+            SchedulerKind::BinaryHeap => EventQueue::Heap(BinaryHeapScheduler::new()),
+        }
     }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    #[inline]
+    fn push(&mut self, time: SimTime, kind: EvKind) {
+        match self {
+            EventQueue::Wheel(w) => w.push(time, kind),
+            EventQueue::Heap(h) => h.push(time, kind),
+        }
     }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+    #[inline]
+    fn pop_before(&mut self, bound: SimTime) -> Option<(SimTime, EvKind)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_before(bound),
+            EventQueue::Heap(h) => h.pop_before(bound),
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        match self {
+            EventQueue::Wheel(w) => w.is_empty(),
+            EventQueue::Heap(h) => h.is_empty(),
+        }
     }
 }
 
@@ -330,20 +354,36 @@ pub struct Simulator {
     /// Mutable per-flow progress, parallel to `flows`.
     flow_state: Vec<FlowState>,
     links: Vec<DirLink>, // 2 per undirected link: [2l] = a→b, [2l+1] = b→a
-    events: BinaryHeap<Reverse<Ev>>,
-    seq: u64,
+    events: EventQueue,
     rng: StdRng,
     stats: Stats,
     now: SimTime,
-    vlb_domain_of: BTreeMap<NodeId, usize>,
+    /// VLB domain index per node (`u32::MAX` = not in any domain).
+    /// Dense so the per-packet membership test is one indexed load.
+    vlb_domain: Vec<u32>,
+    /// Scratch buffer for VLB intermediate candidates; reused across
+    /// packets so the steady-state hot path allocates nothing.
+    vlb_scratch: Vec<NodeId>,
     /// Transport connection state, parallel to `flows` (None for
     /// non-transport flows).
     conns: Vec<Option<Conn>>,
+    /// CSR-flattened view of `table` — the per-hop lookup the forward
+    /// path actually uses (no map walks, no adjacency scans).
+    flat: FlatRoutes,
     /// Extra routing tables (per-VLAN spanning trees, §6's SPAIN
-    /// technique); flows may pin themselves to one.
-    extra_tables: Vec<RouteTable>,
+    /// technique); flows may pin themselves to one. Stored flattened.
+    extra_flat: Vec<FlatRoutes>,
     /// Per-node failure state (only switches ever fail).
     failed_nodes: Vec<bool>,
+    /// Link/node failure state *as the routing table last saw it*.
+    /// `complete_reroute` replays pending deltas against these so each
+    /// incremental patch observes exactly the state the previous patch
+    /// produced (faults and recoveries may interleave between reroutes).
+    routed_link_failed: Vec<bool>,
+    routed_node_failed: Vec<bool>,
+    /// Fault deltas that have fired but are not yet reflected in
+    /// `table`; drained by `complete_reroute`.
+    pending_route_changes: Vec<FaultKind>,
     /// Every fault event that has fired, with reconvergence outcomes.
     fault_log: Vec<FaultRecord>,
     /// Observability: optional event sink. `None` (the default) keeps
@@ -377,7 +417,7 @@ impl Simulator {
                 [d.clone(), d]
             })
             .collect();
-        let mut vlb_domain_of = BTreeMap::new();
+        let mut vlb_domain = vec![u32::MAX; net.node_count()];
         if let Some(v) = &cfg.vlb {
             assert!(
                 (0.0..=1.0).contains(&v.fraction),
@@ -385,12 +425,16 @@ impl Simulator {
             );
             for (i, dom) in v.domains.iter().enumerate() {
                 for &sw in dom {
-                    vlb_domain_of.insert(sw, i);
+                    vlb_domain[sw.0 as usize] = i as u32;
                 }
             }
         }
         let rng = StdRng::seed_from_u64(cfg.seed);
         let failed_nodes = vec![false; net.node_count()];
+        let routed_link_failed = vec![false; net.link_count()];
+        let routed_node_failed = vec![false; net.node_count()];
+        let flat = FlatRoutes::new(&table, &net);
+        let events = EventQueue::new(cfg.scheduler);
         Simulator {
             net,
             table,
@@ -398,15 +442,19 @@ impl Simulator {
             flows: Vec::new(),
             flow_state: Vec::new(),
             links,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events,
             rng,
             stats: Stats::default(),
             now: SimTime::ZERO,
-            vlb_domain_of,
+            vlb_domain,
+            vlb_scratch: Vec::new(),
             conns: Vec::new(),
-            extra_tables: Vec::new(),
+            flat,
+            extra_flat: Vec::new(),
             failed_nodes,
+            routed_link_failed,
+            routed_node_failed,
+            pending_route_changes: Vec::new(),
             fault_log: Vec::new(),
             recorder: None,
             metrics: None,
@@ -480,8 +528,8 @@ impl Simulator {
             self.net.node_count(),
             "table must cover this network"
         );
-        self.extra_tables.push(table);
-        self.extra_tables.len() - 1
+        self.extra_flat.push(FlatRoutes::new(&table, &self.net));
+        self.extra_flat.len() - 1
     }
 
     /// Pins a flow's packets to a previously registered table — the §6
@@ -489,7 +537,7 @@ impl Simulator {
     /// specific indirect three-hop path by sending data on the
     /// corresponding virtual interface".
     pub fn pin_flow_to_table(&mut self, flow: usize, table: usize) {
-        assert!(table < self.extra_tables.len(), "unknown table {table}");
+        assert!(table < self.extra_flat.len(), "unknown table {table}");
         self.flow_state[flow].table = Some(table);
     }
 
@@ -545,30 +593,25 @@ impl Simulator {
         idx
     }
 
+    #[inline]
     fn push(&mut self, time: SimTime, kind: EvKind) {
-        self.seq += 1;
-        self.events.push(Reverse(Ev {
-            time,
-            seq: self.seq,
-            kind,
-        }));
+        self.events.push(time, kind);
     }
 
     /// Runs the simulation until `until` (events after it stay queued).
     /// Returns the accumulated statistics.
     pub fn run(&mut self, until: SimTime) -> &Stats {
-        while self.events.peek().is_some_and(|Reverse(e)| e.time <= until) {
-            let Reverse(ev) = self.events.pop().expect("peeked non-empty");
-            self.dispatch(ev);
+        while let Some((time, kind)) = self.events.pop_before(until) {
+            self.dispatch(time, kind);
         }
         &self.stats
     }
 
-    fn dispatch(&mut self, ev: Ev) {
-        self.now = ev.time;
-        match ev.kind {
-            EvKind::Gen { flow } => self.generate(flow, ev.time),
-            EvKind::Head { pkt, at, tail } => self.forward(pkt, at, ev.time, tail),
+    fn dispatch(&mut self, time: SimTime, kind: EvKind) {
+        self.now = time;
+        match kind {
+            EvKind::Gen { flow } => self.generate(flow, time),
+            EvKind::Head { pkt, at, tail } => self.forward(pkt, at, time, tail),
             EvKind::FailLink { link } => self.on_fault(FaultKind::LinkDown(link)),
             EvKind::RecoverLink { link } => self.on_fault(FaultKind::LinkUp(link)),
             EvKind::FailSwitch { node } => self.on_fault(FaultKind::SwitchDown(node)),
@@ -577,7 +620,7 @@ impl Simulator {
             EvKind::Rto { flow, epoch } => {
                 if let Some(conn) = self.conns[flow].as_mut() {
                     let actions = conn.sender.on_rto(epoch);
-                    self.apply_transport_actions(flow, ev.time, actions);
+                    self.apply_transport_actions(flow, time, actions);
                 }
             }
         }
@@ -919,22 +962,22 @@ impl Simulator {
 
         // VLB decision at the mesh ingress switch.
         let mut vlb_detour: Option<NodeId> = None;
-        if !pkt.vlb_decided && !self.vlb_domain_of.is_empty() && node_kind.is_switch() {
-            if let Some(&dom_idx) = self.vlb_domain_of.get(&at) {
+        if !pkt.vlb_decided && node_kind.is_switch() {
+            let dom_idx = self.vlb_domain[at.0 as usize];
+            if dom_idx != u32::MAX {
                 pkt.vlb_decided = true;
                 let target = pkt.dst;
-                if let Some(nh) = self.table.ecmp_next(at, target, pkt.hash) {
-                    if self.vlb_domain_of.get(&nh) == Some(&dom_idx) {
+                if let Some((nh, _)) = self.flat.ecmp_next(at, target, pkt.hash) {
+                    if self.vlb_domain[nh.0 as usize] == dom_idx {
                         let vlb = self.cfg.vlb.as_ref().expect("domains imply config");
                         if self.rng.random::<f64>() < vlb.fraction {
-                            let dom = &vlb.domains[dom_idx];
-                            let candidates: Vec<NodeId> = dom
-                                .iter()
-                                .copied()
-                                .filter(|&w| w != at && w != nh)
-                                .collect();
-                            if !candidates.is_empty() {
-                                let w = candidates[self.rng.random_range(0..candidates.len())];
+                            let dom = &vlb.domains[dom_idx as usize];
+                            self.vlb_scratch.clear();
+                            self.vlb_scratch
+                                .extend(dom.iter().copied().filter(|&w| w != at && w != nh));
+                            if !self.vlb_scratch.is_empty() {
+                                let w = self.vlb_scratch
+                                    [self.rng.random_range(0..self.vlb_scratch.len())];
                                 pkt.intermediate = Some(w);
                                 vlb_detour = Some(w);
                                 // Per-packet spraying: differentiate the
@@ -964,23 +1007,19 @@ impl Simulator {
 
         let target = pkt.intermediate.unwrap_or(pkt.dst);
         let routing = match self.flow_state[pkt.flow as usize].table {
-            Some(i) => &self.extra_tables[i],
-            None => &self.table,
+            Some(i) => &self.extra_flat[i],
+            None => &self.flat,
         };
-        let Some(next) = routing.ecmp_next(at, target, pkt.hash) else {
+        // The flat table resolves the next hop *and* its directed link
+        // slot in one indexed lookup — no adjacency scan per hop.
+        let Some((next, slot)) = routing.ecmp_next(at, target, pkt.hash) else {
             self.stats.dropped += 1;
             if self.observing() {
                 self.drop_hook(pkt.flow, at, head, DropReason::NoRoute);
             }
             return;
         };
-        let link_id = self
-            .net
-            .link_between(at, next)
-            .expect("next hop must be adjacent");
-        let link = self.net.link(link_id);
-        let dir = usize::from(link.a != at);
-        let dl = &self.links[2 * link_id.0 as usize + dir];
+        let dl = &self.links[slot as usize];
         if dl.failed {
             // A cut fiber: everything forwarded onto it is lost until
             // routes are recomputed (see [`Simulator::reroute`]).
@@ -1066,24 +1105,26 @@ impl Simulator {
             earliest
         };
         let done = start + ser_ns;
-        let dl = &mut self.links[2 * link_id.0 as usize + dir];
+        let dl = &mut self.links[slot as usize];
         dl.free_at = done;
         dl.busy_ns += ser_ns;
         dl.bytes += u64::from(pkt.size);
         if self.observing() {
             let queue_bytes = backlog_bytes + u64::from(pkt.size);
-            let to_b = dir == 0;
+            // Slot layout: [2l] = a→b, [2l+1] = b→a.
+            let link_idx = slot >> 1;
+            let to_b = slot & 1 == 0;
             self.record(Event::Enqueue {
                 t_ns: earliest.ns(),
                 node: at.0,
-                link: link_id.0,
+                link: link_idx,
                 to_b,
                 flow: pkt.flow,
                 queue_bytes,
             });
             self.record(Event::Transmit {
                 t_ns: start.ns(),
-                link: link_id.0,
+                link: link_idx,
                 to_b,
                 flow: pkt.flow,
                 serialize_ns: ser_ns,
@@ -1095,12 +1136,12 @@ impl Simulator {
                 }
                 let dir_tag = if to_b { "ab" } else { "ba" };
                 m.observe(
-                    &format!("queue.link{:04}.{dir_tag}", link_id.0),
+                    &format!("queue.link{:04}.{dir_tag}", link_idx),
                     earliest.ns(),
                     queue_bytes,
                 );
                 m.observe(
-                    &format!("util.link{:04}.{dir_tag}", link_id.0),
+                    &format!("util.link{:04}.{dir_tag}", link_idx),
                     start.ns(),
                     ser_ns,
                 );
@@ -1134,14 +1175,10 @@ impl Simulator {
     /// fan-out, wait for it, start the next stage at [`Simulator::now`].
     pub fn run_until_samples(&mut self, tag: u32, count: usize, deadline: SimTime) -> bool {
         while self.stats.count(tag) < count {
-            let Some(Reverse(ev)) = self.events.peek() else {
+            let Some((time, kind)) = self.events.pop_before(deadline) else {
                 return false;
             };
-            if ev.time > deadline {
-                return false;
-            }
-            let Reverse(ev) = self.events.pop().expect("peeked non-empty");
-            self.dispatch(ev);
+            self.dispatch(time, kind);
         }
         true
     }
@@ -1223,6 +1260,7 @@ impl Simulator {
             FaultKind::SwitchDown(n) => self.failed_nodes[n.0 as usize] = true,
             FaultKind::SwitchUp(n) => self.failed_nodes[n.0 as usize] = false,
         }
+        self.pending_route_changes.push(kind);
         self.fault_log.push(FaultRecord {
             at: self.now,
             kind,
@@ -1260,13 +1298,57 @@ impl Simulator {
     }
 
     fn complete_reroute(&mut self) {
-        let links = &self.links;
-        let failed_nodes = &self.failed_nodes;
-        self.table = RouteTable::degraded(
-            &self.net,
-            |l| links[2 * l.0 as usize].failed,
-            |n| failed_nodes[n.0 as usize],
-        );
+        // Incremental reconvergence: replay each pending fault delta as
+        // a patch that recomputes only the destinations whose shortest
+        // paths the delta can change. Each patch must observe the
+        // failure state the *previous* patch produced (several deltas
+        // may queue between reroutes, including a fault and its own
+        // recovery), so the `routed_*` vectors advance delta by delta
+        // rather than reading the live data plane.
+        for kind in std::mem::take(&mut self.pending_route_changes) {
+            let change = match kind {
+                FaultKind::LinkDown(l) => {
+                    self.routed_link_failed[l.0 as usize] = true;
+                    RouteChange::LinkDown(l)
+                }
+                FaultKind::LinkUp(l) => {
+                    self.routed_link_failed[l.0 as usize] = false;
+                    RouteChange::LinkUp(l)
+                }
+                FaultKind::SwitchDown(n) => {
+                    self.routed_node_failed[n.0 as usize] = true;
+                    RouteChange::NodeDown(n)
+                }
+                FaultKind::SwitchUp(n) => {
+                    self.routed_node_failed[n.0 as usize] = false;
+                    RouteChange::NodeUp(n)
+                }
+            };
+            let (rl, rn) = (&self.routed_link_failed, &self.routed_node_failed);
+            self.table.patch(
+                &self.net,
+                change,
+                |l| rl[l.0 as usize],
+                |n| rn[n.0 as usize],
+            );
+        }
+        #[cfg(debug_assertions)]
+        {
+            // Every delta has been replayed, so the patched table must
+            // equal a from-scratch rebuild over the live failure state.
+            let links = &self.links;
+            let failed_nodes = &self.failed_nodes;
+            let scratch = RouteTable::degraded(
+                &self.net,
+                |l| links[2 * l.0 as usize].failed,
+                |n| failed_nodes[n.0 as usize],
+            );
+            debug_assert_eq!(
+                self.table, scratch,
+                "incremental route patch diverged from scratch rebuild"
+            );
+        }
+        self.flat = FlatRoutes::new(&self.table, &self.net);
         let now = self.now;
         let dropped = self.stats.dropped;
         let mut resolved = 0u32;
@@ -2142,5 +2224,89 @@ mod tests {
         assert_eq!(st.mean_hops(0), 3.0, "direct mesh path is 3 links");
         assert_eq!(st.mean_hops(1), 4.0, "the detour adds exactly one hop");
         assert_eq!(st.hop_distribution(0), vec![(3, st.count(0))]);
+    }
+
+    /// The incremental-reroute invariant, pinned on the paper's
+    /// 33-switch ring-cut mesh: after every scripted fault's
+    /// reconvergence, the incrementally patched routing table must equal
+    /// a [`RouteTable::degraded`] rebuild from scratch over the live
+    /// failure state. (The same comparison runs as a `debug_assert`
+    /// inside `complete_reroute` on every reroute of every debug run;
+    /// this test makes it an explicit release-mode guarantee too.)
+    #[test]
+    fn incremental_patch_matches_scratch_rebuild_on_the_ring_cut_mesh() {
+        use crate::faults::FaultPlan;
+
+        let q = quartz_mesh(33, 1, 10.0, 10.0);
+        let mut sim = Simulator::new(
+            q.net.clone(),
+            SimConfig {
+                reconvergence_ns: Some(50_000),
+                ..SimConfig::default()
+            },
+        );
+        // Background traffic keeps packets in flight across every fault.
+        for i in 0..8 {
+            sim.add_flow(
+                q.hosts[i],
+                q.hosts[(i + 11) % q.hosts.len()],
+                400,
+                FlowKind::Poisson {
+                    mean_gap_ns: 8_000.0,
+                    stop: SimTime::from_ms(8),
+                    respond: false,
+                },
+                0,
+                SimTime::ZERO,
+            );
+        }
+        // The paper's cut (switch 0 ↔ 1 at 1 ms) plus a scripted mix of
+        // repairs, a switch death and recovery, and seeded extra cuts —
+        // including overlapping outages, so patches apply on top of an
+        // already-degraded table.
+        let cut = q.net.link_between(q.switches[0], q.switches[1]).unwrap();
+        let mut plan = FaultPlan::random_link_faults(
+            &q.net,
+            4,
+            (SimTime::from_ms(2), SimTime::from_ms(5)),
+            Some(1_500_000),
+            0xC07,
+        );
+        plan.link_down(cut, SimTime::from_ms(1))
+            .link_up(cut, SimTime::from_ms(4))
+            .switch_down(q.switches[7], SimTime::from_ms(3))
+            .switch_up(q.switches[7], SimTime::from_ms(6));
+        sim.apply_fault_plan(&plan);
+
+        // Checkpoint just past each fault's reconvergence.
+        let mut checkpoints: Vec<SimTime> = plan.events().iter().map(|f| f.at + 50_001).collect();
+        checkpoints.sort();
+        for (i, t) in checkpoints.into_iter().enumerate() {
+            sim.run(t);
+            let links = &sim.links;
+            let failed_nodes = &sim.failed_nodes;
+            let scratch = RouteTable::degraded(
+                &sim.net,
+                |l| links[2 * l.0 as usize].failed,
+                |n| failed_nodes[n.0 as usize],
+            );
+            assert_eq!(
+                sim.table, scratch,
+                "patched table diverged from scratch rebuild at {t:?}"
+            );
+            // Each fault's own reroute fired 50 µs after it, so by the
+            // i-th checkpoint at least i + 1 faults have reconverged (a
+            // reroute also resolves any other still-open records).
+            let resolved = sim
+                .fault_log()
+                .iter()
+                .filter(|r| r.reconverged_at.is_some())
+                .count();
+            assert!(resolved > i, "missing reroutes by {t:?}");
+        }
+        assert_eq!(sim.fault_log().len(), plan.len());
+        // Every fault healed: the final table equals the pristine one.
+        sim.run(SimTime::from_ms(9));
+        assert_eq!(sim.table, RouteTable::all_shortest_paths(&sim.net));
     }
 }

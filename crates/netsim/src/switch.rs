@@ -44,6 +44,7 @@ impl SwitchSpec {
     /// `ser_ns`: cut-through is only possible when the output is no
     /// faster than the input, otherwise the transmitter would underrun
     /// mid-frame and the switch degrades to store-and-forward.
+    #[inline]
     pub fn forward_mode(&self, inbound_ns: u64, ser_ns: u64) -> ForwardMode {
         if self.cut_through && ser_ns >= inbound_ns {
             ForwardMode::CutThrough
@@ -120,6 +121,7 @@ impl LatencyModel {
     }
 
     /// The device model for a switch role.
+    #[inline]
     pub fn spec_for(&self, role: SwitchRole) -> SwitchSpec {
         match role {
             SwitchRole::Core => self.core,

@@ -30,8 +30,17 @@ impl SimTime {
     }
 
     /// Nanoseconds since start.
+    #[inline]
     pub const fn ns(self) -> u64 {
         self.0
+    }
+
+    /// The timing-wheel slot this time falls in: nanoseconds shifted
+    /// down by the wheel's bucket granularity (see [`crate::sched`]).
+    /// Every time inside one slot shares one near-wheel bucket.
+    #[inline]
+    pub const fn wheel_slot(self, granularity_log2: u32) -> u64 {
+        self.0 >> granularity_log2
     }
 
     /// Microseconds since start, as a float (for reporting).
@@ -47,6 +56,7 @@ impl SimTime {
 
 impl Add<u64> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, ns: u64) -> SimTime {
         SimTime(self.0 + ns)
     }

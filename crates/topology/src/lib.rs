@@ -38,5 +38,5 @@ pub mod spain;
 
 pub use graph::{LinkId, Network, Node, NodeId, NodeKind, SwitchRole};
 pub use ports::{validate_port_budget, PortBudget, PortViolation};
-pub use route::RouteTable;
+pub use route::{FlatRoutes, RouteChange, RouteTable};
 pub use spain::SpainFabric;

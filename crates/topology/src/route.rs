@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 /// let table = RouteTable::all_shortest_paths(&p.net);
 /// assert_eq!(table.next_hops(p.switches[0], p.switches[3]), &[p.switches[3]]);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RouteTable {
     n: usize,
     /// `dist[dst][node]` in links; `u32::MAX` = unreachable.
@@ -146,6 +146,164 @@ impl RouteTable {
     }
 
     /// Number of nodes in the table.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Incrementally updates the table for one topology `change`,
+    /// recomputing only the destinations whose shortest-path DAG the
+    /// change can touch. `dead_link` / `dead_node` must describe the
+    /// full failure state **after** the change (the same predicates a
+    /// from-scratch [`RouteTable::degraded`] would get), and the table
+    /// must currently match the pre-change state; the result is then
+    /// identical to the full rebuild — the invariant the simulator
+    /// `debug_assert`s on every reconvergence and
+    /// `incremental_patch_matches_scratch_rebuild` pins.
+    ///
+    /// The affected-destination tests are exact for links and
+    /// conservative for nodes:
+    ///
+    /// * a removed link `(a, b)` only matters for destinations whose
+    ///   DAG contains it, i.e. `|dist[a] − dist[b]| == 1` (removing an
+    ///   edge on no shortest path changes no distance);
+    /// * a restored link only matters where it shortens a distance or
+    ///   adds an equal-cost edge: `dist[a] + 1 <= dist[b]` (or the
+    ///   mirror), including the `==` case that only widens the ECMP
+    ///   set;
+    /// * a removed node matters for destinations it could reach (it is
+    ///   on no path toward any other destination);
+    /// * a restored node matters for destinations any of its live
+    ///   neighbors can reach (otherwise it remains isolated).
+    pub fn patch(
+        &mut self,
+        net: &Network,
+        change: RouteChange,
+        dead_link: impl Fn(LinkId) -> bool,
+        dead_node: impl Fn(NodeId) -> bool,
+    ) {
+        let n = self.n;
+        for d in 0..n {
+            let dst = NodeId(d as u32);
+            let affected = match change {
+                RouteChange::LinkDown(l) => {
+                    let link = net.link(l);
+                    let da = self.dist[d][link.a.0 as usize];
+                    let db = self.dist[d][link.b.0 as usize];
+                    da != u32::MAX && db != u32::MAX && (da == db + 1 || db == da + 1)
+                }
+                RouteChange::LinkUp(l) => {
+                    let link = net.link(l);
+                    if dead_node(link.a) || dead_node(link.b) {
+                        // A leg into a dead switch: the link stays
+                        // unusable, nothing to recompute.
+                        false
+                    } else {
+                        let da = self.dist[d][link.a.0 as usize];
+                        let db = self.dist[d][link.b.0 as usize];
+                        (da != u32::MAX && (db == u32::MAX || da < db))
+                            || (db != u32::MAX && (da == u32::MAX || db < da))
+                    }
+                }
+                RouteChange::NodeDown(x) => dst == x || self.dist[d][x.0 as usize] != u32::MAX,
+                RouteChange::NodeUp(x) => {
+                    dst == x
+                        || net.neighbors(x).iter().any(|&(v, l)| {
+                            !dead_link(l) && !dead_node(v) && self.dist[d][v.0 as usize] != u32::MAX
+                        })
+                }
+            };
+            if !affected {
+                continue;
+            }
+            if dead_node(dst) {
+                self.dist[d].iter_mut().for_each(|v| *v = u32::MAX);
+                self.next[d].iter_mut().for_each(Vec::clear);
+            } else {
+                let (dv, nv) = bfs_to(net, dst, &dead_link, &dead_node);
+                self.dist[d] = dv;
+                self.next[d] = nv;
+            }
+        }
+    }
+}
+
+/// One topology delta for [`RouteTable::patch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteChange {
+    /// Link `l` failed (both directions).
+    LinkDown(LinkId),
+    /// Link `l` recovered.
+    LinkUp(LinkId),
+    /// Node `n` failed (kills every incident link).
+    NodeDown(NodeId),
+    /// Node `n` recovered.
+    NodeUp(NodeId),
+}
+
+/// [`RouteTable`] flattened for the per-hop fast path: one contiguous
+/// CSR array of `(next hop, directed link slot)` entries indexed by
+/// `dst * n + at`, so a forwarding decision is two array reads and a
+/// modulo — no nested `Vec` chasing and no adjacency search for the
+/// link (`slot = 2 × link + direction` matches the simulator's
+/// per-direction link array layout).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlatRoutes {
+    n: usize,
+    /// CSR offsets, `n * n + 1` entries.
+    offsets: Vec<u32>,
+    /// Concatenated ECMP sets, in [`RouteTable::next_hops`] order.
+    hops: Vec<(NodeId, u32)>,
+}
+
+impl FlatRoutes {
+    /// Flattens `table` over `net`, resolving every next hop to its
+    /// directed link slot once, here, instead of per packet.
+    ///
+    /// # Panics
+    /// Panics if the table references a hop with no link in `net`.
+    pub fn new(table: &RouteTable, net: &Network) -> Self {
+        let n = table.n;
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        let mut hops = Vec::new();
+        offsets.push(0);
+        for dst in 0..n {
+            for at in 0..n {
+                for &next in &table.next[dst][at] {
+                    let at_id = NodeId(at as u32);
+                    let l = net
+                        .link_between(at_id, next)
+                        .expect("route next hop must be adjacent");
+                    let dir = u32::from(net.link(l).a != at_id);
+                    hops.push((next, 2 * l.0 + dir));
+                }
+                offsets.push(hops.len() as u32);
+            }
+        }
+        FlatRoutes { n, offsets, hops }
+    }
+
+    /// The ECMP set at `at` toward `dst` as `(next hop, directed link
+    /// slot)` entries, in the same order as [`RouteTable::next_hops`].
+    #[inline]
+    pub fn next_hops(&self, at: NodeId, dst: NodeId) -> &[(NodeId, u32)] {
+        let i = dst.0 as usize * self.n + at.0 as usize;
+        &self.hops[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Deterministic ECMP pick by flow hash — selects the same hop as
+    /// [`RouteTable::ecmp_next`] on the source table, plus its directed
+    /// link slot.
+    #[inline]
+    pub fn ecmp_next(&self, at: NodeId, dst: NodeId, flow_hash: u64) -> Option<(NodeId, u32)> {
+        let hops = self.next_hops(at, dst);
+        if hops.is_empty() {
+            None
+        } else {
+            Some(hops[(flow_hash % hops.len() as u64) as usize])
+        }
+    }
+
+    /// Number of nodes covered.
     pub fn node_count(&self) -> usize {
         self.n
     }
@@ -334,6 +492,92 @@ mod tests {
             }
         }
         assert!(longer > 0, "expected some stretched STP paths");
+    }
+
+    #[test]
+    fn flat_routes_agree_with_the_table() {
+        let t3 = three_tier(3, 2, 2, 2, 10.0, 40.0);
+        let table = RouteTable::all_shortest_paths(&t3.net);
+        let flat = FlatRoutes::new(&table, &t3.net);
+        assert_eq!(flat.node_count(), table.node_count());
+        let n = t3.net.node_count() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                let (at, dst) = (NodeId(a), NodeId(b));
+                let nested = table.next_hops(at, dst);
+                let csr = flat.next_hops(at, dst);
+                assert_eq!(nested.len(), csr.len());
+                for (i, &(hop, slot)) in csr.iter().enumerate() {
+                    assert_eq!(hop, nested[i]);
+                    let l = t3.net.link_between(at, hop).unwrap();
+                    let dir = u32::from(t3.net.link(l).a != at);
+                    assert_eq!(slot, 2 * l.0 + dir);
+                }
+                for hash in [0u64, 1, 7, u64::MAX] {
+                    assert_eq!(
+                        flat.ecmp_next(at, dst, hash).map(|(h, _)| h),
+                        table.ecmp_next(at, dst, hash)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Drives `patch` through a fault/recovery script and cross-checks
+    /// every step against a from-scratch `degraded` build.
+    #[test]
+    fn patch_matches_scratch_rebuild_through_a_fault_script() {
+        let p = prototype_quartz();
+        let l01 = p.net.link_between(p.switches[0], p.switches[1]).unwrap();
+        let l23 = p.net.link_between(p.switches[2], p.switches[3]).unwrap();
+        let script = [
+            RouteChange::LinkDown(l01),
+            RouteChange::NodeDown(p.switches[2]),
+            RouteChange::LinkDown(l23), // already implicitly dead leg
+            RouteChange::LinkUp(l01),
+            RouteChange::NodeUp(p.switches[2]),
+            RouteChange::LinkUp(l23),
+        ];
+        let mut dead_links = vec![false; p.net.link_count()];
+        let mut dead_nodes = vec![false; p.net.node_count()];
+        let mut table = RouteTable::all_shortest_paths(&p.net);
+        for change in script {
+            match change {
+                RouteChange::LinkDown(l) => dead_links[l.0 as usize] = true,
+                RouteChange::LinkUp(l) => dead_links[l.0 as usize] = false,
+                RouteChange::NodeDown(x) => dead_nodes[x.0 as usize] = true,
+                RouteChange::NodeUp(x) => dead_nodes[x.0 as usize] = false,
+            }
+            let (dl, dn) = (&dead_links, &dead_nodes);
+            table.patch(&p.net, change, |l| dl[l.0 as usize], |x| dn[x.0 as usize]);
+            let scratch = RouteTable::degraded(&p.net, |l| dl[l.0 as usize], |x| dn[x.0 as usize]);
+            assert_eq!(table, scratch, "diverged after {change:?}");
+        }
+        // Everything recovered: back to the pristine table.
+        assert_eq!(table, RouteTable::all_shortest_paths(&p.net));
+    }
+
+    #[test]
+    fn patch_handles_equal_cost_set_changes_on_recovery() {
+        // Three-tier has real ECMP fan-out; flapping an agg→core link
+        // must restore the exact equal-cost sets, not just distances.
+        let t3 = three_tier(2, 2, 2, 2, 10.0, 40.0);
+        let mut table = RouteTable::all_shortest_paths(&t3.net);
+        let agg_core = t3
+            .net
+            .links()
+            .find(|l| t3.cores.contains(&l.a) || t3.cores.contains(&l.b))
+            .map(|l| l.id)
+            .unwrap();
+        for change in [
+            RouteChange::LinkDown(agg_core),
+            RouteChange::LinkUp(agg_core),
+        ] {
+            let dead = matches!(change, RouteChange::LinkDown(_));
+            table.patch(&t3.net, change, |l| dead && l == agg_core, |_| false);
+            let scratch = RouteTable::degraded(&t3.net, |l| dead && l == agg_core, |_| false);
+            assert_eq!(table, scratch, "diverged after {change:?}");
+        }
     }
 
     #[test]

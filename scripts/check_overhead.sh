@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Gate: the disabled-recorder (NullRecorder) observability wiring may
-# cost at most OVERHEAD_MAX (default 2 %) of fig06 wall time.
+# Gate: a wall-time measurement may cost at most OVERHEAD_MAX (default
+# 2 %) of its checked-in baseline.
 #
 #   scripts/check_overhead.sh BASELINE.json CURRENT.json [CURRENT2.json ...]
 #
 # Each file is a BENCH_<name>.json report from the bench harness
-# (QUARTZ_BENCH_JSON=…). The script reads the `total_quick` wall time
-# from the baseline and from every current file, takes the *best*
-# (minimum) current run — wall clocks are noisy, so callers pass several
-# runs — and fails when best/baseline exceeds the allowed ratio.
+# (QUARTZ_BENCH_JSON=…). The script reads the MEASURE measurement
+# (default `total_quick`, the fig06 recorder-off wall time) from the
+# baseline and from every current file, takes the *best* (minimum)
+# current run — wall clocks are noisy, so callers pass several runs —
+# and fails when best/baseline exceeds the allowed ratio.
+#
+# Env knobs:
+#   MEASURE       measurement name to compare  (default: total_quick)
+#   OVERHEAD_MAX  max allowed current/baseline (default: 1.02)
 set -euo pipefail
 
 usage="usage: scripts/check_overhead.sh BASELINE.json CURRENT.json [CURRENT2.json ...]"
@@ -19,22 +24,23 @@ shift
     exit 2
 }
 max=${OVERHEAD_MAX:-1.02}
+measure=${MEASURE:-total_quick}
 
-total_quick_ns() {
-    sed -n 's/.*"name": "total_quick", "mean_ns": \([0-9.]*\).*/\1/p' "$1" | head -n 1
+mean_ns() {
+    sed -n 's/.*"name": "'"$measure"'", "mean_ns": \([0-9.]*\).*/\1/p' "$1" | head -n 1
 }
 
-base=$(total_quick_ns "$baseline")
+base=$(mean_ns "$baseline")
 [ -n "$base" ] || {
-    echo "error: no total_quick measurement in $baseline" >&2
+    echo "error: no $measure measurement in $baseline" >&2
     exit 2
 }
 
 best=
 for f in "$@"; do
-    cur=$(total_quick_ns "$f")
+    cur=$(mean_ns "$f")
     [ -n "$cur" ] || {
-        echo "error: no total_quick measurement in $f" >&2
+        echo "error: no $measure measurement in $f" >&2
         exit 2
     }
     if [ -z "$best" ] || awk -v a="$cur" -v b="$best" 'BEGIN { exit !(a < b) }'; then
@@ -42,14 +48,14 @@ for f in "$@"; do
     fi
 done
 
-awk -v b="$base" -v c="$best" -v m="$max" 'BEGIN {
+awk -v b="$base" -v c="$best" -v m="$max" -v n="$measure" 'BEGIN {
     r = c / b
-    printf "fig06 total_quick: baseline %.1f ms, best current %.1f ms, ratio %.4f (max %s)\n",
-           b / 1e6, c / 1e6, r, m
+    printf "%s: baseline %.1f ms, best current %.1f ms, ratio %.4f (max %s)\n",
+           n, b / 1e6, c / 1e6, r, m
     if (r <= m) {
         print "overhead gate: OK"
         exit 0
     }
-    print "overhead gate: FAIL — recorder-off wiring regressed past the budget"
+    print "overhead gate: FAIL — measurement regressed past the budget"
     exit 1
 }'

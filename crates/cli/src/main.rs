@@ -4,8 +4,13 @@
 //! quartz design     --switches 33 [--server-ports 32 --trunk-ports 32 --rate 10]
 //! quartz plan       --switches 9 [--exact true] [--show-pairs 10]
 //! quartz grow       --switches 9
+//! quartz scale      [--channels 160 --port-count 64 --thermal true]
 //! quartz faults     --switches 33 --rings 2 [--failures 4 --trials 10000 --jobs 4]
 //! quartz faults     --dynamic true [--switches 33 --cut-at-us 1000 --reconverge-us 50 --duration-ms 4]
+//! quartz rwa        [--switches 9 --budget 200000]
+//! quartz rwa        --dynamic true [--switches 9 --cuts 2 --duration-us 1500 --repair-us 400
+//!                    --control-us 20 --reconverge-us 50 --budget 2000000 --instant-retune true
+//!                    --units 4 --jobs 4 --seed 42 --metrics-out rwa.ndjson]
 //! quartz configure
 //! quartz throughput --racks 16 --hosts 8 [--pattern permutation|incast|shuffle] [--policy ecmp|adaptive|vlb:0.5]
 //! quartz rpc        [--cross-mbps 150 --wiring quartz|tree]
@@ -40,7 +45,9 @@ fn main() {
         Some("design") => cmd_design(&args),
         Some("plan") => cmd_plan(&args),
         Some("grow") => cmd_grow(&args),
+        Some("scale") => cmd_scale(&args),
         Some("faults") => cmd_faults(&args),
+        Some("rwa") => cmd_rwa(&args),
         Some("configure") => cmd_configure(&args),
         Some("throughput") => cmd_throughput(&args),
         Some("rpc") => cmd_rpc(&args),
@@ -66,8 +73,13 @@ fn usage() {
          \x20 design      check a ring design: ports, wavelengths, optics, fault plan\n\
          \x20 plan        wavelength assignment (greedy, optionally proven optimal)\n\
          \x20 grow        cost of expanding a ring by one switch\n\
+         \x20 scale       element size ceilings and the expansion cost table\n\
+         \x20             (retune counts and dark time under the tunable-laser model)\n\
          \x20 faults      Monte-Carlo bandwidth-loss / partition analysis;\n\
          \x20             --dynamic true simulates a live mid-run fiber cut\n\
+         \x20 rwa         online wavelength re-assignment: one cut+repair walkthrough;\n\
+         \x20             --dynamic true runs the full churn scenario with retune\n\
+         \x20             latency charged in the packet path\n\
          \x20 configure   the cost/latency configurator (paper Table 8)\n\
          \x20 throughput  max-min throughput of a mesh under a traffic pattern\n\
          \x20 rpc         simulate the prototype RPC-under-cross-traffic experiment\n\
@@ -167,6 +179,86 @@ fn cmd_grow(args: &Args) -> Result<(), String> {
         "  wavelengths                        {} → {}",
         step.wavelengths.0, step.wavelengths.1
     );
+    println!(
+        "  retune dark time (fast-tunable)    {} total, {} critical path",
+        fmt_ns(step.retune_total_ns),
+        fmt_ns(step.retune_max_ns)
+    );
+    let thermal = scalability::expansion_step_with(m, &quartz_optics::retune::THERMAL_TUNABLE_SFP);
+    println!(
+        "  retune dark time (thermal SFP+)    {} total, {} critical path",
+        fmt_ns(thermal.retune_total_ns),
+        fmt_ns(thermal.retune_max_ns)
+    );
+    Ok(())
+}
+
+/// Renders a nanosecond quantity with a human unit (ns / µs / ms).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// `scale`: the element-size ceilings (§3.1/§8) and the per-step
+/// expansion cost table with retune latency under the tunable-laser
+/// model.
+fn cmd_scale(args: &Args) -> Result<(), String> {
+    args.expect_only(&["channels", "port-count", "thermal"])?;
+    let channels: usize = args.num("channels", 160)?;
+    let ports: usize = args.num("port-count", 64)?;
+    let thermal: bool = args.num("thermal", false)?;
+    if channels == 0 {
+        return Err("--channels must be ≥ 1".into());
+    }
+    if ports < 4 {
+        return Err("--port-count must be ≥ 4".into());
+    }
+    let model = if thermal {
+        quartz_optics::retune::THERMAL_TUNABLE_SFP
+    } else {
+        quartz_optics::retune::FAST_TUNABLE_SFP
+    };
+    let ceiling = scalability::max_ring_size_for_channels(channels);
+    println!("Quartz element scaling:");
+    println!("  ring ceiling at {channels} channels   {ceiling} switches");
+    println!(
+        "  max server ports ({ports}-port sw)  {}",
+        scalability::max_mesh_server_ports(ports)
+    );
+    println!(
+        "\nexpansion cost per added switch ({} retune model):",
+        if thermal {
+            "thermal SFP+"
+        } else {
+            "fast-tunable"
+        }
+    );
+    println!(
+        "  {:>8}  {:>5}  {:>7}  {:>9}  {:>12}  {:>13}",
+        "step", "added", "retuned", "waves", "dark total", "critical path"
+    );
+    for m in [4usize, 8, 12, 16, 24, 32] {
+        if m + 1 > ceiling {
+            break;
+        }
+        let step = scalability::expansion_step_with(m, &model);
+        println!(
+            "  {:>2} → {:>2}  {:>5}  {:>7}  {:>4} → {:<3}  {:>12}  {:>13}",
+            step.from,
+            step.to,
+            step.added,
+            step.retuned,
+            step.wavelengths.0,
+            step.wavelengths.1,
+            fmt_ns(step.retune_total_ns),
+            fmt_ns(step.retune_max_ns)
+        );
+    }
     Ok(())
 }
 
@@ -280,6 +372,187 @@ fn cmd_faults_dynamic(args: &Args) -> Result<(), String> {
             .map(|(h, n)| format!("{h} links x{n}"))
             .collect();
         println!("  post-cut paths        {}", dist.join(", "));
+    }
+    Ok(())
+}
+
+/// `rwa`: the online wavelength-reassignment control plane. Without
+/// flags, walk one cut+repair round on fiber 0 and print what the
+/// incremental solver did; with `--dynamic true`, run the full churn
+/// scenario (seeded cut/repair sequence, retune latency charged in the
+/// packet path) across `--units` independent units on `--jobs` workers.
+/// Output is bit-identical at any `--jobs` count.
+fn cmd_rwa(args: &Args) -> Result<(), String> {
+    args.expect_only(&[
+        "dynamic",
+        "switches",
+        "budget",
+        "cuts",
+        "seed",
+        "duration-us",
+        "repair-us",
+        "control-us",
+        "reconverge-us",
+        "instant-retune",
+        "units",
+        "jobs",
+        "metrics-out",
+    ])?;
+    let dynamic: bool = args.num("dynamic", false)?;
+    if dynamic {
+        return cmd_rwa_dynamic(args);
+    }
+    use quartz_core::channel::online::{OnlineRwa, ResolveReport, RingDelta, DEFAULT_NODE_BUDGET};
+    let m: usize = args.num("switches", 9)?;
+    let budget: u64 = args.num("budget", DEFAULT_NODE_BUDGET)?;
+    if !(3..=64).contains(&m) {
+        return Err("--switches must be in 3..=64".into());
+    }
+    let mut rwa = OnlineRwa::new(m, budget);
+    println!(
+        "{m}-switch ring, seed plan {} wavelengths, node budget {budget}:",
+        rwa.plan().channels_used()
+    );
+    let show = |label: &str, r: &ResolveReport| {
+        println!(
+            "  {label}: {} ({} ch vs {} fresh), {} moved / {} relit / {} torn down / {} dark, {} nodes",
+            r.outcome.as_str(),
+            r.channels,
+            r.fresh_channels,
+            r.moved.len(),
+            r.restored.len(),
+            r.torn_down.len(),
+            r.unroutable,
+            r.nodes_used
+        );
+        for op in r.moved.iter().chain(r.restored.iter()).take(6) {
+            println!(
+                "    pair ({},{}) retunes {:?} ch {} → {:?} ch {}",
+                op.pair.a, op.pair.b, op.from.0, op.from.1, op.to.0, op.to.1
+            );
+        }
+    };
+    let cut = rwa.apply(RingDelta::FiberCut(0));
+    show("cut fiber 0", &cut);
+    let repair = rwa.apply(RingDelta::FiberRepair(0));
+    show("repair fiber 0", &repair);
+    rwa.plan()
+        .clone()
+        .into_assignment()
+        .expect("healed ring")
+        .validate()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "  healed plan valid: {} wavelengths",
+        rwa.plan().channels_used()
+    );
+    Ok(())
+}
+
+/// `rwa --dynamic true`: the churn scenario with the retune window in
+/// the packet path.
+fn cmd_rwa_dynamic(args: &Args) -> Result<(), String> {
+    use quartz_core::channel::online::DEFAULT_NODE_BUDGET;
+    use quartz_netsim::rwa::{churn_scenario_traced, churn_units, ChurnScenarioConfig};
+    use quartz_optics::retune::RetuneModel;
+
+    let m: usize = args.num("switches", 9)?;
+    let cuts: usize = args.num("cuts", 2)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let duration_us: u64 = args.num("duration-us", 1_500)?;
+    let repair_us: u64 = args.num("repair-us", 400)?;
+    let control_us: u64 = args.num("control-us", 20)?;
+    let reconverge_us: u64 = args.num("reconverge-us", 50)?;
+    let budget: u64 = args.num("budget", DEFAULT_NODE_BUDGET)?;
+    let instant: bool = args.num("instant-retune", false)?;
+    let units: usize = args.num("units", 4)?;
+    let jobs: usize = args.num("jobs", 0)?;
+    if !(3..=64).contains(&m) {
+        return Err("--switches must be in 3..=64".into());
+    }
+    if cuts == 0 || cuts > m {
+        return Err(format!("--cuts must be in 1..={m}"));
+    }
+    if duration_us < 100 {
+        return Err("--duration-us must be ≥ 100".into());
+    }
+    if units == 0 {
+        return Err("--units must be ≥ 1".into());
+    }
+    let mut cfg = ChurnScenarioConfig::quick(seed);
+    cfg.switches = m;
+    cfg.cuts = cuts;
+    cfg.duration = SimTime::from_us(duration_us);
+    cfg.churn_window = (
+        SimTime::from_us(duration_us / 8),
+        SimTime::from_us(duration_us / 2),
+    );
+    cfg.repair_after_ns = if repair_us == 0 {
+        None
+    } else {
+        Some(repair_us * 1_000)
+    };
+    cfg.control_delay_ns = control_us * 1_000;
+    cfg.reconvergence_ns = reconverge_us * 1_000;
+    cfg.node_budget = budget;
+    if instant {
+        cfg.retune = RetuneModel::instant();
+    }
+
+    println!(
+        "{m}-switch mesh, {cuts} fiber cut(s){}, {} retune, {duration_us} us run, budget {budget} (seed {seed}, {units} unit(s)):",
+        if repair_us == 0 {
+            " (no repair)".to_string()
+        } else {
+            format!(" + repair after {repair_us} us")
+        },
+        if instant { "instant" } else { "fast-tunable" }
+    );
+    let reports = churn_units(&cfg, units, &ThreadPool::new(jobs));
+    let mut tot = (0u32, 0u32, 0u32, 0u64, 0u64, 0u64);
+    for (u, r) in reports.iter().enumerate() {
+        println!(
+            "  unit {u}: {} warm / {} fallback / {} fresh; {} retunes ({} dark); {} dropped; p99 neighbor {:.2} us, cross {:.2} us",
+            r.warm_start,
+            r.budget_fallback,
+            r.fresh_solve,
+            r.retunes,
+            fmt_ns(r.dark_ns_total),
+            r.dropped,
+            r.neighbor.p99_ns as f64 / 1e3,
+            r.cross.p99_ns as f64 / 1e3
+        );
+        tot.0 += r.warm_start;
+        tot.1 += r.budget_fallback;
+        tot.2 += r.fresh_solve;
+        tot.3 += r.retunes;
+        tot.4 += r.dark_ns_total;
+        tot.5 += r.dropped;
+    }
+    println!(
+        "  aggregate: {} re-solve(s) ({} warm, {} fallback, {} fresh), {} retunes, {} dark, {} dropped",
+        tot.0 + tot.1 + tot.2,
+        tot.0,
+        tot.1,
+        tot.2,
+        tot.3,
+        fmt_ns(tot.4),
+        tot.5
+    );
+
+    if let Some(out) = args.get("metrics-out") {
+        // One traced run of the base config: the control-plane events
+        // plus the merged metrics, as ndjson. Independent of --jobs.
+        let (_report, events, metrics) = churn_scenario_traced(&cfg);
+        let mut body = String::new();
+        for ev in &events {
+            if matches!(ev.tag(), "rwa_resolve" | "retune" | "fault" | "reroute") {
+                body.push_str(&ev.ndjson_line());
+            }
+        }
+        body.push_str(&metrics.to_ndjson());
+        std::fs::write(out, body).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("  re-solve metrics written: {out}");
     }
     Ok(())
 }

@@ -15,6 +15,10 @@
 //! * [`bounds`] — the aggregate-load lower bound used both to certify
 //!   optimality and to seed the exact search.
 //!
+//! [`online`] relaxes the offline assumption: it keeps a plan live while
+//! ring fibers are cut and repaired, warm-starting each re-solve from
+//! the incumbent and falling back to the greedy under a node budget.
+//!
 //! Conventions: the ring has `m` switches `0..m`. Fiber link `i` connects
 //! switch `i` to switch `(i+1) % m`. The clockwise arc from `a` covers
 //! links `a, a+1, …`; pairs are stored normalized with `a < b`.
@@ -23,6 +27,7 @@ pub mod bounds;
 pub mod exact;
 pub mod greedy;
 pub mod ilp;
+pub mod online;
 
 use quartz_optics::wavelength::{ChannelId, Grid};
 use std::fmt;

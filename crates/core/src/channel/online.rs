@@ -1,0 +1,1065 @@
+//! Online (incremental) routing-and-wavelength assignment under churn.
+//!
+//! The offline solvers in [`greedy`](super::greedy) and
+//! [`exact`](super::exact) assume an intact ring. This module keeps a
+//! wavelength plan *live* while ring fibers are cut and repaired:
+//!
+//! * [`assign_degraded`] / [`assign_best_degraded`] — the paper's greedy
+//!   heuristic generalized to a ring with dead fibers. A pair whose two
+//!   arcs both cross dead fibers is *unroutable* and reported as such
+//!   rather than failing the solve.
+//! * [`OnlineRwa`] — the incremental controller. On each
+//!   [`RingDelta`] it warm-starts from the incumbent plan: entries whose
+//!   arcs survive are kept verbatim, only displaced or newly routable
+//!   pairs are re-placed, and a budgeted branch-and-bound repack (fixed
+//!   incumbent occupancy, bounded to the affected pairs) closes the gap
+//!   to the from-scratch greedy count when first-fit overshoots. If the
+//!   node budget runs out anywhere, the controller *falls back* to the
+//!   fresh greedy plan — the plan degrades (a retune storm), never the
+//!   solve.
+//!
+//! Invariant, enforced by construction and pinned by the differential
+//! tests: after every delta the adopted plan is valid on the degraded
+//! ring and uses **no more channels than a from-scratch greedy solve**
+//! of the same degraded ring.
+//!
+//! Fiber `i` is the physical ring segment between switches `i` and
+//! `(i+1) % m`; dead fibers are a `u64` bitmask (hence `m ≤ 64`, same
+//! ceiling as the exact solver).
+
+use super::{all_pairs, greedy, Arc, Assignment, Direction, Pair};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Bitmask of the fiber links an arc crosses.
+fn arc_mask(arc: &Arc) -> u64 {
+    let mut m = 0u64;
+    for l in arc.links() {
+        m |= 1 << l;
+    }
+    m
+}
+
+/// The candidate arcs of `pair` that avoid every dead fiber, shorter
+/// arc first (clockwise on ties) — the same preference order as the
+/// offline greedy.
+fn allowed_arcs(pair: Pair, m: usize, dead: u64) -> Vec<(Direction, u64, usize)> {
+    let cw = Arc::of(pair, Direction::Cw, m);
+    let ccw = Arc::of(pair, Direction::Ccw, m);
+    let ordered: [(Direction, Arc); 2] = if cw.len <= ccw.len {
+        [(Direction::Cw, cw), (Direction::Ccw, ccw)]
+    } else {
+        [(Direction::Ccw, ccw), (Direction::Cw, cw)]
+    };
+    ordered
+        .into_iter()
+        .map(|(d, a)| (d, arc_mask(&a), a.len))
+        .filter(|(_, mask, _)| mask & dead == 0)
+        .collect()
+}
+
+/// Whether `pair` has at least one arc avoiding the dead fibers.
+pub fn routable(pair: Pair, m: usize, dead: u64) -> bool {
+    !allowed_arcs(pair, m, dead).is_empty()
+}
+
+/// Why a [`DegradedAssignment`] fails validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DegradedError {
+    /// A pair appears in neither the entries nor the unroutable list.
+    MissingPair(Pair),
+    /// A pair appears more than once across the two lists.
+    DuplicatePair(Pair),
+    /// An entry's arc crosses a dead fiber.
+    DeadFiber {
+        /// The offending pair.
+        pair: Pair,
+        /// The dead fiber its arc crosses.
+        link: usize,
+    },
+    /// A pair is listed unroutable but has a surviving arc.
+    SpuriousUnroutable(Pair),
+    /// Two lightpaths share a channel on a fiber link.
+    Conflict {
+        /// The fiber link where the clash occurs.
+        link: usize,
+        /// The clashing channel index.
+        channel: u16,
+        /// The two offending pairs.
+        pairs: (Pair, Pair),
+    },
+}
+
+impl fmt::Display for DegradedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradedError::MissingPair(p) => write!(f, "pair {p} is unaccounted for"),
+            DegradedError::DuplicatePair(p) => write!(f, "pair {p} appears twice"),
+            DegradedError::DeadFiber { pair, link } => {
+                write!(f, "pair {pair} routed over dead fiber {link}")
+            }
+            DegradedError::SpuriousUnroutable(p) => {
+                write!(f, "pair {p} marked unroutable but has a live arc")
+            }
+            DegradedError::Conflict {
+                link,
+                channel,
+                pairs,
+            } => write!(
+                f,
+                "channel {channel} used twice on link {link} by {} and {}",
+                pairs.0, pairs.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DegradedError {}
+
+/// A channel assignment for a ring with dead fibers: every pair is
+/// either routed (entry with direction + channel) or explicitly
+/// unroutable (both arcs cross dead fibers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradedAssignment {
+    m: usize,
+    entries: Vec<(Pair, Direction, u16)>,
+    unroutable: Vec<Pair>,
+}
+
+impl DegradedAssignment {
+    /// Ring size.
+    pub fn ring_size(&self) -> usize {
+        self.m
+    }
+
+    /// The routed `(pair, direction, channel)` triples.
+    pub fn entries(&self) -> &[(Pair, Direction, u16)] {
+        &self.entries
+    }
+
+    /// Pairs with no surviving arc, sorted.
+    pub fn unroutable(&self) -> &[Pair] {
+        &self.unroutable
+    }
+
+    /// Number of distinct channels used by the routed pairs.
+    pub fn channels_used(&self) -> usize {
+        let mut seen = BTreeSet::new();
+        for (_, _, c) in &self.entries {
+            seen.insert(*c);
+        }
+        seen.len()
+    }
+
+    /// The entry for a given pair, if routed.
+    pub fn lookup(&self, pair: Pair) -> Option<(Direction, u16)> {
+        self.entries
+            .iter()
+            .find(|(p, _, _)| *p == pair)
+            .map(|(_, d, c)| (*d, *c))
+    }
+
+    /// Converts into a complete [`Assignment`] — only possible when no
+    /// pair is unroutable (i.e. the ring has healed).
+    pub fn into_assignment(self) -> Option<Assignment> {
+        if self.unroutable.is_empty() {
+            Some(Assignment::from_entries(self.m, self.entries))
+        } else {
+            None
+        }
+    }
+
+    /// Checks the degraded-ring invariants against `dead`: every pair
+    /// accounted for exactly once, no routed arc over a dead fiber, the
+    /// unroutable list honest, and no channel reused on any link.
+    pub fn validate(&self, dead: u64) -> Result<(), DegradedError> {
+        let mut seen = BTreeSet::new();
+        for (pair, _, _) in &self.entries {
+            if !seen.insert(*pair) {
+                return Err(DegradedError::DuplicatePair(*pair));
+            }
+        }
+        for pair in &self.unroutable {
+            if !seen.insert(*pair) {
+                return Err(DegradedError::DuplicatePair(*pair));
+            }
+        }
+        for pair in all_pairs(self.m) {
+            if !seen.contains(&pair) {
+                return Err(DegradedError::MissingPair(pair));
+            }
+        }
+        for pair in &self.unroutable {
+            if routable(*pair, self.m, dead) {
+                return Err(DegradedError::SpuriousUnroutable(*pair));
+            }
+        }
+        let mut occupant: BTreeMap<(usize, u16), Pair> = BTreeMap::new();
+        for (pair, dir, ch) in &self.entries {
+            let arc = Arc::of(*pair, *dir, self.m);
+            for link in arc.links() {
+                if dead & (1 << link) != 0 {
+                    return Err(DegradedError::DeadFiber { pair: *pair, link });
+                }
+                if let Some(prev) = occupant.insert((link, *ch), *pair) {
+                    return Err(DegradedError::Conflict {
+                        link,
+                        channel: *ch,
+                        pairs: (prev, *pair),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paper's greedy heuristic on a ring with dead fibers, fixed scan
+/// offset. Longest paths first; each routable pair takes its lowest
+/// free channel over the surviving arcs (shorter arc preferred, the
+/// other direction only when it admits a strictly lower channel); pairs
+/// with no surviving arc land in the unroutable list.
+///
+/// # Panics
+/// Panics unless `2 ≤ m ≤ 64` (dead fibers are a 64-bit mask).
+pub fn assign_degraded(m: usize, dead: u64, start: usize) -> DegradedAssignment {
+    assert!(
+        (2..=64).contains(&m),
+        "degraded assignment supports 2..=64 switches"
+    );
+    // `used[c]` = bitmask of links occupied on channel `c`.
+    let mut used: Vec<u64> = Vec::new();
+    let mut entries = Vec::with_capacity(m * (m - 1) / 2);
+    let mut unroutable = Vec::new();
+
+    let max_d = m / 2;
+    for d in (1..=max_d).rev() {
+        let count = if m.is_multiple_of(2) && d == m / 2 {
+            m / 2
+        } else {
+            m
+        };
+        for idx in 0..count {
+            let i = (start + idx) % m;
+            let pair = Pair::new(i, (i + d) % m);
+            let candidates = allowed_arcs(pair, m, dead);
+            if candidates.is_empty() {
+                unroutable.push(pair);
+                continue;
+            }
+            let mut best: Option<(Direction, u64, usize)> = None;
+            for (dir, mask, _) in candidates {
+                let ch = (0..)
+                    .find(|&c| used.get(c).is_none_or(|links| links & mask == 0))
+                    .expect("an unopened channel is always free");
+                let better = match &best {
+                    None => true,
+                    Some((_, _, best_ch)) => ch < *best_ch,
+                };
+                if better {
+                    best = Some((dir, mask, ch));
+                }
+            }
+            let (dir, mask, ch) = best.expect("at least one candidate");
+            while used.len() <= ch {
+                used.push(0);
+            }
+            used[ch] |= mask;
+            entries.push((pair, dir, ch as u16));
+        }
+    }
+    unroutable.sort_unstable();
+    DegradedAssignment {
+        m,
+        entries,
+        unroutable,
+    }
+}
+
+/// [`assign_degraded`] over every scan offset, keeping the result with
+/// the fewest channels (ties: lowest offset) — the from-scratch
+/// baseline the online controller must never exceed.
+pub fn assign_best_degraded(m: usize, dead: u64) -> DegradedAssignment {
+    (0..m)
+        .map(|s| assign_degraded(m, dead, s))
+        .min_by_key(|a| a.channels_used())
+        .expect("m >= 2 yields at least one offset")
+}
+
+/// One topology transition the control plane reacts to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingDelta {
+    /// Ring fiber `i` (between switches `i` and `i+1 mod m`) is cut.
+    FiberCut(usize),
+    /// Ring fiber `i` is spliced back.
+    FiberRepair(usize),
+}
+
+impl RingDelta {
+    /// The fiber index the delta touches.
+    pub fn fiber(self) -> usize {
+        match self {
+            RingDelta::FiberCut(i) | RingDelta::FiberRepair(i) => i,
+        }
+    }
+
+    /// Stable lower-snake name (`"cut"` / `"repair"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RingDelta::FiberCut(_) => "cut",
+            RingDelta::FiberRepair(_) => "repair",
+        }
+    }
+}
+
+/// How a re-solve concluded (the observable half of the
+/// graceful-degradation contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolveOutcome {
+    /// The incumbent-warm-started plan was adopted: surviving entries
+    /// untouched, displaced pairs re-placed within the fresh greedy
+    /// channel count.
+    WarmStart,
+    /// The node budget ran out mid-placement or mid-repack; the fresh
+    /// greedy plan was adopted instead (more retunes, never a failure).
+    BudgetFallback,
+    /// The repack proved no warm-started completion could match the
+    /// fresh greedy count, so the fresh plan was adopted.
+    FreshSolve,
+}
+
+impl ResolveOutcome {
+    /// Stable lower-snake name used in events and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResolveOutcome::WarmStart => "warm_start",
+            ResolveOutcome::BudgetFallback => "budget_fallback",
+            ResolveOutcome::FreshSolve => "fresh_solve",
+        }
+    }
+}
+
+/// A pair whose transceiver tuning changes: `(direction, channel)`
+/// before and after the re-solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetuneOp {
+    /// The affected switch pair.
+    pub pair: Pair,
+    /// Tuning before the re-solve.
+    pub from: (Direction, u16),
+    /// Tuning after the re-solve.
+    pub to: (Direction, u16),
+}
+
+impl RetuneOp {
+    /// How long the pair's lightpath is dark under `model`: the laser
+    /// retune time when the channel moves, the bare re-lock window when
+    /// only the arc direction flips, zero when nothing changed.
+    pub fn dark_ns(&self, model: &quartz_optics::retune::RetuneModel) -> u64 {
+        use quartz_optics::wavelength::ChannelId;
+        if self.from.1 != self.to.1 {
+            model.latency_ns(ChannelId(self.from.1), ChannelId(self.to.1))
+        } else if self.from.0 != self.to.0 {
+            model.base_ns
+        } else {
+            0
+        }
+    }
+}
+
+/// What one [`OnlineRwa::apply`] call did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolveReport {
+    /// The delta that triggered the re-solve.
+    pub trigger: RingDelta,
+    /// How the solve concluded.
+    pub outcome: ResolveOutcome,
+    /// Channels used by the adopted plan.
+    pub channels: usize,
+    /// Channels a from-scratch greedy solve of the same degraded ring
+    /// uses (always ≥ `channels` is *not* guaranteed — the invariant is
+    /// `channels ≤ fresh_channels`).
+    pub fresh_channels: usize,
+    /// Pairs live before and after whose tuning changed.
+    pub moved: Vec<RetuneOp>,
+    /// Previously dark pairs now lit (`from` is their last tuning).
+    pub restored: Vec<RetuneOp>,
+    /// Pairs that lost their lightpath to this delta (dark from the
+    /// moment of the cut).
+    pub torn_down: Vec<Pair>,
+    /// Pairs still dark after the re-solve.
+    pub unroutable: usize,
+    /// Search nodes spent (placement probes + repack nodes).
+    pub nodes_used: u64,
+}
+
+impl ResolveReport {
+    /// Total pairs whose transceivers retune (moved + restored-with-
+    /// tuning-change).
+    pub fn retune_count(&self) -> usize {
+        self.moved.len() + self.restored.iter().filter(|op| op.from != op.to).count()
+    }
+}
+
+/// Outcome of the budgeted warm placement + repack.
+enum WarmOutcome {
+    /// Placement (and repack, if needed) finished within budget.
+    Done(Vec<(Pair, Direction, u16)>),
+    /// Could not match the fresh channel count (proven).
+    Overshoot,
+    /// Node budget ran out.
+    Budget,
+}
+
+/// The live RWA controller: incumbent plan + dead-fiber mask.
+///
+/// Apply a [`RingDelta`] per topology transition; read the adopted plan
+/// back via [`OnlineRwa::plan`]. Deterministic: no randomness, and the
+/// adopted plan is a pure function of the delta sequence.
+#[derive(Clone, Debug)]
+pub struct OnlineRwa {
+    m: usize,
+    dead: u64,
+    node_budget: u64,
+    plan: DegradedAssignment,
+    /// Last tuning of every currently-unroutable pair, so a later
+    /// restoration knows where its lasers are parked.
+    parked: BTreeMap<Pair, (Direction, u16)>,
+}
+
+impl OnlineRwa {
+    /// A controller for an intact ring of `m`, seeded with the offline
+    /// greedy plan. `node_budget` bounds the incremental work per delta
+    /// (0 forces [`ResolveOutcome::BudgetFallback`] on every delta).
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ m ≤ 64`.
+    pub fn new(m: usize, node_budget: u64) -> Self {
+        assert!((2..=64).contains(&m), "online RWA supports 2..=64 switches");
+        let seed_plan = greedy::assign_best(m);
+        OnlineRwa {
+            m,
+            dead: 0,
+            node_budget,
+            plan: DegradedAssignment {
+                m,
+                entries: seed_plan.entries().to_vec(),
+                unroutable: Vec::new(),
+            },
+            parked: BTreeMap::new(),
+        }
+    }
+
+    /// Ring size.
+    pub fn ring_size(&self) -> usize {
+        self.m
+    }
+
+    /// Bitmask of currently dead fibers.
+    pub fn dead_mask(&self) -> u64 {
+        self.dead
+    }
+
+    /// The incumbent (currently adopted) plan.
+    pub fn plan(&self) -> &DegradedAssignment {
+        &self.plan
+    }
+
+    /// Per-delta search budget.
+    pub fn node_budget(&self) -> u64 {
+        self.node_budget
+    }
+
+    /// Reacts to one topology transition: updates the dead mask,
+    /// re-solves incrementally (warm start → budgeted repack → fresh
+    /// greedy fallback), adopts the winning plan, and reports every
+    /// tuning change.
+    ///
+    /// # Panics
+    /// Panics if the delta is redundant (cutting a dead fiber,
+    /// repairing a live one) or names a fiber outside `0..m` — a caller
+    /// bug that would otherwise silently desynchronize plans.
+    pub fn apply(&mut self, delta: RingDelta) -> ResolveReport {
+        let fiber = delta.fiber();
+        assert!(fiber < self.m, "fiber {fiber} outside ring of {}", self.m);
+        let bit = 1u64 << fiber;
+        match delta {
+            RingDelta::FiberCut(_) => {
+                assert_eq!(self.dead & bit, 0, "fiber {fiber} already cut");
+                self.dead |= bit;
+            }
+            RingDelta::FiberRepair(_) => {
+                assert_ne!(self.dead & bit, 0, "fiber {fiber} not cut");
+                self.dead &= !bit;
+            }
+        }
+        let dead = self.dead;
+
+        // The from-scratch baseline: bound, fallback plan, and the
+        // differential-test oracle, all in one solve.
+        let fresh = assign_best_degraded(self.m, dead);
+        let fresh_channels = fresh.channels_used();
+
+        // Partition the incumbent: entries whose arcs survive are kept
+        // verbatim; the rest are torn down (and parked).
+        let mut kept: Vec<(Pair, Direction, u16)> = Vec::new();
+        let mut torn_down: Vec<Pair> = Vec::new();
+        for &(p, d, c) in &self.plan.entries {
+            if arc_mask(&Arc::of(p, d, self.m)) & dead == 0 {
+                kept.push((p, d, c));
+            } else {
+                torn_down.push(p);
+            }
+        }
+        torn_down.sort_unstable();
+
+        // Pairs needing placement: displaced-but-routable plus
+        // previously-unroutable-now-routable.
+        let mut to_place: Vec<Pair> = Vec::new();
+        let mut still_dark: Vec<Pair> = Vec::new();
+        for &p in torn_down.iter().chain(self.plan.unroutable.iter()) {
+            if routable(p, self.m, dead) {
+                to_place.push(p);
+            } else {
+                still_dark.push(p);
+            }
+        }
+        // Most-constrained first (longest surviving arc requirement),
+        // stable on pair order — mirrors the exact solver's ordering.
+        to_place.sort_unstable();
+        to_place.sort_by_key(|p| {
+            std::cmp::Reverse(
+                allowed_arcs(*p, self.m, dead)
+                    .iter()
+                    .map(|(_, _, len)| *len)
+                    .min()
+                    .expect("to_place pairs are routable"),
+            )
+        });
+        still_dark.sort_unstable();
+
+        let mut nodes_used = 0u64;
+        let warm = self.warm_place(&kept, &to_place, fresh_channels, &mut nodes_used);
+
+        let (outcome, new_entries, new_unroutable) = match warm {
+            WarmOutcome::Done(entries) => (ResolveOutcome::WarmStart, entries, still_dark.clone()),
+            WarmOutcome::Overshoot => (
+                ResolveOutcome::FreshSolve,
+                fresh.entries.clone(),
+                fresh.unroutable.clone(),
+            ),
+            WarmOutcome::Budget => (
+                ResolveOutcome::BudgetFallback,
+                fresh.entries.clone(),
+                fresh.unroutable.clone(),
+            ),
+        };
+        debug_assert_eq!(
+            new_unroutable, still_dark,
+            "fresh and warm solves must agree on unroutable pairs"
+        );
+
+        // Diff old state (incumbent + parked) against the adopted plan.
+        let old: BTreeMap<Pair, (Direction, u16)> = self
+            .plan
+            .entries
+            .iter()
+            .map(|&(p, d, c)| (p, (d, c)))
+            .collect();
+        let was_dark: BTreeSet<Pair> = torn_down
+            .iter()
+            .chain(self.plan.unroutable.iter())
+            .copied()
+            .collect();
+        let mut moved = Vec::new();
+        let mut restored = Vec::new();
+        for &(p, d, c) in &new_entries {
+            let from = *old
+                .get(&p)
+                .or_else(|| self.parked.get(&p))
+                .expect("every pair has a prior tuning");
+            if was_dark.contains(&p) {
+                restored.push(RetuneOp {
+                    pair: p,
+                    from,
+                    to: (d, c),
+                });
+            } else if from != (d, c) {
+                moved.push(RetuneOp {
+                    pair: p,
+                    from,
+                    to: (d, c),
+                });
+            }
+        }
+        moved.sort_by_key(|op| op.pair);
+        restored.sort_by_key(|op| op.pair);
+
+        // Park the newly dark pairs; unpark the restored ones.
+        for &p in &torn_down {
+            let tuning = old[&p];
+            self.parked.insert(p, tuning);
+        }
+        for op in &restored {
+            self.parked.remove(&op.pair);
+        }
+        debug_assert_eq!(
+            self.parked.keys().copied().collect::<Vec<_>>(),
+            still_dark,
+            "parked set must mirror the unroutable set"
+        );
+
+        self.plan = DegradedAssignment {
+            m: self.m,
+            entries: new_entries,
+            unroutable: still_dark.clone(),
+        };
+        debug_assert!(self.plan.validate(dead).is_ok());
+        let channels = self.plan.channels_used();
+        debug_assert!(channels <= fresh_channels);
+
+        ResolveReport {
+            trigger: delta,
+            outcome,
+            channels,
+            fresh_channels,
+            moved,
+            restored,
+            torn_down,
+            unroutable: still_dark.len(),
+            nodes_used,
+        }
+    }
+
+    /// Budgeted warm placement: first-fit each displaced pair over the
+    /// kept occupancy; if the resulting distinct-channel count exceeds
+    /// the fresh greedy's, fall through to a bounded DFS repack of the
+    /// displaced pairs only (kept entries never move). Every channel
+    /// probe costs one node against the budget.
+    fn warm_place(
+        &self,
+        kept: &[(Pair, Direction, u16)],
+        to_place: &[Pair],
+        fresh_channels: usize,
+        nodes_used: &mut u64,
+    ) -> WarmOutcome {
+        let m = self.m;
+        let dead = self.dead;
+        let budget = self.node_budget;
+
+        let mut used: Vec<u64> = Vec::new();
+        let kept_set: BTreeSet<u16> = kept.iter().map(|&(_, _, c)| c).collect();
+        for &(p, d, c) in kept {
+            let mask = arc_mask(&Arc::of(p, d, m));
+            while used.len() <= usize::from(c) {
+                used.push(0);
+            }
+            used[usize::from(c)] |= mask;
+        }
+
+        // Phase 1: first-fit.
+        let mut placed: Vec<(Pair, Direction, u16)> = Vec::with_capacity(to_place.len());
+        let mut ff_used = used.clone();
+        let mut exhausted = false;
+        'pairs: for &p in to_place {
+            let mut best: Option<(Direction, u64, usize)> = None;
+            for (dir, mask, _) in allowed_arcs(p, m, dead) {
+                for c in 0.. {
+                    if *nodes_used >= budget {
+                        exhausted = true;
+                        break 'pairs;
+                    }
+                    *nodes_used += 1;
+                    if ff_used.get(c).is_none_or(|links| links & mask == 0) {
+                        let better = match &best {
+                            None => true,
+                            Some((_, _, best_ch)) => c < *best_ch,
+                        };
+                        if better {
+                            best = Some((dir, mask, c));
+                        }
+                        break;
+                    }
+                }
+            }
+            let (dir, mask, ch) = best.expect("routable pair always places");
+            while ff_used.len() <= ch {
+                ff_used.push(0);
+            }
+            ff_used[ch] |= mask;
+            placed.push((p, dir, ch as u16));
+        }
+        if exhausted {
+            return WarmOutcome::Budget;
+        }
+
+        let mut distinct = kept_set.clone();
+        for &(_, _, c) in &placed {
+            distinct.insert(c);
+        }
+        if distinct.len() <= fresh_channels {
+            let mut entries = kept.to_vec();
+            entries.extend(placed);
+            return WarmOutcome::Done(entries);
+        }
+
+        // Phase 2: bounded repack. Kept occupancy is fixed; search for
+        // a placement of the displaced pairs whose total distinct
+        // channel count is ≤ fresh_channels. Channels already paid for
+        // (kept) are tried first; brand-new channels are opened through
+        // one canonical fresh index at a time (they are interchangeable
+        // while empty), capped so the distinct count can never exceed
+        // the target.
+        if kept_set.len() > fresh_channels {
+            // Even the untouched entries alone overshoot — no warm
+            // completion can match the fresh count.
+            return WarmOutcome::Overshoot;
+        }
+        let arcs_of: PlacedArcs = to_place
+            .iter()
+            .map(|&p| (p, allowed_arcs(p, m, dead)))
+            .collect();
+        let mut repack = Repack {
+            arcs_of,
+            used,
+            open: kept_set.iter().copied().collect(),
+            kept_open: kept_set.len(),
+            max_open: fresh_channels,
+            nodes: *nodes_used,
+            budget,
+            out: Vec::with_capacity(to_place.len()),
+        };
+        let outcome = repack.dfs(0);
+        *nodes_used = repack.nodes;
+        match outcome {
+            RepackOutcome::Found => {
+                let mut entries = kept.to_vec();
+                entries.extend(repack.out);
+                WarmOutcome::Done(entries)
+            }
+            RepackOutcome::Infeasible => WarmOutcome::Overshoot,
+            RepackOutcome::Budget => WarmOutcome::Budget,
+        }
+    }
+}
+
+enum RepackOutcome {
+    Found,
+    Infeasible,
+    Budget,
+}
+
+/// A displaced pair together with its surviving arc choices
+/// (direction, fiber mask, length), shorter arc first.
+type PlacedArcs = Vec<(Pair, Vec<(Direction, u64, usize)>)>;
+
+/// DFS state of the bounded repack (see [`OnlineRwa::apply`]).
+struct Repack {
+    /// Displaced pairs with their surviving arcs, in placement order.
+    arcs_of: PlacedArcs,
+    /// Per-channel-index occupancy mask (kept + placed so far).
+    used: Vec<u64>,
+    /// Channel indices currently carrying at least one lightpath,
+    /// ascending — the deterministic try order.
+    open: Vec<u16>,
+    /// How many of `open` came from kept entries (never closed).
+    kept_open: usize,
+    /// Distinct-channel ceiling (the fresh greedy count).
+    max_open: usize,
+    nodes: u64,
+    budget: u64,
+    out: Vec<(Pair, Direction, u16)>,
+}
+
+impl Repack {
+    fn dfs(&mut self, idx: usize) -> RepackOutcome {
+        if idx == self.arcs_of.len() {
+            return RepackOutcome::Found;
+        }
+        let arcs = self.arcs_of[idx].1.clone();
+        let pair = self.arcs_of[idx].0;
+        let mut budget_hit = false;
+
+        for (dir, mask, _) in arcs {
+            // Try every open channel (ascending), then — if the ceiling
+            // allows — the lowest unopened index as the canonical fresh
+            // channel (empty channels are interchangeable).
+            let mut candidates: Vec<u16> = self.open.clone();
+            if self.open.len() < self.max_open {
+                let fresh = (0u16..)
+                    .find(|c| !self.open.contains(c))
+                    .expect("u16 space");
+                candidates.push(fresh);
+            }
+            for c in candidates {
+                if self.nodes >= self.budget {
+                    return RepackOutcome::Budget;
+                }
+                self.nodes += 1;
+                let ci = usize::from(c);
+                if self.used.get(ci).copied().unwrap_or(0) & mask != 0 {
+                    continue;
+                }
+                while self.used.len() <= ci {
+                    self.used.push(0);
+                }
+                let newly_open = !self.open.contains(&c);
+                self.used[ci] |= mask;
+                if newly_open {
+                    let at = self.open.partition_point(|&o| o < c);
+                    self.open.insert(at, c);
+                }
+                self.out.push((pair, dir, c));
+                match self.dfs(idx + 1) {
+                    RepackOutcome::Found => return RepackOutcome::Found,
+                    RepackOutcome::Budget => budget_hit = true,
+                    RepackOutcome::Infeasible => {}
+                }
+                self.out.pop();
+                self.used[ci] &= !mask;
+                if newly_open {
+                    let at = self.open.partition_point(|&o| o < c);
+                    self.open.remove(at);
+                    debug_assert!(self.open.len() >= self.kept_open);
+                }
+                if budget_hit {
+                    return RepackOutcome::Budget;
+                }
+            }
+        }
+        RepackOutcome::Infeasible
+    }
+}
+
+/// Default per-delta node budget: generous enough that warm starts on
+/// paper-scale rings (m ≤ 35) never trip it, small enough that a
+/// pathological repack degrades in microseconds, not minutes.
+pub const DEFAULT_NODE_BUDGET: u64 = 200_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_with_no_dead_fibers_matches_plain_greedy() {
+        for m in [4usize, 7, 9, 12] {
+            let degraded = assign_best_degraded(m, 0);
+            assert!(degraded.unroutable().is_empty());
+            assert_eq!(
+                degraded.channels_used(),
+                greedy::assign_best(m).channels_used(),
+                "m={m}"
+            );
+            degraded.validate(0).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_cut_keeps_every_pair_routable() {
+        // One dead fiber leaves the ring a path: every pair still has
+        // the all-the-way-around arc.
+        for m in [5usize, 8, 11] {
+            for fiber in 0..m {
+                let dead = 1u64 << fiber;
+                let a = assign_best_degraded(m, dead);
+                assert!(a.unroutable().is_empty(), "m={m} fiber={fiber}");
+                a.validate(dead).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn two_cuts_partition_exactly_the_cross_pairs() {
+        // Cutting fibers 0 and 3 on a ring of 8 splits switches
+        // {1,2,3} from {4,...,0}; pairs straddling the split are
+        // unroutable.
+        let m = 8;
+        let dead = (1u64 << 0) | (1u64 << 3);
+        let a = assign_best_degraded(m, dead);
+        a.validate(dead).unwrap();
+        for p in a.unroutable() {
+            let side = |s: usize| (1..=3).contains(&s);
+            assert_ne!(side(p.a), side(p.b), "pair {p} should straddle the cut");
+        }
+        assert_eq!(a.unroutable().len(), 3 * 5);
+    }
+
+    #[test]
+    fn validate_catches_dead_fiber_use() {
+        let m = 6;
+        let dead = 1u64 << 2;
+        let entries: Vec<_> = all_pairs(m)
+            .into_iter()
+            .enumerate()
+            .map(|(i, pair)| (pair, Direction::Cw, i as u16))
+            .collect();
+        let a = DegradedAssignment {
+            m,
+            entries,
+            unroutable: vec![],
+        };
+        assert!(matches!(
+            a.validate(dead),
+            Err(DegradedError::DeadFiber { link: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_spurious_unroutable() {
+        let m = 5;
+        let mut a = assign_best_degraded(m, 0);
+        let (p, _, _) = a.entries.pop().unwrap();
+        a.unroutable.push(p);
+        assert_eq!(a.validate(0), Err(DegradedError::SpuriousUnroutable(p)));
+    }
+
+    #[test]
+    fn cut_then_repair_round_trips_to_a_complete_valid_plan() {
+        for m in [6usize, 9, 13] {
+            let mut rwa = OnlineRwa::new(m, DEFAULT_NODE_BUDGET);
+            let baseline = rwa.plan().channels_used();
+            let r1 = rwa.apply(RingDelta::FiberCut(1));
+            assert!(r1.channels <= r1.fresh_channels);
+            rwa.plan().validate(rwa.dead_mask()).unwrap();
+            let r2 = rwa.apply(RingDelta::FiberRepair(1));
+            assert!(r2.channels <= r2.fresh_channels);
+            assert_eq!(rwa.dead_mask(), 0);
+            let plan = rwa.plan().clone().into_assignment().expect("ring healed");
+            plan.validate().unwrap();
+            assert!(
+                plan.channels_used() <= baseline,
+                "m={m}: healed plan {} > baseline {baseline}",
+                plan.channels_used()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_keeps_surviving_entries_verbatim() {
+        let m = 9;
+        let mut rwa = OnlineRwa::new(m, DEFAULT_NODE_BUDGET);
+        let before: BTreeMap<Pair, (Direction, u16)> = rwa
+            .plan()
+            .entries()
+            .iter()
+            .map(|&(p, d, c)| (p, (d, c)))
+            .collect();
+        let r = rwa.apply(RingDelta::FiberCut(4));
+        if r.outcome == ResolveOutcome::WarmStart {
+            let touched: BTreeSet<Pair> = r
+                .moved
+                .iter()
+                .chain(r.restored.iter())
+                .map(|op| op.pair)
+                .chain(r.torn_down.iter().copied())
+                .collect();
+            for &(p, d, c) in rwa.plan().entries() {
+                if !touched.contains(&p) {
+                    assert_eq!(before[&p], (d, c), "untouched pair {p} moved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_always_falls_back_and_never_aborts() {
+        // A delta that requires placement work must fall back under a
+        // zero budget; a delta with nothing to place (e.g. a second cut,
+        // which only darkens pairs — the displaced pair's other arc
+        // always crosses the first cut) may warm-start for free. Either
+        // way the run never aborts and never beats the fresh count.
+        let m = 10;
+        let mut rwa = OnlineRwa::new(m, 0);
+        let deltas = [
+            (RingDelta::FiberCut(0), true),    // displaces routable pairs
+            (RingDelta::FiberCut(5), false),   // only darkens cross pairs
+            (RingDelta::FiberRepair(5), true), // relights them
+            (RingDelta::FiberRepair(0), false),
+        ];
+        for (delta, needs_placement) in deltas {
+            let r = rwa.apply(delta);
+            if needs_placement {
+                assert_eq!(r.outcome, ResolveOutcome::BudgetFallback, "{delta:?}");
+                assert_eq!(r.nodes_used, 0);
+            }
+            assert!(r.channels <= r.fresh_channels);
+            rwa.plan().validate(rwa.dead_mask()).unwrap();
+        }
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_on_channel_count() {
+        // The differential invariant over a cut/repair interleaving:
+        // after every delta, the adopted plan is valid on the degraded
+        // ring and never uses more channels than a from-scratch greedy.
+        let m = 11;
+        let mut rwa = OnlineRwa::new(m, DEFAULT_NODE_BUDGET);
+        let deltas = [
+            RingDelta::FiberCut(2),
+            RingDelta::FiberCut(7),
+            RingDelta::FiberRepair(2),
+            RingDelta::FiberCut(0),
+            RingDelta::FiberRepair(7),
+            RingDelta::FiberRepair(0),
+        ];
+        for delta in deltas {
+            let r = rwa.apply(delta);
+            rwa.plan().validate(rwa.dead_mask()).unwrap();
+            let scratch = assign_best_degraded(m, rwa.dead_mask());
+            assert_eq!(r.fresh_channels, scratch.channels_used());
+            assert!(
+                r.channels <= scratch.channels_used(),
+                "{delta:?}: incremental {} > scratch {}",
+                r.channels,
+                scratch.channels_used()
+            );
+            assert_eq!(rwa.plan().unroutable(), scratch.unroutable());
+        }
+    }
+
+    #[test]
+    fn torn_down_pairs_are_restored_with_their_parked_tuning() {
+        let m = 8;
+        let mut rwa = OnlineRwa::new(m, DEFAULT_NODE_BUDGET);
+        // Two cuts isolate switches 1..=3; cross pairs go dark.
+        let r1 = rwa.apply(RingDelta::FiberCut(0));
+        let r2 = rwa.apply(RingDelta::FiberCut(3));
+        let dark: BTreeSet<Pair> = rwa.plan().unroutable().iter().copied().collect();
+        assert!(!dark.is_empty());
+        let torn: BTreeSet<Pair> = r1
+            .torn_down
+            .iter()
+            .chain(r2.torn_down.iter())
+            .copied()
+            .collect();
+        assert!(dark.iter().all(|p| torn.contains(p)));
+        // Repairing fiber 3 relights them; each restored op's `from`
+        // must be a real previous tuning, and `to` must be live.
+        let r3 = rwa.apply(RingDelta::FiberRepair(3));
+        let relit: BTreeSet<Pair> = r3.restored.iter().map(|op| op.pair).collect();
+        assert!(dark.iter().all(|p| relit.contains(p)));
+        rwa.plan().validate(rwa.dead_mask()).unwrap();
+        assert!(rwa.plan().unroutable().is_empty());
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let run = || {
+            let mut rwa = OnlineRwa::new(9, DEFAULT_NODE_BUDGET);
+            vec![
+                rwa.apply(RingDelta::FiberCut(3)),
+                rwa.apply(RingDelta::FiberCut(6)),
+                rwa.apply(RingDelta::FiberRepair(3)),
+            ]
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "already cut")]
+    fn redundant_cut_panics() {
+        let mut rwa = OnlineRwa::new(5, 1_000);
+        rwa.apply(RingDelta::FiberCut(1));
+        rwa.apply(RingDelta::FiberCut(1));
+    }
+}

@@ -14,6 +14,8 @@
 
 use crate::channel::greedy;
 use crate::ring::FIBER_CHANNEL_CAPACITY;
+use quartz_optics::retune::{RetuneModel, FAST_TUNABLE_SFP};
+use quartz_optics::wavelength::ChannelId;
 
 /// Largest ring size whose greedy wavelength plan fits in `channels`
 /// fiber channels.
@@ -60,6 +62,13 @@ pub struct ExpansionStep {
     pub added: usize,
     /// Wavelengths used before and after.
     pub wavelengths: (usize, usize),
+    /// Total transceiver dark time across all retunes (serial sum; two
+    /// transceivers per pair retune concurrently, so this counts each
+    /// pair's window once).
+    pub retune_total_ns: u64,
+    /// The single longest retune window — the expansion's critical path
+    /// if every pair retunes in parallel.
+    pub retune_max_ns: u64,
 }
 
 /// Computes the [`ExpansionStep`] from ring size `m` to `m + 1` under the
@@ -77,11 +86,20 @@ pub struct ExpansionStep {
 /// assert!(step.retuned <= 28);       // bounded by the old pair count
 /// ```
 pub fn expansion_step(m: usize) -> ExpansionStep {
+    expansion_step_with(m, &FAST_TUNABLE_SFP)
+}
+
+/// [`expansion_step`] under an explicit [`RetuneModel`]: each re-tuned
+/// pair's dark window is the model's latency for its channel move (or
+/// the bare re-lock window when only the arc direction flips).
+pub fn expansion_step_with(m: usize, model: &RetuneModel) -> ExpansionStep {
     assert!(m >= 2);
     let before = greedy::assign_best(m);
     let after = greedy::assign_best(m + 1);
     let mut retuned = 0;
     let mut added = 0;
+    let mut retune_total_ns = 0u64;
+    let mut retune_max_ns = 0u64;
     for (pair, dir, ch) in after.entries() {
         // In the grown ring the new switch has index m; pairs touching
         // it are new.
@@ -91,7 +109,17 @@ pub fn expansion_step(m: usize) -> ExpansionStep {
         }
         match before.lookup(*pair) {
             Some((d0, c0)) if d0 == *dir && c0 == *ch => {}
-            _ => retuned += 1,
+            Some((_, c0)) => {
+                retuned += 1;
+                let dark = if c0 == *ch {
+                    model.base_ns // direction-only change: re-lock, no laser move
+                } else {
+                    model.latency_ns(ChannelId(c0), ChannelId(*ch))
+                };
+                retune_total_ns += dark;
+                retune_max_ns = retune_max_ns.max(dark);
+            }
+            None => unreachable!("old plan covers every pre-existing pair"),
         }
     }
     ExpansionStep {
@@ -100,6 +128,8 @@ pub fn expansion_step(m: usize) -> ExpansionStep {
         retuned,
         added,
         wavelengths: (before.channels_used(), after.channels_used()),
+        retune_total_ns,
+        retune_max_ns,
     }
 }
 
@@ -148,5 +178,27 @@ mod tests {
     #[test]
     fn expansion_reports_are_deterministic() {
         assert_eq!(expansion_step(7), expansion_step(7));
+    }
+
+    #[test]
+    fn retune_latency_tracks_the_model() {
+        use quartz_optics::retune::{RetuneModel, THERMAL_TUNABLE_SFP};
+        for m in [5usize, 8, 12] {
+            let fast = expansion_step_with(m, &FAST_TUNABLE_SFP);
+            let instant = expansion_step_with(m, &RetuneModel::instant());
+            // Same plan diff regardless of model.
+            assert_eq!(fast.retuned, instant.retuned);
+            assert_eq!(instant.retune_total_ns, 0);
+            assert_eq!(instant.retune_max_ns, 0);
+            if fast.retuned > 0 {
+                // Every retune pays at least the base window.
+                assert!(fast.retune_total_ns >= fast.retuned as u64 * FAST_TUNABLE_SFP.base_ns);
+                assert!(fast.retune_max_ns >= FAST_TUNABLE_SFP.base_ns);
+                assert!(fast.retune_max_ns <= fast.retune_total_ns);
+                // Thermal parts are strictly slower.
+                let thermal = expansion_step_with(m, &THERMAL_TUNABLE_SFP);
+                assert!(thermal.retune_total_ns > fast.retune_total_ns);
+            }
+        }
     }
 }

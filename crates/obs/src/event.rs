@@ -144,6 +144,44 @@ pub enum Event {
         /// Number of fault transitions folded into the new tables.
         resolved: u32,
     },
+    /// The online RWA control plane re-solved the wavelength plan.
+    RwaResolve {
+        /// Simulated time the new plan was adopted, ns.
+        t_ns: u64,
+        /// `"cut"` or `"repair"`.
+        trigger: &'static str,
+        /// The ring fiber the triggering delta touched.
+        fiber: u32,
+        /// `"warm_start"`, `"budget_fallback"`, or `"fresh_solve"`.
+        outcome: &'static str,
+        /// Live pairs whose tuning changed.
+        moved: u32,
+        /// Previously dark pairs relit.
+        restored: u32,
+        /// Pairs that lost their lightpath to this delta.
+        torn_down: u32,
+        /// Pairs still dark after the re-solve.
+        unroutable: u32,
+        /// Channels the adopted plan uses.
+        channels: u32,
+        /// Channels a from-scratch greedy solve would use.
+        fresh_channels: u32,
+    },
+    /// A pair's transceivers began re-tuning to a new grid slot.
+    Retune {
+        /// Simulated time the retune started (lightpath goes dark), ns.
+        t_ns: u64,
+        /// Lower switch of the pair.
+        a: u32,
+        /// Higher switch of the pair.
+        b: u32,
+        /// Channel before.
+        from_ch: u16,
+        /// Channel after.
+        to_ch: u16,
+        /// How long the lightpath is dark, ns.
+        dark_ns: u64,
+    },
 }
 
 impl Event {
@@ -158,7 +196,9 @@ impl Event {
             | Event::Drop { t_ns, .. }
             | Event::Vlb { t_ns, .. }
             | Event::Fault { t_ns, .. }
-            | Event::Reroute { t_ns, .. } => t_ns,
+            | Event::Reroute { t_ns, .. }
+            | Event::RwaResolve { t_ns, .. }
+            | Event::Retune { t_ns, .. } => t_ns,
         }
     }
 
@@ -174,6 +214,8 @@ impl Event {
             Event::Vlb { .. } => "vlb",
             Event::Fault { .. } => "fault",
             Event::Reroute { .. } => "reroute",
+            Event::RwaResolve { .. } => "rwa_resolve",
+            Event::Retune { .. } => "retune",
         }
     }
 
@@ -264,6 +306,32 @@ impl Event {
                 out,
                 "{{\"ev\":\"reroute\",\"t\":{t_ns},\"resolved\":{resolved}}}"
             ),
+            Event::RwaResolve {
+                t_ns,
+                trigger,
+                fiber,
+                outcome,
+                moved,
+                restored,
+                torn_down,
+                unroutable,
+                channels,
+                fresh_channels,
+            } => write!(
+                out,
+                "{{\"ev\":\"rwa_resolve\",\"t\":{t_ns},\"trigger\":\"{trigger}\",\"fiber\":{fiber},\"outcome\":\"{outcome}\",\"moved\":{moved},\"restored\":{restored},\"torn\":{torn_down},\"unroutable\":{unroutable},\"channels\":{channels},\"fresh\":{fresh_channels}}}"
+            ),
+            Event::Retune {
+                t_ns,
+                a,
+                b,
+                from_ch,
+                to_ch,
+                dark_ns,
+            } => write!(
+                out,
+                "{{\"ev\":\"retune\",\"t\":{t_ns},\"a\":{a},\"b\":{b},\"from\":{from_ch},\"to\":{to_ch},\"dark\":{dark_ns}}}"
+            ),
         };
     }
 
@@ -320,6 +388,41 @@ mod tests {
                 assert_ne!(a.as_str(), b.as_str());
             }
         }
+    }
+
+    #[test]
+    fn rwa_event_encodings_are_stable() {
+        let ev = Event::RwaResolve {
+            t_ns: 520_000,
+            trigger: "cut",
+            fiber: 3,
+            outcome: "warm_start",
+            moved: 2,
+            restored: 0,
+            torn_down: 5,
+            unroutable: 1,
+            channels: 11,
+            fresh_channels: 11,
+        };
+        assert_eq!(
+            ev.ndjson_line(),
+            "{\"ev\":\"rwa_resolve\",\"t\":520000,\"trigger\":\"cut\",\"fiber\":3,\"outcome\":\"warm_start\",\"moved\":2,\"restored\":0,\"torn\":5,\"unroutable\":1,\"channels\":11,\"fresh\":11}\n"
+        );
+        assert_eq!(ev.tag(), "rwa_resolve");
+        let ev = Event::Retune {
+            t_ns: 520_000,
+            a: 1,
+            b: 6,
+            from_ch: 4,
+            to_ch: 9,
+            dark_ns: 52_500,
+        };
+        assert_eq!(
+            ev.ndjson_line(),
+            "{\"ev\":\"retune\",\"t\":520000,\"a\":1,\"b\":6,\"from\":4,\"to\":9,\"dark\":52500}\n"
+        );
+        assert_eq!(ev.t_ns(), 520_000);
+        assert_eq!(ev.tag(), "retune");
     }
 
     #[test]

@@ -99,6 +99,29 @@ fn describe(ev: &Event) -> String {
         Event::Reroute { resolved, .. } => {
             format!("routing reconverged ({resolved} fault(s) absorbed)")
         }
+        Event::RwaResolve {
+            trigger,
+            fiber,
+            outcome,
+            moved,
+            restored,
+            torn_down,
+            unroutable,
+            channels,
+            fresh_channels,
+            ..
+        } => format!(
+            "rwa {outcome} on fiber {fiber} {trigger}: {moved} moved, {restored} relit, \
+             {torn_down} torn down, {unroutable} dark ({channels} ch vs {fresh_channels} fresh)"
+        ),
+        Event::Retune {
+            a,
+            b,
+            from_ch,
+            to_ch,
+            dark_ns,
+            ..
+        } => format!("pair ({a},{b}) retunes ch {from_ch} → {to_ch}, dark {dark_ns} ns"),
     }
 }
 

@@ -26,6 +26,8 @@
 //! * [`ring`] — an amplifier/attenuator placement planner for a complete
 //!   ring, validating that *every* pairwise lightpath (up to ⌊M/2⌋ optical
 //!   hops) stays within the receiver's dynamic range.
+//! * [`retune`] — tunable-transceiver retune latency (grid-distance
+//!   dependent), the cost model of the online RWA control plane.
 //!
 //! The headline numbers from the paper are reproduced by this crate's unit
 //! tests: a 4 dBm transmitter and a −15 dBm receiver tolerate
@@ -43,6 +45,7 @@
 pub mod budget;
 pub mod components;
 pub mod dispersion;
+pub mod retune;
 pub mod ring;
 pub mod units;
 pub mod wavelength;
@@ -52,6 +55,7 @@ pub use components::{
     AmplifierSpec, AttenuatorSpec, MuxDemuxSpec, TransceiverSpec, CISCO_ERA_CWDM_SFP,
     PAPER_AMPLIFIER, PAPER_DWDM_80CH, PAPER_DWDM_TRANSCEIVER, PROTOTYPE_CWDM_MUX_4CH,
 };
+pub use retune::{RetuneModel, FAST_TUNABLE_SFP, THERMAL_TUNABLE_SFP};
 pub use ring::{RingOpticalPlan, RingPlanError, RingSite};
 pub use units::{Db, Dbm, Milliwatts};
 pub use wavelength::{Band, ChannelId, Grid, Wavelength};

@@ -1,0 +1,152 @@
+//! Tunable-transceiver retune latency — the price of *changing* a
+//! wavelength plan at runtime.
+//!
+//! §3.1 of the paper treats wavelength planning as "a one-time event that
+//! is done at design time". The online RWA control plane relaxes that:
+//! when a fiber cut (or repair) forces a pair onto a different channel,
+//! both of the pair's transceivers must re-tune their lasers to the new
+//! grid slot, and the lightpath is dark until they lock.
+//!
+//! Commodity tunable lasers come in two speed classes:
+//!
+//! * **Thermally tuned DFB** — the cheap, ubiquitous tunable DWDM SFP+.
+//!   Tuning moves the laser temperature, so settling is milliseconds and
+//!   grows with the grid distance travelled.
+//! * **Electronically tuned SG-DBR** — "fast tunable" parts built for
+//!   optical burst/packet switching research; tens of microseconds of
+//!   control-loop settling plus a small per-channel component.
+//!
+//! Both are modeled by the same affine form: a fixed settle/lock window
+//! plus a per-grid-slot term proportional to how far the carrier moves.
+//! The model is deliberately integer-nanosecond so simulator event times
+//! derived from it stay exact.
+
+use crate::wavelength::{ChannelId, Grid};
+
+/// Retune latency model for a tunable transceiver: an affine function of
+/// grid distance, `base_ns + per_channel_ns × |to − from|`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetuneModel {
+    /// Fixed cost of any retune: control-loop settle + receiver re-lock.
+    pub base_ns: u64,
+    /// Additional cost per grid slot of carrier movement.
+    pub per_channel_ns: u64,
+}
+
+impl RetuneModel {
+    /// A model with the given fixed and per-channel costs.
+    pub const fn new(base_ns: u64, per_channel_ns: u64) -> Self {
+        RetuneModel {
+            base_ns,
+            per_channel_ns,
+        }
+    }
+
+    /// The zero-cost model: retunes complete instantaneously. The
+    /// baseline for "what does reconfiguration latency cost" A/B runs.
+    pub const fn instant() -> Self {
+        RetuneModel {
+            base_ns: 0,
+            per_channel_ns: 0,
+        }
+    }
+
+    /// Nanoseconds a transceiver is dark while moving from channel
+    /// `from` to channel `to`. Zero when the channel does not change.
+    pub fn latency_ns(&self, from: ChannelId, to: ChannelId) -> u64 {
+        let dist = u64::from(from.0.abs_diff(to.0));
+        if dist == 0 {
+            return 0;
+        }
+        self.base_ns + self.per_channel_ns * dist
+    }
+
+    /// Worst-case retune across `grid`: a full sweep from one edge of
+    /// the grid to the other.
+    pub fn worst_case_ns(&self, grid: &Grid) -> u64 {
+        let count = grid.channel_count();
+        if count < 2 {
+            return 0;
+        }
+        self.latency_ns(ChannelId(0), ChannelId(count - 1))
+    }
+
+    /// Whether this model charges nothing for any retune.
+    pub fn is_instant(&self) -> bool {
+        self.base_ns == 0 && self.per_channel_ns == 0
+    }
+}
+
+/// An electronically tuned SG-DBR "fast tunable" transceiver: ~50 µs of
+/// control-loop settling plus 0.5 µs per grid slot. The speed class
+/// optical burst switching literature assumes.
+pub const FAST_TUNABLE_SFP: RetuneModel = RetuneModel::new(50_000, 500);
+
+/// A thermally tuned DFB tunable DWDM SFP+: milliseconds to move and
+/// re-lock, growing noticeably with grid distance. The commodity part a
+/// cost-conscious Quartz deployment would actually buy.
+pub const THERMAL_TUNABLE_SFP: RetuneModel = RetuneModel::new(2_000_000, 150_000);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_move_is_free() {
+        for model in [
+            FAST_TUNABLE_SFP,
+            THERMAL_TUNABLE_SFP,
+            RetuneModel::instant(),
+        ] {
+            assert_eq!(model.latency_ns(ChannelId(7), ChannelId(7)), 0);
+        }
+    }
+
+    #[test]
+    fn latency_is_symmetric_and_monotone_in_distance() {
+        let m = FAST_TUNABLE_SFP;
+        assert_eq!(
+            m.latency_ns(ChannelId(3), ChannelId(40)),
+            m.latency_ns(ChannelId(40), ChannelId(3))
+        );
+        let mut prev = 0;
+        for d in 1..80u16 {
+            let l = m.latency_ns(ChannelId(0), ChannelId(d));
+            assert!(l > prev, "distance {d} not monotone");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn affine_form_matches() {
+        let m = RetuneModel::new(1_000, 10);
+        assert_eq!(m.latency_ns(ChannelId(2), ChannelId(7)), 1_000 + 5 * 10);
+    }
+
+    #[test]
+    fn instant_model_is_identically_zero() {
+        let m = RetuneModel::instant();
+        assert!(m.is_instant());
+        assert_eq!(m.latency_ns(ChannelId(0), ChannelId(159)), 0);
+        assert_eq!(m.worst_case_ns(&Grid::dwdm_50ghz_160ch()), 0);
+    }
+
+    #[test]
+    fn worst_case_spans_the_grid() {
+        let g = Grid::dwdm_100ghz_80ch();
+        assert_eq!(
+            FAST_TUNABLE_SFP.worst_case_ns(&g),
+            FAST_TUNABLE_SFP.latency_ns(ChannelId(0), ChannelId(79))
+        );
+    }
+
+    #[test]
+    fn thermal_is_slower_than_fast_everywhere() {
+        for d in 1..160u16 {
+            assert!(
+                THERMAL_TUNABLE_SFP.latency_ns(ChannelId(0), ChannelId(d))
+                    > FAST_TUNABLE_SFP.latency_ns(ChannelId(0), ChannelId(d))
+            );
+        }
+    }
+}

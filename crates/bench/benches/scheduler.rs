@@ -5,9 +5,48 @@
 //! (asserted below before timing), so any delta is pure engine cost.
 
 use quartz_bench::experiments::fig17::{simulate_with_scheduler, Arch, Workload};
-use quartz_bench::timing::measure;
-use quartz_netsim::sched::SchedulerKind;
+use quartz_bench::timing::{measure, note_event_rate};
+use quartz_core::rng::StdRng;
+use quartz_netsim::sched::{BinaryHeapScheduler, Scheduler, SchedulerKind, TimingWheel};
+use quartz_netsim::time::SimTime;
 use std::hint::black_box;
+
+/// Pops drained per iteration of the synthetic churn workload.
+const CHURN_EVENTS: u64 = 100_000;
+
+/// Raw engine churn with a simulator-shaped time profile: seeded pushes
+/// mostly a few hundred ns ahead of the drain point (per-hop arrivals),
+/// a slice ~10 µs out (generator gaps), and a far tail (retransmission
+/// timers), every pop respawning until exactly [`CHURN_EVENTS`] pops
+/// have drained. Returns a checksum of the pop order so the work can't
+/// be optimized away (and so both engines can be asserted identical).
+fn churn<S: Scheduler<u32>>(mut s: S, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let next_time = |now: SimTime, rng: &mut StdRng| {
+        now + match rng.random_range(0..10) {
+            0..=6 => rng.random_range(64..1_000) as u64,
+            7 | 8 => rng.random_range(1_000..20_000) as u64,
+            _ => rng.random_range(100_000..2_000_000) as u64,
+        }
+    };
+    for i in 0..1_024u32 {
+        let t = next_time(SimTime::ZERO, &mut rng);
+        s.push(t, i);
+    }
+    let mut pops = 0u64;
+    let mut checksum = 0u64;
+    while let Some((t, item)) = s.pop() {
+        pops += 1;
+        checksum = checksum
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(t.ns() ^ u64::from(item));
+        if pops + (s.len() as u64) < CHURN_EVENTS {
+            s.push(next_time(t, &mut rng), item);
+        }
+    }
+    debug_assert_eq!(pops, CHURN_EVENTS);
+    checksum
+}
 
 /// One fig17 cell: 2 gather tasks on the paper's best architecture,
 /// 1 ms of simulated time.
@@ -47,6 +86,23 @@ fn main() {
         cell_tree(SchedulerKind::BinaryHeap).to_bits(),
         "engines must produce bit-identical fig17 latencies"
     );
+
+    assert_eq!(
+        churn(TimingWheel::new(), 7),
+        churn(BinaryHeapScheduler::new(), 7),
+        "engines must drain the synthetic churn in the same order"
+    );
+
+    // Raw engine throughput, free of simulator bookkeeping: how many
+    // events per second each engine pushes + pops on its own.
+    let rec = measure("scheduler", "wheel_churn_100k", || {
+        churn(TimingWheel::new(), black_box(7))
+    });
+    note_event_rate("wheel_churn_100k", CHURN_EVENTS, &rec);
+    let rec = measure("scheduler", "heap_churn_100k", || {
+        churn(BinaryHeapScheduler::new(), black_box(7))
+    });
+    note_event_rate("heap_churn_100k", CHURN_EVENTS, &rec);
 
     measure("scheduler", "wheel_fig17_gather", || {
         cell(SchedulerKind::TimingWheel)

@@ -63,8 +63,9 @@ fn fmt_ns(ns: f64) -> String {
 
 /// Runs `f` repeatedly and prints one result line labelled
 /// `group/name`. The closure's result is `black_box`ed so the work
-/// cannot be optimized away.
-pub fn measure<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
+/// cannot be optimized away. Returns the collected [`Record`] so
+/// callers can derive headline rates (see [`note_event_rate`]).
+pub fn measure<T>(group: &str, name: &str, mut f: impl FnMut() -> T) -> Record {
     // One untimed warm-up (fills caches, faults pages, JITs nothing).
     black_box(f());
     let budget = budget();
@@ -87,6 +88,38 @@ pub fn measure<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
         fmt_ns(min_ns),
     );
     note(group, name, mean_ns, min_ns, iters);
+    Record {
+        group: group.to_string(),
+        name: name.to_string(),
+        mean_ns,
+        min_ns,
+        iters,
+    }
+}
+
+/// Derives the events-per-second headline from a [`measure`] record
+/// whose iterations each processed `events_per_iter` scheduler events:
+/// prints `X.XX M events/s` (plus the peak from the fastest iteration)
+/// and records the per-event cost under the `per_event` group, so the
+/// BENCH json keeps its time-quantity schema — events/sec is
+/// `1e9 / mean_ns` of the `per_event` record, and `iters` holds the
+/// events per iteration.
+pub fn note_event_rate(name: &str, events_per_iter: u64, r: &Record) {
+    let ev = events_per_iter as f64;
+    let mean_rate = ev * 1e9 / r.mean_ns;
+    let peak_rate = ev * 1e9 / r.min_ns;
+    println!(
+        "per_event/{name:<32} {:>7.2} M events/s  (peak {:.2} M, {events_per_iter} events/iter)",
+        mean_rate / 1e6,
+        peak_rate / 1e6,
+    );
+    note(
+        "per_event",
+        name,
+        r.mean_ns / ev,
+        r.min_ns / ev,
+        events_per_iter,
+    );
 }
 
 /// Times one closure with the process wall clock and returns its result

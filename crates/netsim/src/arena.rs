@@ -1,0 +1,176 @@
+//! Struct-of-arrays packet arena: the simulator's in-flight packet store.
+//!
+//! Before this module, every [`crate::sim`] `Head` event carried a full
+//! ~80-byte `Packet` by value through the timing wheel — cloned on VLB
+//! detour re-enqueues, moved on every bucket migration. The arena
+//! inverts the layout: packets live in **slots** identified by a `u32`
+//! [`PacketId`], events carry only the id, and the per-hop hot loop
+//! touches a handful of contiguous parallel `Vec`s:
+//!
+//! ```text
+//!             id ──────────────┐
+//!   hot (read every hop)       ▼
+//!   created:  [SimTime SimTime SimTime …]   latency base
+//!   dst:      [NodeId  NodeId  NodeId  …]   delivery test
+//!   flow:     [u32     u32     u32     …]   stats / transport lookup
+//!   size:     [u32     u32     u32     …]   serialization time
+//!   hash:     [u64     u64     u64     …]   ECMP pick
+//!   arr_head/arr_tail/arr_seq  …            pending batched arrival
+//!   cold (read at delivery / detour only)
+//!   cold:     [PacketCold …]               transport, intermediate,
+//!                                          flags, hops
+//! ```
+//!
+//! Freed slots recycle through a LIFO free list, so the steady-state
+//! hot path allocates nothing and the most recently freed slot — whose
+//! row is still cache-warm — is handed out next. The free list is a
+//! plain `Vec`, so recycling order is deterministic: identical
+//! alloc/free sequences produce identical id sequences, which the
+//! property tests in `tests/arena_prop.rs` pin.
+//!
+//! Debug builds additionally track per-slot liveness so a recycled slot
+//! can never alias a live packet (double-free and double-alloc both
+//! panic), and [`crate::sim::Simulator::run`] asserts at quiescence that
+//! the live count matches the in-flight count — a leak check.
+
+use crate::time::SimTime;
+use crate::transport::TransportInfo;
+use quartz_topology::graph::NodeId;
+
+/// Index of a live arena slot; the payload of a `Head` event.
+pub type PacketId = u32;
+
+/// Flag bit: the packet travels dst→src of its flow (an RPC response or
+/// Poisson echo); its delivery records a round trip.
+pub const FLAG_RESPONSE: u8 = 1 << 0;
+/// Flag bit: final packet of a file transfer; its delivery is the flow
+/// completion.
+pub const FLAG_LAST: u8 = 1 << 1;
+/// Flag bit: ECN congestion-experienced mark, set at overloaded queues.
+pub const FLAG_ECN: u8 = 1 << 2;
+/// Flag bit: the VLB ingress decision (detour or not) has been made.
+pub const FLAG_VLB_DECIDED: u8 = 1 << 3;
+
+/// Cold per-packet fields, read only at delivery, drop, or a VLB
+/// detour decision — one row per slot, separate from the hot columns.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketCold {
+    /// Transport-layer payload (data segment or cumulative ACK).
+    pub transport: TransportInfo,
+    /// VLB detour waypoint still to be visited, if any.
+    pub intermediate: Option<NodeId>,
+    /// `FLAG_*` bits.
+    pub flags: u8,
+    /// Links traversed so far (recorded at delivery: detours after a
+    /// fiber cut show up as hop-count stretch).
+    pub hops: u32,
+}
+
+/// The slot arena. Columns are parallel: index all of them by the same
+/// [`PacketId`]. Crate-internal code reads the columns directly; the
+/// public surface (alloc/free/live/capacity) is what external tests
+/// exercise.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    /// Creation time (or the original request time, for responses).
+    pub(crate) created: Vec<SimTime>,
+    /// Final destination host.
+    pub(crate) dst: Vec<NodeId>,
+    /// Owning flow index.
+    pub(crate) flow: Vec<u32>,
+    /// Frame size, bytes.
+    pub(crate) size: Vec<u32>,
+    /// ECMP flow hash (resprayed on VLB detours).
+    pub(crate) hash: Vec<u64>,
+    /// Pending batched arrival: head time at the next node. Valid only
+    /// while the packet sits in a link batch queue.
+    pub(crate) arr_head: Vec<SimTime>,
+    /// Pending batched arrival: tail time at the next node.
+    pub(crate) arr_tail: Vec<SimTime>,
+    /// Pending batched arrival: the reserved scheduler sequence number
+    /// (the tie-break half of the event key).
+    pub(crate) arr_seq: Vec<u64>,
+    /// Cold row per slot.
+    pub(crate) cold: Vec<PacketCold>,
+    /// Freed slot ids, reused LIFO.
+    free: Vec<PacketId>,
+    /// Currently allocated slots.
+    live: usize,
+    /// Debug-only per-slot liveness, for alias detection.
+    #[cfg(debug_assertions)]
+    live_bits: Vec<bool>,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a slot (recycling the most recently freed one first)
+    /// and writes every column. Returns the slot's id.
+    pub fn alloc(
+        &mut self,
+        created: SimTime,
+        dst: NodeId,
+        flow: u32,
+        size: u32,
+        hash: u64,
+        cold: PacketCold,
+    ) -> PacketId {
+        self.live += 1;
+        if let Some(id) = self.free.pop() {
+            let i = id as usize;
+            self.created[i] = created;
+            self.dst[i] = dst;
+            self.flow[i] = flow;
+            self.size[i] = size;
+            self.hash[i] = hash;
+            self.cold[i] = cold;
+            #[cfg(debug_assertions)]
+            {
+                assert!(!self.live_bits[i], "arena slot {id} handed out twice");
+                self.live_bits[i] = true;
+            }
+            id
+        } else {
+            let id = self.created.len() as PacketId;
+            self.created.push(created);
+            self.dst.push(dst);
+            self.flow.push(flow);
+            self.size.push(size);
+            self.hash.push(hash);
+            self.arr_head.push(SimTime::ZERO);
+            self.arr_tail.push(SimTime::ZERO);
+            self.arr_seq.push(0);
+            self.cold.push(cold);
+            #[cfg(debug_assertions)]
+            self.live_bits.push(true);
+            id
+        }
+    }
+
+    /// Returns slot `id` to the free list.
+    ///
+    /// # Panics
+    /// Debug builds panic on a double free.
+    pub fn free(&mut self, id: PacketId) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(self.live_bits[id as usize], "double free of slot {id}");
+            self.live_bits[id as usize] = false;
+        }
+        self.live -= 1;
+        self.free.push(id);
+    }
+
+    /// Currently allocated slot count (the in-flight packet count).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever created (live + free).
+    pub fn capacity(&self) -> usize {
+        self.created.len()
+    }
+}

@@ -12,10 +12,20 @@
 //! * an **overflow heap** for far-future events (retransmission timers,
 //!   scheduled faults), migrated into the wheel as the cursor slides
 //!   over their slot;
-//! * a **slot arena** with a free list: event payloads live in recycled
-//!   slots and buckets store 4-byte slot ids, so the steady-state event
-//!   loop allocates nothing and bucket maintenance moves `u32`s, not
-//!   multi-hundred-byte packets.
+//! * near buckets store `(time, seq, item)` **inline**, so bucket
+//!   maintenance moves contiguous tuples instead of chasing slot ids —
+//!   cheap now that [`crate::sim`] events carry a 4-byte packet id
+//!   rather than a by-value packet. Only overflow-heap payloads live in
+//!   a recycled side arena (the heap orders by key and must not move
+//!   `T` through sifts);
+//! * a **sorted cursor bucket**: when the cursor lands on a non-empty
+//!   bucket its entries are sorted descending by `(time, seq)` once,
+//!   after which every pop and peek is O(1) off the tail. Buckets
+//!   routinely hold several events (40 % load ⇒ ~2–3 per 64 ns bucket,
+//!   Poisson bursts far more), so the per-pop min-scan this replaces
+//!   was quadratic exactly when the simulator was busiest. Pushes into
+//!   future buckets stay O(1) appends; only the uncommon push landing
+//!   on (or before) the cursor bucket pays an ordered insert.
 //!
 //! ## Ordering contract
 //!
@@ -45,7 +55,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Near-wheel bucket count (power of two; index masks instead of `%`).
-pub const NUM_BUCKETS: usize = 4096;
+pub const NUM_BUCKETS: usize = 512;
 /// log2 of the nanoseconds each bucket spans.
 pub const GRANULARITY_LOG2: u32 = 6;
 /// Nanoseconds per bucket.
@@ -66,17 +76,41 @@ pub enum SchedulerKind {
 
 /// A deterministic future-event set: timestamped items drain in
 /// `(time, push order)` order.
+///
+/// The `seq` half of the ordering key is normally assigned implicitly
+/// by [`Scheduler::push`], but the batched link drain
+/// (DESIGN.md §10) needs to *decouple* sequence allocation from event
+/// insertion: each packet appended to a link batch reserves a sequence
+/// number (so tie-breaks match the unbatched schedule bit for bit), yet
+/// only one sentinel event — carrying the *first* entry's key — sits in
+/// the queue. [`Scheduler::reserve_seq`] and [`Scheduler::push_at_seq`]
+/// expose that split; [`Scheduler::peek_key`] lets the drain loop ask
+/// "is anything queued ahead of my next batch entry?" without popping.
 pub trait Scheduler<T> {
     /// Queues `item` at `time`, assigning it the next sequence number.
-    fn push(&mut self, time: SimTime, item: T);
+    fn push(&mut self, time: SimTime, item: T) {
+        let seq = self.reserve_seq();
+        self.push_at_seq(time, seq, item);
+    }
+    /// Draws the next sequence number without queueing anything.
+    fn reserve_seq(&mut self) -> u64;
+    /// Queues `item` at `(time, seq)` where `seq` came from
+    /// [`Scheduler::reserve_seq`]. Keys must be unique; reusing a
+    /// reserved seq for a second queued event is a logic error.
+    fn push_at_seq(&mut self, time: SimTime, seq: u64, item: T);
     /// Removes and returns the earliest `(time, seq)` event.
     fn pop(&mut self) -> Option<(SimTime, T)>;
     /// [`Scheduler::pop`], but only if the earliest event's time is
     /// `<= bound`; otherwise the queue is untouched.
     fn pop_before(&mut self, bound: SimTime) -> Option<(SimTime, T)>;
+    /// The earliest queued `(time, seq)` key, if any. Takes `&mut self`
+    /// because the wheel may advance its cursor (not observable).
+    fn peek_key(&mut self) -> Option<(SimTime, u64)>;
     /// The earliest queued time, if any. Takes `&mut self` because the
     /// wheel may advance its cursor to find it (not observable).
-    fn next_time(&mut self) -> Option<SimTime>;
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.peek_key().map(|(t, _)| t)
+    }
     /// Queued event count.
     fn len(&self) -> usize;
     /// Whether nothing is queued.
@@ -135,13 +169,13 @@ impl<T> BinaryHeapScheduler<T> {
 }
 
 impl<T> Scheduler<T> for BinaryHeapScheduler<T> {
-    fn push(&mut self, time: SimTime, item: T) {
+    fn reserve_seq(&mut self) -> u64 {
         self.seq += 1;
-        self.heap.push(Reverse(HeapEv {
-            time,
-            seq: self.seq,
-            item,
-        }));
+        self.seq
+    }
+
+    fn push_at_seq(&mut self, time: SimTime, seq: u64, item: T) {
+        self.heap.push(Reverse(HeapEv { time, seq, item }));
     }
 
     fn pop(&mut self) -> Option<(SimTime, T)> {
@@ -156,8 +190,8 @@ impl<T> Scheduler<T> for BinaryHeapScheduler<T> {
         }
     }
 
-    fn next_time(&mut self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse(e)| (e.time, e.seq))
     }
 
     fn len(&self) -> usize {
@@ -165,33 +199,32 @@ impl<T> Scheduler<T> for BinaryHeapScheduler<T> {
     }
 }
 
-/// One arena slot: the payload plus its ordering key. `item` is `None`
-/// only while the slot sits on the free list.
-#[derive(Debug)]
-struct Slot<T> {
-    time: SimTime,
-    seq: u64,
-    item: Option<T>,
-}
-
 /// The timing-wheel scheduler (see the module docs for geometry and the
 /// ordering argument).
 #[derive(Debug)]
 pub struct TimingWheel<T> {
-    /// Near-wheel buckets of arena slot ids; bucket `i` holds exactly
-    /// the events of absolute slot `s` with `s & BUCKET_MASK == i` for
-    /// the unique `s` in `[cursor, cursor + NUM_BUCKETS)`.
-    buckets: Vec<Vec<u32>>,
+    /// Near-wheel buckets of `(time, seq, item)` entries; bucket `i`
+    /// holds exactly the events of absolute slot `s` with
+    /// `s & BUCKET_MASK == i` for the unique `s` in
+    /// `(cursor, cursor + NUM_BUCKETS)`. The cursor's own slot lives in
+    /// `current`, so its bucket is empty outside [`TimingWheel::seek`].
+    buckets: Vec<Vec<(SimTime, u64, T)>>,
+    /// The cursor bucket's entries, sorted **descending** by
+    /// `(time, seq)`: the global minimum is the last element (every
+    /// other near entry sits in a strictly later slot, and far entries
+    /// later still), so pop and peek are O(1) off the tail.
+    current: Vec<(SimTime, u64, T)>,
     /// Events at `slot >= cursor + NUM_BUCKETS`, ordered by
-    /// `(time, seq)` for exact migration.
+    /// `(time, seq)` for exact migration; payloads sit in `far_slots`.
     far: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
-    /// Payload arena; freed slots are recycled through `free`.
-    slots: Vec<Slot<T>>,
-    free: Vec<u32>,
+    /// Payload arena for overflow-heap events; freed slots recycle
+    /// through `far_free`.
+    far_slots: Vec<Option<T>>,
+    far_free: Vec<u32>,
     /// Absolute slot index (`time >> GRANULARITY_LOG2`) of the bucket
     /// the drain cursor is on. Only ever advances.
     cursor: u64,
-    /// Events currently in the near wheel.
+    /// Events currently in the near wheel (`current` + `buckets`).
     near_len: usize,
     /// Total queued events (near + far).
     len: usize,
@@ -209,9 +242,10 @@ impl<T> TimingWheel<T> {
     pub fn new() -> Self {
         TimingWheel {
             buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            current: Vec::new(),
             far: BinaryHeap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
+            far_slots: Vec::new(),
+            far_free: Vec::new(),
             cursor: 0,
             near_len: 0,
             len: 0,
@@ -219,61 +253,38 @@ impl<T> TimingWheel<T> {
         }
     }
 
-    /// Takes a recycled arena slot (or grows the arena) for an event.
-    fn alloc(&mut self, time: SimTime, seq: u64, item: T) -> u32 {
-        if let Some(id) = self.free.pop() {
-            let s = &mut self.slots[id as usize];
-            s.time = time;
-            s.seq = seq;
-            s.item = Some(item);
-            id
-        } else {
-            let id = self.slots.len() as u32;
-            self.slots.push(Slot {
-                time,
-                seq,
-                item: Some(item),
-            });
-            id
-        }
-    }
-
-    /// Frees slot `id`, returning its payload.
-    fn release(&mut self, id: u32) -> (SimTime, T) {
-        let s = &mut self.slots[id as usize];
-        let item = s.item.take().expect("slot is live");
-        self.free.push(id);
-        (s.time, item)
-    }
-
-    /// Files a slot id under its near-wheel bucket. Events earlier than
-    /// the cursor (allowed, rare) clamp into the cursor bucket, where
-    /// the min-scan still pops them first.
-    fn file_near(&mut self, slot: u64, id: u32) {
-        let s = slot.max(self.cursor);
-        self.buckets[(s & BUCKET_MASK) as usize].push(id);
-        self.near_len += 1;
-    }
-
     /// Pulls every far event whose slot has entered the horizon into
-    /// the near wheel. (Slot math goes through
-    /// [`SimTime::wheel_slot`], the single definition of the mapping.)
+    /// the near wheel. Only called from [`TimingWheel::seek`] with
+    /// `current` empty, so migrated entries (whose slots are all
+    /// `>= cursor`) can file straight into their buckets; the seek loop
+    /// loads the cursor's own bucket right after. (Slot math goes
+    /// through [`SimTime::wheel_slot`], the single definition of the
+    /// mapping.)
     fn migrate(&mut self) {
         let horizon = self.cursor + NUM_BUCKETS as u64;
-        while let Some(&Reverse((t, _, id))) = self.far.peek() {
+        while let Some(&Reverse((t, seq, id))) = self.far.peek() {
             let slot = t.wheel_slot(GRANULARITY_LOG2);
             if slot >= horizon {
                 break;
             }
             self.far.pop();
-            self.file_near(slot, id);
+            let item = self.far_slots[id as usize].take().expect("slot is live");
+            self.far_free.push(id);
+            debug_assert!(slot >= self.cursor);
+            self.buckets[(slot & BUCKET_MASK) as usize].push((t, seq, item));
+            self.near_len += 1;
         }
     }
 
-    /// Advances the cursor to the first non-empty bucket, jumping
-    /// straight to the overflow heap's earliest slot when the near
-    /// wheel is empty. Returns `false` when nothing is queued.
+    /// Makes `current` hold the earliest queued events: advances the
+    /// cursor to the first non-empty bucket (jumping straight to the
+    /// overflow heap's earliest slot when the near wheel is empty) and
+    /// sorts that bucket descending, once. Returns `false` when nothing
+    /// is queued.
     fn seek(&mut self) -> bool {
+        if !self.current.is_empty() {
+            return true;
+        }
         if self.len == 0 {
             return false;
         }
@@ -283,57 +294,51 @@ impl<T> TimingWheel<T> {
                 // cursor to its earliest slot and pull the horizon in.
                 let &Reverse((t, _, _)) = self.far.peek().expect("len > 0 with empty near wheel");
                 self.cursor = t.wheel_slot(GRANULARITY_LOG2);
-                self.migrate();
-                debug_assert!(self.near_len > 0);
-                continue;
+            } else {
+                self.cursor += 1;
             }
-            if !self.buckets[(self.cursor & BUCKET_MASK) as usize].is_empty() {
+            self.migrate();
+            let idx = (self.cursor & BUCKET_MASK) as usize;
+            if !self.buckets[idx].is_empty() {
+                // Take the bucket wholesale (its allocation swaps with
+                // `current`'s spent one) and order it for O(1) pops.
+                std::mem::swap(&mut self.current, &mut self.buckets[idx]);
+                self.current
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.0, e.1)));
                 return true;
             }
-            self.cursor += 1;
-            self.migrate();
         }
-    }
-
-    /// Index (within the cursor bucket) of the `(time, seq)`-minimum
-    /// event. Caller guarantees the bucket is non-empty.
-    fn scan_min(&self) -> usize {
-        let bucket = &self.buckets[(self.cursor & BUCKET_MASK) as usize];
-        let mut best = 0;
-        let mut best_key = {
-            let s = &self.slots[bucket[0] as usize];
-            (s.time, s.seq)
-        };
-        for (i, &id) in bucket.iter().enumerate().skip(1) {
-            let s = &self.slots[id as usize];
-            if (s.time, s.seq) < best_key {
-                best_key = (s.time, s.seq);
-                best = i;
-            }
-        }
-        best
-    }
-
-    /// Removes the bucket-minimum located by [`TimingWheel::scan_min`].
-    fn take_min(&mut self) -> (SimTime, T) {
-        let best = self.scan_min();
-        let id = self.buckets[(self.cursor & BUCKET_MASK) as usize].swap_remove(best);
-        self.near_len -= 1;
-        self.len -= 1;
-        self.release(id)
     }
 }
 
 impl<T> Scheduler<T> for TimingWheel<T> {
-    fn push(&mut self, time: SimTime, item: T) {
+    fn reserve_seq(&mut self) -> u64 {
         self.seq += 1;
-        let seq = self.seq;
-        let id = self.alloc(time, seq, item);
+        self.seq
+    }
+
+    fn push_at_seq(&mut self, time: SimTime, seq: u64, item: T) {
         let slot = time.wheel_slot(GRANULARITY_LOG2);
-        if slot >= self.cursor + NUM_BUCKETS as u64 {
-            self.far.push(Reverse((time, seq, id)));
+        if slot <= self.cursor {
+            // Into (or before — allowed, rare) the cursor bucket:
+            // ordered insert keeps `current` sorted descending.
+            let key = (time, seq);
+            let pos = self.current.partition_point(|e| (e.0, e.1) > key);
+            self.current.insert(pos, (time, seq, item));
+            self.near_len += 1;
+        } else if slot < self.cursor + NUM_BUCKETS as u64 {
+            self.buckets[(slot & BUCKET_MASK) as usize].push((time, seq, item));
+            self.near_len += 1;
         } else {
-            self.file_near(slot, id);
+            let id = if let Some(id) = self.far_free.pop() {
+                self.far_slots[id as usize] = Some(item);
+                id
+            } else {
+                let id = self.far_slots.len() as u32;
+                self.far_slots.push(Some(item));
+                id
+            };
+            self.far.push(Reverse((time, seq, id)));
         }
         self.len += 1;
     }
@@ -342,28 +347,31 @@ impl<T> Scheduler<T> for TimingWheel<T> {
         if !self.seek() {
             return None;
         }
-        Some(self.take_min())
+        let (time, _, item) = self.current.pop().expect("seek returned true");
+        self.near_len -= 1;
+        self.len -= 1;
+        Some((time, item))
     }
 
     fn pop_before(&mut self, bound: SimTime) -> Option<(SimTime, T)> {
         if !self.seek() {
             return None;
         }
-        let best = self.scan_min();
-        let bucket = &self.buckets[(self.cursor & BUCKET_MASK) as usize];
-        if self.slots[bucket[best] as usize].time > bound {
+        if self.current.last().expect("seek returned true").0 > bound {
             return None;
         }
-        Some(self.take_min())
+        let (time, _, item) = self.current.pop().expect("seek returned true");
+        self.near_len -= 1;
+        self.len -= 1;
+        Some((time, item))
     }
 
-    fn next_time(&mut self) -> Option<SimTime> {
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
         if !self.seek() {
             return None;
         }
-        let best = self.scan_min();
-        let bucket = &self.buckets[(self.cursor & BUCKET_MASK) as usize];
-        Some(self.slots[bucket[best] as usize].time)
+        let e = self.current.last().expect("seek returned true");
+        Some((e.0, e.1))
     }
 
     fn len(&self) -> usize {
@@ -501,17 +509,51 @@ mod tests {
     }
 
     #[test]
-    fn arena_recycles_slots() {
+    fn far_arena_recycles_slots() {
         let mut w = TimingWheel::new();
         for round in 0..10u64 {
             for i in 0..50u32 {
-                w.push(SimTime::from_ns(round * 1000 + i as u64), i);
+                // Each round sits a full millisecond past the previous
+                // cursor — far beyond the 4096×64 ns horizon — so every
+                // event routes through the overflow heap's payload
+                // arena.
+                w.push(SimTime::from_ms(round + 1) + i as u64 * 1_000, i);
             }
             while w.pop().is_some() {}
         }
         // Ten rounds of 50 events reuse the same 50 arena slots.
-        assert!(w.slots.len() <= 50, "arena grew to {}", w.slots.len());
-        assert_eq!(w.free.len(), w.slots.len());
+        assert!(
+            w.far_slots.len() <= 50,
+            "arena grew to {}",
+            w.far_slots.len()
+        );
+        assert_eq!(w.far_free.len(), w.far_slots.len());
+    }
+
+    #[test]
+    fn reserved_seq_orders_like_plain_push_on_both_engines() {
+        // Reserving seqs up front and pushing out of order must drain
+        // identically to plain pushes in reservation order — this is
+        // the primitive the batched link drain stands on.
+        let mut w = TimingWheel::new();
+        let mut h = BinaryHeapScheduler::new();
+        for s in [&mut w as &mut dyn Scheduler<u32>, &mut h] {
+            let t = SimTime::from_ns(100);
+            let s0 = s.reserve_seq();
+            let s1 = s.reserve_seq();
+            let s2 = s.reserve_seq();
+            assert!(s0 < s1 && s1 < s2);
+            // Insert in scrambled order, same timestamp.
+            s.push_at_seq(t, s2, 2);
+            s.push_at_seq(t, s0, 0);
+            s.push_at_seq(t, s1, 1);
+            assert_eq!(s.peek_key(), Some((t, s0)));
+            assert_eq!(s.pop(), Some((t, 0)));
+            assert_eq!(s.peek_key(), Some((t, s1)));
+            assert_eq!(s.pop(), Some((t, 1)));
+            assert_eq!(s.pop(), Some((t, 2)));
+            assert_eq!(s.peek_key(), None);
+        }
     }
 
     #[test]

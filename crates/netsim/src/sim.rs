@@ -28,16 +28,20 @@
 //! One seeded RNG; event ties break on a monotone sequence number; ECMP
 //! picks by flow hash. Two runs with the same seed are bit-identical.
 
+use crate::arena::{
+    PacketArena, PacketCold, PacketId, FLAG_ECN, FLAG_LAST, FLAG_RESPONSE, FLAG_VLB_DECIDED,
+};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::sched::{BinaryHeapScheduler, Scheduler, SchedulerKind, TimingWheel};
 use crate::stats::Stats;
 use crate::switch::{ForwardMode, LatencyModel};
 use crate::time::SimTime;
-use crate::transport::{ReceiverState, SendAction, SenderState, TcpVariant};
+use crate::transport::{ReceiverState, SendAction, SenderState, TcpVariant, TransportInfo};
 use quartz_core::rng::StdRng;
 use quartz_obs::{DropReason, Event, MetricsRegistry, Recorder};
 use quartz_topology::graph::{LinkId, Network, NodeId, NodeKind};
 use quartz_topology::route::{FlatRoutes, RouteChange, RouteTable};
+use std::collections::VecDeque;
 
 /// Valiant load balancing configuration (§3.4).
 #[derive(Clone, Debug)]
@@ -77,6 +81,28 @@ pub struct SimConfig {
     /// [`SchedulerKind::BinaryHeap`] drain events in an identical
     /// order, so this knob changes wall time only — never output.
     pub scheduler: SchedulerKind,
+    /// How back-to-back arrivals on one link are scheduled. Both modes
+    /// process every arrival at exactly the same `(time, seq)` position
+    /// (DESIGN.md §10), so this knob changes wall time only — never
+    /// output.
+    pub drain: DrainMode,
+}
+
+/// How arrivals queued back-to-back on one directed link are scheduled
+/// (see [`SimConfig::drain`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DrainMode {
+    /// One scheduler visit transmits a whole back-to-back run: packets
+    /// that queue behind an in-progress transmission join a per-link
+    /// batch, and a single sentinel event drains the run in-line,
+    /// yielding back to the scheduler whenever any other event (a
+    /// fault, an RTO, an arrival on another link) is due first. The
+    /// default.
+    #[default]
+    Batched,
+    /// One scheduler event per packet arrival — the reference schedule,
+    /// kept for differential testing and A/B benches.
+    PerPacket,
 }
 
 impl Default for SimConfig {
@@ -91,6 +117,7 @@ impl Default for SimConfig {
             rto_ns: 250_000,
             reconvergence_ns: None,
             scheduler: SchedulerKind::TimingWheel,
+            drain: DrainMode::Batched,
         }
     }
 }
@@ -155,7 +182,14 @@ struct FlowMeta {
     kind: FlowKind,
     tag: u32,
     hash: u64,
+    /// Index into the dense connection table (`u32::MAX` for flows with
+    /// no transport state) — interned at `add_flow` so the per-delivery
+    /// lookup is one indexed load, not an `Option` walk.
+    conn: u32,
 }
+
+/// Sentinel: this flow has no transport connection.
+const NO_CONN: u32 = u32::MAX;
 
 /// Per-flow mutable progress, parallel to the [`FlowMeta`] table.
 #[derive(Clone, Debug)]
@@ -168,49 +202,21 @@ struct FlowState {
     table: Option<usize>,
 }
 
-#[derive(Clone, Debug)]
-struct Packet {
-    flow: u32,
-    created: SimTime,
-    size: u32,
-    dst: NodeId,
-    intermediate: Option<NodeId>,
-    is_response: bool,
-    /// Final packet of a [`FlowKind::FileTransfer`]; its delivery is the
-    /// flow completion.
-    is_last: bool,
-    /// Transport-layer payload (data segment or cumulative ACK).
-    transport: TransportInfo,
-    /// ECN congestion-experienced mark, set at overloaded queues.
-    ecn: bool,
-    hash: u64,
-    vlb_decided: bool,
-    /// Links traversed so far (recorded at delivery: detours after a
-    /// fiber cut show up as hop-count stretch).
-    hops: u32,
-}
-
-/// Transport-layer role of a packet.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum TransportInfo {
-    /// Not transport-managed.
-    None,
-    /// Data segment `seq` of its flow.
-    Data(u64),
-    /// Cumulative ACK up to `ack`, echoing the data packet's ECN mark.
-    Ack { ack: u64, ecn_echo: bool },
-}
-
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum EvKind {
     /// Emit the flow's next packet (or burst).
     Gen { flow: usize },
-    /// Packet head arrives at a node; tail follows.
-    Head {
-        pkt: Packet,
-        at: NodeId,
-        tail: SimTime,
-    },
+    /// Packet head arrives at a node; the tail follows `ser` ns later
+    /// (the serialization time, which always fits 32 bits — reconstructed
+    /// as `time + ser` at dispatch to keep the event at one word). The
+    /// packet's fields live in the [`PacketArena`]; the event carries
+    /// only its id.
+    Head { pkt: PacketId, at: NodeId, ser: u32 },
+    /// Sentinel for a non-empty per-link batch: drain the back-to-back
+    /// run queued on directed link `slot`. Carries the `(time, seq)`
+    /// key of the batch's first pending arrival, so it pops exactly
+    /// where that arrival's own `Head` event would have.
+    LinkDrain { slot: u32 },
     /// Both directions of a link fail (a fiber cut).
     FailLink { link: LinkId },
     /// A previously cut link carries traffic again.
@@ -223,8 +229,9 @@ enum EvKind {
     /// surviving elements and close open [`FaultRecord`]s.
     Reroute,
     /// Transport retransmission timer for `flow`; ignored if `epoch` is
-    /// stale.
-    Rto { flow: usize, epoch: u64 },
+    /// stale. Both fields are narrowed to keep the event at 16 bytes;
+    /// neither plausibly exceeds 32 bits in a simulation's lifetime.
+    Rto { flow: u32, epoch: u32 },
 }
 
 /// One entry of the simulator's fault log: what failed (or recovered),
@@ -279,6 +286,30 @@ impl EventQueue {
     }
 
     #[inline]
+    fn reserve_seq(&mut self) -> u64 {
+        match self {
+            EventQueue::Wheel(w) => w.reserve_seq(),
+            EventQueue::Heap(h) => h.reserve_seq(),
+        }
+    }
+
+    #[inline]
+    fn push_at_seq(&mut self, time: SimTime, seq: u64, kind: EvKind) {
+        match self {
+            EventQueue::Wheel(w) => w.push_at_seq(time, seq, kind),
+            EventQueue::Heap(h) => h.push_at_seq(time, seq, kind),
+        }
+    }
+
+    #[inline]
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        match self {
+            EventQueue::Wheel(w) => w.peek_key(),
+            EventQueue::Heap(h) => h.peek_key(),
+        }
+    }
+
+    #[inline]
     fn is_empty(&self) -> bool {
         match self {
             EventQueue::Wheel(w) => w.is_empty(),
@@ -298,6 +329,25 @@ struct DirLink {
     bytes: u64,
     /// A failed link silently drops everything queued onto it.
     failed: bool,
+    /// Memoized serialization time for the last frame size sent (the
+    /// rate is fixed per link and traffic is dominated by one or two
+    /// sizes, so the `ceil(bits / rate)` float round-trip rarely
+    /// recomputes). `ser_size == 0` means empty.
+    ser_size: u32,
+    ser_ns: u64,
+}
+
+impl DirLink {
+    /// Serialization time for `size` bytes — the cached value when the
+    /// size repeats, the identical f64 computation when it doesn't.
+    #[inline]
+    fn ser_ns(&mut self, size: u32) -> u64 {
+        if self.ser_size != size {
+            self.ser_size = size;
+            self.ser_ns = ((size as f64 * 8.0) / self.rate_gbps).ceil() as u64;
+        }
+        self.ser_ns
+    }
 }
 
 /// Per-direction transmission statistics for one link.
@@ -361,12 +411,31 @@ pub struct Simulator {
     /// VLB domain index per node (`u32::MAX` = not in any domain).
     /// Dense so the per-packet membership test is one indexed load.
     vlb_domain: Vec<u32>,
+    /// Whether any VLB domain exists at all; `false` short-circuits the
+    /// per-hop membership load in non-VLB runs.
+    vlb_enabled: bool,
     /// Scratch buffer for VLB intermediate candidates; reused across
     /// packets so the steady-state hot path allocates nothing.
     vlb_scratch: Vec<NodeId>,
-    /// Transport connection state, parallel to `flows` (None for
-    /// non-transport flows).
-    conns: Vec<Option<Conn>>,
+    /// Scratch buffer for transport actions; reused (via `mem::take`)
+    /// across transport events so the hot path allocates nothing.
+    action_scratch: Vec<SendAction>,
+    /// Dense transport connection table; `FlowMeta::conn` indexes it.
+    conns: Vec<Conn>,
+    /// In-flight packet store (struct-of-arrays; events carry ids).
+    arena: PacketArena,
+    /// Per-directed-link batch of pending arrivals ([`DrainMode::Batched`]):
+    /// arena ids whose `(arr_head, arr_seq)` keys are strictly
+    /// increasing per queue. Non-empty exactly while one
+    /// [`EvKind::LinkDrain`] sentinel for the slot is queued (or being
+    /// dispatched).
+    link_q: Vec<VecDeque<PacketId>>,
+    /// Arrival node of each directed link slot (`[2l]` = `a→b` arrives
+    /// at `b`), precomputed so a drained batch entry needs no lookup.
+    slot_dst: Vec<NodeId>,
+    /// Events processed so far (queue pops + batched arrivals): the
+    /// denominator-free half of the events/sec headline metric.
+    events_processed: u64,
     /// CSR-flattened view of `table` — the per-hop lookup the forward
     /// path actually uses (no map walks, no adjacency scans).
     flat: FlatRoutes,
@@ -375,6 +444,10 @@ pub struct Simulator {
     extra_flat: Vec<FlatRoutes>,
     /// Per-node failure state (only switches ever fail).
     failed_nodes: Vec<bool>,
+    /// Dense per-node kind column ([`Network::node`] rows carry rack
+    /// metadata the per-hop path never reads; this keeps the whole
+    /// fleet's kinds in a cache line or two).
+    node_kind: Vec<NodeKind>,
     /// Link/node failure state *as the routing table last saw it*.
     /// `complete_reroute` replays pending deltas against these so each
     /// incremental patch observes exactly the state the previous patch
@@ -391,6 +464,9 @@ pub struct Simulator {
     recorder: Option<Box<dyn Recorder>>,
     /// Observability: optional metrics registry.
     metrics: Option<MetricsRegistry>,
+    /// `recorder.is_some() || metrics.is_some()`, maintained by the
+    /// attach/detach methods.
+    obs: bool,
 }
 
 /// One reliable connection's two endpoints plus its start time.
@@ -413,6 +489,8 @@ impl Simulator {
                     busy_ns: 0,
                     bytes: 0,
                     failed: false,
+                    ser_size: 0,
+                    ser_ns: 0,
                 };
                 [d.clone(), d]
             })
@@ -431,10 +509,18 @@ impl Simulator {
         }
         let rng = StdRng::seed_from_u64(cfg.seed);
         let failed_nodes = vec![false; net.node_count()];
+        let node_kind: Vec<NodeKind> = net.nodes().map(|n| n.kind).collect();
         let routed_link_failed = vec![false; net.link_count()];
         let routed_node_failed = vec![false; net.node_count()];
         let flat = FlatRoutes::new(&table, &net);
         let events = EventQueue::new(cfg.scheduler);
+        // Directed slot layout: [2l] = a→b (arrives at b), [2l+1] = b→a.
+        let mut slot_dst = Vec::with_capacity(2 * net.link_count());
+        for l in net.links() {
+            slot_dst.push(l.b);
+            slot_dst.push(l.a);
+        }
+        let link_q = vec![VecDeque::new(); 2 * net.link_count()];
         Simulator {
             net,
             table,
@@ -446,18 +532,26 @@ impl Simulator {
             rng,
             stats: Stats::default(),
             now: SimTime::ZERO,
+            vlb_enabled: vlb_domain.iter().any(|&d| d != u32::MAX),
             vlb_domain,
             vlb_scratch: Vec::new(),
+            action_scratch: Vec::new(),
             conns: Vec::new(),
+            arena: PacketArena::new(),
+            link_q,
+            slot_dst,
+            events_processed: 0,
             flat,
             extra_flat: Vec::new(),
             failed_nodes,
+            node_kind,
             routed_link_failed,
             routed_node_failed,
             pending_route_changes: Vec::new(),
             fault_log: Vec::new(),
             recorder: None,
             metrics: None,
+            obs: false,
         }
     }
 
@@ -467,11 +561,14 @@ impl Simulator {
     /// none (asserted by `faults::tests`).
     pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
         self.recorder = Some(recorder);
+        self.obs = true;
     }
 
     /// Detaches the recorder; drain or flush it via `Recorder::finish`.
     pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
-        self.recorder.take()
+        let r = self.recorder.take();
+        self.obs = self.metrics.is_some();
+        r
     }
 
     /// Enables metric collection (per-link queue/utilization series,
@@ -480,17 +577,22 @@ impl Simulator {
         if self.metrics.is_none() {
             self.metrics = Some(MetricsRegistry::new());
         }
+        self.obs = true;
     }
 
     /// Detaches and returns the metrics registry.
     pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
-        self.metrics.take()
+        let m = self.metrics.take();
+        self.obs = self.recorder.is_some();
+        m
     }
 
-    /// Whether any observability sink is attached.
+    /// Whether any observability sink is attached (cached in a flag the
+    /// per-hop path can test with one load — the `Option`s themselves
+    /// live with the cold fields).
     #[inline]
     fn observing(&self) -> bool {
-        self.recorder.is_some() || self.metrics.is_some()
+        self.obs
     }
 
     /// Feeds one event to the attached recorder, if any.
@@ -567,13 +669,14 @@ impl Simulator {
                 variant,
             } => {
                 let pkts = total_bytes.div_ceil(u64::from(size_bytes)).max(1);
-                Some(Conn {
+                self.conns.push(Conn {
                     sender: SenderState::new(*variant, pkts),
                     receiver: ReceiverState::default(),
                     t0: start,
-                })
+                });
+                (self.conns.len() - 1) as u32
             }
-            _ => None,
+            _ => NO_CONN,
         };
         self.flows.push(FlowMeta {
             src,
@@ -582,13 +685,13 @@ impl Simulator {
             kind,
             tag,
             hash,
+            conn,
         });
         self.flow_state.push(FlowState {
             sent: 0,
             t0: start,
             table: None,
         });
-        self.conns.push(conn);
         self.push(start, EvKind::Gen { flow: idx });
         idx
     }
@@ -602,26 +705,118 @@ impl Simulator {
     /// Returns the accumulated statistics.
     pub fn run(&mut self, until: SimTime) -> &Stats {
         while let Some((time, kind)) = self.events.pop_before(until) {
-            self.dispatch(time, kind);
+            self.dispatch(time, kind, until, false);
+        }
+        // Leak check: at quiescence every arena slot must have been
+        // freed (delivered or dropped). With events still queued past
+        // `until`, live slots are exactly the in-flight packets, which
+        // the event queue owns — only the empty-queue case is checkable
+        // from here. The batch invariant makes the two equivalent: a
+        // non-empty batch always keeps its sentinel queued.
+        #[cfg(debug_assertions)]
+        if self.events.is_empty() {
+            let batched: usize = self.link_q.iter().map(|q| q.len()).sum();
+            debug_assert_eq!(batched, 0, "batch entries without a drain sentinel");
+            debug_assert_eq!(
+                self.arena.live(),
+                0,
+                "packet arena leak: live slots at quiescence"
+            );
         }
         &self.stats
     }
 
-    fn dispatch(&mut self, time: SimTime, kind: EvKind) {
+    /// Total simulated events processed so far: one per scheduler pop
+    /// plus one per batched arrival (so the count is comparable across
+    /// [`DrainMode`]s). The events/sec headline metric divides this by
+    /// wall time.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Dispatches one popped event. `bound` is the caller's time bound
+    /// (batch draining must not run past it); with `step`, a batch
+    /// drain processes exactly one arrival before yielding, so callers
+    /// that inspect state between events (e.g.
+    /// [`Simulator::run_until_samples`]) observe the same boundaries as
+    /// [`DrainMode::PerPacket`].
+    fn dispatch(&mut self, time: SimTime, kind: EvKind, bound: SimTime, step: bool) {
         self.now = time;
         match kind {
+            EvKind::LinkDrain { slot } => {
+                self.drain_link(slot, bound, step);
+                return;
+            }
+            _ => self.events_processed += 1,
+        }
+        match kind {
             EvKind::Gen { flow } => self.generate(flow, time),
-            EvKind::Head { pkt, at, tail } => self.forward(pkt, at, time, tail),
+            EvKind::Head { pkt, at, ser } => self.arrive(pkt, at, time, time + u64::from(ser)),
+            EvKind::LinkDrain { .. } => unreachable!("handled above"),
             EvKind::FailLink { link } => self.on_fault(FaultKind::LinkDown(link)),
             EvKind::RecoverLink { link } => self.on_fault(FaultKind::LinkUp(link)),
             EvKind::FailSwitch { node } => self.on_fault(FaultKind::SwitchDown(node)),
             EvKind::RecoverSwitch { node } => self.on_fault(FaultKind::SwitchUp(node)),
             EvKind::Reroute => self.complete_reroute(),
             EvKind::Rto { flow, epoch } => {
-                if let Some(conn) = self.conns[flow].as_mut() {
-                    let actions = conn.sender.on_rto(epoch);
-                    self.apply_transport_actions(flow, time, actions);
+                let flow = flow as usize;
+                let conn = self.flows[flow].conn;
+                if conn != NO_CONN {
+                    let mut actions = std::mem::take(&mut self.action_scratch);
+                    actions.clear();
+                    self.conns[conn as usize]
+                        .sender
+                        .on_rto_into(u64::from(epoch), &mut actions);
+                    self.apply_transport_actions(flow, time, &actions);
+                    self.action_scratch = actions;
                 }
+            }
+        }
+    }
+
+    /// Drains the batch queued on directed link `slot`, processing
+    /// pending arrivals in-line while — and only while — each one's
+    /// `(time, seq)` key precedes everything else in the event queue.
+    /// Any earlier queued event (a fault, an RTO, an arrival on another
+    /// link, a generation) re-arms the sentinel at the next entry's key
+    /// and yields, so the global event order is exactly the
+    /// [`DrainMode::PerPacket`] order — batch "termination" at ECN,
+    /// fault, or dark-window boundaries falls out of the key merge
+    /// rather than needing special cases.
+    fn drain_link(&mut self, slot: u32, bound: SimTime, step: bool) {
+        let at = self.slot_dst[slot as usize];
+        loop {
+            let Some(&id) = self.link_q[slot as usize].front() else {
+                return;
+            };
+            let i = id as usize;
+            let (head, seq) = (self.arena.arr_head[i], self.arena.arr_seq[i]);
+            // Yield to the queue if anything there is due first, and to
+            // the caller if the entry lies past its time bound; either
+            // way the batch keeps exactly one sentinel, keyed like its
+            // first pending arrival.
+            let defer = head > bound || self.events.peek_key().is_some_and(|k| k < (head, seq));
+            if defer {
+                self.events
+                    .push_at_seq(head, seq, EvKind::LinkDrain { slot });
+                return;
+            }
+            self.link_q[slot as usize].pop_front();
+            let tail = self.arena.arr_tail[i];
+            self.now = head;
+            self.events_processed += 1;
+            self.arrive(id, at, head, tail);
+            if step {
+                // One arrival per dispatch: re-arm for the rest.
+                if let Some(&next) = self.link_q[slot as usize].front() {
+                    let j = next as usize;
+                    self.events.push_at_seq(
+                        self.arena.arr_head[j],
+                        self.arena.arr_seq[j],
+                        EvKind::LinkDrain { slot },
+                    );
+                }
+                return;
             }
         }
     }
@@ -672,12 +867,13 @@ impl Simulator {
                 // Connection start: open the window.
                 let t0 = self.flow_state[flow_idx].t0;
                 if t0 == SimTime::ZERO || now >= t0 {
-                    let actions = self.conns[flow_idx]
-                        .as_mut()
-                        .expect("transport flow has a connection")
-                        .sender
-                        .pump();
-                    self.apply_transport_actions(flow_idx, now, actions);
+                    let conn = flow.conn;
+                    debug_assert_ne!(conn, NO_CONN, "transport flow has a connection");
+                    let mut actions = std::mem::take(&mut self.action_scratch);
+                    actions.clear();
+                    self.conns[conn as usize].sender.pump_into(&mut actions);
+                    self.apply_transport_actions(flow_idx, now, &actions);
+                    self.action_scratch = actions;
                 }
             }
             FlowKind::FileTransfer { total_bytes } => {
@@ -743,20 +939,21 @@ impl Simulator {
         } else {
             f_hash
         };
-        let pkt = Packet {
-            flow: flow_idx as u32,
-            created: created_override.unwrap_or(now),
-            size: f_size,
+        let flags =
+            if is_response { FLAG_RESPONSE } else { 0 } | if is_last { FLAG_LAST } else { 0 };
+        let id = self.arena.alloc(
+            created_override.unwrap_or(now),
             dst,
-            intermediate: None,
-            is_response,
-            is_last,
-            transport: TransportInfo::None,
-            ecn: false,
+            flow_idx as u32,
+            f_size,
             hash,
-            vlb_decided: false,
-            hops: 0,
-        };
+            PacketCold {
+                transport: TransportInfo::None,
+                intermediate: None,
+                flags,
+                hops: 0,
+            },
+        );
         self.stats.generated += 1;
         if self.observing() {
             self.record(Event::Gen {
@@ -770,12 +967,12 @@ impl Simulator {
             }
         }
         let t = now + self.cfg.latency.host_send_ns;
-        self.forward(pkt, origin, t, t);
+        self.arrive(id, origin, t, t);
     }
 
     /// Executes the transport state machine's requested actions.
-    fn apply_transport_actions(&mut self, flow_idx: usize, now: SimTime, actions: Vec<SendAction>) {
-        for a in actions {
+    fn apply_transport_actions(&mut self, flow_idx: usize, now: SimTime, actions: &[SendAction]) {
+        for &a in actions {
             match a {
                 SendAction::SendData { seq } => {
                     let (src, size) = {
@@ -786,18 +983,19 @@ impl Simulator {
                 }
                 SendAction::ArmRto { epoch } => {
                     let at = now + self.cfg.rto_ns;
+                    debug_assert!(epoch <= u64::from(u32::MAX));
                     self.push(
                         at,
                         EvKind::Rto {
-                            flow: flow_idx,
-                            epoch,
+                            flow: flow_idx as u32,
+                            epoch: epoch as u32,
                         },
                     );
                 }
                 SendAction::Complete => {
                     let (tag, t0) = {
                         let f = &self.flows[flow_idx];
-                        (f.tag, self.conns[flow_idx].as_ref().unwrap().t0)
+                        (f.tag, self.conns[f.conn as usize].t0)
                     };
                     self.stats.record(tag, now.saturating_sub(t0));
                 }
@@ -822,20 +1020,19 @@ impl Simulator {
             }
             _ => (flow.dst, flow.hash),
         };
-        let pkt = Packet {
-            flow: flow_idx as u32,
-            created: now,
-            size,
+        let id = self.arena.alloc(
+            now,
             dst,
-            intermediate: None,
-            is_response: false,
-            is_last: false,
-            transport,
-            ecn: false,
+            flow_idx as u32,
+            size,
             hash,
-            vlb_decided: false,
-            hops: 0,
-        };
+            PacketCold {
+                transport,
+                intermediate: None,
+                flags: 0,
+                hops: 0,
+            },
+        );
         self.stats.generated += 1;
         if self.observing() {
             self.record(Event::Gen {
@@ -849,125 +1046,151 @@ impl Simulator {
             }
         }
         let t = now + self.cfg.latency.host_send_ns;
-        self.forward(pkt, origin, t, t);
+        self.arrive(id, origin, t, t);
     }
 
-    /// Handles a packet whose head reached `at` at `head` (tail at
-    /// `tail`): deliver or queue on the next output port.
-    fn forward(&mut self, mut pkt: Packet, at: NodeId, head: SimTime, tail: SimTime) {
+    /// Handles a packet (arena slot `id`) whose head reached `at` at
+    /// `head` (tail at `tail`): deliver or queue on the next output
+    /// port. Every exit path either frees the slot (delivery, drops) or
+    /// schedules its next arrival.
+    fn arrive(&mut self, id: PacketId, at: NodeId, head: SimTime, tail: SimTime) {
+        let i = id as usize;
+        let flow_id = self.arena.flow[i];
         // A dead switch loses every frame that reaches it.
         if self.failed_nodes[at.0 as usize] {
             self.stats.dropped += 1;
             if self.observing() {
-                self.drop_hook(pkt.flow, at, head, DropReason::DeadSwitch);
+                self.drop_hook(flow_id, at, head, DropReason::DeadSwitch);
             }
+            self.arena.free(id);
             return;
         }
-        let node_kind = self.net.node(at).kind;
+        let node_kind = self.node_kind[at.0 as usize];
+        let dst = self.arena.dst[i];
 
-        // Delivery.
-        if at == pkt.dst {
+        // Delivery: copy what the handlers below need, then free the
+        // slot up front — the LIFO free list hands the still-warm row
+        // straight to the ACK or response this delivery may emit.
+        if at == dst {
             debug_assert!(node_kind.is_host());
             let delivered_at = tail + self.cfg.latency.host_recv_ns;
+            let size = self.arena.size[i];
+            let created = self.arena.created[i];
+            let cold = self.arena.cold[i];
+            self.arena.free(id);
             self.stats.delivered += 1;
-            let tag = self.flows[pkt.flow as usize].tag;
-            self.stats.record_bytes(tag, u64::from(pkt.size));
-            self.stats.record_hops(tag, pkt.hops);
+            let flow_idx = flow_id as usize;
+            let (tag, kind) = {
+                let f = &self.flows[flow_idx];
+                (f.tag, f.kind)
+            };
+            // One stats-row lookup per delivery: decide up front whether
+            // this delivery contributes a latency sample (responses and
+            // one-way streams do; request legs awaiting a response,
+            // transport segments, and non-final file packets don't).
+            let is_response = cold.flags & FLAG_RESPONSE != 0;
+            let latency_sample = match cold.transport {
+                TransportInfo::None => {
+                    if is_response {
+                        Some(delivered_at.saturating_sub(created))
+                    } else {
+                        let completes = match kind {
+                            FlowKind::Poisson { respond, .. } => !respond,
+                            FlowKind::Rpc { .. } => false,
+                            FlowKind::FileTransfer { .. } => cold.flags & FLAG_LAST != 0,
+                            _ => true,
+                        };
+                        completes.then(|| delivered_at.saturating_sub(created))
+                    }
+                }
+                _ => None,
+            };
+            self.stats
+                .record_delivery(tag, u64::from(size), cold.hops, latency_sample);
             if self.observing() {
                 self.record(Event::Deliver {
                     t_ns: delivered_at.ns(),
                     node: at.0,
-                    flow: pkt.flow,
-                    latency_ns: delivered_at.saturating_sub(pkt.created),
-                    hops: pkt.hops,
+                    flow: flow_id,
+                    latency_ns: delivered_at.saturating_sub(created),
+                    hops: cold.hops,
                 });
                 if let Some(m) = self.metrics.as_mut() {
                     m.inc("sim.packets.delivered", 1);
                 }
             }
-            match pkt.transport {
+            match cold.transport {
                 TransportInfo::Data(seq) => {
                     // Receiver: reassemble and send a cumulative ACK
                     // echoing this packet's ECN mark.
-                    let flow_idx = pkt.flow as usize;
-                    let ack = self.conns[flow_idx]
-                        .as_mut()
-                        .expect("data packet without connection")
-                        .receiver
-                        .on_data(seq);
+                    let conn = self.flows[flow_idx].conn;
+                    debug_assert_ne!(conn, NO_CONN, "data packet without connection");
+                    let ack = self.conns[conn as usize].receiver.on_data(seq);
                     self.send_transport_packet(
                         flow_idx,
-                        pkt.dst,
+                        dst,
                         64,
                         TransportInfo::Ack {
                             ack,
-                            ecn_echo: pkt.ecn,
+                            ecn_echo: cold.flags & FLAG_ECN != 0,
                         },
                         delivered_at,
                     );
                     return;
                 }
                 TransportInfo::Ack { ack, ecn_echo } => {
-                    let flow_idx = pkt.flow as usize;
-                    let actions = self.conns[flow_idx]
-                        .as_mut()
-                        .expect("ack without connection")
+                    let conn = self.flows[flow_idx].conn;
+                    debug_assert_ne!(conn, NO_CONN, "ack without connection");
+                    let mut actions = std::mem::take(&mut self.action_scratch);
+                    actions.clear();
+                    self.conns[conn as usize]
                         .sender
-                        .on_ack(ack, ecn_echo);
-                    self.apply_transport_actions(flow_idx, delivered_at, actions);
+                        .on_ack_into(ack, ecn_echo, &mut actions);
+                    self.apply_transport_actions(flow_idx, delivered_at, &actions);
+                    self.action_scratch = actions;
                     return;
                 }
                 TransportInfo::None => {}
             }
-            let flow = self.flows[pkt.flow as usize];
-            if pkt.is_response {
-                self.stats
-                    .record(flow.tag, delivered_at.saturating_sub(pkt.created));
-                if let FlowKind::Rpc { count } = flow.kind {
-                    if self.flow_state[pkt.flow as usize].sent < count {
-                        self.push(
-                            delivered_at,
-                            EvKind::Gen {
-                                flow: pkt.flow as usize,
-                            },
-                        );
+            if is_response {
+                if let FlowKind::Rpc { count } = kind {
+                    if self.flow_state[flow_idx].sent < count {
+                        self.push(delivered_at, EvKind::Gen { flow: flow_idx });
                     }
                 }
             } else {
                 let responds = matches!(
-                    flow.kind,
+                    kind,
                     FlowKind::Poisson { respond: true, .. } | FlowKind::Rpc { .. }
                 );
                 if responds {
-                    self.emit(pkt.flow as usize, delivered_at, true, Some(pkt.created));
-                } else if matches!(flow.kind, FlowKind::FileTransfer { .. }) {
-                    // Only the final packet's delivery is the flow
-                    // completion time.
-                    if pkt.is_last {
-                        self.stats
-                            .record(flow.tag, delivered_at.saturating_sub(pkt.created));
-                    }
-                } else {
-                    self.stats
-                        .record(flow.tag, delivered_at.saturating_sub(pkt.created));
+                    self.emit(flow_idx, delivered_at, true, Some(created));
                 }
             }
             return;
         }
 
+        // Forwarding: the mutable fields (detour, flags, hash, hops)
+        // work on copies and write back once, right before scheduling.
+        let mut cold = self.arena.cold[i];
+        let mut hash = self.arena.hash[i];
+        let size = self.arena.size[i];
+
         // Routing target: detour intermediate first, then the real dst.
-        if pkt.intermediate == Some(at) {
-            pkt.intermediate = None;
+        if cold.intermediate == Some(at) {
+            cold.intermediate = None;
         }
 
-        // VLB decision at the mesh ingress switch.
+        // VLB decision at the mesh ingress switch. (`vlb_enabled` keeps
+        // non-VLB runs — the common case — off the domain table
+        // entirely; with no domains configured every lookup would miss
+        // anyway.)
         let mut vlb_detour: Option<NodeId> = None;
-        if !pkt.vlb_decided && node_kind.is_switch() {
+        if self.vlb_enabled && cold.flags & FLAG_VLB_DECIDED == 0 && node_kind.is_switch() {
             let dom_idx = self.vlb_domain[at.0 as usize];
             if dom_idx != u32::MAX {
-                pkt.vlb_decided = true;
-                let target = pkt.dst;
-                if let Some((nh, _)) = self.flat.ecmp_next(at, target, pkt.hash) {
+                cold.flags |= FLAG_VLB_DECIDED;
+                if let Some((nh, _)) = self.flat.ecmp_next(at, dst, hash) {
                     if self.vlb_domain[nh.0 as usize] == dom_idx {
                         let vlb = self.cfg.vlb.as_ref().expect("domains imply config");
                         if self.rng.random::<f64>() < vlb.fraction {
@@ -978,12 +1201,12 @@ impl Simulator {
                             if !self.vlb_scratch.is_empty() {
                                 let w = self.vlb_scratch
                                     [self.rng.random_range(0..self.vlb_scratch.len())];
-                                pkt.intermediate = Some(w);
+                                cold.intermediate = Some(w);
                                 vlb_detour = Some(w);
                                 // Per-packet spraying: differentiate the
                                 // hash so detour packets of one flow use
                                 // their own ECMP choices.
-                                pkt.hash = self.rng.random::<u64>();
+                                hash = self.rng.random::<u64>();
                             }
                         }
                     }
@@ -996,7 +1219,7 @@ impl Simulator {
                 self.record(Event::Vlb {
                     t_ns: head.ns(),
                     node: at.0,
-                    flow: pkt.flow,
+                    flow: flow_id,
                     via: w.0,
                 });
                 if let Some(m) = self.metrics.as_mut() {
@@ -1005,35 +1228,41 @@ impl Simulator {
             }
         }
 
-        let target = pkt.intermediate.unwrap_or(pkt.dst);
-        let routing = match self.flow_state[pkt.flow as usize].table {
-            Some(i) => &self.extra_flat[i],
-            None => &self.flat,
+        let target = cold.intermediate.unwrap_or(dst);
+        // With no extra tables installed (the common case) every flow
+        // routes by the default table — skip the per-flow indirection.
+        let routing = if self.extra_flat.is_empty() {
+            &self.flat
+        } else {
+            match self.flow_state[flow_id as usize].table {
+                Some(t) => &self.extra_flat[t],
+                None => &self.flat,
+            }
         };
         // The flat table resolves the next hop *and* its directed link
         // slot in one indexed lookup — no adjacency scan per hop.
-        let Some((next, slot)) = routing.ecmp_next(at, target, pkt.hash) else {
+        let Some((next, slot)) = routing.ecmp_next(at, target, hash) else {
             self.stats.dropped += 1;
             if self.observing() {
-                self.drop_hook(pkt.flow, at, head, DropReason::NoRoute);
+                self.drop_hook(flow_id, at, head, DropReason::NoRoute);
             }
+            self.arena.free(id);
             return;
         };
-        let dl = &self.links[slot as usize];
-        if dl.failed {
+        let (failed, rate, free_at, ser_ns) = {
+            let dl = &mut self.links[slot as usize];
+            (dl.failed, dl.rate_gbps, dl.free_at, dl.ser_ns(size))
+        };
+        if failed {
             // A cut fiber: everything forwarded onto it is lost until
             // routes are recomputed (see [`Simulator::reroute`]).
             self.stats.dropped += 1;
             if self.observing() {
-                self.drop_hook(pkt.flow, at, head, DropReason::DeadLink);
+                self.drop_hook(flow_id, at, head, DropReason::DeadLink);
             }
+            self.arena.free(id);
             return;
         }
-        let rate = dl.rate_gbps;
-        let free_at = dl.free_at;
-
-        // Device delay + cut-through eligibility.
-        let ser_ns = ((pkt.size as f64 * 8.0) / rate).ceil() as u64;
         let inbound_ns = tail - head; // 0 at the origin host
         let mut forward_decision: Option<(ForwardMode, u64)> = None;
         let earliest = match node_kind {
@@ -1065,7 +1294,7 @@ impl Simulator {
             self.record(Event::Forward {
                 t_ns: head.ns(),
                 node: at.0,
-                flow: pkt.flow,
+                flow: flow_id,
                 cut_through,
                 latency_ns,
             });
@@ -1081,21 +1310,27 @@ impl Simulator {
             }
         }
 
-        // Drop-tail check on the output port.
+        // Drop-tail check on the output port (skip the float math on
+        // the common idle-port case — the backlog is exactly zero).
         let backlog_ns = free_at.saturating_sub(earliest);
-        let backlog_bytes = (backlog_ns as f64 * rate / 8.0) as u64;
+        let backlog_bytes = if backlog_ns == 0 {
+            0
+        } else {
+            (backlog_ns as f64 * rate / 8.0) as u64
+        };
         if backlog_bytes > self.cfg.queue_cap_bytes {
             self.stats.dropped += 1;
             if self.observing() {
-                self.drop_hook(pkt.flow, at, earliest, DropReason::QueueFull);
+                self.drop_hook(flow_id, at, earliest, DropReason::QueueFull);
             }
+            self.arena.free(id);
             return;
         }
         // DCTCP-style ECN: mark packets that queue behind more than K
         // bytes (instantaneous queue-length marking, as DCTCP specifies).
         if let Some(k) = self.cfg.ecn_threshold_bytes {
             if backlog_bytes > k {
-                pkt.ecn = true;
+                cold.flags |= FLAG_ECN;
             }
         }
 
@@ -1108,9 +1343,9 @@ impl Simulator {
         let dl = &mut self.links[slot as usize];
         dl.free_at = done;
         dl.busy_ns += ser_ns;
-        dl.bytes += u64::from(pkt.size);
+        dl.bytes += u64::from(size);
         if self.observing() {
-            let queue_bytes = backlog_bytes + u64::from(pkt.size);
+            let queue_bytes = backlog_bytes + u64::from(size);
             // Slot layout: [2l] = a→b, [2l+1] = b→a.
             let link_idx = slot >> 1;
             let to_b = slot & 1 == 0;
@@ -1119,14 +1354,14 @@ impl Simulator {
                 node: at.0,
                 link: link_idx,
                 to_b,
-                flow: pkt.flow,
+                flow: flow_id,
                 queue_bytes,
             });
             self.record(Event::Transmit {
                 t_ns: start.ns(),
                 link: link_idx,
                 to_b,
-                flow: pkt.flow,
+                flow: flow_id,
                 serialize_ns: ser_ns,
             });
             if let Some(m) = self.metrics.as_mut() {
@@ -1148,15 +1383,55 @@ impl Simulator {
             }
         }
         let prop = self.cfg.prop_delay_ns;
-        pkt.hops += 1;
-        self.push(
-            start + prop,
-            EvKind::Head {
-                pkt,
-                at: next,
-                tail: done + prop,
-            },
-        );
+        cold.hops += 1;
+        self.arena.cold[i] = cold;
+        self.arena.hash[i] = hash;
+        let arr_head = start + prop;
+        let arr_tail = done + prop;
+        debug_assert_eq!(next, self.slot_dst[slot as usize]);
+        debug_assert!(ser_ns <= u64::from(u32::MAX));
+        let ser = ser_ns as u32;
+        match self.cfg.drain {
+            DrainMode::PerPacket => self.push(
+                arr_head,
+                EvKind::Head {
+                    pkt: id,
+                    at: next,
+                    ser,
+                },
+            ),
+            DrainMode::Batched => {
+                let q_was_empty = self.link_q[slot as usize].is_empty();
+                if q_was_empty && free_at <= earliest {
+                    // Idle link: a lone arrival gets a plain event, so
+                    // short queues pay no batch bookkeeping.
+                    self.push(
+                        arr_head,
+                        EvKind::Head {
+                            pkt: id,
+                            at: next,
+                            ser,
+                        },
+                    );
+                } else {
+                    // Queued behind an in-progress transmission (or an
+                    // already-pending batch): reserve this arrival's
+                    // `(time, seq)` key — identical to the key a plain
+                    // push would have taken — and append. Keys are
+                    // strictly increasing per slot because each start
+                    // time is at least the predecessor's done time.
+                    let seq = self.events.reserve_seq();
+                    self.arena.arr_head[i] = arr_head;
+                    self.arena.arr_tail[i] = arr_tail;
+                    self.arena.arr_seq[i] = seq;
+                    self.link_q[slot as usize].push_back(id);
+                    if q_was_empty {
+                        self.events
+                            .push_at_seq(arr_head, seq, EvKind::LinkDrain { slot });
+                    }
+                }
+            }
+        }
     }
 
     /// Accumulated statistics.
@@ -1178,7 +1453,10 @@ impl Simulator {
             let Some((time, kind)) = self.events.pop_before(deadline) else {
                 return false;
             };
-            self.dispatch(time, kind);
+            // step = true: a batched drain yields after each arrival so
+            // the sample count is checked at the same boundaries as the
+            // per-packet schedule (no overshoot divergence).
+            self.dispatch(time, kind, deadline, true);
         }
         true
     }

@@ -7,7 +7,6 @@
 //! of the mean — the paper plots 95 % CIs on its prototype results (§6.1).
 
 use std::cell::{Cell, Ref, RefCell};
-use std::collections::BTreeMap;
 
 /// Aggregated samples for one tag.
 ///
@@ -138,12 +137,42 @@ impl LatencySummary {
     }
 }
 
+/// Per-tag aggregates: the latency series plus the byte and hop
+/// accounting, one row per tag so the per-delivery hot path touches a
+/// single entry.
+#[derive(Clone, Debug, Default)]
+struct TagStats {
+    series: Series,
+    bytes: u64,
+    /// Histogram of path lengths: `hops[h]` = deliveries that crossed
+    /// `h` links. Path lengths are tiny and repeat constantly, so a
+    /// counted bin beats buffering one sample per delivery — and every
+    /// derived quantity (mean, distribution) is an integer fold that
+    /// doesn't depend on arrival order.
+    hops: Vec<u64>,
+}
+
+/// Bumps the bin for a path of `h` links, growing the histogram to fit.
+#[inline]
+fn bump_hops(hops: &mut Vec<u64>, h: u32) {
+    let h = h as usize;
+    if h >= hops.len() {
+        hops.resize(h + 1, 0);
+    }
+    hops[h] += 1;
+}
+
 /// All statistics a simulation run produces.
+///
+/// Tags live in a sorted `Vec` parallel to their aggregate rows:
+/// experiments use a handful of tags, so the per-delivery lookup is a
+/// binary search over a few words — measurably cheaper than the three
+/// `BTreeMap` walks this replaced (one each for latency, bytes, hops).
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
-    series: BTreeMap<u32, Series>,
-    bytes: BTreeMap<u32, u64>,
-    hops: BTreeMap<u32, Vec<u32>>,
+    /// Tags with any recorded data, ascending; parallel to `per_tag`.
+    tag_keys: Vec<u32>,
+    per_tag: Vec<TagStats>,
     /// Packets generated by all sources.
     pub generated: u64,
     /// Packets delivered to their final destination.
@@ -153,19 +182,55 @@ pub struct Stats {
 }
 
 impl Stats {
+    /// Row index for `tag`, inserting an empty row (in sorted position)
+    /// on first sight.
+    fn tag_idx(&mut self, tag: u32) -> usize {
+        match self.tag_keys.binary_search(&tag) {
+            Ok(i) => i,
+            Err(i) => {
+                self.tag_keys.insert(i, tag);
+                self.per_tag.insert(i, TagStats::default());
+                i
+            }
+        }
+    }
+
+    /// Row for `tag`, if it has ever recorded anything.
+    fn tag_row(&self, tag: u32) -> Option<&TagStats> {
+        self.tag_keys
+            .binary_search(&tag)
+            .ok()
+            .map(|i| &self.per_tag[i])
+    }
+
     /// Records a latency sample under `tag`.
     pub fn record(&mut self, tag: u32, ns: u64) {
-        self.series.entry(tag).or_default().record(ns);
+        let i = self.tag_idx(tag);
+        self.per_tag[i].series.record(ns);
+    }
+
+    /// Accounts one delivered packet — payload bytes, path length, and
+    /// (when the delivery completes a flow) its latency sample — under
+    /// `tag` with a single row lookup.
+    pub fn record_delivery(&mut self, tag: u32, bytes: u64, hops: u32, latency: Option<u64>) {
+        let i = self.tag_idx(tag);
+        let row = &mut self.per_tag[i];
+        row.bytes += bytes;
+        bump_hops(&mut row.hops, hops);
+        if let Some(ns) = latency {
+            row.series.record(ns);
+        }
     }
 
     /// Accounts `bytes` of delivered payload under `tag`.
     pub fn record_bytes(&mut self, tag: u32, bytes: u64) {
-        *self.bytes.entry(tag).or_insert(0) += bytes;
+        let i = self.tag_idx(tag);
+        self.per_tag[i].bytes += bytes;
     }
 
     /// Total payload bytes delivered under `tag`.
     pub fn delivered_bytes(&self, tag: u32) -> u64 {
-        self.bytes.get(&tag).copied().unwrap_or(0)
+        self.tag_row(tag).map_or(0, |r| r.bytes)
     }
 
     /// Goodput of `tag` over `elapsed_ns`, in Gb/s.
@@ -180,59 +245,76 @@ impl Stats {
     /// Records a delivered packet's path length (links traversed) under
     /// `tag` — the raw material for post-failure path-stretch reports.
     pub fn record_hops(&mut self, tag: u32, hops: u32) {
-        self.hops.entry(tag).or_default().push(hops);
+        let i = self.tag_idx(tag);
+        bump_hops(&mut self.per_tag[i].hops, hops);
     }
 
     /// Mean links traversed by `tag`'s delivered packets (0.0 if none).
     pub fn mean_hops(&self, tag: u32) -> f64 {
-        match self.hops.get(&tag) {
-            Some(h) if !h.is_empty() => {
-                h.iter().map(|&x| u64::from(x)).sum::<u64>() as f64 / h.len() as f64
+        match self.tag_row(tag) {
+            Some(r) => {
+                let total: u64 = r.hops.iter().sum();
+                if total == 0 {
+                    return 0.0;
+                }
+                let weighted: u64 = r.hops.iter().enumerate().map(|(h, &c)| h as u64 * c).sum();
+                weighted as f64 / total as f64
             }
-            _ => 0.0,
+            None => 0.0,
         }
     }
 
     /// Distribution of path lengths under `tag`: `(links, packets)`
     /// pairs, ascending by hop count.
     pub fn hop_distribution(&self, tag: u32) -> Vec<(u32, usize)> {
-        let mut by_hops: BTreeMap<u32, usize> = BTreeMap::new();
-        for &h in self.hops.get(&tag).map(Vec::as_slice).unwrap_or(&[]) {
-            *by_hops.entry(h).or_insert(0) += 1;
-        }
-        by_hops.into_iter().collect()
+        self.tag_row(tag)
+            .map(|r| {
+                r.hops
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(h, &c)| (h as u32, c as usize))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Number of samples recorded under `tag` (O(1), unlike
     /// [`Stats::summary`]).
     pub fn count(&self, tag: u32) -> usize {
-        self.series.get(&tag).map_or(0, Series::count)
+        self.tag_row(tag).map_or(0, |r| r.series.count())
     }
 
     /// Histogram of `tag`'s samples (see [`Series::histogram`]).
     pub fn histogram(&self, tag: u32, bins: usize) -> Vec<(u64, usize)> {
-        self.series
-            .get(&tag)
-            .map(|s| s.histogram(bins))
+        self.tag_row(tag)
+            .map(|r| r.series.histogram(bins))
             .unwrap_or_default()
     }
 
     /// Summary for `tag` (empty summary if the tag has no samples).
     pub fn summary(&self, tag: u32) -> LatencySummary {
-        self.series
-            .get(&tag)
-            .map(Series::summary)
+        self.tag_row(tag)
+            .map(|r| r.series.summary())
             .unwrap_or_default()
     }
 
-    /// All tags with samples, ascending.
+    /// All tags with latency samples, ascending. (A tag with only byte
+    /// or hop accounting — e.g. a transport flow whose completion is
+    /// tracked elsewhere — does not appear, matching the behavior of
+    /// the separate per-metric maps this storage replaced.)
     pub fn tags(&self) -> Vec<u32> {
-        self.series.keys().copied().collect()
+        self.tag_keys
+            .iter()
+            .zip(&self.per_tag)
+            .filter(|(_, r)| r.series.count() > 0)
+            .map(|(&t, _)| t)
+            .collect()
     }
 
     /// Total recorded samples across tags.
     pub fn total_samples(&self) -> usize {
-        self.series.values().map(Series::count).sum()
+        self.per_tag.iter().map(|r| r.series.count()).sum()
     }
 }
 

@@ -32,6 +32,23 @@ pub enum TcpVariant {
     Dctcp,
 }
 
+/// Transport-layer role of a packet, carried in the simulator's packet
+/// arena (`quartz_netsim::arena`) and interpreted at delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportInfo {
+    /// Not transport-managed.
+    None,
+    /// Data segment `seq` of its flow.
+    Data(u64),
+    /// Cumulative ACK up to `ack`, echoing the data packet's ECN mark.
+    Ack {
+        /// Next sequence expected by the receiver.
+        ack: u64,
+        /// Whether the acknowledged data packet carried an ECN mark.
+        ecn_echo: bool,
+    },
+}
+
 /// What the sender wants the simulator to do.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SendAction {
@@ -119,6 +136,14 @@ impl SenderState {
     /// Sends as much new data as the window allows.
     pub fn pump(&mut self) -> Vec<SendAction> {
         let mut out = Vec::new();
+        self.pump_into(&mut out);
+        out
+    }
+
+    /// [`SenderState::pump`] appending into a caller-provided buffer, so
+    /// the simulator's steady state reuses one scratch `Vec` instead of
+    /// allocating per transport event.
+    pub fn pump_into(&mut self, out: &mut Vec<SendAction>) {
         let mut sent = false;
         while self.next_seq < self.total && self.in_flight() < self.cwnd_pkts() {
             out.push(SendAction::SendData { seq: self.next_seq });
@@ -131,14 +156,20 @@ impl SenderState {
                 epoch: self.rto_epoch,
             });
         }
-        out
     }
 
     /// Handles a cumulative ACK up to (excluding) `ack`, with DCTCP's
     /// per-packet ECN echo.
     pub fn on_ack(&mut self, ack: u64, ecn_echo: bool) -> Vec<SendAction> {
+        let mut out = Vec::new();
+        self.on_ack_into(ack, ecn_echo, &mut out);
+        out
+    }
+
+    /// [`SenderState::on_ack`] appending into a caller-provided buffer.
+    pub fn on_ack_into(&mut self, ack: u64, ecn_echo: bool, out: &mut Vec<SendAction>) {
         if self.complete {
-            return Vec::new();
+            return;
         }
         // DCTCP bookkeeping counts every ACK, new or duplicate.
         if self.variant == TcpVariant::Dctcp {
@@ -179,17 +210,18 @@ impl SenderState {
             if self.acked >= self.total {
                 self.complete = true;
                 self.rto_epoch += 1; // cancel outstanding timers
-                return vec![SendAction::Complete];
+                out.push(SendAction::Complete);
+                return;
             }
-            let mut out = self.pump();
-            if out.is_empty() {
+            let before = out.len();
+            self.pump_into(out);
+            if out.len() == before {
                 // Still waiting on in-flight data: keep the timer alive.
                 self.rto_epoch += 1;
                 out.push(SendAction::ArmRto {
                     epoch: self.rto_epoch,
                 });
             }
-            out
         } else {
             // Duplicate ACK.
             self.dup_acks += 1;
@@ -199,29 +231,32 @@ impl SenderState {
                 self.cwnd = self.ssthresh;
                 self.dup_acks = 0;
                 self.rto_epoch += 1;
-                vec![
-                    SendAction::SendData { seq: self.acked },
-                    SendAction::ArmRto {
-                        epoch: self.rto_epoch,
-                    },
-                ]
-            } else {
-                Vec::new()
+                out.push(SendAction::SendData { seq: self.acked });
+                out.push(SendAction::ArmRto {
+                    epoch: self.rto_epoch,
+                });
             }
         }
     }
 
     /// Handles a retransmission timeout carrying `epoch`.
     pub fn on_rto(&mut self, epoch: u64) -> Vec<SendAction> {
+        let mut out = Vec::new();
+        self.on_rto_into(epoch, &mut out);
+        out
+    }
+
+    /// [`SenderState::on_rto`] appending into a caller-provided buffer.
+    pub fn on_rto_into(&mut self, epoch: u64, out: &mut Vec<SendAction>) {
         if self.complete || epoch != self.rto_epoch {
-            return Vec::new(); // stale timer
+            return; // stale timer
         }
         // Go-back-N: rewind to the cumulative ACK, collapse the window.
         self.ssthresh = (self.cwnd / 2.0).max(1.0);
         self.cwnd = 1.0;
         self.next_seq = self.acked;
         self.dup_acks = 0;
-        self.pump()
+        self.pump_into(out);
     }
 }
 

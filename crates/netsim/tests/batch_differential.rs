@@ -1,0 +1,216 @@
+//! Differential test for the batched link drain: [`DrainMode::Batched`]
+//! and [`DrainMode::PerPacket`] must produce identical runs — same
+//! stats, same recorded event stream, same ndjson bytes — on a loaded
+//! VLB mesh with bursty traffic, a congestion-controlled transfer under
+//! ECN, and a mid-run fiber cut plus repair. The pair is re-run across
+//! 1, 2, and 8 worker threads to pin that no hidden shared state leaks
+//! between concurrent simulations.
+
+use quartz_netsim::sim::{DrainMode, FlowKind, SimConfig, Simulator, VlbConfig};
+use quartz_netsim::time::SimTime;
+use quartz_netsim::transport::TcpVariant;
+use quartz_netsim::FaultPlan;
+use quartz_obs::{Event, MemoryRecorder, NdjsonRecorder, Recorder};
+use quartz_topology::builders::quartz_mesh;
+
+/// Everything observable about one run, in comparable form.
+#[derive(Debug, PartialEq)]
+struct Digest {
+    generated: u64,
+    delivered: u64,
+    dropped: u64,
+    /// Per tag: count, mean bits, ci95 bits, p50, p99, max, bytes,
+    /// mean-hops bits, hop distribution.
+    per_tag: Vec<(u32, TagDigest)>,
+    faults: usize,
+    events: Vec<Event>,
+    ndjson: Vec<u8>,
+}
+
+#[derive(Debug, PartialEq)]
+struct TagDigest {
+    count: usize,
+    mean_bits: u64,
+    ci95_bits: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    bytes: u64,
+    mean_hops_bits: u64,
+    hop_dist: Vec<(u32, usize)>,
+}
+
+/// One full scenario run under `drain`: VLB detours, Poisson echo +
+/// burst cross-traffic, a DCTCP transfer with ECN marking, and a ring
+/// fiber cut at 0.5 ms repaired at 1.2 ms (control plane reconverges
+/// 50 µs after each).
+fn run(drain: DrainMode) -> Digest {
+    let q = quartz_mesh(4, 4, 10.0, 10.0);
+    // First switch-switch link: cutting it forces reroutes (and VLB
+    // detours around the gap) while packets are in flight.
+    let ring_link = q
+        .net
+        .links()
+        .find(|l| q.switches.contains(&l.a) && q.switches.contains(&l.b))
+        .expect("mesh has ring links")
+        .id;
+    let mut sim = Simulator::new(
+        q.net.clone(),
+        SimConfig {
+            seed: 0xD1FF,
+            vlb: Some(VlbConfig {
+                fraction: 0.3,
+                domains: vec![q.switches.clone()],
+            }),
+            ecn_threshold_bytes: Some(30_000),
+            reconvergence_ns: Some(50_000),
+            drain,
+            ..SimConfig::default()
+        },
+    );
+    let stop = SimTime::from_ms(2);
+    let n = q.hosts.len();
+    for (i, &src) in q.hosts.iter().enumerate() {
+        let dst = q.hosts[(i + 5) % n];
+        match i % 3 {
+            // Open-loop echo streams (round trips stress both link
+            // directions and the response emission path).
+            0 => sim.add_flow(
+                src,
+                dst,
+                400,
+                FlowKind::Poisson {
+                    mean_gap_ns: 1_000.0,
+                    stop,
+                    respond: true,
+                },
+                0,
+                SimTime::ZERO,
+            ),
+            // Bursts: back-to-back runs are exactly what the batched
+            // drain coalesces, so they must still land on the same
+            // (time, seq) keys.
+            1 => sim.add_flow(
+                src,
+                dst,
+                400,
+                FlowKind::Burst {
+                    burst_pkts: 24,
+                    period_ns: 40_000,
+                    stop,
+                },
+                1,
+                SimTime::ZERO,
+            ),
+            // One-way Poisson fill.
+            _ => sim.add_flow(
+                src,
+                dst,
+                400,
+                FlowKind::Poisson {
+                    mean_gap_ns: 900.0,
+                    stop,
+                    respond: false,
+                },
+                2,
+                SimTime::ZERO,
+            ),
+        };
+    }
+    // A congestion-controlled transfer through the loaded mesh: ECN
+    // marks feed DCTCP, ACKs ride the reverse path, RTO timers arm.
+    sim.add_flow(
+        q.hosts[0],
+        q.hosts[n - 1],
+        1_000,
+        FlowKind::Transport {
+            total_bytes: 300_000,
+            variant: TcpVariant::Dctcp,
+        },
+        3,
+        SimTime::ZERO,
+    );
+    let mut plan = FaultPlan::new();
+    plan.link_down(ring_link, SimTime::from_ns(500_000))
+        .link_up(ring_link, SimTime::from_ns(1_200_000));
+    sim.apply_fault_plan(&plan);
+    sim.set_recorder(Box::new(MemoryRecorder::new()));
+    sim.run(SimTime::from_ms(3));
+
+    let events = sim.take_recorder().expect("recorder attached").finish();
+    // Re-encode through the streaming backend: the ndjson bytes are
+    // what the trace-determinism contract is stated over.
+    let mut nd = NdjsonRecorder::new(Vec::new());
+    for ev in &events {
+        nd.record(ev);
+    }
+    let ndjson = nd.into_inner();
+
+    let stats = sim.stats();
+    let per_tag = stats
+        .tags()
+        .into_iter()
+        .map(|tag| {
+            let s = stats.summary(tag);
+            (
+                tag,
+                TagDigest {
+                    count: s.count,
+                    mean_bits: s.mean_ns.to_bits(),
+                    ci95_bits: s.ci95_ns.to_bits(),
+                    p50_ns: s.p50_ns,
+                    p99_ns: s.p99_ns,
+                    max_ns: s.max_ns,
+                    bytes: stats.delivered_bytes(tag),
+                    mean_hops_bits: stats.mean_hops(tag).to_bits(),
+                    hop_dist: stats.hop_distribution(tag),
+                },
+            )
+        })
+        .collect();
+    Digest {
+        generated: stats.generated,
+        delivered: stats.delivered,
+        dropped: stats.dropped,
+        per_tag,
+        faults: sim.fault_log().len(),
+        events,
+        ndjson,
+    }
+}
+
+#[test]
+fn batched_drain_matches_per_packet_schedule() {
+    let batched = run(DrainMode::Batched);
+    let per_packet = run(DrainMode::PerPacket);
+    assert!(batched.delivered > 0, "scenario must carry traffic");
+    assert!(batched.dropped > 0, "fault window must cost packets");
+    assert!(!batched.events.is_empty(), "recorder must observe the run");
+    assert_eq!(
+        batched, per_packet,
+        "batched drain diverged from the per-packet schedule"
+    );
+}
+
+#[test]
+fn drain_modes_agree_across_worker_counts() {
+    let reference = run(DrainMode::Batched);
+    for workers in [1usize, 2, 8] {
+        let digests: Vec<(Digest, Digest)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| s.spawn(|| (run(DrainMode::Batched), run(DrainMode::PerPacket))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (batched, per_packet) in &digests {
+            assert_eq!(
+                batched, &reference,
+                "batched run diverged at {workers} workers"
+            );
+            assert_eq!(
+                per_packet, &reference,
+                "per-packet run diverged at {workers} workers"
+            );
+        }
+    }
+}

@@ -292,15 +292,20 @@ impl FlatRoutes {
 
     /// Deterministic ECMP pick by flow hash — selects the same hop as
     /// [`RouteTable::ecmp_next`] on the source table, plus its directed
-    /// link slot.
+    /// link slot. ECMP sets are almost always 1, 2, or 4 wide, where
+    /// the modulo reduces to a mask — worth special-casing because this
+    /// runs once per hop of every simulated packet.
     #[inline]
     pub fn ecmp_next(&self, at: NodeId, dst: NodeId, flow_hash: u64) -> Option<(NodeId, u32)> {
         let hops = self.next_hops(at, dst);
-        if hops.is_empty() {
-            None
-        } else {
-            Some(hops[(flow_hash % hops.len() as u64) as usize])
-        }
+        let idx = match hops.len() {
+            0 => return None,
+            1 => 0,
+            2 => (flow_hash & 1) as usize,
+            4 => (flow_hash & 3) as usize,
+            n => (flow_hash % n as u64) as usize,
+        };
+        Some(hops[idx])
     }
 
     /// Number of nodes covered.

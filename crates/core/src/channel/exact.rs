@@ -109,6 +109,7 @@ impl Search {
             // Symmetry breaking: channels above `opened` are
             // interchangeable, so only the first of them may be tried.
             let try_until = (self.opened + 1).min(limit);
+            debug_assert!(try_until <= u16::MAX as usize + 1, "channel ids fit u16");
             for c in 0..try_until {
                 if self.used[c] & mask != 0 {
                     continue;

@@ -121,6 +121,7 @@ pub fn assign_with_order(m: usize, start: usize, order: Ordering) -> Assignment 
                 }
             }
             let (dir, arc, ch) = best.expect("at least one candidate");
+            debug_assert!(ch <= u16::MAX as usize, "channel ids fit u16");
             table.occupy(ch, &arc);
             entries.push((pair, dir, ch as u16));
         }

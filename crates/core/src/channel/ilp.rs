@@ -121,6 +121,7 @@ impl IlpModel {
 
         // Eqs. 3 + 4: derive L from P·C and check per-(link, channel)
         // capacity.
+        debug_assert!(self.lambda <= u16::MAX as usize, "channel counts fit u16");
         for link in 0..self.m {
             for ch in 0..self.lambda as u16 {
                 let occupants = c_vars

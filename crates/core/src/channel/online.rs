@@ -261,6 +261,7 @@ pub fn assign_degraded(m: usize, dead: u64, start: usize) -> DegradedAssignment 
                 }
             }
             let (dir, mask, ch) = best.expect("at least one candidate");
+            debug_assert!(ch <= u16::MAX as usize, "channel ids fit u16");
             while used.len() <= ch {
                 used.push(0);
             }
@@ -683,6 +684,7 @@ impl OnlineRwa {
                 }
             }
             let (dir, mask, ch) = best.expect("routable pair always places");
+            debug_assert!(ch <= u16::MAX as usize, "channel ids fit u16");
             while ff_used.len() <= ch {
                 ff_used.push(0);
             }

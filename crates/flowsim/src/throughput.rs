@@ -68,7 +68,9 @@ pub fn adaptive_quartz_throughput(
             policy,
         };
         let t = normalized_throughput(&f, demands);
-        if best.is_none_or(|(b, _)| t.normalized > b.normalized) {
+        // total_cmp: total over NaN and identical to `>` for the
+        // finite throughputs the solver returns.
+        if best.is_none_or(|(b, _)| t.normalized.total_cmp(&b.normalized).is_gt()) {
             best = Some((t, k));
         }
     }

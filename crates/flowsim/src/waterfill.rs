@@ -133,7 +133,9 @@ pub fn max_min_rates_counted(p: &Problem) -> (Vec<f64>, u64) {
         for l in 0..nl {
             if weight_on[l] > 1e-12 {
                 let share = cap_left[l] / weight_on[l];
-                if best.is_none_or(|(_, s)| share < s) {
+                // total_cmp: total over NaN and identical to `<` for
+                // the non-negative finite shares this loop produces.
+                if best.is_none_or(|(_, s)| share.total_cmp(&s).is_lt()) {
                     best = Some((l, share));
                 }
             }

@@ -2,6 +2,7 @@
 //! the suppression-audit ratchet check.
 
 use crate::baseline::Baseline;
+use crate::model::Workspace;
 use crate::rules::{self, Finding};
 use crate::source::SourceFile;
 use std::collections::BTreeMap;
@@ -20,6 +21,7 @@ pub fn run(root: &Path, baseline: &Baseline) -> Result<Vec<Finding>, String> {
     manifests.sort();
 
     let crate_roots = crate_roots(&manifests)?;
+    let workspace = Workspace::new(root, &manifests)?;
 
     let mut findings = Vec::new();
     // Suppression directives across the workspace, with a usage mark.
@@ -28,6 +30,7 @@ pub fn run(root: &Path, baseline: &Baseline) -> Result<Vec<Finding>, String> {
     for path in &rs_files {
         let rel = relpath(root, path);
         let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let model = workspace.classify(&rel);
         let file = SourceFile::new(rel, &text);
 
         let mut raw = Vec::new();
@@ -35,6 +38,10 @@ pub fn run(root: &Path, baseline: &Baseline) -> Result<Vec<Finding>, String> {
         raw.extend(rules::wall_clock(&file));
         raw.extend(rules::stdout_discipline(&file));
         raw.extend(rules::seed_discipline(&file));
+        raw.extend(rules::cast_soundness(&file, &model));
+        raw.extend(rules::float_determinism(&file));
+        raw.extend(rules::panic_freedom(&file));
+        raw.extend(rules::hot_path_alloc(&file));
         if crate_roots.contains(path) {
             raw.extend(rules::crate_hygiene(&file));
         }

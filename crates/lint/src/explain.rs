@@ -1,0 +1,187 @@
+//! Per-rule documentation: rationale, example violation, and sanctioned
+//! escape hatch.
+//!
+//! This module is the single source of truth for what each rule means.
+//! The CLI's `--explain <rule>` subcommand prints one entry; the
+//! DESIGN.md §11 table is generated from the same data (see
+//! `tests/explain_table.rs`), so the docs cannot drift from the code.
+
+use crate::rules;
+
+/// Everything a developer needs to react to a finding.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleDoc {
+    /// Rule name (matches [`rules::ALL_RULES`]).
+    pub name: &'static str,
+    /// Why the rule exists, in one or two sentences.
+    pub rationale: &'static str,
+    /// A minimal violating snippet.
+    pub example: &'static str,
+    /// The sanctioned way out when the rule is wrong for a site.
+    pub escape: &'static str,
+}
+
+/// One entry per rule, in [`rules::ALL_RULES`] order.
+pub const RULE_DOCS: [RuleDoc; 10] = [
+    RuleDoc {
+        name: rules::HASH_ITER,
+        rationale: "Hash iteration order is randomized per process; iterating a \
+                    HashMap/HashSet lets that order leak into experiment output and \
+                    break the bit-identity contract.",
+        example: "for v in m.values() { emit(v); }  // m: HashMap<_, _>",
+        escape: "Use BTreeMap/BTreeSet, or sort the entries first; a justified \
+                 `lint:allow(hash-iter)` is accepted only where order provably folds \
+                 into a commutative result.",
+    },
+    RuleDoc {
+        name: rules::WALL_CLOCK,
+        rationale: "Instant/SystemTime readings differ per run; any simulation or \
+                    experiment decision based on them is nondeterministic.",
+        example: "let t0 = std::time::Instant::now();",
+        escape: "Route timing through quartz_bench::timing (the one sanctioned \
+                 wall-clock module); simulation time comes from SimTime.",
+    },
+    RuleDoc {
+        name: rules::STDOUT_DISCIPLINE,
+        rationale: "Experiment bytes must flow through one sink (table::emit_line) so \
+                    golden-output checks see every line; stray println! bypasses it.",
+        example: "println!(\"rate {}\", r);  // in crates/*/src/ library code",
+        escape: "Use quartz_bench::outln!, or return the data to the caller; binaries, \
+                 tests, and the table/timing sinks keep direct access.",
+    },
+    RuleDoc {
+        name: rules::SEED_DISCIPLINE,
+        rationale: "A literal seed buried in library code silently decouples an \
+                    experiment from its --seed parameter and from pool::unit_seed's \
+                    per-unit schedule independence.",
+        example: "let rng = StdRng::seed_from_u64(42);  // outside tests",
+        escape: "Thread the seed in as a parameter or derive it with \
+                 pool::unit_seed(seed, unit); literals stay legal in tests.",
+    },
+    RuleDoc {
+        name: rules::CRATE_HYGIENE,
+        rationale: "Every crate root must carry #![deny(missing_docs)] and \
+                    #![forbid(unsafe_code)]: the determinism argument leans on 'no \
+                    unsafe anywhere' and documented public surfaces.",
+        example: "// src/lib.rs without #![forbid(unsafe_code)]",
+        escape: "None — add the attributes. (Unsafe code has no sanctioned home in \
+                 this workspace.)",
+    },
+    RuleDoc {
+        name: rules::SUPPRESSION_AUDIT,
+        rationale: "Escape hatches rot: an unjustified, unused, or uncounted \
+                    lint:allow hides real violations. The lint-baseline.toml ratchet \
+                    must equal the workspace count exactly and may only go down.",
+        example: "// lint:allow(hash-iter)        <- no justification, or unused",
+        escape: "Justify every directive (`— why the invariant cannot break here`), \
+                 delete dead ones, and ratchet the baseline to the true count.",
+    },
+    RuleDoc {
+        name: rules::CAST_SOUNDNESS,
+        rationale: "Narrowing `as` casts truncate silently; in hot-crate library code \
+                    (netsim/core/topology) a wrapped id or time corrupts the \
+                    simulation without a panic. The range invariant must be stated \
+                    next to the cast.",
+        example: "let ser = ser_ns as u32;  // no guard in sight",
+        escape: "Put `debug_assert!(x <= T::MAX as _)` (or try_from/try_into) within \
+                 16 lines above the cast; bare literals and masked operands \
+                 (`(x & 0xff) as u8`, `.min(cap) as u16`) are exempt.",
+    },
+    RuleDoc {
+        name: rules::FLOAT_DETERMINISM,
+        rationale: "Float addition is not associative and PartialOrd is not total: \
+                    accumulating over unordered iteration, reducing inside par_map \
+                    workers, or selecting with `partial_cmp().unwrap()` / bare `<` in \
+                    comparator closures lets NaN handling or visit order become \
+                    output bits.",
+        example: "best.is_none_or(|(_, s)| share < s)  // float argmin via PartialOrd",
+        escape: "Use f64::total_cmp for every float selection; accumulate over \
+                 ordered containers or the unit-ordered Vec par_map returns.",
+    },
+    RuleDoc {
+        name: rules::PANIC_FREEDOM,
+        rationale: "Library panics in the hot crates tear down mid-simulation with \
+                    the arena and wheel in arbitrary states. Modules that opt in with \
+                    `// lint:panic-free` must handle absence explicitly.",
+        example: "self.far_slots[id].take().expect(\"slot is live\")",
+        escape: "Return the Option/Result (`?`, let-else); indexing is exempt in \
+                 functions that state their bound with an assert-family macro.",
+    },
+    RuleDoc {
+        name: rules::HOT_PATH_ALLOC,
+        rationale: "Steady-state event processing must not touch the allocator: one \
+                    format! per delivered packet costs more than the event dispatch \
+                    it decorates. Functions annotated `// lint:hot` are the arena \
+                    recycle path, scheduler drain, and forwarding fast path.",
+        example: "format!(\"queue.link{:04}\", idx)  // inside a lint:hot fn",
+        escape: "Preallocate in setup code (label caches, scratch buffers) or move \
+                 the allocation to a cold, unannotated helper.",
+    },
+];
+
+/// Looks up the documentation for `rule`.
+pub fn rule_doc(rule: &str) -> Option<&'static RuleDoc> {
+    RULE_DOCS.iter().find(|d| d.name == rule)
+}
+
+/// Renders one rule's documentation as the `--explain` text block.
+pub fn render(doc: &RuleDoc) -> String {
+    format!(
+        "{name}\n{underline}\n\nWhy:\n  {rationale}\n\nExample violation:\n  {example}\n\n\
+         Escape hatch:\n  {escape}\n",
+        name = doc.name,
+        underline = "=".repeat(doc.name.len()),
+        rationale = doc.rationale,
+        example = doc.example,
+        escape = doc.escape,
+    )
+}
+
+/// Renders the ten-rule markdown table embedded in DESIGN.md §11.
+pub fn design_table() -> String {
+    let mut out = String::from("| rule | why | escape hatch |\n|------|-----|--------------|\n");
+    for d in &RULE_DOCS {
+        out.push_str(&format!(
+            "| `{}` | {} | {} |\n",
+            d.name,
+            d.rationale.split_whitespace().collect::<Vec<_>>().join(" "),
+            d.escape.split_whitespace().collect::<Vec<_>>().join(" "),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_has_a_doc_and_vice_versa() {
+        let documented: Vec<&str> = RULE_DOCS.iter().map(|d| d.name).collect();
+        assert_eq!(documented, rules::ALL_RULES.to_vec());
+    }
+
+    #[test]
+    fn render_includes_all_three_sections() {
+        let doc = rule_doc("cast-soundness").unwrap();
+        let text = render(doc);
+        assert!(text.contains("Why:"));
+        assert!(text.contains("Example violation:"));
+        assert!(text.contains("Escape hatch:"));
+    }
+
+    #[test]
+    fn unknown_rules_have_no_doc() {
+        assert!(rule_doc("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn design_table_has_one_row_per_rule() {
+        let table = design_table();
+        // Header + separator + 10 rules.
+        assert_eq!(table.trim_end().lines().count(), 12);
+        for rule in rules::ALL_RULES {
+            assert!(table.contains(&format!("| `{rule}` |")), "{rule} missing");
+        }
+    }
+}

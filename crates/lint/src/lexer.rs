@@ -105,6 +105,22 @@ pub fn scan(src: &str) -> (Vec<Tok>, Vec<Comment>) {
             }
             '"' => i = skip_string(&b, i, &mut line),
             'r' | 'b' if is_raw_or_byte_string(&b, i) => i = skip_raw_or_byte(&b, i, &mut line),
+            // Raw identifier `r#type`: one Ident token, text kept
+            // verbatim (the `#` must not leak as attribute punctuation).
+            'r' if b.get(i + 1) == Some(&'#')
+                && b.get(i + 2).is_some_and(|c| c.is_alphabetic() || *c == '_') =>
+            {
+                let start = i;
+                i += 2;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                });
+            }
             '\'' => i = skip_char_or_lifetime(&b, i, &mut line),
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -223,6 +239,19 @@ fn skip_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
 
 /// Consumes a char literal or a lifetime starting at the `'`.
 fn skip_char_or_lifetime(b: &[char], i: usize, line: &mut usize) -> usize {
+    // Raw lifetime `'r#ident` (Rust 2021+): consume the `r#` prefix and
+    // the whole identifier — without this, the `#` leaks into the token
+    // stream and reads as attribute punctuation.
+    if b.get(i + 1) == Some(&'r')
+        && b.get(i + 2) == Some(&'#')
+        && b.get(i + 3).is_some_and(|c| c.is_alphabetic() || *c == '_')
+    {
+        let mut j = i + 3;
+        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        return j;
+    }
     // Lifetime: `'ident` not closed by a quote (`'a'` is a char).
     if b.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_') && b.get(i + 2) != Some(&'\'') {
         let mut j = i + 1;
@@ -314,5 +343,59 @@ mod tests {
     fn nested_block_comments_close_correctly() {
         let src = "/* outer /* inner */ still */ fn f() {}";
         assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        // `r#type` must not decay into `r` + `#` + `type`: the parser
+        // would read the `#` as the start of an attribute.
+        let src = "fn r#type() { let r#fn = 1; drop(r#fn); }";
+        let (toks, _) = scan(src);
+        assert_eq!(
+            idents(src),
+            vec!["fn", "r#type", "let", "r#fn", "drop", "r#fn"]
+        );
+        assert!(toks.iter().all(|t| t.text != "#"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_confused_with_raw_string() {
+        let src = "let a = r#\"HashMap\"#; let r#b = 2;";
+        assert_eq!(idents(src), vec!["let", "a", "let", "r#b"]);
+    }
+
+    #[test]
+    fn nested_block_comment_line_counting_survives_cfg_test_ranges() {
+        // Newlines inside a nested block comment must advance the line
+        // counter so the `#[cfg(test)]` span lands on the right lines.
+        let src = "/* line1\n /* line2\n line3 */\n line4 */\nfn a() {}\n#[cfg(test)]\nmod tests {\n fn b() {}\n}\n";
+        let (toks, comments) = scan(src);
+        assert_eq!(comments.len(), 1);
+        let a = toks.iter().find(|t| t.text == "a").unwrap();
+        assert_eq!(a.line, 5);
+        let cfg = toks.iter().find(|t| t.text == "cfg").unwrap();
+        assert_eq!(cfg.line, 6);
+    }
+
+    #[test]
+    fn multi_char_lifetimes_do_not_eat_code() {
+        let src = "fn f<'topo, 'net>(x: &'topo str, y: &'net str) -> &'topo str { x }";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f", "x", "str", "y", "str", "str", "x"]);
+    }
+
+    #[test]
+    fn raw_lifetimes_are_consumed_whole() {
+        // `'r#if` (a raw lifetime) must not leak `#` + `if` tokens.
+        let src = "fn f<'r#if>(x: &'r#if u8) -> u8 { *x }";
+        let (toks, _) = scan(src);
+        assert!(toks.iter().all(|t| t.text != "#"));
+        assert!(idents(src).iter().all(|t| t != "if"));
+    }
+
+    #[test]
+    fn lifetime_labels_on_loops_lex_cleanly() {
+        let src = "fn f() { 'outer: loop { break 'outer; } }";
+        assert_eq!(idents(src), vec!["fn", "f", "loop", "break"]);
     }
 }

@@ -25,12 +25,31 @@
 //!   escape hatch must be justified, must actually suppress something,
 //!   and is counted against the `lint-baseline.toml` ratchet, whose
 //!   numbers may only go down.
+//! * `cast-soundness` — narrowing `as` casts in hot-crate library code
+//!   (netsim/core/topology) must sit within 16 lines after a
+//!   `debug_assert!`/`try_from` guard in the same function; literals
+//!   and masked operands are self-guarding.
+//! * `float-determinism` — no float accumulation over unordered
+//!   iteration or inside `par_map` worker closures, and no
+//!   `partial_cmp(..).unwrap()` / bare `<`/`>` float comparisons in
+//!   selection closures; use `f64::total_cmp`.
+//! * `panic-freedom` — files opting in with `// lint:panic-free` carry
+//!   no `unwrap`/`expect` in non-test code, and direct indexing only in
+//!   functions that state their bound with an assert-family macro.
+//! * `hot-path-alloc` — functions annotated `// lint:hot` (the arena
+//!   recycle path, the scheduler drain, the forwarding fast path)
+//!   never allocate: no `Vec::new`/`vec!`/`format!`/`Box::new`/
+//!   `.push`/`.collect`/`.to_string`/`.to_vec`.
 //!
 //! The engine tokenizes each `.rs` file (dropping strings and doc
-//! comments, so quoted code never trips a rule), applies the rules, and
-//! reports findings as `file:line rule message` (or JSON with
-//! `--format json`), exiting nonzero on any unbaselined finding. Run it
-//! with `cargo run -p quartz-lint`; CI runs it on every push.
+//! comments, so quoted code never trips a rule), parses a
+//! bracket-matched item/expression tree over the tokens ([`syntax`]),
+//! classifies the file's crate and bin/lib role ([`model`]), applies
+//! the rules, and reports findings as `file:line rule message` (or
+//! JSON with `--format json`), exiting nonzero on any unbaselined
+//! finding. Run it with `cargo run -p quartz-lint`; CI runs it on every
+//! push. `--explain <rule>` prints any rule's rationale, example
+//! violation, and escape hatch ([`explain`]).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,9 +57,12 @@
 
 pub mod baseline;
 pub mod engine;
+pub mod explain;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 pub mod source;
+pub mod syntax;
 
 pub use baseline::Baseline;
 pub use engine::run;

@@ -39,6 +39,18 @@ fn real_main() -> i32 {
                 Ok(v) => baseline_path = Some(PathBuf::from(v)),
                 Err(e) => return usage(&e),
             },
+            "--explain" => {
+                return match take("--explain") {
+                    Ok(rule) => explain(&rule),
+                    Err(_) => {
+                        // Bare `--explain` lists every rule.
+                        for doc in &quartz_lint::explain::RULE_DOCS {
+                            println!("{}", quartz_lint::explain::render(doc));
+                        }
+                        0
+                    }
+                };
+            }
             "--help" | "-h" => {
                 print!("{}", HELP);
                 return 0;
@@ -97,6 +109,24 @@ fn usage(err: &str) -> i32 {
     2
 }
 
+/// Prints the documentation for `rule` (0) or an error listing the
+/// known rules (2).
+fn explain(rule: &str) -> i32 {
+    match quartz_lint::explain::rule_doc(rule) {
+        Some(doc) => {
+            println!("{}", quartz_lint::explain::render(doc));
+            0
+        }
+        None => {
+            eprintln!(
+                "error: unknown rule `{rule}` (known: {})",
+                quartz_lint::rules::ALL_RULES.join(", ")
+            );
+            2
+        }
+    }
+}
+
 const HELP: &str = "quartz-lint — determinism lint for the Quartz workspace
 
 USAGE:
@@ -106,10 +136,13 @@ OPTIONS:
     --format text|json   output format (default: text)
     --root DIR           workspace root (default: this workspace)
     --baseline FILE      ratchet file (default: <root>/lint-baseline.toml)
+    --explain [RULE]     print a rule's rationale, example, and escape
+                         hatch (omit RULE to print all ten)
     --help               this message
 
 Rules: hash-iter, wall-clock, stdout-discipline, seed-discipline,
-crate-hygiene, suppression-audit. Suppress one finding with a justified
+crate-hygiene, suppression-audit, cast-soundness, float-determinism,
+panic-freedom, hot-path-alloc. Suppress one finding with a justified
 comment, `// lint:allow(rule) - why the invariant cannot break here`,
 and record it in lint-baseline.toml (counts may only decrease).
 ";

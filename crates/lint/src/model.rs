@@ -1,0 +1,180 @@
+//! Workspace model: maps each `.rs` file to its owning crate and its
+//! bin/lib role, so rules can scope themselves ("library code of hot
+//! crates") instead of pattern-matching paths inline.
+
+use std::path::{Path, PathBuf};
+
+/// What a `.rs` file compiles into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Library code (`src/**` minus binary targets).
+    Lib,
+    /// A binary target (`src/main.rs`, `src/bin/**`).
+    Bin,
+    /// An example (`examples/**`).
+    Example,
+    /// Integration-test collateral (`tests/**`).
+    Test,
+    /// Bench collateral (`benches/**`).
+    Bench,
+}
+
+/// One file's place in the workspace.
+#[derive(Clone, Debug)]
+pub struct FileModel {
+    /// Workspace-relative directory of the owning crate (e.g.
+    /// `crates/netsim`), or empty if the file belongs to no package.
+    pub crate_dir: String,
+    /// Package name from the crate's manifest (e.g. `quartz-netsim`).
+    pub crate_name: String,
+    /// The file's compilation role.
+    pub role: Role,
+}
+
+impl FileModel {
+    /// Whether the file is non-test library code of a determinism-hot
+    /// crate — the scope of the cast-soundness and panic-freedom rules.
+    pub fn hot_crate_lib(&self) -> bool {
+        self.role == Role::Lib && HOT_CRATES.contains(&self.crate_dir.as_str())
+    }
+}
+
+/// Crates whose library code sits on the simulator hot path: panics or
+/// unsound narrowing there corrupt every experiment downstream.
+pub const HOT_CRATES: [&str; 3] = ["crates/netsim", "crates/core", "crates/topology"];
+
+/// The parsed workspace: package directories and names.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// `(workspace-relative dir, package name)`, longest dirs first so
+    /// nested packages shadow their parents during lookup.
+    packages: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Builds the model from the manifests found under `root`.
+    pub fn new(root: &Path, manifests: &[PathBuf]) -> Result<Workspace, String> {
+        let mut packages = Vec::new();
+        for manifest in manifests {
+            let text = std::fs::read_to_string(manifest)
+                .map_err(|e| format!("{}: {e}", manifest.display()))?;
+            let Some(name) = package_name(&text) else {
+                continue; // virtual workspace manifest
+            };
+            let dir = manifest.parent().unwrap_or(Path::new(""));
+            let rel = dir
+                .strip_prefix(root)
+                .unwrap_or(dir)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            packages.push((rel, name));
+        }
+        packages.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)));
+        Ok(Workspace { packages })
+    }
+
+    /// Classifies a workspace-relative `.rs` path.
+    pub fn classify(&self, rel: &str) -> FileModel {
+        let (crate_dir, crate_name) = self
+            .packages
+            .iter()
+            .find(|(dir, _)| {
+                dir.is_empty() || rel.starts_with(&format!("{dir}/")) || rel == dir.as_str()
+            })
+            .cloned()
+            .unwrap_or_default();
+        let inside = rel
+            .strip_prefix(&crate_dir)
+            .unwrap_or(rel)
+            .trim_start_matches('/');
+        let role = if inside.starts_with("tests/") {
+            Role::Test
+        } else if inside.starts_with("benches/") {
+            Role::Bench
+        } else if inside.starts_with("examples/") {
+            Role::Example
+        } else if inside == "src/main.rs" || inside.starts_with("src/bin/") {
+            Role::Bin
+        } else {
+            Role::Lib
+        };
+        FileModel {
+            crate_dir,
+            crate_name,
+            role,
+        }
+    }
+}
+
+/// Extracts `name = "…"` from a manifest's `[package]` section.
+fn package_name(text: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                return Some(rest.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws() -> Workspace {
+        Workspace {
+            packages: vec![
+                ("crates/netsim".into(), "quartz-netsim".into()),
+                ("crates/bench".into(), "quartz-bench".into()),
+            ],
+        }
+    }
+
+    #[test]
+    fn roles_from_paths() {
+        let w = ws();
+        assert_eq!(w.classify("crates/netsim/src/sim.rs").role, Role::Lib);
+        assert_eq!(w.classify("crates/netsim/tests/it.rs").role, Role::Test);
+        assert_eq!(
+            w.classify("crates/bench/benches/scheduler.rs").role,
+            Role::Bench
+        );
+        assert_eq!(w.classify("crates/bench/src/bin/fig06.rs").role, Role::Bin);
+        assert_eq!(w.classify("crates/bench/src/main.rs").role, Role::Bin);
+    }
+
+    #[test]
+    fn hot_crate_lib_scopes_to_library_code_of_hot_crates() {
+        let w = ws();
+        assert!(w.classify("crates/netsim/src/sched.rs").hot_crate_lib());
+        assert!(!w.classify("crates/netsim/tests/it.rs").hot_crate_lib());
+        assert!(!w.classify("crates/bench/src/table.rs").hot_crate_lib());
+    }
+
+    #[test]
+    fn package_name_parses_package_sections_only() {
+        assert_eq!(
+            package_name("[package]\nname = \"quartz-core\"\nversion = \"0.1.0\"\n"),
+            Some("quartz-core".into())
+        );
+        assert_eq!(
+            package_name("[workspace]\nmembers = [\"crates/*\"]\n"),
+            None
+        );
+        // A dependency named `name` must not fool the parser.
+        assert_eq!(package_name("[dependencies]\nname = \"nope\"\n"), None);
+    }
+}

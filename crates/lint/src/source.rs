@@ -2,6 +2,7 @@
 //! regions, test-tree membership, and suppression directives.
 
 use crate::lexer::{scan, Comment, Tok, TokKind};
+use crate::syntax::Tree;
 
 /// A `lint:allow` directive parsed from a plain `//` comment.
 ///
@@ -35,6 +36,11 @@ pub struct SourceFile {
     pub in_test_tree: bool,
     /// Suppression directives parsed from plain comments.
     pub suppressions: Vec<Suppression>,
+    /// The parsed item tree (fn/mod/impl spans, `lint:hot` marks).
+    pub tree: Tree,
+    /// Whether the file opts into the panic-freedom rule via a
+    /// `// lint:panic-free` comment.
+    pub panic_free: bool,
 }
 
 impl SourceFile {
@@ -44,6 +50,10 @@ impl SourceFile {
         let test_ranges = cfg_test_ranges(&toks);
         let in_test_tree = rel.split('/').any(|seg| seg == "tests" || seg == "benches");
         let suppressions = parse_suppressions(&comments);
+        let tree = Tree::parse(&toks, &comments);
+        let panic_free = comments
+            .iter()
+            .any(|c| !c.doc && c.text.contains("lint:panic-free"));
         SourceFile {
             rel,
             toks,
@@ -51,6 +61,8 @@ impl SourceFile {
             test_ranges,
             in_test_tree,
             suppressions,
+            tree,
+            panic_free,
         }
     }
 

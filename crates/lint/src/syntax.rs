@@ -1,0 +1,638 @@
+//! A bracket-matched item/expression tree over the lexed token stream.
+//!
+//! This is deliberately *not* a Rust parser: it recovers just enough
+//! structure for semantic lint rules — `fn`/`mod`/`impl`/`trait` items
+//! with token-index spans, `#[cfg(test)]` attachment, the `// lint:hot`
+//! function annotation, and expression-level `as`-cast and method-call
+//! nodes inside any span. Everything it does not understand is kept as
+//! loose tokens between items, which is what makes the round-trip
+//! invariant (checked by `tests/syntax_prop.rs`) cheap to state: item
+//! spans are disjoint, ordered, nested strictly inside their parents,
+//! and together with the gaps they tile the original token sequence
+//! exactly.
+
+use crate::lexer::{Comment, Tok, TokKind};
+
+/// A half-open token-index range `[lo, hi)` into a file's token stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// First token index covered.
+    pub lo: usize,
+    /// One past the last token index covered.
+    pub hi: usize,
+}
+
+impl Span {
+    /// Whether `other` lies strictly inside `self`.
+    pub fn contains(&self, other: &Span) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+}
+
+/// What kind of item an [`Item`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function (leaf; nested functions are not split out).
+    Fn,
+    /// An inline module (`mod x { … }`).
+    Mod,
+    /// An `impl` block.
+    Impl,
+    /// A trait definition (default method bodies live inside).
+    Trait,
+}
+
+/// One parsed item with its span and lint-relevant annotations.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Declared name (for `impl`, the first type name after the
+    /// keyword; empty if none could be recovered).
+    pub name: String,
+    /// 1-based line of the introducing keyword.
+    pub line: usize,
+    /// Tokens from the first attribute/modifier through the closing
+    /// brace or semicolon.
+    pub span: Span,
+    /// Tokens strictly inside the braces, if the item has a body.
+    pub body: Option<Span>,
+    /// Whether the item carries `#[cfg(test)]` directly.
+    pub cfg_test: bool,
+    /// Whether a `// lint:hot` comment sits immediately above the item
+    /// (only meaningful for functions).
+    pub hot: bool,
+    /// Child items (for `mod`/`impl`/`trait` bodies).
+    pub children: Vec<Item>,
+}
+
+/// The parsed item tree of one file.
+#[derive(Clone, Debug, Default)]
+pub struct Tree {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Tree {
+    /// Parses the token stream; `comments` supply `lint:hot` markers.
+    pub fn parse(toks: &[Tok], comments: &[Comment]) -> Tree {
+        let hot_lines: Vec<usize> = comments
+            .iter()
+            .filter(|c| !c.doc && c.text.contains("lint:hot"))
+            .map(|c| c.line)
+            .collect();
+        let mut items = Vec::new();
+        parse_items(toks, &hot_lines, 0, toks.len(), &mut items);
+        Tree { items }
+    }
+
+    /// Every function item, flattened, with test-ness inherited from
+    /// enclosing `#[cfg(test)]` modules.
+    pub fn fns(&self) -> Vec<(&Item, bool)> {
+        let mut out = Vec::new();
+        fn walk<'t>(items: &'t [Item], in_test: bool, out: &mut Vec<(&'t Item, bool)>) {
+            for item in items {
+                let test = in_test || item.cfg_test;
+                if item.kind == ItemKind::Fn {
+                    out.push((item, test));
+                } else {
+                    walk(&item.children, test, out);
+                }
+            }
+        }
+        walk(&self.items, false, &mut out);
+        out
+    }
+}
+
+/// Keywords that introduce an item we model.
+const MODELED: [&str; 4] = ["fn", "mod", "impl", "trait"];
+
+/// Keywords that introduce an item we skip wholesale (to its `;` or
+/// matched `{ … }`), so their bodies never masquerade as loose braces.
+const SKIPPED: [&str; 7] = [
+    "struct",
+    "enum",
+    "union",
+    "static",
+    "use",
+    "type",
+    "macro_rules",
+];
+
+/// Item modifiers that may precede the keyword.
+const MODIFIERS: [&str; 7] = [
+    "pub", "unsafe", "const", "async", "extern", "default", "crate",
+];
+
+fn parse_items(toks: &[Tok], hot_lines: &[usize], lo: usize, hi: usize, out: &mut Vec<Item>) {
+    let txt = |i: usize| toks.get(i).filter(|_| i < hi).map(|t| t.text.as_str());
+    let mut i = lo;
+    while i < hi {
+        // Attributes: `# [ … ]` (outer only; inner `#![…]` stays loose).
+        let item_start = i;
+        let mut cfg_test = false;
+        let mut saw_attr = false;
+        while txt(i) == Some("#") && txt(i + 1) == Some("[") {
+            let close = matching(toks, i + 1, "[", "]", hi);
+            cfg_test |= attr_is_cfg_test(toks, i + 2, close);
+            i = close + 1;
+            saw_attr = true;
+        }
+        // Modifiers: `pub (crate)`, `unsafe`, `const`, `async`, …
+        let mut j = i;
+        loop {
+            match txt(j) {
+                Some(m) if MODIFIERS.contains(&m) => {
+                    j += 1;
+                    if txt(j) == Some("(") {
+                        j = matching(toks, j, "(", ")", hi) + 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(kw) = txt(j) else { break };
+        if MODELED.contains(&kw) {
+            let kind = match kw {
+                "fn" => ItemKind::Fn,
+                "mod" => ItemKind::Mod,
+                "impl" => ItemKind::Impl,
+                _ => ItemKind::Trait,
+            };
+            let name = item_name(toks, j, hi, kind);
+            let line = toks[j].line;
+            match body_open(toks, j + 1, hi) {
+                // `mod x;` / trait fn signature: item ends at the `;`.
+                Some((semi, false)) => {
+                    let span = Span {
+                        lo: item_start,
+                        hi: semi + 1,
+                    };
+                    out.push(Item {
+                        kind,
+                        name,
+                        line,
+                        span,
+                        body: None,
+                        cfg_test,
+                        hot: is_hot(toks, hot_lines, item_start),
+                        children: Vec::new(),
+                    });
+                    i = semi + 1;
+                }
+                Some((open, true)) => {
+                    let close = matching(toks, open, "{", "}", hi);
+                    let span = Span {
+                        lo: item_start,
+                        hi: close + 1,
+                    };
+                    let body = Span {
+                        lo: open + 1,
+                        hi: close,
+                    };
+                    let mut children = Vec::new();
+                    if kind != ItemKind::Fn {
+                        parse_items(toks, hot_lines, body.lo, body.hi, &mut children);
+                    }
+                    out.push(Item {
+                        kind,
+                        name,
+                        line,
+                        span,
+                        body: Some(body),
+                        cfg_test,
+                        hot: is_hot(toks, hot_lines, item_start),
+                        children,
+                    });
+                    i = close + 1;
+                }
+                None => break,
+            }
+        } else if SKIPPED.contains(&kw) {
+            // Skip to the terminating `;` or past the matched braces,
+            // so `enum E { … }` bodies never look like loose blocks.
+            match body_open(toks, j + 1, hi) {
+                Some((semi, false)) => i = semi + 1,
+                Some((open, true)) => {
+                    let close = matching(toks, open, "{", "}", hi);
+                    // `struct S { … }` is done; `static X: T = { … };`
+                    // still has its `;` — consume it if present.
+                    i = close + 1;
+                    if txt(i) == Some(";") {
+                        i += 1;
+                    }
+                }
+                None => break,
+            }
+        } else if saw_attr || j > i {
+            // An attribute/modifier run that decorates something we
+            // don't model (e.g. `pub use`): fall through token-wise.
+            i = j.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Whether the attribute tokens in `[lo, hi)` are exactly `cfg(test)`
+/// or a `cfg(…)` predicate mentioning `test` (e.g. `cfg(all(test, …))`).
+fn attr_is_cfg_test(toks: &[Tok], lo: usize, hi: usize) -> bool {
+    if toks.get(lo).is_none_or(|t| t.text != "cfg") {
+        return false;
+    }
+    toks[lo..hi.min(toks.len())]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "test")
+}
+
+/// The declared name following the item keyword at `kw`.
+fn item_name(toks: &[Tok], kw: usize, hi: usize, kind: ItemKind) -> String {
+    let mut i = kw + 1;
+    // `impl<T> Name` / `impl Trait for Name`: skip the generic list,
+    // then take the first type identifier.
+    if kind == ItemKind::Impl && toks.get(i).is_some_and(|t| t.text == "<") {
+        let mut depth = 0usize;
+        while i < hi {
+            match toks[i].text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    toks.get(i)
+        .filter(|t| t.kind == TokKind::Ident && i < hi)
+        .map(|t| t.text.clone())
+        .unwrap_or_default()
+}
+
+/// Finds where the item's body starts: `Some((idx, true))` for a `{` at
+/// paren/bracket depth zero, `Some((idx, false))` for a terminating
+/// `;`, `None` if the range ends first.
+fn body_open(toks: &[Tok], from: usize, hi: usize) -> Option<(usize, bool)> {
+    let mut depth = 0usize;
+    let mut i = from;
+    while i < hi {
+        match toks[i].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => return Some((i, true)),
+            ";" if depth == 0 => return Some((i, false)),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the token matching the opener at `open`; clamped to
+/// `hi - 1` if the stream ends unbalanced (never panics on torn input).
+fn matching(toks: &[Tok], open: usize, open_ch: &str, close_ch: &str, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < hi {
+        let t = toks[i].text.as_str();
+        if t == open_ch {
+            depth += 1;
+        } else if t == close_ch {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    hi.saturating_sub(1).max(open)
+}
+
+/// Whether a `// lint:hot` comment sits directly above the item whose
+/// first token is at `start` (same line, or the line before the
+/// attributes/keyword).
+fn is_hot(toks: &[Tok], hot_lines: &[usize], start: usize) -> bool {
+    let Some(first) = toks.get(start) else {
+        return false;
+    };
+    hot_lines
+        .iter()
+        .any(|&l| l + 1 == first.line || l == first.line)
+}
+
+/// Index of the `}` matching the `{` at `open` — public for rules that
+/// need ad-hoc block spans (e.g. `for`-loop bodies).
+pub fn body_close(toks: &[Tok], open: usize) -> usize {
+    matching(toks, open, "{", "}", toks.len())
+}
+
+/// One `as` cast found inside a span.
+#[derive(Clone, Debug)]
+pub struct Cast {
+    /// Token index of the `as` keyword.
+    pub idx: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// The target type name (`u32`, `usize`, …).
+    pub target: String,
+    /// Whether the operand is a bare numeric literal (`7 as u8`).
+    pub operand_literal: bool,
+    /// Whether the operand is a parenthesized expression containing a
+    /// range-limiting operator (`&` mask, `%`, `min`, `clamp`) — a
+    /// self-guarding cast.
+    pub operand_masked: bool,
+}
+
+/// Every `expr as Type` cast inside `span` (casts in `use … as …`
+/// renames are excluded).
+pub fn casts_in(toks: &[Tok], span: Span) -> Vec<Cast> {
+    let mut out = Vec::new();
+    for i in span.lo..span.hi.min(toks.len()) {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "as" {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        if stmt_is_use(toks, span.lo, i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+        let operand_literal = prev.is_some_and(|t| t.kind == TokKind::Num);
+        let operand_masked = prev.is_some_and(|t| t.text == ")") && {
+            let close = i - 1;
+            let open = matching_back(toks, close, span.lo);
+            toks[open..close].iter().any(|t| {
+                t.text == "&"
+                    || t.text == "%"
+                    || (t.kind == TokKind::Ident
+                        && matches!(t.text.as_str(), "min" | "clamp" | "rem_euclid"))
+            })
+        };
+        out.push(Cast {
+            idx: i,
+            line: toks[i].line,
+            target: target.text.clone(),
+            operand_literal,
+            operand_masked,
+        });
+    }
+    out
+}
+
+/// Whether the statement containing token `i` starts with `use`.
+fn stmt_is_use(toks: &[Tok], lo: usize, i: usize) -> bool {
+    let mut j = i;
+    while j > lo {
+        j -= 1;
+        match toks[j].text.as_str() {
+            ";" | "{" | "}" => {
+                return toks.get(j + 1).is_some_and(|t| t.text == "use");
+            }
+            _ => {}
+        }
+    }
+    toks.get(lo).is_some_and(|t| t.text == "use")
+}
+
+/// Index of the `(` matching the `)` at `close`, scanning backwards.
+fn matching_back(toks: &[Tok], close: usize, lo: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = close;
+    loop {
+        match toks[i].text.as_str() {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        if i == lo {
+            return lo;
+        }
+        i -= 1;
+    }
+}
+
+/// One `.name(…)` method call found inside a span.
+#[derive(Clone, Debug)]
+pub struct MethodCall {
+    /// Token index of the method name.
+    pub idx: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// Method name.
+    pub name: String,
+    /// Tokens strictly inside the argument parentheses.
+    pub args: Span,
+    /// Token index just past the closing parenthesis (for chain
+    /// detection: `.partial_cmp(x).unwrap()`).
+    pub after: usize,
+}
+
+/// Every `.name(…)` call inside `span`, in source order.
+pub fn method_calls_in(toks: &[Tok], span: Span) -> Vec<MethodCall> {
+    let hi = span.hi.min(toks.len());
+    let mut out = Vec::new();
+    for i in span.lo..hi {
+        if toks[i].text != "." {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Allow a turbofish between name and parens: `.collect::<V>()`.
+        let mut open = i + 2;
+        if toks.get(open).is_some_and(|t| t.text == ":")
+            && toks.get(open + 1).is_some_and(|t| t.text == ":")
+            && toks.get(open + 2).is_some_and(|t| t.text == "<")
+        {
+            let mut depth = 0usize;
+            let mut k = open + 2;
+            while k < hi {
+                match toks[k].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            open = k + 1;
+        }
+        if toks.get(open).is_none_or(|t| t.text != "(") {
+            continue;
+        }
+        let close = matching(toks, open, "(", ")", hi);
+        out.push(MethodCall {
+            idx: i + 1,
+            line: name.line,
+            name: name.text.clone(),
+            args: Span {
+                lo: open + 1,
+                hi: close,
+            },
+            after: close + 1,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn tree(src: &str) -> Tree {
+        let (toks, comments) = scan(src);
+        Tree::parse(&toks, &comments)
+    }
+
+    #[test]
+    fn items_and_bodies_are_found() {
+        let src = "struct S { a: u32 }\n\
+                   pub fn top(x: u32) -> u32 { x + 1 }\n\
+                   mod inner {\n  fn nested() {}\n}\n\
+                   impl S {\n  pub(crate) fn method(&self) {}\n}\n";
+        let t = tree(src);
+        assert_eq!(t.items.len(), 3);
+        assert_eq!(t.items[0].kind, ItemKind::Fn);
+        assert_eq!(t.items[0].name, "top");
+        assert_eq!(t.items[1].kind, ItemKind::Mod);
+        assert_eq!(t.items[1].children.len(), 1);
+        assert_eq!(t.items[1].children[0].name, "nested");
+        assert_eq!(t.items[2].kind, ItemKind::Impl);
+        assert_eq!(t.items[2].name, "S");
+        assert_eq!(t.items[2].children[0].name, "method");
+        let fns = t.fns();
+        assert_eq!(fns.len(), 3);
+    }
+
+    #[test]
+    fn cfg_test_propagates_to_nested_fns() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() {}\n}\n";
+        let t = tree(src);
+        let fns = t.fns();
+        let lib = fns.iter().find(|(f, _)| f.name == "lib").unwrap();
+        let test = fns.iter().find(|(f, _)| f.name == "t").unwrap();
+        assert!(!lib.1);
+        assert!(test.1);
+    }
+
+    #[test]
+    fn lint_hot_comment_marks_the_function() {
+        let src = "// lint:hot\nfn fast() {}\nfn slow() {}\n\
+                   // lint:hot\n#[inline]\nfn attr_fast() {}\n";
+        let t = tree(src);
+        let fns = t.fns();
+        assert!(fns.iter().find(|(f, _)| f.name == "fast").unwrap().0.hot);
+        assert!(!fns.iter().find(|(f, _)| f.name == "slow").unwrap().0.hot);
+        assert!(
+            fns.iter()
+                .find(|(f, _)| f.name == "attr_fast")
+                .unwrap()
+                .0
+                .hot
+        );
+    }
+
+    #[test]
+    fn generic_impl_names_resolve_past_the_generics() {
+        let src = "impl<T: Ord, const N: usize> Wheel<T, N> { fn f(&self) {} }";
+        let t = tree(src);
+        assert_eq!(t.items[0].name, "Wheel");
+        assert_eq!(t.items[0].children.len(), 1);
+    }
+
+    #[test]
+    fn trait_default_bodies_are_children() {
+        let src = "trait T {\n  fn sig(&self);\n  fn dflt(&self) -> u32 { 0 }\n}\n";
+        let t = tree(src);
+        assert_eq!(t.items[0].kind, ItemKind::Trait);
+        let kids = &t.items[0].children;
+        assert_eq!(kids.len(), 2);
+        assert!(kids[0].body.is_none());
+        assert!(kids[1].body.is_some());
+    }
+
+    #[test]
+    fn fn_bodies_with_braces_do_not_break_sibling_spans() {
+        let src = "fn a() { if x { y() } else { z() } match q { _ => {} } }\nfn b() {}\n";
+        let t = tree(src);
+        assert_eq!(t.items.len(), 2);
+        assert!(t.items[0].span.hi <= t.items[1].span.lo);
+    }
+
+    #[test]
+    fn casts_report_target_and_literal_operands() {
+        let (toks, _) = scan(
+            "fn f(x: u64) -> u8 { let a = 7 as u8; let b = x as u8; (x & 0xff) as u8; a + b }",
+        );
+        let t = Tree::parse(&toks, &[]);
+        let body = t.items[0].body.unwrap();
+        let casts = casts_in(&toks, body);
+        assert_eq!(casts.len(), 3);
+        assert!(casts[0].operand_literal);
+        assert!(!casts[1].operand_literal);
+        assert!(casts[2].operand_masked);
+        assert!(casts.iter().all(|c| c.target == "u8"));
+    }
+
+    #[test]
+    fn use_renames_are_not_casts() {
+        let (toks, _) = scan("fn f() { use std::fmt::Result as FmtResult; }");
+        let t = Tree::parse(&toks, &[]);
+        let casts = casts_in(&toks, t.items[0].body.unwrap());
+        assert!(casts.is_empty(), "{casts:?}");
+    }
+
+    #[test]
+    fn method_calls_capture_args_and_chains() {
+        let (toks, _) = scan("fn f() { a.partial_cmp(&b).unwrap(); v.collect::<Vec<u32>>(); }");
+        let t = Tree::parse(&toks, &[]);
+        let calls = method_calls_in(&toks, t.items[0].body.unwrap());
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["partial_cmp", "unwrap", "collect"]);
+        let pc = &calls[0];
+        assert!(toks.get(pc.after).is_some_and(|t| t.text == "."));
+        assert!(toks.get(pc.after + 1).is_some_and(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn spans_nest_and_stay_disjoint() {
+        let src = "mod m {\n  impl S {\n    fn a() {}\n    fn b() {}\n  }\n}\nfn c() {}\n";
+        let (toks, comments) = scan(src);
+        let t = Tree::parse(&toks, &comments);
+        fn check(items: &[Item], parent: Span) {
+            let mut last = parent.lo;
+            for it in items {
+                assert!(it.span.lo >= last, "sibling overlap");
+                assert!(parent.contains(&it.span), "child escapes parent");
+                if let Some(b) = it.body {
+                    assert!(it.span.contains(&b));
+                    check(&it.children, b);
+                }
+                last = it.span.hi;
+            }
+        }
+        check(
+            &t.items,
+            Span {
+                lo: 0,
+                hi: toks.len(),
+            },
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! DESIGN.md's lint-rule table (§11) is generated from
+//! `quartz_lint::explain::design_table()` — the same data `--explain`
+//! prints — so the prose cannot drift from the code. This test fails
+//! with the expected block whenever the two diverge; paste the printed
+//! table between the markers to resync.
+
+use std::path::Path;
+
+const BEGIN: &str = "<!-- lint-rule-table:begin -->";
+const END: &str = "<!-- lint-rule-table:end -->";
+
+#[test]
+fn design_md_rule_table_matches_the_rule_catalog() {
+    let design = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md");
+    let text = std::fs::read_to_string(&design).expect("DESIGN.md reads");
+    let lo = text
+        .find(BEGIN)
+        .expect("DESIGN.md carries the lint-rule-table:begin marker")
+        + BEGIN.len();
+    let hi = text
+        .find(END)
+        .expect("DESIGN.md carries the lint-rule-table:end marker");
+    assert!(lo <= hi, "table markers out of order");
+    let embedded = text[lo..hi].trim();
+    let generated = quartz_lint::explain::design_table();
+    assert_eq!(
+        embedded,
+        generated.trim(),
+        "\nDESIGN.md rule table is stale; replace the block between the \
+         markers with:\n\n{generated}"
+    );
+}

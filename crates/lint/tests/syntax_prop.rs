@@ -1,0 +1,153 @@
+//! Property tests for the syntax layer: on every real workspace file
+//! — and on seeded random token streams sampled from them — the parsed
+//! item tree must (a) round-trip to the exact token sequence (top-level
+//! item spans plus the gaps between them tile `0..toks.len()` in
+//! order), and (b) nest: children stay inside their parent's body,
+//! siblings stay disjoint and ordered, bodies stay inside their item.
+//!
+//! The random streams are deliberately torn (brackets may not match,
+//! items may be truncated); the parser must stay total and keep the
+//! invariants anyway, because the rules trust its spans on whatever
+//! source a contributor saves mid-edit.
+
+use quartz_lint::lexer::scan;
+use quartz_lint::syntax::{Item, Tree};
+use std::path::{Path, PathBuf};
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants) — the test must
+/// not depend on an RNG crate or ambient entropy.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn workspace_rs_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    assert!(out.len() >= 20, "workspace walk found only {}", out.len());
+    out
+}
+
+/// Asserts nesting: spans in bounds, bodies inside items, siblings
+/// disjoint and ordered, children inside the parent's body.
+fn check_nesting(items: &[Item], lo: usize, hi: usize, ctx: &str) {
+    let mut cursor = lo;
+    for it in items {
+        assert!(
+            it.span.lo >= cursor,
+            "{ctx}: item `{}` span {:?} overlaps its predecessor (cursor {cursor})",
+            it.name,
+            it.span
+        );
+        assert!(
+            it.span.lo <= it.span.hi && it.span.hi <= hi,
+            "{ctx}: item `{}` span {:?} escapes region {lo}..{hi}",
+            it.name,
+            it.span
+        );
+        if let Some(b) = it.body {
+            assert!(
+                it.span.lo <= b.lo && b.hi <= it.span.hi,
+                "{ctx}: item `{}` body {b:?} escapes span {:?}",
+                it.name,
+                it.span
+            );
+        }
+        let inner = it.body.unwrap_or(it.span);
+        check_nesting(&it.children, inner.lo, inner.hi, ctx);
+        cursor = it.span.hi;
+    }
+}
+
+/// Reconstructs the token-index sequence from the tree's top level:
+/// gap, item span, gap, … — the round-trip under test.
+fn round_trip(items: &[Item], len: usize) -> Vec<usize> {
+    let mut seq = Vec::with_capacity(len);
+    let mut cursor = 0;
+    for it in items {
+        seq.extend(cursor..it.span.lo);
+        seq.extend(it.span.lo..it.span.hi);
+        cursor = it.span.hi;
+    }
+    seq.extend(cursor..len);
+    seq
+}
+
+fn check_source(src: &str, ctx: &str) {
+    let (toks, comments) = scan(src);
+    let tree = Tree::parse(&toks, &comments);
+    check_nesting(&tree.items, 0, toks.len(), ctx);
+    let rt = round_trip(&tree.items, toks.len());
+    assert_eq!(
+        rt,
+        (0..toks.len()).collect::<Vec<_>>(),
+        "{ctx}: tree does not round-trip to the token sequence"
+    );
+}
+
+#[test]
+fn every_workspace_file_round_trips_and_nests() {
+    for path in workspace_rs_files() {
+        let src = std::fs::read_to_string(&path).expect("workspace file reads");
+        check_source(&src, &path.display().to_string());
+    }
+}
+
+#[test]
+fn seeded_random_token_streams_round_trip_and_nest() {
+    // Sample token texts from real files so the streams are made of
+    // the vocabulary the parser actually sees (fn/impl/mod keywords,
+    // braces, attributes), then shuffle them into torn programs.
+    let files = workspace_rs_files();
+    let mut rng = Lcg(0x005e_ed0f_9a27);
+    for path in files.iter().step_by(files.len() / 8) {
+        let src = std::fs::read_to_string(path).expect("workspace file reads");
+        let (pool, _) = scan(&src);
+        if pool.is_empty() {
+            continue;
+        }
+        for round in 0..40 {
+            let len = 1 + rng.below(250);
+            let mut synth = String::new();
+            for _ in 0..len {
+                synth.push_str(&pool[rng.below(pool.len())].text);
+                // Newlines sometimes, so line-based logic (cfg ranges,
+                // hot annotations) sees multi-line shapes.
+                synth.push(if rng.below(4) == 0 { '\n' } else { ' ' });
+            }
+            check_source(&synth, &format!("{} round {round}", path.display()));
+        }
+    }
+}

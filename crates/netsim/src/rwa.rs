@@ -184,6 +184,17 @@ pub fn compile_churn(
         }
 
         metrics.inc(&format!("rwa.resolve.{}", report.outcome.as_str()), 1);
+        let counts = [
+            report.moved.len(),
+            report.restored.len(),
+            report.torn_down.len(),
+        ];
+        let sizes = [report.unroutable, report.channels, report.fresh_channels];
+        debug_assert!(
+            counts.iter().chain(&sizes).all(|&c| c <= u32::MAX as usize)
+                && ev.delta.fiber() <= u32::MAX as usize,
+            "RWA report counts fit u32"
+        );
         control_events.push(Event::RwaResolve {
             t_ns: t_ctrl,
             trigger: ev.delta.as_str(),
@@ -203,6 +214,10 @@ pub fn compile_churn(
             let dark = op.dark_ns(retune);
             retunes += 1;
             dark_ns_total += dark;
+            debug_assert!(
+                op.pair.a <= u32::MAX as usize && op.pair.b <= u32::MAX as usize,
+                "ring pair ids fit u32"
+            );
             control_events.push(Event::Retune {
                 t_ns: t_ctrl,
                 a: op.pair.a as u32,

@@ -50,6 +50,11 @@
 //! timestamp is the common case (a packet forwarded at `now`) and
 //! ordered correctly by `seq`.
 
+// lint:panic-free — the event engine runs inside every simulated
+// nanosecond; a panic here tears down mid-run with arena slots live.
+// Potential panic sites below either return Option or state their
+// bound with a debug_assert.
+
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -268,7 +273,11 @@ impl<T> TimingWheel<T> {
                 break;
             }
             self.far.pop();
-            let item = self.far_slots[id as usize].take().expect("slot is live");
+            let Some(item) = self.far_slots[id as usize].take() else {
+                // Unreachable: far heap ids always point at live slots.
+                debug_assert!(false, "far slot {id} is dead");
+                continue;
+            };
             self.far_free.push(id);
             debug_assert!(slot >= self.cursor);
             self.buckets[(slot & BUCKET_MASK) as usize].push((t, seq, item));
@@ -292,13 +301,19 @@ impl<T> TimingWheel<T> {
             if self.near_len == 0 {
                 // Everything queued is in the overflow heap: jump the
                 // cursor to its earliest slot and pull the horizon in.
-                let &Reverse((t, _, _)) = self.far.peek().expect("len > 0 with empty near wheel");
+                let Some(&Reverse((t, _, _))) = self.far.peek() else {
+                    // Unreachable: len > 0 with an empty near wheel
+                    // means the far heap is non-empty.
+                    debug_assert!(false, "len {} with both wheels empty", self.len);
+                    return false;
+                };
                 self.cursor = t.wheel_slot(GRANULARITY_LOG2);
             } else {
                 self.cursor += 1;
             }
             self.migrate();
             let idx = (self.cursor & BUCKET_MASK) as usize;
+            debug_assert!(idx < NUM_BUCKETS, "mask keeps bucket indices in range");
             if !self.buckets[idx].is_empty() {
                 // Take the bucket wholesale (its allocation swaps with
                 // `current`'s spent one) and order it for O(1) pops.
@@ -334,6 +349,10 @@ impl<T> Scheduler<T> for TimingWheel<T> {
                 self.far_slots[id as usize] = Some(item);
                 id
             } else {
+                debug_assert!(
+                    self.far_slots.len() <= u32::MAX as usize,
+                    "slot ids fit u32"
+                );
                 let id = self.far_slots.len() as u32;
                 self.far_slots.push(Some(item));
                 id
@@ -343,34 +362,38 @@ impl<T> Scheduler<T> for TimingWheel<T> {
         self.len += 1;
     }
 
+    // lint:hot
     fn pop(&mut self) -> Option<(SimTime, T)> {
         if !self.seek() {
             return None;
         }
-        let (time, _, item) = self.current.pop().expect("seek returned true");
+        // `seek() == true` guarantees `current` is non-empty.
+        let (time, _, item) = self.current.pop()?;
         self.near_len -= 1;
         self.len -= 1;
         Some((time, item))
     }
 
+    // lint:hot
     fn pop_before(&mut self, bound: SimTime) -> Option<(SimTime, T)> {
         if !self.seek() {
             return None;
         }
-        if self.current.last().expect("seek returned true").0 > bound {
+        if self.current.last()?.0 > bound {
             return None;
         }
-        let (time, _, item) = self.current.pop().expect("seek returned true");
+        let (time, _, item) = self.current.pop()?;
         self.near_len -= 1;
         self.len -= 1;
         Some((time, item))
     }
 
+    // lint:hot
     fn peek_key(&mut self) -> Option<(SimTime, u64)> {
         if !self.seek() {
             return None;
         }
-        let e = self.current.last().expect("seek returned true");
+        let e = self.current.last()?;
         Some((e.0, e.1))
     }
 

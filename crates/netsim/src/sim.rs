@@ -464,9 +464,58 @@ pub struct Simulator {
     recorder: Option<Box<dyn Recorder>>,
     /// Observability: optional metrics registry.
     metrics: Option<MetricsRegistry>,
+    /// Pre-rendered per-switch / per-slot metric label strings, grown
+    /// off the hot path so forwarding never formats (see
+    /// [`MetricLabels`]).
+    labels: MetricLabels,
     /// `recorder.is_some() || metrics.is_some()`, maintained by the
     /// attach/detach methods.
     obs: bool,
+}
+
+/// Per-switch and per-directed-slot metric label caches. The labels
+/// (`switch.NNN.forwarded`, `queue.linkNNNN.ab`, …) are deterministic
+/// functions of the node/slot index, so they are rendered once, on
+/// first use, and the forwarding path borrows the cached `&str` —
+/// `format!` never runs per packet.
+#[derive(Debug, Default)]
+struct MetricLabels {
+    /// `switch.{:03}.forwarded`, indexed by node id.
+    switch_fwd: Vec<String>,
+    /// `queue.link{:04}.{ab|ba}`, indexed by directed slot.
+    queue: Vec<String>,
+    /// `util.link{:04}.{ab|ba}`, indexed by directed slot.
+    util: Vec<String>,
+}
+
+impl MetricLabels {
+    fn switch_fwd(&mut self, node: u32) -> &str {
+        while self.switch_fwd.len() <= node as usize {
+            let n = self.switch_fwd.len();
+            self.switch_fwd.push(format!("switch.{n:03}.forwarded"));
+        }
+        &self.switch_fwd[node as usize]
+    }
+
+    fn queue(&mut self, slot: u32) -> &str {
+        Self::slot_label(&mut self.queue, "queue", slot)
+    }
+
+    fn util(&mut self, slot: u32) -> &str {
+        Self::slot_label(&mut self.util, "util", slot)
+    }
+
+    /// Slot layout mirrors [`Simulator::links`]: `[2l]` = a→b (`ab`),
+    /// `[2l+1]` = b→a (`ba`).
+    fn slot_label<'a>(cache: &'a mut Vec<String>, prefix: &str, slot: u32) -> &'a str {
+        while cache.len() <= slot as usize {
+            let s = cache.len();
+            let link_idx = s >> 1;
+            let dir_tag = if s & 1 == 0 { "ab" } else { "ba" };
+            cache.push(format!("{prefix}.link{link_idx:04}.{dir_tag}"));
+        }
+        &cache[slot as usize]
+    }
 }
 
 /// One reliable connection's two endpoints plus its start time.
@@ -551,6 +600,7 @@ impl Simulator {
             fault_log: Vec::new(),
             recorder: None,
             metrics: None,
+            labels: MetricLabels::default(),
             obs: false,
         }
     }
@@ -674,6 +724,7 @@ impl Simulator {
                     receiver: ReceiverState::default(),
                     t0: start,
                 });
+                debug_assert!(self.conns.len() <= u32::MAX as usize, "conn ids fit u32");
                 (self.conns.len() - 1) as u32
             }
             _ => NO_CONN,
@@ -692,12 +743,15 @@ impl Simulator {
             t0: start,
             table: None,
         });
-        self.push(start, EvKind::Gen { flow: idx });
+        self.schedule(start, EvKind::Gen { flow: idx });
         idx
     }
 
+    /// Enqueues a future simulator event. (Named `schedule` rather than
+    /// `push` so hot-annotated callers read as scheduling, not as
+    /// container growth.)
     #[inline]
-    fn push(&mut self, time: SimTime, kind: EvKind) {
+    fn schedule(&mut self, time: SimTime, kind: EvKind) {
         self.events.push(time, kind);
     }
 
@@ -740,6 +794,7 @@ impl Simulator {
     /// that inspect state between events (e.g.
     /// [`Simulator::run_until_samples`]) observe the same boundaries as
     /// [`DrainMode::PerPacket`].
+    // lint:hot
     fn dispatch(&mut self, time: SimTime, kind: EvKind, bound: SimTime, step: bool) {
         self.now = time;
         match kind {
@@ -783,6 +838,7 @@ impl Simulator {
     /// [`DrainMode::PerPacket`] order — batch "termination" at ECN,
     /// fault, or dark-window boundaries falls out of the key merge
     /// rather than needing special cases.
+    // lint:hot
     fn drain_link(&mut self, slot: u32, bound: SimTime, step: bool) {
         let at = self.slot_dst[slot as usize];
         loop {
@@ -837,7 +893,7 @@ impl Simulator {
                 let gap = (-mean_gap_ns * u.ln()).max(1.0) as u64;
                 let next = now + gap;
                 if next < stop {
-                    self.push(next, EvKind::Gen { flow: flow_idx });
+                    self.schedule(next, EvKind::Gen { flow: flow_idx });
                 }
             }
             FlowKind::Rpc { count } => {
@@ -860,7 +916,7 @@ impl Simulator {
                 }
                 let next = now + period_ns;
                 if next < stop {
-                    self.push(next, EvKind::Gen { flow: flow_idx });
+                    self.schedule(next, EvKind::Gen { flow: flow_idx });
                 }
             }
             FlowKind::Transport { .. } => {
@@ -898,7 +954,7 @@ impl Simulator {
                     let (_, link_id) = self.net.neighbors(flow.src)[0];
                     let rate = self.net.link(link_id).bandwidth_gbps;
                     let pace = ((flow.size as f64 * 8.0) / rate).ceil() as u64;
-                    self.push(now + pace, EvKind::Gen { flow: flow_idx });
+                    self.schedule(now + pace, EvKind::Gen { flow: flow_idx });
                 }
             }
         }
@@ -941,10 +997,12 @@ impl Simulator {
         };
         let flags =
             if is_response { FLAG_RESPONSE } else { 0 } | if is_last { FLAG_LAST } else { 0 };
+        debug_assert!(flow_idx <= u32::MAX as usize, "flow ids fit u32");
+        let flow_id = flow_idx as u32;
         let id = self.arena.alloc(
             created_override.unwrap_or(now),
             dst,
-            flow_idx as u32,
+            flow_id,
             f_size,
             hash,
             PacketCold {
@@ -958,7 +1016,7 @@ impl Simulator {
         if self.observing() {
             self.record(Event::Gen {
                 t_ns: now.ns(),
-                flow: flow_idx as u32,
+                flow: flow_id,
                 size_bytes: f_size,
                 response: is_response,
             });
@@ -984,7 +1042,7 @@ impl Simulator {
                 SendAction::ArmRto { epoch } => {
                     let at = now + self.cfg.rto_ns;
                     debug_assert!(epoch <= u64::from(u32::MAX));
-                    self.push(
+                    self.schedule(
                         at,
                         EvKind::Rto {
                             flow: flow_idx as u32,
@@ -1020,10 +1078,12 @@ impl Simulator {
             }
             _ => (flow.dst, flow.hash),
         };
+        debug_assert!(flow_idx <= u32::MAX as usize, "flow ids fit u32");
+        let flow_id = flow_idx as u32;
         let id = self.arena.alloc(
             now,
             dst,
-            flow_idx as u32,
+            flow_id,
             size,
             hash,
             PacketCold {
@@ -1037,7 +1097,7 @@ impl Simulator {
         if self.observing() {
             self.record(Event::Gen {
                 t_ns: now.ns(),
-                flow: flow_idx as u32,
+                flow: flow_id,
                 size_bytes: size,
                 response: false,
             });
@@ -1053,6 +1113,7 @@ impl Simulator {
     /// `head` (tail at `tail`): deliver or queue on the next output
     /// port. Every exit path either frees the slot (delivery, drops) or
     /// schedules its next arrival.
+    // lint:hot
     fn arrive(&mut self, id: PacketId, at: NodeId, head: SimTime, tail: SimTime) {
         let i = id as usize;
         let flow_id = self.arena.flow[i];
@@ -1155,7 +1216,7 @@ impl Simulator {
             if is_response {
                 if let FlowKind::Rpc { count } = kind {
                     if self.flow_state[flow_idx].sent < count {
-                        self.push(delivered_at, EvKind::Gen { flow: flow_idx });
+                        self.schedule(delivered_at, EvKind::Gen { flow: flow_idx });
                     }
                 }
             } else {
@@ -1367,19 +1428,10 @@ impl Simulator {
             if let Some(m) = self.metrics.as_mut() {
                 m.inc("sim.packets.forwarded", 1);
                 if node_kind.is_switch() {
-                    m.inc(&format!("switch.{:03}.forwarded", at.0), 1);
+                    m.inc(self.labels.switch_fwd(at.0), 1);
                 }
-                let dir_tag = if to_b { "ab" } else { "ba" };
-                m.observe(
-                    &format!("queue.link{:04}.{dir_tag}", link_idx),
-                    earliest.ns(),
-                    queue_bytes,
-                );
-                m.observe(
-                    &format!("util.link{:04}.{dir_tag}", link_idx),
-                    start.ns(),
-                    ser_ns,
-                );
+                m.observe(self.labels.queue(slot), earliest.ns(), queue_bytes);
+                m.observe(self.labels.util(slot), start.ns(), ser_ns);
             }
         }
         let prop = self.cfg.prop_delay_ns;
@@ -1392,7 +1444,7 @@ impl Simulator {
         debug_assert!(ser_ns <= u64::from(u32::MAX));
         let ser = ser_ns as u32;
         match self.cfg.drain {
-            DrainMode::PerPacket => self.push(
+            DrainMode::PerPacket => self.schedule(
                 arr_head,
                 EvKind::Head {
                     pkt: id,
@@ -1405,7 +1457,7 @@ impl Simulator {
                 if q_was_empty && free_at <= earliest {
                     // Idle link: a lone arrival gets a plain event, so
                     // short queues pay no batch bookkeeping.
-                    self.push(
+                    self.schedule(
                         arr_head,
                         EvKind::Head {
                             pkt: id,
@@ -1471,7 +1523,7 @@ impl Simulator {
     /// dropping everything queued onto them (§3.5's failure model, live).
     pub fn fail_link_at(&mut self, link: LinkId, at: SimTime) {
         assert!((link.0 as usize) < self.net.link_count(), "unknown link");
-        self.push(at, EvKind::FailLink { link });
+        self.schedule(at, EvKind::FailLink { link });
     }
 
     /// Schedules the death of switch `node` at `at`: from then on, every
@@ -1484,7 +1536,7 @@ impl Simulator {
             self.net.node(node).kind.is_switch(),
             "only switches fail; {node:?} is a host"
         );
-        self.push(at, EvKind::FailSwitch { node });
+        self.schedule(at, EvKind::FailSwitch { node });
     }
 
     /// Schedules every event of a [`FaultPlan`]. With
@@ -1499,25 +1551,25 @@ impl Simulator {
             match ev.kind {
                 FaultKind::LinkDown(link) => {
                     assert!((link.0 as usize) < self.net.link_count(), "unknown link");
-                    self.push(ev.at, EvKind::FailLink { link });
+                    self.schedule(ev.at, EvKind::FailLink { link });
                 }
                 FaultKind::LinkUp(link) => {
                     assert!((link.0 as usize) < self.net.link_count(), "unknown link");
-                    self.push(ev.at, EvKind::RecoverLink { link });
+                    self.schedule(ev.at, EvKind::RecoverLink { link });
                 }
                 FaultKind::SwitchDown(node) => {
                     assert!(
                         self.net.node(node).kind.is_switch(),
                         "only switches fail; {node:?} is a host"
                     );
-                    self.push(ev.at, EvKind::FailSwitch { node });
+                    self.schedule(ev.at, EvKind::FailSwitch { node });
                 }
                 FaultKind::SwitchUp(node) => {
                     assert!(
                         self.net.node(node).kind.is_switch(),
                         "only switches fail; {node:?} is a host"
                     );
-                    self.push(ev.at, EvKind::RecoverSwitch { node });
+                    self.schedule(ev.at, EvKind::RecoverSwitch { node });
                 }
             }
         }
@@ -1563,7 +1615,7 @@ impl Simulator {
             }
         }
         if let Some(delay) = self.cfg.reconvergence_ns {
-            self.push(self.now + delay, EvKind::Reroute);
+            self.schedule(self.now + delay, EvKind::Reroute);
         }
     }
 

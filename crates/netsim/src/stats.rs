@@ -269,6 +269,7 @@ impl Stats {
     pub fn hop_distribution(&self, tag: u32) -> Vec<(u32, usize)> {
         self.tag_row(tag)
             .map(|r| {
+                debug_assert!(r.hops.len() <= u32::MAX as usize, "hop counts fit u32");
                 r.hops
                     .iter()
                     .enumerate()

@@ -130,6 +130,7 @@ impl Network {
     }
 
     fn add_node(&mut self, kind: NodeKind, rack: Option<usize>) -> NodeId {
+        debug_assert!(self.nodes.len() <= u32::MAX as usize, "node ids fit u32");
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { id, kind, rack });
         self.adj.push(Vec::new());

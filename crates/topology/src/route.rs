@@ -55,6 +55,7 @@ impl RouteTable {
         dead_node: impl Fn(NodeId) -> bool,
     ) -> Self {
         let n = net.node_count();
+        debug_assert!(n <= u32::MAX as usize, "node ids fit u32");
         let mut dist = Vec::with_capacity(n);
         let mut next = Vec::with_capacity(n);
         for d in 0..n {
@@ -101,6 +102,7 @@ impl RouteTable {
                 crate::graph::NodeKind::Switch(r) => tree.add_switch(r, node.rack),
             };
         }
+        debug_assert!(parent.len() <= u32::MAX as usize, "node ids fit u32");
         for (v, p) in parent.iter().enumerate() {
             if let Some(p) = p {
                 tree.connect(NodeId(v as u32), *p, 1.0);
@@ -182,6 +184,7 @@ impl RouteTable {
         dead_node: impl Fn(NodeId) -> bool,
     ) {
         let n = self.n;
+        debug_assert!(n <= u32::MAX as usize, "node ids fit u32");
         for d in 0..n {
             let dst = NodeId(d as u32);
             let affected = match change {
@@ -263,6 +266,7 @@ impl FlatRoutes {
     /// Panics if the table references a hop with no link in `net`.
     pub fn new(table: &RouteTable, net: &Network) -> Self {
         let n = table.n;
+        debug_assert!(n <= u32::MAX as usize, "node ids fit u32");
         let mut offsets = Vec::with_capacity(n * n + 1);
         let mut hops = Vec::new();
         offsets.push(0);
@@ -276,6 +280,7 @@ impl FlatRoutes {
                     let dir = u32::from(net.link(l).a != at_id);
                     hops.push((next, 2 * l.0 + dir));
                 }
+                debug_assert!(hops.len() <= u32::MAX as usize, "hop offsets fit u32");
                 offsets.push(hops.len() as u32);
             }
         }
@@ -339,6 +344,7 @@ fn bfs_to(
         }
     }
     let mut next = vec![Vec::new(); n];
+    debug_assert!(n <= u32::MAX as usize, "node ids fit u32");
     for u in 0..n {
         if dist[u] == u32::MAX || dist[u] == 0 || dead_node(NodeId(u as u32)) {
             continue;

@@ -1,0 +1,11 @@
+//! Extension experiment E4: the workload subsystem (trace replay,
+//! heavy-tail mix, incast, ring/tree all-reduce) under Reno and DCTCP.
+//! `--jobs N` sets the worker count (default: all hardware threads);
+//! `--trace-out PATH` writes an ndjson trace;
+//! set `QUARTZ_BENCH_JSON` to also write `BENCH_ext04_workloads.json`.
+fn main() {
+    quartz_bench::run_bin(
+        "ext04_workloads",
+        quartz_bench::experiments::ext04::print_ctx,
+    );
+}

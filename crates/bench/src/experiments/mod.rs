@@ -7,6 +7,7 @@
 pub mod ext01;
 pub mod ext02;
 pub mod ext03;
+pub mod ext04;
 pub mod fig01;
 pub mod fig05;
 pub mod fig06;

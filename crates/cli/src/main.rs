@@ -15,6 +15,11 @@
 //! quartz throughput --racks 16 --hosts 8 [--pattern permutation|incast|shuffle] [--policy ecmp|adaptive|vlb:0.5]
 //! quartz rpc        [--cross-mbps 150 --wiring quartz|tree]
 //! quartz trace      [--quick true --switches 33 --seed 3350 --out trace.ndjson --timeline 40]
+//! quartz workload   --spec trace.ndjson|websearch|hadoop|incast:<fanin>|allreduce:ring|tree
+//!                   [--transport reno|dctcp --load 0.4 --bytes N --jitter-ns N --ranks N
+//!                    --rings 2 --switches 3 --hosts 2 --core 2 --window-us 2000
+//!                    --horizon-ms 80 --seed 42 --units 1 --jobs 0 --quick true
+//!                    --trace-out wl.ndjson --metrics-out wl-metrics.ndjson]
 //! ```
 
 #![deny(missing_docs)]
@@ -54,6 +59,7 @@ fn main() {
         Some("topo") => cmd_topo(&args),
         Some("power") => cmd_power(&args),
         Some("trace") => cmd_trace(&args),
+        Some("workload") => cmd_workload(&args),
         Some("help") | None => {
             usage();
             Ok(())
@@ -86,7 +92,10 @@ fn usage() {
          \x20 topo        emit a topology as Graphviz DOT on stdout\n\
          \x20 power       network power draw per design (watts/server)\n\
          \x20 trace       replay the ring-cut scenario with full event tracing;\n\
-         \x20             prints a sim-time timeline, --out writes the ndjson trace\n\n\
+         \x20             prints a sim-time timeline, --out writes the ndjson trace\n\
+         \x20 workload    drive a traffic workload (trace replay, websearch/hadoop\n\
+         \x20             heavy-tail mix, incast, ring/tree all-reduce) through the\n\
+         \x20             transport layer and report per-bucket FCT and slowdown\n\n\
          run a command with wrong flags to see its options"
     );
 }
@@ -766,6 +775,145 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         body.push_str(&metrics.to_ndjson());
         std::fs::write(out, body).map_err(|e| format!("writing {out}: {e}"))?;
         println!("\ntrace written: {out}");
+    }
+    Ok(())
+}
+
+/// `workload`: drive one of the four `quartz-workload` traffic kinds
+/// over the Quartz-in-edge-and-core fabric and report per-size-bucket
+/// FCT and slowdown. Deterministic at any `--jobs` width.
+fn cmd_workload(args: &Args) -> Result<(), String> {
+    use quartz_core::pool::unit_seed;
+    use quartz_topology::builders::quartz_in_edge_and_core;
+    use quartz_workload::{
+        run_units, run_workload_traced, variant_by_name, WorkloadConfig, WorkloadSpec,
+    };
+
+    args.expect_only(&[
+        "spec",
+        "transport",
+        "load",
+        "bytes",
+        "jitter-ns",
+        "ranks",
+        "rings",
+        "switches",
+        "hosts",
+        "core",
+        "window-us",
+        "horizon-ms",
+        "seed",
+        "units",
+        "jobs",
+        "quick",
+        "trace-out",
+        "metrics-out",
+    ])?;
+    let quick: bool = args.num("quick", false)?;
+    let rings: usize = args.num("rings", 2)?;
+    let switches: usize = args.num("switches", if quick { 2 } else { 3 })?;
+    let hosts_per_sw: usize = args.num("hosts", 2)?;
+    let core: usize = args.num("core", 2)?;
+    if rings < 1 || switches < 2 || hosts_per_sw < 1 || core < 2 {
+        return Err("--rings ≥ 1, --switches ≥ 2, --hosts ≥ 1, --core ≥ 2".into());
+    }
+    let host_count = rings * switches * hosts_per_sw;
+    if host_count < 2 {
+        return Err("the fabric needs at least 2 hosts".into());
+    }
+
+    let spec_arg = args.get("spec").unwrap_or("websearch");
+    let mut spec = WorkloadSpec::parse(spec_arg, host_count)?;
+    // Optional per-kind overrides.
+    match &mut spec {
+        WorkloadSpec::Trace(_) => {}
+        WorkloadSpec::Dist { load, .. } => {
+            *load = args.num("load", *load)?;
+            if !(*load > 0.0 && *load <= 1.0) {
+                return Err("--load must be in (0,1]".into());
+            }
+        }
+        WorkloadSpec::Incast {
+            bytes, jitter_ns, ..
+        } => {
+            *bytes = args.num("bytes", *bytes)?;
+            *jitter_ns = args.num("jitter-ns", *jitter_ns)?;
+            if *bytes == 0 {
+                return Err("--bytes must be ≥ 1".into());
+            }
+        }
+        WorkloadSpec::AllReduce { ranks, bytes, .. } => {
+            *ranks = args.num("ranks", *ranks)?;
+            *bytes = args.num("bytes", *bytes)?;
+            if *bytes == 0 {
+                return Err("--bytes must be ≥ 1".into());
+            }
+        }
+    }
+
+    let transport = variant_by_name(args.get("transport").unwrap_or("dctcp"))?;
+    let seed: u64 = args.num("seed", 42)?;
+    let units: usize = args.num("units", 1)?;
+    let jobs: usize = args.num("jobs", 0)?;
+    if units == 0 {
+        return Err("--units must be ≥ 1".into());
+    }
+    let window_us: u64 = args.num("window-us", if quick { 500 } else { 2_000 })?;
+    let horizon_ms: u64 = args.num("horizon-ms", if quick { 40 } else { 80 })?;
+    if window_us == 0 || horizon_ms == 0 {
+        return Err("--window-us and --horizon-ms must be ≥ 1".into());
+    }
+    if horizon_ms * 1_000 < window_us {
+        return Err("--horizon-ms must cover --window-us".into());
+    }
+
+    let mut cfg = WorkloadConfig::new(spec, transport, seed);
+    cfg.window = SimTime::from_us(window_us);
+    cfg.horizon = SimTime::from_ms(horizon_ms);
+
+    let build = || {
+        let c = quartz_in_edge_and_core(rings, switches, hosts_per_sw, core);
+        (c.net, c.hosts)
+    };
+    println!(
+        "workload {} over {} hosts ({rings} ring(s) x {switches} sw x {hosts_per_sw}), \
+         {} transport, seed {seed}, {units} unit(s):",
+        cfg.spec.name(),
+        host_count,
+        quartz_workload::variant_name(transport),
+    );
+    let reports = run_units(&cfg, units, &ThreadPool::new(jobs), build)?;
+    for (u, r) in reports.iter().enumerate() {
+        println!("unit {u} (seed {}):", r.seed);
+        for line in r.render().lines() {
+            println!("  {line}");
+        }
+    }
+
+    if let Some(out) = args.get("metrics-out") {
+        let mut m = quartz_obs::MetricsRegistry::new();
+        for (u, r) in reports.iter().enumerate() {
+            r.add_metrics(&mut m, &format!("workload.u{u}"));
+        }
+        std::fs::write(out, m.to_ndjson()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("metrics written: {out}");
+    }
+    if let Some(out) = args.get("trace-out") {
+        // One traced replay of unit 0 — independent of --jobs; the
+        // trace carries the workload-level events (flow opens and
+        // completions, collective step boundaries).
+        let mut unit_cfg = cfg.clone();
+        unit_cfg.seed = unit_seed(cfg.seed, 0);
+        let (net, hosts) = build();
+        let (_report, events) = run_workload_traced(net, &hosts, &unit_cfg)?;
+        let mut body = String::new();
+        for ev in &events {
+            if matches!(ev.tag(), "flow_start" | "flow_complete" | "collective_step") {
+                body.push_str(&ev.ndjson_line());
+            }
+        }
+        std::fs::write(out, body).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("trace written: {out}");
     }
     Ok(())
 }

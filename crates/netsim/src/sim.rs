@@ -252,6 +252,17 @@ pub struct FaultRecord {
     baseline_drops: u64,
 }
 
+/// One entry of the simulator's flow-completion log: a managed flow
+/// ([`FlowKind::Transport`] or [`FlowKind::FileTransfer`]) delivered its
+/// last byte. See [`Simulator::flow_completions`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowCompletion {
+    /// Flow index (as returned by [`Simulator::add_flow`]).
+    pub flow: u32,
+    /// Flow completion time: open → last byte delivered, ns.
+    pub fct_ns: u64,
+}
+
 /// The simulator's event engine: static dispatch over the two
 /// [`Scheduler`] implementations (a `dyn` scheduler would cost a
 /// virtual call per push/pop on the hottest loop in the workspace; the
@@ -459,6 +470,12 @@ pub struct Simulator {
     pending_route_changes: Vec<FaultKind>,
     /// Every fault event that has fired, with reconvergence outcomes.
     fault_log: Vec<FaultRecord>,
+    /// Completion log for end-to-end managed flows ([`FlowKind::Transport`]
+    /// and [`FlowKind::FileTransfer`]), in completion order. `Stats`
+    /// aggregates by tag; workload drivers need the per-flow completion
+    /// times back (FCT, slowdown), so each is also logged here — one
+    /// push per *flow*, not per packet, so it stays off the hot path.
+    completions: Vec<FlowCompletion>,
     /// Observability: optional event sink. `None` (the default) keeps
     /// every emission site down to one branch.
     recorder: Option<Box<dyn Recorder>>,
@@ -598,6 +615,7 @@ impl Simulator {
             routed_node_failed,
             pending_route_changes: Vec::new(),
             fault_log: Vec::new(),
+            completions: Vec::new(),
             recorder: None,
             metrics: None,
             labels: MetricLabels::default(),
@@ -919,12 +937,22 @@ impl Simulator {
                     self.schedule(next, EvKind::Gen { flow: flow_idx });
                 }
             }
-            FlowKind::Transport { .. } => {
+            FlowKind::Transport { total_bytes, .. } => {
                 // Connection start: open the window.
                 let t0 = self.flow_state[flow_idx].t0;
                 if t0 == SimTime::ZERO || now >= t0 {
                     let conn = flow.conn;
                     debug_assert_ne!(conn, NO_CONN, "transport flow has a connection");
+                    if self.observing() {
+                        debug_assert!(flow_idx <= u32::MAX as usize, "flow ids fit u32");
+                        self.record(Event::FlowStart {
+                            t_ns: now.ns(),
+                            flow: flow_idx as u32,
+                            src: flow.src.0,
+                            dst: flow.dst.0,
+                            bytes: total_bytes,
+                        });
+                    }
                     let mut actions = std::mem::take(&mut self.action_scratch);
                     actions.clear();
                     self.conns[conn as usize].sender.pump_into(&mut actions);
@@ -936,13 +964,25 @@ impl Simulator {
                 // Ideally paced transport: one packet per serialization
                 // slot of the source's access link, so the transfer
                 // never overflows its own output queue.
-                let pkts = (total_bytes.div_ceil(u64::from(flow.size)).max(1)) as u32;
+                let pkts64 = total_bytes.div_ceil(u64::from(flow.size)).max(1);
+                debug_assert!(pkts64 <= u64::from(u32::MAX), "packet count fits u32");
+                let pkts = pkts64 as u32;
                 let sent = self.flow_state[flow_idx].sent;
                 if sent >= pkts {
                     return;
                 }
                 if sent == 0 {
                     self.flow_state[flow_idx].t0 = now;
+                    if self.observing() {
+                        debug_assert!(flow_idx <= u32::MAX as usize, "flow ids fit u32");
+                        self.record(Event::FlowStart {
+                            t_ns: now.ns(),
+                            flow: flow_idx as u32,
+                            src: flow.src.0,
+                            dst: flow.dst.0,
+                            bytes: total_bytes,
+                        });
+                    }
                 }
                 self.flow_state[flow_idx].sent += 1;
                 let is_last = sent + 1 == pkts;
@@ -1051,11 +1091,27 @@ impl Simulator {
                     );
                 }
                 SendAction::Complete => {
-                    let (tag, t0) = {
+                    let (tag, t0, total_bytes) = {
                         let f = &self.flows[flow_idx];
-                        (f.tag, self.conns[f.conn as usize].t0)
+                        let total = match f.kind {
+                            FlowKind::Transport { total_bytes, .. } => total_bytes,
+                            _ => 0,
+                        };
+                        (f.tag, self.conns[f.conn as usize].t0, total)
                     };
-                    self.stats.record(tag, now.saturating_sub(t0));
+                    let fct_ns = now.saturating_sub(t0);
+                    self.stats.record(tag, fct_ns);
+                    debug_assert!(flow_idx <= u32::MAX as usize, "flow ids fit u32");
+                    let flow = flow_idx as u32;
+                    self.completions.push(FlowCompletion { flow, fct_ns });
+                    if self.observing() {
+                        self.record(Event::FlowComplete {
+                            t_ns: now.ns(),
+                            flow,
+                            fct_ns,
+                            bytes: total_bytes,
+                        });
+                    }
                 }
             }
         }
@@ -1107,6 +1163,30 @@ impl Simulator {
         }
         let t = now + self.cfg.latency.host_send_ns;
         self.arrive(id, origin, t, t);
+    }
+
+    /// Logs a file transfer's completion: appends to the FCT log and,
+    /// when observing, records the `FlowComplete` event. Cold: runs
+    /// once per flow, not per packet, so it may grow the log.
+    fn log_file_completion(
+        &mut self,
+        flow_id: u32,
+        delivered_at: SimTime,
+        fct_ns: u64,
+        bytes: u64,
+    ) {
+        self.completions.push(FlowCompletion {
+            flow: flow_id,
+            fct_ns,
+        });
+        if self.observing() {
+            self.record(Event::FlowComplete {
+                t_ns: delivered_at.ns(),
+                flow: flow_id,
+                fct_ns,
+                bytes,
+            });
+        }
     }
 
     /// Handles a packet (arena slot `id`) whose head reached `at` at
@@ -1178,6 +1258,15 @@ impl Simulator {
                 });
                 if let Some(m) = self.metrics.as_mut() {
                     m.inc("sim.packets.delivered", 1);
+                }
+            }
+            // A file transfer's last packet closes the whole flow: log
+            // its completion (transport flows log theirs at
+            // `SendAction::Complete` instead).
+            if let FlowKind::FileTransfer { total_bytes } = kind {
+                if cold.flags & FLAG_LAST != 0 {
+                    let fct_ns = delivered_at.saturating_sub(created);
+                    self.log_file_completion(flow_id, delivered_at, fct_ns, total_bytes);
                 }
             }
             match cold.transport {
@@ -1489,6 +1578,44 @@ impl Simulator {
     /// Accumulated statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Completion log for managed flows ([`FlowKind::Transport`],
+    /// [`FlowKind::FileTransfer`]), in completion order. Workload
+    /// drivers join these against their own flow-index bookkeeping to
+    /// compute per-flow FCT and slowdown; unmanaged kinds (Poisson,
+    /// RPC, bursts) never appear.
+    pub fn flow_completions(&self) -> &[FlowCompletion] {
+        &self.completions
+    }
+
+    /// Number of flows registered so far.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total payload bytes of a managed flow ([`FlowKind::Transport`] /
+    /// [`FlowKind::FileTransfer`]); `None` for packet-stream kinds or an
+    /// unknown index.
+    pub fn flow_total_bytes(&self, flow: u32) -> Option<u64> {
+        self.flows.get(flow as usize).and_then(|f| match f.kind {
+            FlowKind::Transport { total_bytes, .. } => Some(total_bytes),
+            FlowKind::FileTransfer { total_bytes } => Some(total_bytes),
+            _ => None,
+        })
+    }
+
+    /// A flow's `(src, dst)` hosts, or `None` for an unknown index.
+    pub fn flow_endpoints(&self, flow: u32) -> Option<(NodeId, NodeId)> {
+        self.flows.get(flow as usize).map(|f| (f.src, f.dst))
+    }
+
+    /// Feeds a caller-constructed event (e.g. a collective step
+    /// boundary) to the attached recorder, if any. Drivers that stage
+    /// work *around* the simulator use this to keep their milestones in
+    /// the same ordered stream as the packet-level events.
+    pub fn record_event(&mut self, ev: Event) {
+        self.record(ev);
     }
 
     /// The time of the most recently processed event.

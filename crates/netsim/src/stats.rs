@@ -79,6 +79,25 @@ impl Series {
             .collect()
     }
 
+    /// The sample at quantile `p` (`0.0..=1.0`), using the same rounded
+    /// nearest-rank convention as [`Series::summary`]. Returns 0 for an
+    /// empty series.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "quantile {p} out of range");
+        let sorted = self.sorted_samples();
+        if sorted.is_empty() {
+            0
+        } else {
+            sorted[(((sorted.len() - 1) as f64) * p).round() as usize]
+        }
+    }
+
+    /// The 99.9th percentile — the tail the paper's latency argument
+    /// lives in, and the headline column of the workload FCT report.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
     /// Summarizes the series.
     pub fn summary(&self) -> LatencySummary {
         let sorted = self.sorted_samples();
@@ -591,6 +610,54 @@ mod tests {
         zero.record(0);
         assert_eq!(zero.cdf(&[0.0, 1.0]), vec![0, 0]);
         assert_eq!(zero.histogram(2), vec![(1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn percentile_and_p999_match_naive_sorted_reference() {
+        use quartz_core::rng::StdRng;
+
+        // Nearest-rank reference over an explicitly sorted clone.
+        let naive = |raw: &[u64], p: f64| -> u64 {
+            let mut sorted = raw.to_vec();
+            sorted.sort_unstable();
+            if sorted.is_empty() {
+                0
+            } else {
+                sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+            }
+        };
+        let ps = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0];
+        // Sizes straddle the interesting boundaries for p999: below
+        // 1/0.001 samples it collapses toward the max, above it must
+        // pick an interior rank.
+        for (case, &n) in [0usize, 1, 2, 500, 999, 1_000, 1_001, 4_096]
+            .iter()
+            .enumerate()
+        {
+            let mut rng = StdRng::seed_from_u64(0x999 + case as u64);
+            let mut s = Series::default();
+            let mut raw = Vec::new();
+            for _ in 0..n {
+                let v = rng.random::<u64>() % 1_000_000;
+                s.record(v);
+                raw.push(v);
+            }
+            for &p in &ps {
+                assert_eq!(s.percentile(p), naive(&raw, p), "n={n} p={p}");
+            }
+            assert_eq!(s.p999(), naive(&raw, 0.999), "n={n}");
+            // p999 sits between p99 and the max by construction.
+            assert!(s.p999() >= s.percentile(0.99), "n={n}");
+            assert!(s.p999() <= s.percentile(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_percentile_panics() {
+        let mut s = Series::default();
+        s.record(1);
+        s.percentile(-0.1);
     }
 
     #[test]

@@ -167,6 +167,44 @@ pub enum Event {
         /// Channels a from-scratch greedy solve would use.
         fresh_channels: u32,
     },
+    /// A workload-managed flow opened (first byte handed to the
+    /// transport or pacing layer).
+    FlowStart {
+        /// Simulated time the flow opened, ns.
+        t_ns: u64,
+        /// Flow index.
+        flow: u32,
+        /// Source host node.
+        src: u32,
+        /// Destination host node.
+        dst: u32,
+        /// Total flow size in bytes.
+        bytes: u64,
+    },
+    /// A workload-managed flow delivered its last byte.
+    FlowComplete {
+        /// Simulated time of the final delivery, ns.
+        t_ns: u64,
+        /// Flow index.
+        flow: u32,
+        /// Flow completion time (open → last byte), ns.
+        fct_ns: u64,
+        /// Total flow size in bytes.
+        bytes: u64,
+    },
+    /// A collective schedule finished one bulk-synchronous step.
+    CollectiveStep {
+        /// Simulated time the step's last transfer completed, ns.
+        t_ns: u64,
+        /// `"ring"` or `"tree"`.
+        algo: &'static str,
+        /// Zero-based step index.
+        step: u32,
+        /// Total steps in the schedule.
+        of: u32,
+        /// Wall (simulated) duration of this step, ns.
+        elapsed_ns: u64,
+    },
     /// A pair's transceivers began re-tuning to a new grid slot.
     Retune {
         /// Simulated time the retune started (lightpath goes dark), ns.
@@ -198,6 +236,9 @@ impl Event {
             | Event::Fault { t_ns, .. }
             | Event::Reroute { t_ns, .. }
             | Event::RwaResolve { t_ns, .. }
+            | Event::FlowStart { t_ns, .. }
+            | Event::FlowComplete { t_ns, .. }
+            | Event::CollectiveStep { t_ns, .. }
             | Event::Retune { t_ns, .. } => t_ns,
         }
     }
@@ -215,6 +256,9 @@ impl Event {
             Event::Fault { .. } => "fault",
             Event::Reroute { .. } => "reroute",
             Event::RwaResolve { .. } => "rwa_resolve",
+            Event::FlowStart { .. } => "flow_start",
+            Event::FlowComplete { .. } => "flow_complete",
+            Event::CollectiveStep { .. } => "collective_step",
             Event::Retune { .. } => "retune",
         }
     }
@@ -321,6 +365,35 @@ impl Event {
                 out,
                 "{{\"ev\":\"rwa_resolve\",\"t\":{t_ns},\"trigger\":\"{trigger}\",\"fiber\":{fiber},\"outcome\":\"{outcome}\",\"moved\":{moved},\"restored\":{restored},\"torn\":{torn_down},\"unroutable\":{unroutable},\"channels\":{channels},\"fresh\":{fresh_channels}}}"
             ),
+            Event::FlowStart {
+                t_ns,
+                flow,
+                src,
+                dst,
+                bytes,
+            } => write!(
+                out,
+                "{{\"ev\":\"flow_start\",\"t\":{t_ns},\"flow\":{flow},\"src\":{src},\"dst\":{dst},\"bytes\":{bytes}}}"
+            ),
+            Event::FlowComplete {
+                t_ns,
+                flow,
+                fct_ns,
+                bytes,
+            } => write!(
+                out,
+                "{{\"ev\":\"flow_complete\",\"t\":{t_ns},\"flow\":{flow},\"fct\":{fct_ns},\"bytes\":{bytes}}}"
+            ),
+            Event::CollectiveStep {
+                t_ns,
+                algo,
+                step,
+                of,
+                elapsed_ns,
+            } => write!(
+                out,
+                "{{\"ev\":\"collective_step\",\"t\":{t_ns},\"algo\":\"{algo}\",\"step\":{step},\"of\":{of},\"elapsed\":{elapsed_ns}}}"
+            ),
             Event::Retune {
                 t_ns,
                 a,
@@ -423,6 +496,47 @@ mod tests {
         );
         assert_eq!(ev.t_ns(), 520_000);
         assert_eq!(ev.tag(), "retune");
+    }
+
+    #[test]
+    fn workload_event_encodings_are_stable() {
+        let ev = Event::FlowStart {
+            t_ns: 1_000,
+            flow: 42,
+            src: 3,
+            dst: 17,
+            bytes: 1_048_576,
+        };
+        assert_eq!(
+            ev.ndjson_line(),
+            "{\"ev\":\"flow_start\",\"t\":1000,\"flow\":42,\"src\":3,\"dst\":17,\"bytes\":1048576}\n"
+        );
+        assert_eq!(ev.t_ns(), 1_000);
+        assert_eq!(ev.tag(), "flow_start");
+        let ev = Event::FlowComplete {
+            t_ns: 9_500,
+            flow: 42,
+            fct_ns: 8_500,
+            bytes: 1_048_576,
+        };
+        assert_eq!(
+            ev.ndjson_line(),
+            "{\"ev\":\"flow_complete\",\"t\":9500,\"flow\":42,\"fct\":8500,\"bytes\":1048576}\n"
+        );
+        assert_eq!(ev.tag(), "flow_complete");
+        let ev = Event::CollectiveStep {
+            t_ns: 77_000,
+            algo: "ring",
+            step: 3,
+            of: 14,
+            elapsed_ns: 11_000,
+        };
+        assert_eq!(
+            ev.ndjson_line(),
+            "{\"ev\":\"collective_step\",\"t\":77000,\"algo\":\"ring\",\"step\":3,\"of\":14,\"elapsed\":11000}\n"
+        );
+        assert_eq!(ev.t_ns(), 77_000);
+        assert_eq!(ev.tag(), "collective_step");
     }
 
     #[test]

@@ -114,6 +114,26 @@ fn describe(ev: &Event) -> String {
             "rwa {outcome} on fiber {fiber} {trigger}: {moved} moved, {restored} relit, \
              {torn_down} torn down, {unroutable} dark ({channels} ch vs {fresh_channels} fresh)"
         ),
+        Event::FlowStart {
+            flow,
+            src,
+            dst,
+            bytes,
+            ..
+        } => format!("flow {flow} opens {src} → {dst} ({bytes} B)"),
+        Event::FlowComplete {
+            flow,
+            fct_ns,
+            bytes,
+            ..
+        } => format!("flow {flow} completes {bytes} B in {fct_ns} ns"),
+        Event::CollectiveStep {
+            algo,
+            step,
+            of,
+            elapsed_ns,
+            ..
+        } => format!("{algo} all-reduce step {step}/{of} done in {elapsed_ns} ns"),
         Event::Retune {
             a,
             b,

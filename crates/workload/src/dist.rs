@@ -1,0 +1,209 @@
+//! Empirical flow-size distributions and Poisson arrivals.
+//!
+//! Production DCN traffic is heavy-tailed: most flows are mice, most
+//! *bytes* ride in elephants. Each distribution here is a piecewise-
+//! linear CDF over flow size (the standard way measurement studies
+//! publish them), sampled by inverse transform: draw `u ∈ [0,1)` from
+//! the in-tree xoshiro PRNG, find the CDF segment containing `u`, and
+//! interpolate linearly within it. Within a segment the size is
+//! therefore uniform, which makes the analytic mean and quantiles exact
+//! integrals the property tests can check against:
+//!
+//! * mean = Σ over segments `(c₁−c₀) · (b₀+b₁)/2`
+//! * quantile(q) = `b₀ + (q−c₀)/(c₁−c₀) · (b₁−b₀)` on the segment with
+//!   `c₀ ≤ q ≤ c₁`
+//!
+//! Arrivals are Poisson: exponential gaps with a mean chosen so the
+//! offered load is a target fraction of the fabric's bisection
+//! bandwidth (see [`mean_gap_ns`]).
+
+use quartz_core::rng::StdRng;
+
+/// A flow-size distribution as a piecewise-linear CDF.
+///
+/// `points` must start at probability 0, end at 1, and ascend strictly
+/// in probability and non-strictly in size (checked by `debug_assert`s
+/// in [`SizeDist::sample`] callers' tests; the two built-ins are
+/// validated by unit test).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizeDist {
+    /// Short lowercase name (`websearch`, `hadoop`) for reports.
+    pub name: &'static str,
+    /// `(size_bytes, cumulative_probability)` knots.
+    pub points: &'static [(u64, f64)],
+}
+
+/// Web-search-style traffic (the DCTCP / pFabric "web search"
+/// workload's shape): query and response flows of tens of KB dominate
+/// the count, multi-MB index updates dominate the bytes.
+pub const WEBSEARCH: SizeDist = SizeDist {
+    name: "websearch",
+    points: &[
+        (5_000, 0.0),
+        (10_000, 0.15),
+        (20_000, 0.20),
+        (30_000, 0.30),
+        (50_000, 0.40),
+        (80_000, 0.53),
+        (200_000, 0.60),
+        (1_000_000, 0.70),
+        (2_000_000, 0.80),
+        (5_000_000, 0.90),
+        (10_000_000, 0.97),
+        (30_000_000, 1.0),
+    ],
+};
+
+/// Hadoop-style (data-mining) traffic: over half the flows are under a
+/// few KB of control chatter, while a few-percent tail of multi-MB
+/// shuffle transfers carries most of the bytes — a far heavier tail
+/// than [`WEBSEARCH`].
+pub const HADOOP: SizeDist = SizeDist {
+    name: "hadoop",
+    points: &[
+        (100, 0.0),
+        (500, 0.40),
+        (1_000, 0.55),
+        (5_000, 0.65),
+        (20_000, 0.75),
+        (100_000, 0.85),
+        (1_000_000, 0.95),
+        (10_000_000, 1.0),
+    ],
+};
+
+impl SizeDist {
+    /// Draws one flow size by inverse-transform sampling.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.random::<f64>();
+        self.quantile(u).round() as u64
+    }
+
+    /// The analytic quantile: flow size at cumulative probability `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let pts = self.points;
+        for w in pts.windows(2) {
+            let (b0, c0) = w[0];
+            let (b1, c1) = w[1];
+            if q <= c1 {
+                let span = c1 - c0;
+                let frac = if span > 0.0 { (q - c0) / span } else { 0.0 };
+                return b0 as f64 + frac * (b1 - b0) as f64;
+            }
+        }
+        pts[pts.len() - 1].0 as f64
+    }
+
+    /// The analytic mean flow size in bytes: within each CDF segment
+    /// the size is uniform, so each contributes its probability mass
+    /// times its midpoint.
+    pub fn mean_bytes(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let (b0, c0) = w[0];
+                let (b1, c1) = w[1];
+                (c1 - c0) * (b0 as f64 + b1 as f64) / 2.0
+            })
+            .sum()
+    }
+
+    /// Looks a distribution up by name.
+    pub fn by_name(name: &str) -> Option<SizeDist> {
+        match name {
+            "websearch" => Some(WEBSEARCH),
+            "hadoop" => Some(HADOOP),
+            _ => None,
+        }
+    }
+}
+
+/// The mean inter-arrival gap (ns) that offers `load` of the fabric's
+/// bisection bandwidth, given the distribution's mean flow size.
+///
+/// `bisection_gbps` is Σ host access rates / 2 — what an ideal
+/// non-blocking fabric sustains under uniform random traffic — so
+/// `load` is directly comparable across topologies. One Gb/s is one
+/// bit/ns, hence `gap = mean_bits / (load · bisection_gbps)`.
+pub fn mean_gap_ns(dist: &SizeDist, load: f64, bisection_gbps: f64) -> f64 {
+    assert!(load > 0.0 && load <= 1.0, "load {load} out of (0,1]");
+    assert!(bisection_gbps > 0.0, "bisection must be positive");
+    dist.mean_bytes() * 8.0 / (load * bisection_gbps)
+}
+
+/// Draws an exponential inter-arrival gap with mean `mean_ns` (≥ 1 ns
+/// so time always advances).
+pub fn exp_gap_ns(rng: &mut StdRng, mean_ns: f64) -> u64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    (-mean_ns * u.ln()).max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_in_cdfs_are_well_formed() {
+        for dist in [WEBSEARCH, HADOOP] {
+            let pts = dist.points;
+            assert!(pts.len() >= 2, "{}", dist.name);
+            assert_eq!(pts[0].1, 0.0, "{} starts at p=0", dist.name);
+            assert_eq!(pts[pts.len() - 1].1, 1.0, "{} ends at p=1", dist.name);
+            for w in pts.windows(2) {
+                assert!(w[0].1 < w[1].1, "{}: probability ascends", dist.name);
+                assert!(w[0].0 < w[1].0, "{}: size ascends", dist.name);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_hits_knots_and_interpolates() {
+        let d = WEBSEARCH;
+        assert_eq!(d.quantile(0.0), 5_000.0);
+        assert_eq!(d.quantile(1.0), 30_000_000.0);
+        assert_eq!(d.quantile(0.15), 10_000.0);
+        // Midway through the first segment: halfway between the knots.
+        let mid = d.quantile(0.075);
+        assert!((mid - 7_500.0).abs() < 1e-6, "{mid}");
+    }
+
+    #[test]
+    fn mean_is_the_segment_midpoint_sum() {
+        // Two-segment toy: U(0,10) w.p. 0.5 and U(10,30) w.p. 0.5 has
+        // mean 0.5·5 + 0.5·20 = 12.5.
+        let toy = SizeDist {
+            name: "toy",
+            points: &[(0, 0.0), (10, 0.5), (30, 1.0)],
+        };
+        assert!((toy.mean_bytes() - 12.5).abs() < 1e-9);
+        // Heavy tails: hadoop's mean is far above its median.
+        assert!(HADOOP.mean_bytes() > 10.0 * HADOOP.quantile(0.5));
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for dist in [WEBSEARCH, HADOOP] {
+            let (lo, hi) = (dist.points[0].0, dist.points[dist.points.len() - 1].0);
+            for _ in 0..1_000 {
+                let s = dist.sample(&mut rng);
+                assert!(s >= lo && s <= hi, "{}: {s}", dist.name);
+            }
+        }
+    }
+
+    #[test]
+    fn load_scales_the_gap_inversely() {
+        let g20 = mean_gap_ns(&WEBSEARCH, 0.2, 80.0);
+        let g40 = mean_gap_ns(&WEBSEARCH, 0.4, 80.0);
+        assert!((g20 / g40 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert_eq!(SizeDist::by_name("websearch").unwrap().name, "websearch");
+        assert_eq!(SizeDist::by_name("hadoop").unwrap().name, "hadoop");
+        assert!(SizeDist::by_name("bitcoin").is_none());
+    }
+}

@@ -1,0 +1,294 @@
+//! The workload report: per-size-bucket FCT and slowdown statistics,
+//! deterministic text rendering, and metrics export.
+//!
+//! FCT (flow completion time) is the interval from a flow's open to its
+//! last delivered byte. Slowdown is FCT divided by the flow's *ideal*
+//! serialization time on its source access link — 1.0 means the fabric
+//! added nothing over the wire itself; the tail of the slowdown
+//! distribution is where incast and queueing live. Slowdown samples are
+//! carried in per-mille (integer ‰) so the aggregation stays in exact
+//! integer arithmetic.
+
+use std::fmt::Write as _;
+
+use quartz_netsim::stats::Series;
+use quartz_obs::MetricsRegistry;
+
+use crate::collective::CollectiveReport;
+
+/// Flow-size buckets of the FCT report: `(label, lo, hi)` with
+/// `lo ≤ bytes < hi`.
+pub const BUCKETS: [(&str, u64, u64); 4] = [
+    ("<10KB", 0, 10_000),
+    ("10-100KB", 10_000, 100_000),
+    ("100KB-1MB", 100_000, 1_000_000),
+    (">=1MB", 1_000_000, u64::MAX),
+];
+
+/// The bucket index for a flow of `bytes`.
+pub fn bucket_of(bytes: u64) -> usize {
+    BUCKETS
+        .iter()
+        .position(|&(_, lo, hi)| bytes >= lo && bytes < hi)
+        .expect("buckets cover all sizes")
+}
+
+/// Aggregated FCT + slowdown statistics for one size bucket.
+#[derive(Clone, Debug, Default)]
+pub struct BucketStat {
+    /// Bucket label (from [`BUCKETS`]).
+    pub label: &'static str,
+    /// Completed flows in this bucket.
+    pub count: usize,
+    /// Mean FCT, µs.
+    pub mean_fct_us: f64,
+    /// Median FCT, µs.
+    pub p50_fct_us: f64,
+    /// 99th-percentile FCT, µs.
+    pub p99_fct_us: f64,
+    /// 99.9th-percentile FCT, µs.
+    pub p999_fct_us: f64,
+    /// Median slowdown (FCT / ideal serialization).
+    pub p50_slowdown: f64,
+    /// 99th-percentile slowdown.
+    pub p99_slowdown: f64,
+    /// 99.9th-percentile slowdown.
+    pub p999_slowdown: f64,
+}
+
+/// Accumulates `(fct_ns, slowdown_permille)` samples per size bucket.
+#[derive(Debug, Default)]
+pub struct BucketAccum {
+    fct: [Series; BUCKETS.len()],
+    slowdown: [Series; BUCKETS.len()],
+}
+
+impl BucketAccum {
+    /// Records one completed flow.
+    pub fn record(&mut self, bytes: u64, fct_ns: u64, ideal_ns: u64) {
+        let b = bucket_of(bytes);
+        self.fct[b].record(fct_ns);
+        // Integer per-mille slowdown; ideal is ≥ 1 ns by construction.
+        let permille = (u128::from(fct_ns) * 1_000 / u128::from(ideal_ns.max(1))) as u64;
+        self.slowdown[b].record(permille);
+    }
+
+    /// Snapshots the non-empty buckets, in size order.
+    pub fn stats(&self) -> Vec<BucketStat> {
+        let mut out = Vec::new();
+        for (b, &(label, _, _)) in BUCKETS.iter().enumerate() {
+            let fct = &self.fct[b];
+            if fct.count() == 0 {
+                continue;
+            }
+            let s = fct.summary();
+            let sd = &self.slowdown[b];
+            out.push(BucketStat {
+                label,
+                count: s.count,
+                mean_fct_us: s.mean_ns / 1e3,
+                p50_fct_us: s.p50_ns as f64 / 1e3,
+                p99_fct_us: s.p99_ns as f64 / 1e3,
+                p999_fct_us: fct.p999() as f64 / 1e3,
+                p50_slowdown: sd.percentile(0.5) as f64 / 1e3,
+                p99_slowdown: sd.percentile(0.99) as f64 / 1e3,
+                p999_slowdown: sd.p999() as f64 / 1e3,
+            });
+        }
+        out
+    }
+}
+
+/// Everything one workload run produced.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Spec name (`trace`, `websearch`, `incast:12`, `allreduce:ring`).
+    pub spec: String,
+    /// Transport variant name (`reno` / `dctcp`).
+    pub transport: &'static str,
+    /// Seed of this unit.
+    pub seed: u64,
+    /// Flows offered.
+    pub flows: usize,
+    /// Flows that completed before the horizon.
+    pub completed: usize,
+    /// Bytes offered across all flows.
+    pub offered_bytes: u64,
+    /// Packets generated / delivered / dropped (transport ACKs and
+    /// retransmissions included).
+    pub generated: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped at full queues.
+    pub dropped: u64,
+    /// Simulated time when the run went quiescent (or hit the horizon), ns.
+    pub elapsed_ns: u64,
+    /// Per-size-bucket FCT/slowdown statistics (empty buckets omitted).
+    pub buckets: Vec<BucketStat>,
+    /// Present for `allreduce:*` runs.
+    pub collective: Option<CollectiveReport>,
+}
+
+impl WorkloadReport {
+    /// Renders the report as deterministic fixed-format text (the CLI
+    /// and bench table body; byte-identical for identical runs).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = writeln!(
+            out,
+            "workload {} over {}: {}/{} flows completed, {:.2} MB offered, \
+             {} pkts ({} delivered, {} dropped), {:.1} us simulated",
+            self.spec,
+            self.transport,
+            self.completed,
+            self.flows,
+            self.offered_bytes as f64 / 1e6,
+            self.generated,
+            self.delivered,
+            self.dropped,
+            self.elapsed_ns as f64 / 1e3,
+        );
+        if !self.buckets.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>6}  {:>10} {:>10} {:>10} {:>10}  {:>8} {:>8} {:>8}",
+                "bucket",
+                "flows",
+                "mean(us)",
+                "p50(us)",
+                "p99(us)",
+                "p99.9(us)",
+                "sd-p50",
+                "sd-p99",
+                "sd-p99.9"
+            );
+            for b in &self.buckets {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>6}  {:>10.1} {:>10.1} {:>10.1} {:>10.1}  {:>8.2} {:>8.2} {:>8.2}",
+                    b.label,
+                    b.count,
+                    b.mean_fct_us,
+                    b.p50_fct_us,
+                    b.p99_fct_us,
+                    b.p999_fct_us,
+                    b.p50_slowdown,
+                    b.p99_slowdown,
+                    b.p999_slowdown
+                );
+            }
+        }
+        if let Some(c) = &self.collective {
+            let _ = writeln!(
+                out,
+                "  {} all-reduce, {} ranks x {} B: total {:.1} us over {} steps",
+                c.algo.name(),
+                c.ranks,
+                c.bytes,
+                c.total_ns as f64 / 1e3,
+                c.steps.len()
+            );
+            for s in &c.steps {
+                let _ = writeln!(
+                    out,
+                    "    step {:>2}: {:>3} transfer(s) x {:>9} B in {:>9.1} us",
+                    s.step,
+                    s.transfers,
+                    s.bytes_per_transfer,
+                    s.elapsed_ns as f64 / 1e3
+                );
+            }
+        }
+        out
+    }
+
+    /// Exports the report into `m` under `prefix` (e.g. `workload.u0`).
+    /// Key order is fixed by the registry's sorted storage, so the
+    /// ndjson output is byte-stable.
+    pub fn add_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.inc(&format!("{prefix}.flows"), self.flows as u64);
+        m.inc(&format!("{prefix}.completed"), self.completed as u64);
+        m.inc(&format!("{prefix}.bytes_offered"), self.offered_bytes);
+        m.inc(&format!("{prefix}.pkts_generated"), self.generated);
+        m.inc(&format!("{prefix}.pkts_delivered"), self.delivered);
+        m.inc(&format!("{prefix}.pkts_dropped"), self.dropped);
+        m.set_gauge(
+            &format!("{prefix}.elapsed_us"),
+            self.elapsed_ns as f64 / 1e3,
+        );
+        for b in &self.buckets {
+            let key = b.label.replace(['<', '>', '='], "");
+            m.set_gauge(&format!("{prefix}.fct_p99_us.{key}"), b.p99_fct_us);
+            m.set_gauge(&format!("{prefix}.fct_p999_us.{key}"), b.p999_fct_us);
+            m.set_gauge(&format!("{prefix}.slowdown_p99.{key}"), b.p99_slowdown);
+        }
+        if let Some(c) = &self.collective {
+            m.set_gauge(
+                &format!("{prefix}.collective_total_us"),
+                c.total_ns as f64 / 1e3,
+            );
+            m.inc(&format!("{prefix}.collective_steps"), c.steps.len() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_size_axis() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(9_999), 0);
+        assert_eq!(bucket_of(10_000), 1);
+        assert_eq!(bucket_of(99_999), 1);
+        assert_eq!(bucket_of(100_000), 2);
+        assert_eq!(bucket_of(1_000_000), 3);
+        assert_eq!(bucket_of(u64::MAX - 1), 3);
+    }
+
+    #[test]
+    fn accum_computes_slowdown_in_permille() {
+        let mut acc = BucketAccum::default();
+        // 2 KB flow, ideal 1 µs, took 3 µs → slowdown 3.00.
+        acc.record(2_000, 3_000, 1_000);
+        let stats = acc.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].label, "<10KB");
+        assert_eq!(stats[0].count, 1);
+        assert!((stats[0].p50_slowdown - 3.0).abs() < 1e-9);
+        assert!((stats[0].p99_fct_us - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let mut acc = BucketAccum::default();
+        for i in 1..=100u64 {
+            acc.record(50_000, i * 1_000, 40_000);
+        }
+        let rep = WorkloadReport {
+            spec: "websearch".into(),
+            transport: "dctcp",
+            seed: 1,
+            flows: 100,
+            completed: 100,
+            offered_bytes: 5_000_000,
+            generated: 4_000,
+            delivered: 3_990,
+            dropped: 10,
+            elapsed_ns: 2_000_000,
+            buckets: acc.stats(),
+            collective: None,
+        };
+        let a = rep.render();
+        let b = rep.render();
+        assert_eq!(a, b);
+        assert!(a.contains("workload websearch over dctcp"));
+        assert!(a.contains("10-100KB"));
+        let mut m = MetricsRegistry::new();
+        rep.add_metrics(&mut m, "workload.u0");
+        let nd = m.to_ndjson();
+        assert!(nd.contains("workload.u0.flows"));
+        assert!(nd.contains("workload.u0.fct_p999_us.10-100KB"));
+    }
+}

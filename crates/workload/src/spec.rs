@@ -1,0 +1,176 @@
+//! [`WorkloadSpec`]: the one enum behind all four workload drivers.
+
+use std::path::Path;
+
+use crate::collective::CollectiveAlgo;
+use crate::dist::SizeDist;
+use crate::trace::Trace;
+
+/// What traffic to offer. One of the four driver kinds, fully
+/// parameterized — the driver in [`crate::run`] consumes this plus a
+/// topology and a seed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    /// Replay a validated flow trace verbatim.
+    Trace(Trace),
+    /// Open-loop Poisson arrivals with sizes drawn from a heavy-tail
+    /// distribution, scaled to a target load fraction of the fabric's
+    /// bisection bandwidth.
+    Dist {
+        /// The flow-size distribution.
+        dist: SizeDist,
+        /// Offered load as a fraction of bisection bandwidth, `(0,1]`.
+        load: f64,
+    },
+    /// A fan-in storm: `fanin` senders each push `bytes` at one
+    /// receiver, starting together (or jittered).
+    Incast {
+        /// Number of concurrent senders.
+        fanin: usize,
+        /// Bytes per sender.
+        bytes: u64,
+        /// Each sender's start is drawn uniformly from `[0, jitter_ns]`
+        /// (0 = perfectly synchronized).
+        jitter_ns: u64,
+    },
+    /// A chunked all-reduce over `ranks` hosts.
+    AllReduce {
+        /// Schedule (ring or tree).
+        algo: CollectiveAlgo,
+        /// Participating hosts (0 = every host in the topology).
+        ranks: usize,
+        /// Gradient bytes per rank.
+        bytes: u64,
+    },
+}
+
+/// Default per-sender payload for `incast:<fanin>` spec strings.
+pub const DEFAULT_INCAST_BYTES: u64 = 100_000;
+/// Default gradient size for `allreduce:*` spec strings.
+pub const DEFAULT_ALLREDUCE_BYTES: u64 = 1_000_000;
+/// Default offered load for distribution spec strings.
+pub const DEFAULT_LOAD: f64 = 0.4;
+
+impl WorkloadSpec {
+    /// Parses a CLI spec string:
+    ///
+    /// * `websearch` | `hadoop` — a named distribution at
+    ///   [`DEFAULT_LOAD`];
+    /// * `incast:<fanin>` — a synchronized fan-in storm;
+    /// * `allreduce:ring` | `allreduce:tree` — a collective over every
+    ///   host;
+    /// * anything containing `/` or ending in `.ndjson` — a trace file,
+    ///   read and validated against a topology with `hosts` hosts.
+    pub fn parse(arg: &str, hosts: usize) -> Result<WorkloadSpec, String> {
+        if let Some(dist) = SizeDist::by_name(arg) {
+            return Ok(WorkloadSpec::Dist {
+                dist,
+                load: DEFAULT_LOAD,
+            });
+        }
+        if let Some(rest) = arg.strip_prefix("incast:") {
+            let fanin: usize = rest
+                .parse()
+                .map_err(|_| format!("bad incast fan-in '{rest}'"))?;
+            if fanin == 0 {
+                return Err("incast fan-in must be ≥ 1".into());
+            }
+            return Ok(WorkloadSpec::Incast {
+                fanin,
+                bytes: DEFAULT_INCAST_BYTES,
+                jitter_ns: 0,
+            });
+        }
+        if let Some(rest) = arg.strip_prefix("allreduce:") {
+            let algo = match rest {
+                "ring" => CollectiveAlgo::Ring,
+                "tree" => CollectiveAlgo::Tree,
+                other => return Err(format!("unknown all-reduce schedule '{other}' (ring|tree)")),
+            };
+            return Ok(WorkloadSpec::AllReduce {
+                algo,
+                ranks: 0,
+                bytes: DEFAULT_ALLREDUCE_BYTES,
+            });
+        }
+        if arg.contains('/') || arg.ends_with(".ndjson") {
+            let trace = Trace::load(Path::new(arg), hosts).map_err(|e| e.to_string())?;
+            if trace.flows.is_empty() {
+                return Err(format!("trace '{arg}' contains no flows"));
+            }
+            return Ok(WorkloadSpec::Trace(trace));
+        }
+        Err(format!(
+            "unknown spec '{arg}' (trace.ndjson | websearch | hadoop | incast:<fanin> | allreduce:ring|tree)"
+        ))
+    }
+
+    /// Short stable name for reports (`trace`, `websearch`,
+    /// `incast:12`, `allreduce:ring`, …).
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::Trace(_) => "trace".into(),
+            WorkloadSpec::Dist { dist, .. } => dist.name.into(),
+            WorkloadSpec::Incast { fanin, .. } => format!("incast:{fanin}"),
+            WorkloadSpec::AllReduce { algo, .. } => format!("allreduce:{}", algo.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_non_file_specs() {
+        assert!(matches!(
+            WorkloadSpec::parse("websearch", 8),
+            Ok(WorkloadSpec::Dist { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("hadoop", 8),
+            Ok(WorkloadSpec::Dist { .. })
+        ));
+        assert_eq!(
+            WorkloadSpec::parse("incast:12", 8).unwrap(),
+            WorkloadSpec::Incast {
+                fanin: 12,
+                bytes: DEFAULT_INCAST_BYTES,
+                jitter_ns: 0
+            }
+        );
+        assert!(matches!(
+            WorkloadSpec::parse("allreduce:tree", 8),
+            Ok(WorkloadSpec::AllReduce {
+                algo: CollectiveAlgo::Tree,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "incast:",
+            "incast:0",
+            "incast:x",
+            "allreduce:mesh",
+            "webscale",
+        ] {
+            assert!(WorkloadSpec::parse(bad, 8).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            WorkloadSpec::parse("incast:4", 8).unwrap().name(),
+            "incast:4"
+        );
+        assert_eq!(
+            WorkloadSpec::parse("allreduce:ring", 8).unwrap().name(),
+            "allreduce:ring"
+        );
+        assert_eq!(WorkloadSpec::parse("hadoop", 8).unwrap().name(), "hadoop");
+    }
+}

@@ -1,0 +1,356 @@
+//! The ndjson flow-trace format: one JSON object per line, strict
+//! validation, line-numbered errors.
+//!
+//! ```text
+//! {"src":0,"dst":5,"bytes":20000,"start_ns":1000}
+//! {"src":3,"dst":1,"bytes":512,"start_ns":2500,"tag":7}
+//! ```
+//!
+//! `src` and `dst` index the topology's host list (not raw node ids, so
+//! the same trace replays onto any fabric with enough hosts), `bytes`
+//! is the flow size, `start_ns` the injection time, and the optional
+//! `tag` groups flows into a stats class. The parser is hand-rolled —
+//! the field values are unsigned integers only, so a full JSON parser
+//! would buy nothing but dependencies — and strict: unknown or
+//! duplicate keys, missing fields, negative numbers, floats, `NaN`,
+//! zero-byte flows, self-loops, and out-of-range host ids are all
+//! rejected with the 1-based line number. Malformed input must never
+//! panic (see `tests/trace_robustness.rs`).
+
+use std::fmt;
+use std::path::Path;
+
+/// One flow of a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceFlow {
+    /// Source host index (into the topology's host list).
+    pub src: u32,
+    /// Destination host index.
+    pub dst: u32,
+    /// Flow size in bytes (≥ 1).
+    pub bytes: u64,
+    /// Injection time, ns since simulation start.
+    pub start_ns: u64,
+    /// Stats class (0 when the line omits `tag`).
+    pub tag: u32,
+}
+
+/// A parse or validation failure, pinned to its trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A validated flow trace, ready for deterministic replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The flows, in file order (replay preserves it).
+    pub flows: Vec<TraceFlow>,
+}
+
+impl Trace {
+    /// Parses and validates ndjson trace text against a topology with
+    /// `hosts` hosts. Blank lines and `#` comment lines are skipped.
+    pub fn parse(text: &str, hosts: usize) -> Result<Trace, TraceError> {
+        let mut flows = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let flow =
+                parse_line(trimmed, hosts).map_err(|msg| TraceError { line: lineno, msg })?;
+            flows.push(flow);
+        }
+        Ok(Trace { flows })
+    }
+
+    /// Reads and validates a trace file.
+    pub fn load(path: &Path, hosts: usize) -> Result<Trace, TraceError> {
+        let text = std::fs::read_to_string(path).map_err(|e| TraceError {
+            line: 0,
+            msg: format!("reading {}: {e}", path.display()),
+        })?;
+        Trace::parse(&text, hosts)
+    }
+
+    /// Renders the trace back to its ndjson form (a round-trip through
+    /// [`Trace::parse`] is the identity on the flow list).
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::with_capacity(self.flows.len() * 64);
+        for f in &self.flows {
+            out.push_str(&format!(
+                "{{\"src\":{},\"dst\":{},\"bytes\":{},\"start_ns\":{}",
+                f.src, f.dst, f.bytes, f.start_ns
+            ));
+            if f.tag != 0 {
+                out.push_str(&format!(",\"tag\":{}", f.tag));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Total bytes across all flows.
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+}
+
+/// Parses one `{"key":value,...}` line into a validated flow.
+fn parse_line(line: &str, hosts: usize) -> Result<TraceFlow, String> {
+    let mut src: Option<u64> = None;
+    let mut dst: Option<u64> = None;
+    let mut bytes: Option<u64> = None;
+    let mut start_ns: Option<u64> = None;
+    let mut tag: Option<u64> = None;
+
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |b: &[u8], mut i: usize| {
+        while i < b.len() && (b[i] == b' ' || b[i] == b'\t') {
+            i += 1;
+        }
+        i
+    };
+    i = skip_ws(b, i);
+    if i >= b.len() || b[i] != b'{' {
+        return Err("expected '{' at start of object".into());
+    }
+    i += 1;
+    loop {
+        i = skip_ws(b, i);
+        if i < b.len() && b[i] == b'}' {
+            i += 1;
+            break;
+        }
+        // Key: a double-quoted identifier.
+        if i >= b.len() || b[i] != b'"' {
+            return Err("expected '\"' to open a field name".into());
+        }
+        i += 1;
+        let key_start = i;
+        while i < b.len() && b[i] != b'"' {
+            i += 1;
+        }
+        if i >= b.len() {
+            return Err("unterminated field name".into());
+        }
+        let key = &line[key_start..i];
+        i += 1;
+        i = skip_ws(b, i);
+        if i >= b.len() || b[i] != b':' {
+            return Err(format!("expected ':' after field `{key}`"));
+        }
+        i += 1;
+        i = skip_ws(b, i);
+        // Value: everything up to the next delimiter, validated as an
+        // unsigned integer (the only value type the schema has).
+        let val_start = i;
+        while i < b.len() && b[i] != b',' && b[i] != b'}' && b[i] != b' ' && b[i] != b'\t' {
+            i += 1;
+        }
+        let val = parse_uint(key, &line[val_start..i])?;
+        let slot = match key {
+            "src" => &mut src,
+            "dst" => &mut dst,
+            "bytes" => &mut bytes,
+            "start_ns" => &mut start_ns,
+            "tag" => &mut tag,
+            other => return Err(format!("unknown field `{other}`")),
+        };
+        if slot.replace(val).is_some() {
+            return Err(format!("duplicate field `{key}`"));
+        }
+        i = skip_ws(b, i);
+        if i < b.len() && b[i] == b',' {
+            i += 1;
+            continue;
+        }
+        if i < b.len() && b[i] == b'}' {
+            i += 1;
+            break;
+        }
+        return Err(format!("expected ',' or '}}' after field `{key}`"));
+    }
+    if skip_ws(b, i) != b.len() {
+        return Err("trailing characters after '}'".into());
+    }
+
+    let src = src.ok_or("missing field `src`")?;
+    let dst = dst.ok_or("missing field `dst`")?;
+    let bytes = bytes.ok_or("missing field `bytes`")?;
+    let start_ns = start_ns.ok_or("missing field `start_ns`")?;
+    let tag = tag.unwrap_or(0);
+
+    let host = |name: &str, v: u64| -> Result<u32, String> {
+        if (v as usize) >= hosts {
+            return Err(format!("{name} {v} out of range ({hosts} hosts)"));
+        }
+        u32::try_from(v).map_err(|_| format!("{name} {v} does not fit u32"))
+    };
+    let src = host("src", src)?;
+    let dst = host("dst", dst)?;
+    if src == dst {
+        return Err(format!("src and dst are both {src} (self-loop)"));
+    }
+    if bytes == 0 {
+        return Err("bytes must be ≥ 1".into());
+    }
+    let tag = u32::try_from(tag).map_err(|_| format!("tag {tag} does not fit u32"))?;
+    Ok(TraceFlow {
+        src,
+        dst,
+        bytes,
+        start_ns,
+        tag,
+    })
+}
+
+/// Validates `raw` as a non-negative integer value for field `key`,
+/// with targeted messages for the classic ndjson corruptions.
+fn parse_uint(key: &str, raw: &str) -> Result<u64, String> {
+    if raw.is_empty() {
+        return Err(format!("empty value for field `{key}`"));
+    }
+    if raw == "NaN" || raw == "nan" || raw == "null" {
+        return Err(format!("{key}: non-numeric value `{raw}`"));
+    }
+    if raw.starts_with('-') {
+        return Err(format!("{key}: negative value `{raw}`"));
+    }
+    if raw.contains('.') || raw.contains('e') || raw.contains('E') {
+        return Err(format!("{key}: expected an integer, got `{raw}`"));
+    }
+    if !raw.bytes().all(|c| c.is_ascii_digit()) {
+        return Err(format!("{key}: invalid number `{raw}`"));
+    }
+    raw.parse::<u64>()
+        .map_err(|_| format!("{key}: `{raw}` overflows u64"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_and_tagged_lines() {
+        let t = Trace::parse(
+            "{\"src\":0,\"dst\":5,\"bytes\":20000,\"start_ns\":1000}\n\
+             {\"src\":3,\"dst\":1,\"bytes\":512,\"start_ns\":2500,\"tag\":7}\n",
+            8,
+        )
+        .unwrap();
+        assert_eq!(t.flows.len(), 2);
+        assert_eq!(
+            t.flows[0],
+            TraceFlow {
+                src: 0,
+                dst: 5,
+                bytes: 20_000,
+                start_ns: 1_000,
+                tag: 0
+            }
+        );
+        assert_eq!(t.flows[1].tag, 7);
+        assert_eq!(t.total_bytes(), 20_512);
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines_keeping_line_numbers() {
+        let text = "# header\n\n{\"src\":0,\"dst\":1,\"bytes\":1,\"start_ns\":0}\n{\"dst\":1}\n";
+        let err = Trace::parse(text, 4).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.msg.contains("missing field `src`"), "{}", err.msg);
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let t = Trace::parse(
+            "  { \"src\" : 0 , \"dst\" : 1 , \"bytes\" : 9 , \"start_ns\" : 0 }  ",
+            2,
+        )
+        .unwrap();
+        assert_eq!(t.flows[0].bytes, 9);
+    }
+
+    #[test]
+    fn rejects_the_classic_corruptions_with_line_numbers() {
+        let cases: &[(&str, &str)] = &[
+            (
+                "{\"src\":0,\"dst\":1,\"start_ns\":0}",
+                "missing field `bytes`",
+            ),
+            (
+                "{\"src\":0,\"dst\":1,\"bytes\":NaN,\"start_ns\":0}",
+                "non-numeric",
+            ),
+            (
+                "{\"src\":0,\"dst\":1,\"bytes\":-5,\"start_ns\":0}",
+                "negative",
+            ),
+            (
+                "{\"src\":0,\"dst\":1,\"bytes\":1.5,\"start_ns\":0}",
+                "expected an integer",
+            ),
+            (
+                "{\"src\":99,\"dst\":1,\"bytes\":1,\"start_ns\":0}",
+                "src 99 out of range (8 hosts)",
+            ),
+            (
+                "{\"src\":2,\"dst\":2,\"bytes\":1,\"start_ns\":0}",
+                "self-loop",
+            ),
+            (
+                "{\"src\":0,\"dst\":1,\"bytes\":0,\"start_ns\":0}",
+                "bytes must be ≥ 1",
+            ),
+            (
+                "{\"src\":0,\"dst\":1,\"bytes\":1,\"start_ns\":0,\"color\":3}",
+                "unknown field `color`",
+            ),
+            (
+                "{\"src\":0,\"src\":1,\"dst\":1,\"bytes\":1,\"start_ns\":0}",
+                "duplicate field `src`",
+            ),
+            ("\"src\":0", "expected '{'"),
+            (
+                "{\"src\":0,\"dst\":1,\"bytes\":1,\"start_ns\":0} x",
+                "trailing characters",
+            ),
+            (
+                "{\"src\":0,\"dst\":1,\"bytes\":99999999999999999999999,\"start_ns\":0}",
+                "overflows",
+            ),
+        ];
+        for (line, want) in cases {
+            let err = Trace::parse(line, 8).unwrap_err();
+            assert_eq!(err.line, 1, "{line}");
+            assert!(err.msg.contains(want), "`{line}` → `{}`", err.msg);
+        }
+    }
+
+    #[test]
+    fn ndjson_round_trip_is_identity() {
+        let t = Trace::parse(
+            "{\"src\":0,\"dst\":5,\"bytes\":20000,\"start_ns\":1000}\n\
+             {\"src\":3,\"dst\":1,\"bytes\":512,\"start_ns\":2500,\"tag\":7}\n",
+            8,
+        )
+        .unwrap();
+        let again = Trace::parse(&t.to_ndjson(), 8).unwrap();
+        assert_eq!(t, again);
+    }
+}

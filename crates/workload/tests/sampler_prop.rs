@@ -1,0 +1,97 @@
+//! Property tests for the heavy-tail flow-size samplers: the empirical
+//! behavior of inverse-transform sampling must track the analytic CDF,
+//! and a fixed seed must give a byte-identical sample stream.
+
+use quartz_core::rng::StdRng;
+use quartz_workload::{SizeDist, HADOOP, WEBSEARCH};
+
+const N: usize = 200_000;
+
+fn draw(dist: &SizeDist, seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| dist.sample(&mut rng)).collect()
+}
+
+#[test]
+fn empirical_mean_tracks_the_analytic_mean_across_seeds() {
+    for dist in [WEBSEARCH, HADOOP] {
+        let analytic = dist.mean_bytes();
+        for seed in [1_u64, 0xBEEF, 0x5EED_5EED] {
+            let samples = draw(&dist, seed, N);
+            let empirical = samples.iter().map(|&s| s as f64).sum::<f64>() / N as f64;
+            let rel = (empirical - analytic).abs() / analytic;
+            // With 200k samples the standard error of the mean is well
+            // under 1% even for hadoop's heavy tail; 5% is generous.
+            assert!(
+                rel < 0.05,
+                "{} seed {seed}: empirical mean {empirical:.0} vs analytic {analytic:.0} \
+                 (rel err {rel:.4})",
+                dist.name
+            );
+        }
+    }
+}
+
+#[test]
+fn empirical_quantiles_track_the_analytic_quantiles() {
+    for dist in [WEBSEARCH, HADOOP] {
+        for seed in [2_u64, 77, 0xD15C0] {
+            let mut samples = draw(&dist, seed, N);
+            samples.sort_unstable();
+            for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+                let analytic = dist.quantile(q);
+                let idx = ((N - 1) as f64 * q).round() as usize;
+                let empirical = samples[idx] as f64;
+                let rel = (empirical - analytic).abs() / analytic;
+                assert!(
+                    rel < 0.05,
+                    "{} seed {seed} q{q}: empirical {empirical:.0} vs analytic {analytic:.0}",
+                    dist.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn samples_never_leave_the_distribution_support() {
+    for dist in [WEBSEARCH, HADOOP] {
+        let lo = dist.points[0].0;
+        let hi = dist.points[dist.points.len() - 1].0;
+        for s in draw(&dist, 3, 50_000) {
+            assert!(
+                s >= lo && s <= hi,
+                "{}: sample {s} outside [{lo},{hi}]",
+                dist.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_seed_gives_a_byte_identical_sample_stream() {
+    for dist in [WEBSEARCH, HADOOP] {
+        let a = draw(&dist, 42, 10_000);
+        let b = draw(&dist, 42, 10_000);
+        assert_eq!(a, b, "{}: same seed must replay exactly", dist.name);
+        let c = draw(&dist, 43, 10_000);
+        assert_ne!(a, c, "{}: different seeds must diverge", dist.name);
+    }
+}
+
+#[test]
+fn heavy_tail_is_actually_heavy() {
+    // The defining property the workloads exist to exercise: the top 10%
+    // of flows carry the majority of the bytes.
+    for dist in [WEBSEARCH, HADOOP] {
+        let mut samples = draw(&dist, 9, N);
+        samples.sort_unstable();
+        let total: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+        let top10: u128 = samples[N - N / 10..].iter().map(|&s| u128::from(s)).sum();
+        assert!(
+            top10 * 2 > total,
+            "{}: top decile carries {top10} of {total} bytes",
+            dist.name
+        );
+    }
+}

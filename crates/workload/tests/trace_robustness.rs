@@ -1,0 +1,145 @@
+//! Robustness tests for the ndjson trace parser: malformed input of any
+//! kind must produce a line-numbered error (or parse cleanly), never a
+//! panic, and never a silently-wrong flow.
+
+use quartz_core::rng::StdRng;
+use quartz_workload::Trace;
+
+const HOSTS: usize = 16;
+
+fn valid_trace() -> String {
+    let mut out = String::new();
+    out.push_str("# demo trace\n");
+    for i in 0..20 {
+        let src = i % HOSTS;
+        let dst = (i + 3) % HOSTS;
+        out.push_str(&format!(
+            "{{\"src\":{src},\"dst\":{dst},\"bytes\":{},\"start_ns\":{},\"tag\":{}}}\n",
+            1_000 + i * 7,
+            i * 500,
+            i % 4
+        ));
+    }
+    out
+}
+
+#[test]
+fn the_valid_trace_parses_and_round_trips() {
+    let text = valid_trace();
+    let trace = Trace::parse(&text, HOSTS).expect("valid trace parses");
+    assert_eq!(trace.flows.len(), 20);
+    let rendered = trace.to_ndjson();
+    let again = Trace::parse(&rendered, HOSTS).expect("round trip parses");
+    assert_eq!(trace, again);
+}
+
+#[test]
+fn malformed_lines_fail_with_the_right_line_number() {
+    // Each case: (bad line, expected substring). The bad line is
+    // appended after two valid lines, so it is always line 3.
+    let cases: &[(&str, &str)] = &[
+        ("{\"src\":0,\"dst\":1,\"start_ns\":0}", "missing"),
+        (
+            "{\"src\":0,\"dst\":1,\"bytes\":NaN,\"start_ns\":0}",
+            "line 3",
+        ),
+        (
+            "{\"src\":0,\"dst\":1,\"bytes\":-5,\"start_ns\":0}",
+            "negative",
+        ),
+        (
+            "{\"src\":99,\"dst\":1,\"bytes\":10,\"start_ns\":0}",
+            "out of range",
+        ),
+        (
+            "{\"src\":0,\"dst\":99,\"bytes\":10,\"start_ns\":0}",
+            "out of range",
+        ),
+        (
+            "{\"src\":0,\"dst\":0,\"bytes\":10,\"start_ns\":0}",
+            "line 3",
+        ),
+        ("{\"src\":0,\"dst\":1,\"bytes\":0,\"start_ns\":0}", "≥ 1"),
+        (
+            "{\"src\":0,\"dst\":1,\"bytes\":1.5,\"start_ns\":0}",
+            "integer",
+        ),
+        (
+            "{\"src\":0,\"dst\":1,\"bytes\":10,\"start_ns\":0,\"x\":1}",
+            "line 3",
+        ),
+        (
+            "{\"src\":0,\"dst\":1,\"bytes\":99999999999999999999999,\"start_ns\":0}",
+            "line 3",
+        ),
+        ("not json at all", "line 3"),
+        (
+            "{\"src\":0,\"dst\":1,\"bytes\":10,\"start_ns\":0}trailing",
+            "line 3",
+        ),
+    ];
+    for (bad, want) in cases {
+        let text = format!(
+            "{{\"src\":0,\"dst\":1,\"bytes\":10,\"start_ns\":0}}\n\
+             {{\"src\":1,\"dst\":2,\"bytes\":10,\"start_ns\":0}}\n\
+             {bad}\n"
+        );
+        let err = Trace::parse(&text, HOSTS).expect_err(bad);
+        assert_eq!(err.line, 3, "line number for {bad:?}: {err}");
+        assert!(
+            err.to_string().contains(want),
+            "error for {bad:?} should mention {want:?}, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn seeded_corruption_never_panics() {
+    // Fuzz-ish: mutate a valid trace in random ways — delete a byte,
+    // insert a byte, flip a character — and require the parser to
+    // either accept the result or return a line-numbered error. Any
+    // panic fails the test harness.
+    let base = valid_trace();
+    let bytes: Vec<u8> = base.bytes().collect();
+    let mut rng = StdRng::seed_from_u64(0xF422);
+    let junk = b"{}\":,-.xX9 \tNaN";
+    for _ in 0..5_000 {
+        let mut mutated = bytes.clone();
+        match rng.random_range(0..3) {
+            0 => {
+                let i = rng.random_range(0..mutated.len());
+                mutated.remove(i);
+            }
+            1 => {
+                let i = rng.random_range(0..mutated.len() + 1);
+                let c = junk[rng.random_range(0..junk.len())];
+                mutated.insert(i, c);
+            }
+            _ => {
+                let i = rng.random_range(0..mutated.len());
+                mutated[i] = junk[rng.random_range(0..junk.len())];
+            }
+        }
+        let text = String::from_utf8_lossy(&mutated);
+        match Trace::parse(&text, HOSTS) {
+            Ok(trace) => {
+                // If it still parses, every flow must still be valid.
+                for f in &trace.flows {
+                    assert!((f.src as usize) < HOSTS && (f.dst as usize) < HOSTS);
+                    assert!(f.src != f.dst && f.bytes >= 1);
+                }
+            }
+            Err(e) => {
+                assert!(e.line >= 1, "error lines are 1-based: {e}");
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn loading_a_missing_file_is_an_error_not_a_panic() {
+    let err = Trace::load(std::path::Path::new("/nonexistent/trace.ndjson"), HOSTS)
+        .expect_err("missing file");
+    assert!(err.to_string().contains("trace"), "{err}");
+}

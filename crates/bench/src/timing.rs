@@ -135,6 +135,22 @@ pub fn wall_timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_nanos() as f64)
 }
 
+/// The process monotonic clock as plain nanoseconds since the first
+/// call, as an injectable `fn() -> u64`.
+///
+/// This is the clock source benches hand to
+/// `quartz_netsim::shard::ShardedSim::set_clock` for the per-domain
+/// busy/idle breakdown: the engine itself never reads wall time (its
+/// default clock is frozen at zero, and the `wall-clock` lint rule
+/// confines `Instant` to this module), so wall time enters a sharded
+/// run only when a harness explicitly injects this function.
+pub fn monotonic_ns() -> u64 {
+    static EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
+    let mut epoch = EPOCH.lock().unwrap();
+    let t0 = *epoch.get_or_insert_with(Instant::now);
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Named-phase wall-time accumulator (see [`phase_timed`]).
 static PHASES: Mutex<quartz_obs::Phases> = Mutex::new(quartz_obs::Phases::new());
 

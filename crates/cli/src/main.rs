@@ -20,6 +20,9 @@
 //!                    --rings 2 --switches 3 --hosts 2 --core 2 --window-us 2000
 //!                    --horizon-ms 80 --seed 42 --units 1 --jobs 0 --quick true
 //!                    --trace-out wl.ndjson --metrics-out wl-metrics.ndjson]
+//! quartz shard      [--domains 4 --jobs 0 --pods 4 --tors 3 --hosts 2 --ring 4
+//!                    --duration-ms 4 --cut-at-us 500 --seed 42 --quick true
+//!                    --trace-out shard.ndjson --metrics-out shard-metrics.ndjson]
 //! ```
 
 #![deny(missing_docs)]
@@ -60,6 +63,7 @@ fn main() {
         Some("power") => cmd_power(&args),
         Some("trace") => cmd_trace(&args),
         Some("workload") => cmd_workload(&args),
+        Some("shard") => cmd_shard(&args),
         Some("help") | None => {
             usage();
             Ok(())
@@ -95,7 +99,10 @@ fn usage() {
          \x20             prints a sim-time timeline, --out writes the ndjson trace\n\
          \x20 workload    drive a traffic workload (trace replay, websearch/hadoop\n\
          \x20             heavy-tail mix, incast, ring/tree all-reduce) through the\n\
-         \x20             transport layer and report per-bucket FCT and slowdown\n\n\
+         \x20             transport layer and report per-bucket FCT and slowdown\n\
+         \x20 shard       run one simulation across spatial domains under\n\
+         \x20             conservative lookahead; stdout is identical at any\n\
+         \x20             --domains value (the determinism contract)\n\n\
          run a command with wrong flags to see its options"
     );
 }
@@ -913,6 +920,177 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
             }
         }
         std::fs::write(out, body).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("trace written: {out}");
+    }
+    Ok(())
+}
+
+/// Drives a Figure 15 Quartz-in-core composite through the sharded
+/// engine. Everything on stdout is domain-count-invariant (the CI
+/// smoke job diffs `--domains 1` against `--domains 4` byte for byte);
+/// the partition diagnostics — domain count, lookahead bound,
+/// per-domain event counts — go to stderr. No wall-clock time is
+/// printed anywhere: the engine's injected clock stays at its frozen
+/// default here.
+fn cmd_shard(args: &Args) -> Result<(), String> {
+    use quartz_netsim::shard::ShardedSim;
+    use quartz_netsim::sim::{FlowKind, SimConfig};
+    use quartz_netsim::transport::TcpVariant;
+    use quartz_netsim::FaultPlan;
+    use quartz_topology::builders::quartz_in_core;
+
+    args.expect_only(&[
+        "domains",
+        "jobs",
+        "pods",
+        "tors",
+        "hosts",
+        "ring",
+        "duration-ms",
+        "cut-at-us",
+        "seed",
+        "quick",
+        "trace-out",
+        "metrics-out",
+    ])?;
+    let quick: bool = args.num("quick", false)?;
+    let domains: usize = args.num("domains", 4)?;
+    let jobs: usize = args.num("jobs", 0)?;
+    let pods: usize = args.num("pods", 4)?;
+    let tors: usize = args.num("tors", if quick { 2 } else { 3 })?;
+    let hosts_per_tor: usize = args.num("hosts", 2)?;
+    let ring: usize = args.num("ring", 4)?;
+    let duration_ms: u64 = args.num("duration-ms", if quick { 2 } else { 4 })?;
+    let cut_at_us: u64 = args.num("cut-at-us", 0)?;
+    let seed: u64 = args.num("seed", 42)?;
+    if domains == 0 || pods == 0 || tors == 0 || hosts_per_tor == 0 || ring < 2 {
+        return Err("--domains/--pods/--tors/--hosts ≥ 1, --ring ≥ 2".into());
+    }
+    if duration_ms == 0 {
+        return Err("--duration-ms must be ≥ 1".into());
+    }
+    if cut_at_us > 0 && cut_at_us >= duration_ms * 1_000 {
+        return Err("--cut-at-us must fall inside --duration-ms".into());
+    }
+
+    let c = quartz_in_core(tors, pods, hosts_per_tor, ring);
+    let cfg = SimConfig {
+        seed,
+        ecn_threshold_bytes: Some(50_000),
+        reconvergence_ns: Some(50_000),
+        ..SimConfig::default()
+    };
+    let mut sim = ShardedSim::new(c.net.clone(), cfg, domains);
+    let n = c.hosts.len();
+    println!(
+        "shard: quartz-in-core {pods} pods x {tors} ToRs x {hosts_per_tor} hosts \
+         ({n} hosts, {ring}-switch core ring), seed {seed}"
+    );
+    eprintln!(
+        "partition: {} domain(s), lookahead {} ns",
+        sim.domain_count(),
+        sim.lookahead_ns()
+    );
+
+    // Pod-crossing traffic: RPC ping-pong, a Reno transfer, and a paced
+    // file per triple of hosts.
+    for i in 0..n {
+        let src = c.hosts[i];
+        let dst = c.hosts[(i + n / 2) % n];
+        match i % 3 {
+            0 => sim.add_flow(src, dst, 400, FlowKind::Rpc { count: 40 }, 0, SimTime::ZERO),
+            1 => sim.add_flow(
+                src,
+                dst,
+                1_000,
+                FlowKind::Transport {
+                    total_bytes: 60_000,
+                    variant: TcpVariant::Reno,
+                },
+                1,
+                SimTime::from_us(i as u64),
+            ),
+            _ => sim.add_flow(
+                src,
+                dst,
+                1_000,
+                FlowKind::FileTransfer {
+                    total_bytes: 30_000,
+                },
+                2,
+                SimTime::from_us(2 * i as u64),
+            ),
+        };
+    }
+    if cut_at_us > 0 {
+        // Cut one core ring channel mid-run; the control plane
+        // reconverges 50 µs later (a coordinator-timeline event, so the
+        // outcome is domain-count-invariant).
+        let l = c
+            .net
+            .links()
+            .find(|l| c.uppers.contains(&l.a) && c.uppers.contains(&l.b))
+            .ok_or("core ring has no channels")?
+            .id;
+        let mut plan = FaultPlan::new();
+        plan.link_down(l, SimTime::from_us(cut_at_us));
+        sim.apply_fault_plan(&plan);
+        println!("fault: core channel cut at {cut_at_us} µs (reconverge +50 µs)");
+    }
+
+    let trace = args.get("trace-out").map(str::to_string);
+    if trace.is_some() {
+        sim.set_recorder(Box::new(quartz_obs::MemoryRecorder::new()));
+    }
+    sim.enable_metrics();
+    sim.run(SimTime::from_ms(duration_ms), &ThreadPool::new(jobs));
+
+    let s = sim.stats();
+    println!(
+        "packets: {} generated, {} delivered, {} dropped over {} ms",
+        s.generated, s.delivered, s.dropped, duration_ms
+    );
+    for (tag, label) in [(0u32, "rpc"), (1, "reno-60k"), (2, "file-30k")] {
+        let sum = s.summary(tag);
+        if sum.count > 0 {
+            println!(
+                "  {label:<10} n={:<5} mean {:>9.1} ns  p50 {:>8} ns  p99 {:>8} ns  max {:>8} ns",
+                sum.count, sum.mean_ns, sum.p50_ns, sum.p99_ns, sum.max_ns
+            );
+        }
+    }
+    println!("completions: {}", sim.flow_completions().len());
+    for r in sim.fault_log() {
+        println!(
+            "fault at {} ns: reconverged {}, {} drops during outage",
+            r.at.ns(),
+            r.reconverged_at
+                .map(|t| format!("at {} ns", t.ns()))
+                .unwrap_or_else(|| "never".into()),
+            r.drops_during_outage,
+        );
+    }
+    let per_dom = sim.per_domain_events();
+    eprintln!(
+        "events: {} total across {} domain(s): {:?}",
+        sim.events_processed(),
+        per_dom.len(),
+        per_dom
+    );
+
+    if let Some(out) = args.get("metrics-out") {
+        let m = sim.take_metrics().ok_or("metrics were enabled")?;
+        std::fs::write(out, m.to_ndjson()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("metrics written: {out}");
+    }
+    if let Some(out) = trace {
+        let events = sim.take_recorder().ok_or("recorder was attached")?.finish();
+        use quartz_obs::Recorder;
+        let mut nd = quartz_obs::NdjsonRecorder::new(Vec::new());
+        for ev in &events {
+            nd.record(ev);
+        }
+        std::fs::write(&out, nd.into_inner()).map_err(|e| format!("writing {out}: {e}"))?;
         println!("trace written: {out}");
     }
     Ok(())

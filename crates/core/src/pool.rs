@@ -37,7 +37,9 @@
 
 use crate::rng::splitmix64;
 use std::collections::VecDeque;
-use std::sync::{Mutex, PoisonError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
 
 /// Number of hardware threads (1 if the platform won't say).
 pub fn available_parallelism() -> usize {
@@ -232,6 +234,156 @@ impl ThreadPool {
     }
 }
 
+/// Shared view of the domain set handed to the coordinator closure of
+/// [`ThreadPool::step_domains`] between windows. While the coordinator
+/// runs, every worker is parked at a barrier, so each `lock` is
+/// uncontended — the mutexes exist for the *stepping* phase, where each
+/// worker holds only the domains it owns.
+pub struct DomainCells<'a, D> {
+    cells: &'a [Mutex<D>],
+}
+
+impl<D> DomainCells<'_, D> {
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the domain set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Locks domain `i`. Poison is tolerated: a worker panic is re-raised
+    /// by [`ThreadPool::step_domains`] itself, so the coordinator may
+    /// still inspect state on its way out.
+    pub fn lock(&self, i: usize) -> MutexGuard<'_, D> {
+        self.cells[i].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl ThreadPool {
+    /// Repeatedly advances a set of stateful domains to coordinator-chosen
+    /// bounds — the synchronization skeleton of a conservatively
+    /// lookahead-windowed sharded simulation.
+    ///
+    /// Each round, `control` runs on the calling thread (every worker
+    /// parked at a barrier) and either returns `Some(bound)` — upon which
+    /// every worker calls `step(&mut domain, bound)` for each domain it
+    /// owns — or `None`, which ends the loop and returns the domains.
+    /// Domain `i` is pinned to worker `i % workers` for the whole call,
+    /// so a domain's steps are totally ordered and its state never
+    /// migrates mid-round.
+    ///
+    /// With one thread (or one domain) no workers are spawned: `control`
+    /// and `step` alternate on the calling thread, in domain-index
+    /// order — the reference schedule parallel runs must reproduce.
+    ///
+    /// # Panics
+    /// Re-raises the first `step` panic after all workers have parked,
+    /// like [`ThreadPool::par_map`]. A panicking worker keeps meeting the
+    /// barriers (without stepping) so the others are never left waiting.
+    pub fn step_domains<D, S, C>(&self, domains: Vec<D>, step: S, mut control: C) -> Vec<D>
+    where
+        D: Send,
+        S: Fn(&mut D, u64) + Sync,
+        C: FnMut(&DomainCells<'_, D>) -> Option<u64>,
+    {
+        let cells: Vec<Mutex<D>> = domains.into_iter().map(Mutex::new).collect();
+        let view = DomainCells { cells: &cells };
+        let workers = self.threads.min(cells.len());
+
+        if workers <= 1 {
+            while let Some(bound) = control(&view) {
+                for cell in &cells {
+                    step(
+                        &mut cell.lock().unwrap_or_else(PoisonError::into_inner),
+                        bound,
+                    );
+                }
+            }
+        } else {
+            let bound = AtomicU64::new(0);
+            let stop = AtomicBool::new(false);
+            let start = Barrier::new(workers + 1);
+            let done = Barrier::new(workers + 1);
+            let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+            let (step, cells_ref) = (&step, &cells);
+            let (bound_ref, stop_ref) = (&bound, &stop);
+            let (start_ref, done_ref, panic_ref) = (&start, &done, &panic_slot);
+
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    scope.spawn(move || {
+                        let mut poisoned = false;
+                        loop {
+                            start_ref.wait();
+                            if stop_ref.load(Ordering::Acquire) {
+                                return;
+                            }
+                            let b = bound_ref.load(Ordering::Acquire);
+                            if !poisoned {
+                                // Step owned domains; on panic, stash the
+                                // payload and keep meeting barriers so no
+                                // peer (or the coordinator) deadlocks.
+                                let r = catch_unwind(AssertUnwindSafe(|| {
+                                    for i in (w..cells_ref.len()).step_by(workers) {
+                                        let mut d = cells_ref[i]
+                                            .lock()
+                                            .unwrap_or_else(PoisonError::into_inner);
+                                        step(&mut d, b);
+                                    }
+                                }));
+                                if let Err(payload) = r {
+                                    poisoned = true;
+                                    let mut slot =
+                                        panic_ref.lock().unwrap_or_else(PoisonError::into_inner);
+                                    slot.get_or_insert(payload);
+                                }
+                            }
+                            done_ref.wait();
+                        }
+                    });
+                }
+                loop {
+                    let next = if panic_ref
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .is_some()
+                    {
+                        None
+                    } else {
+                        control(&view)
+                    };
+                    match next {
+                        Some(b) => {
+                            bound.store(b, Ordering::Release);
+                            start.wait();
+                            done.wait();
+                        }
+                        None => {
+                            stop.store(true, Ordering::Release);
+                            start.wait();
+                            break;
+                        }
+                    }
+                }
+            });
+            let payload = panic_slot
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(p) = payload {
+                std::panic::resume_unwind(p);
+            }
+        }
+
+        cells
+            .into_iter()
+            .map(|c| c.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect()
+    }
+}
+
 impl Default for ThreadPool {
     /// One worker per hardware thread.
     fn default() -> Self {
@@ -382,5 +534,87 @@ mod tests {
     fn zero_thread_request_uses_available_parallelism() {
         assert_eq!(ThreadPool::new(0).threads(), available_parallelism());
         assert_eq!(ThreadPool::default().threads(), available_parallelism());
+    }
+
+    /// A toy "simulation": each domain accumulates (bound − state) per
+    /// window. Windows advance 0 → 10 → 20 → 30, then stop.
+    fn toy_step(d: &mut (u64, u64), bound: u64) {
+        d.1 += bound - d.0;
+        d.0 = bound;
+    }
+
+    #[test]
+    fn step_domains_parallel_matches_sequential() {
+        let run = |threads: usize| {
+            let domains = vec![(0u64, 0u64); 7];
+            let mut next = 0u64;
+            ThreadPool::new(threads).step_domains(domains, toy_step, |cells| {
+                assert_eq!(cells.len(), 7);
+                next += 10;
+                (next <= 30).then_some(next)
+            })
+        };
+        let seq = run(1);
+        assert_eq!(seq, vec![(30, 30); 7]);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), seq, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn step_domains_coordinator_sees_worker_writes_between_windows() {
+        // Every window doubles each domain's accumulator; the control
+        // closure reads the updated values before choosing the next
+        // bound — a data dependency across the barrier.
+        let domains: Vec<u64> = (1..=4).collect();
+        let mut rounds = 0;
+        let out = ThreadPool::new(4).step_domains(
+            domains,
+            |d, _| *d *= 2,
+            |cells| {
+                if rounds > 0 {
+                    for i in 0..cells.len() {
+                        let v = *cells.lock(i);
+                        assert_eq!(v, (i as u64 + 1) << rounds, "round {rounds}");
+                    }
+                }
+                rounds += 1;
+                (rounds <= 3).then_some(rounds)
+            },
+        );
+        assert_eq!(out, vec![8, 16, 24, 32]);
+    }
+
+    #[test]
+    fn step_domains_returns_domains_on_immediate_stop() {
+        let out = ThreadPool::new(4).step_domains(vec![1u32, 2, 3], |_, _| {}, |_| None);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn step_domains_propagates_worker_panics() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut windows = 0;
+            ThreadPool::new(4).step_domains(
+                vec![0u64; 8],
+                |d, b| {
+                    *d = b;
+                    if b == 2 {
+                        panic!("domain stepping exploded");
+                    }
+                },
+                |_| {
+                    windows += 1;
+                    (windows <= 5).then_some(windows)
+                },
+            )
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        assert!(msg.contains("domain stepping exploded"), "payload: {msg}");
     }
 }

@@ -249,7 +249,7 @@ pub struct FaultRecord {
     /// reconvergence (0 until reconvergence closes the record).
     pub drops_during_outage: u64,
     /// Total drops when the event fired, to difference against at close.
-    baseline_drops: u64,
+    pub(crate) baseline_drops: u64,
 }
 
 /// One entry of the simulator's flow-completion log: a managed flow
@@ -329,30 +329,32 @@ impl EventQueue {
     }
 }
 
-/// Per-direction link state.
+/// Per-direction link state. `pub(crate)` because the sharded engine
+/// ([`crate::shard`]) reuses the exact same per-slot bookkeeping (and
+/// must, for bit-identical serialization arithmetic).
 #[derive(Clone, Debug)]
-struct DirLink {
-    rate_gbps: f64, // == bits per ns
-    free_at: SimTime,
+pub(crate) struct DirLink {
+    pub(crate) rate_gbps: f64, // == bits per ns
+    pub(crate) free_at: SimTime,
     /// Nanoseconds spent transmitting (for utilization reports).
-    busy_ns: u64,
+    pub(crate) busy_ns: u64,
     /// Bytes transmitted.
-    bytes: u64,
+    pub(crate) bytes: u64,
     /// A failed link silently drops everything queued onto it.
-    failed: bool,
+    pub(crate) failed: bool,
     /// Memoized serialization time for the last frame size sent (the
     /// rate is fixed per link and traffic is dominated by one or two
     /// sizes, so the `ceil(bits / rate)` float round-trip rarely
     /// recomputes). `ser_size == 0` means empty.
-    ser_size: u32,
-    ser_ns: u64,
+    pub(crate) ser_size: u32,
+    pub(crate) ser_ns: u64,
 }
 
 impl DirLink {
     /// Serialization time for `size` bytes — the cached value when the
     /// size repeats, the identical f64 computation when it doesn't.
     #[inline]
-    fn ser_ns(&mut self, size: u32) -> u64 {
+    pub(crate) fn ser_ns(&mut self, size: u32) -> u64 {
         if self.ser_size != size {
             self.ser_size = size;
             self.ser_ns = ((size as f64 * 8.0) / self.rate_gbps).ceil() as u64;
@@ -496,7 +498,7 @@ pub struct Simulator {
 /// first use, and the forwarding path borrows the cached `&str` —
 /// `format!` never runs per packet.
 #[derive(Debug, Default)]
-struct MetricLabels {
+pub(crate) struct MetricLabels {
     /// `switch.{:03}.forwarded`, indexed by node id.
     switch_fwd: Vec<String>,
     /// `queue.link{:04}.{ab|ba}`, indexed by directed slot.
@@ -506,7 +508,7 @@ struct MetricLabels {
 }
 
 impl MetricLabels {
-    fn switch_fwd(&mut self, node: u32) -> &str {
+    pub(crate) fn switch_fwd(&mut self, node: u32) -> &str {
         while self.switch_fwd.len() <= node as usize {
             let n = self.switch_fwd.len();
             self.switch_fwd.push(format!("switch.{n:03}.forwarded"));
@@ -514,11 +516,11 @@ impl MetricLabels {
         &self.switch_fwd[node as usize]
     }
 
-    fn queue(&mut self, slot: u32) -> &str {
+    pub(crate) fn queue(&mut self, slot: u32) -> &str {
         Self::slot_label(&mut self.queue, "queue", slot)
     }
 
-    fn util(&mut self, slot: u32) -> &str {
+    pub(crate) fn util(&mut self, slot: u32) -> &str {
         Self::slot_label(&mut self.util, "util", slot)
     }
 

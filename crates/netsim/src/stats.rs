@@ -29,6 +29,17 @@ impl Series {
         self.sorted.set(false);
     }
 
+    /// Appends every sample from `other` (invalidates the sorted
+    /// order). All queries are multiset functions of the samples, so
+    /// the answers after an append do not depend on which side the
+    /// samples arrived from.
+    pub fn append(&mut self, other: &Series) {
+        self.samples_ns
+            .get_mut()
+            .extend_from_slice(&other.samples_ns.borrow());
+        self.sorted.set(false);
+    }
+
     /// Number of samples.
     pub fn count(&self) -> usize {
         self.samples_ns.borrow().len()
@@ -335,6 +346,33 @@ impl Stats {
     /// Total recorded samples across tags.
     pub fn total_samples(&self) -> usize {
         self.per_tag.iter().map(|r| r.series.count()).sum()
+    }
+
+    /// Folds `other` into `self`: the conservation counters add, and
+    /// each of `other`'s tag rows merges into the matching row here
+    /// (latency samples append, bytes add, hop bins add elementwise).
+    ///
+    /// Every query on [`Stats`] is a multiset function of the recorded
+    /// samples, so a merge of per-shard stats yields bit-identical
+    /// summaries regardless of how the samples were split across the
+    /// shards — the property the sharded engine's determinism contract
+    /// relies on.
+    pub fn merge(&mut self, other: &Stats) {
+        self.generated += other.generated;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        for (&tag, row) in other.tag_keys.iter().zip(&other.per_tag) {
+            let i = self.tag_idx(tag);
+            let mine = &mut self.per_tag[i];
+            mine.series.append(&row.series);
+            mine.bytes += row.bytes;
+            if row.hops.len() > mine.hops.len() {
+                mine.hops.resize(row.hops.len(), 0);
+            }
+            for (m, &o) in mine.hops.iter_mut().zip(&row.hops) {
+                *m += o;
+            }
+        }
     }
 }
 
@@ -658,6 +696,92 @@ mod tests {
         let mut s = Series::default();
         s.record(1);
         s.percentile(-0.1);
+    }
+
+    #[test]
+    fn merge_equals_single_sided_recording() {
+        // Record one interleaved stream into a reference Stats, and the
+        // same stream split round-robin across three shards that are
+        // then merged; every summary output must be identical.
+        let mut reference = Stats::default();
+        let mut shards = [Stats::default(), Stats::default(), Stats::default()];
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for step in 0..600u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let tag = (x % 5) as u32;
+            let shard = &mut shards[(step % 3) as usize];
+            match x % 4 {
+                0 => {
+                    reference.record(tag, x % 100_000);
+                    shard.record(tag, x % 100_000);
+                }
+                1 => {
+                    reference.record_delivery(tag, x % 1500, (x % 7) as u32, Some(x % 50_000));
+                    shard.record_delivery(tag, x % 1500, (x % 7) as u32, Some(x % 50_000));
+                    reference.delivered += 1;
+                    shard.delivered += 1;
+                }
+                2 => {
+                    reference.record_bytes(tag, x % 9000);
+                    shard.record_bytes(tag, x % 9000);
+                    reference.generated += 1;
+                    shard.generated += 1;
+                }
+                _ => {
+                    reference.record_hops(tag, (x % 9) as u32);
+                    shard.record_hops(tag, (x % 9) as u32);
+                    reference.dropped += 1;
+                    shard.dropped += 1;
+                }
+            }
+        }
+        let mut merged = Stats::default();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.generated, reference.generated);
+        assert_eq!(merged.delivered, reference.delivered);
+        assert_eq!(merged.dropped, reference.dropped);
+        assert_eq!(merged.tags(), reference.tags());
+        assert_eq!(merged.total_samples(), reference.total_samples());
+        for tag in 0..6u32 {
+            assert_eq!(merged.summary(tag), reference.summary(tag), "tag {tag}");
+            assert_eq!(
+                merged.delivered_bytes(tag),
+                reference.delivered_bytes(tag),
+                "tag {tag}"
+            );
+            assert_eq!(
+                merged.hop_distribution(tag),
+                reference.hop_distribution(tag),
+                "tag {tag}"
+            );
+            assert_eq!(
+                merged.histogram(tag, 8),
+                reference.histogram(tag, 8),
+                "tag {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_and_with_empty_are_identity() {
+        let mut some = Stats::default();
+        some.record(3, 11);
+        some.record_delivery(3, 64, 2, Some(7));
+        some.generated = 5;
+
+        let mut from_empty = Stats::default();
+        from_empty.merge(&some);
+        assert_eq!(from_empty.summary(3), some.summary(3));
+        assert_eq!(from_empty.generated, 5);
+
+        let snapshot = some.summary(3);
+        some.merge(&Stats::default());
+        assert_eq!(some.summary(3), snapshot);
+        assert_eq!(some.generated, 5);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * [`metrics`] — the Table 9 columns: uncongested latency, switch
 //!   count, wiring complexity, and path diversity (edge-disjoint paths by
 //!   max-flow).
+//! * [`partition`] — spatial-domain partitioning (ring arcs, whole pods,
+//!   BFS-growth fallback) for the sharded simulation engine.
 //! * [`spain`] — the §6 prototype's SPAIN-style per-VLAN spanning trees
 //!   for application-selected multipath.
 //! * [`dot`] — Graphviz export of any topology.
@@ -32,11 +34,13 @@ pub mod builders;
 pub mod dot;
 pub mod graph;
 pub mod metrics;
+pub mod partition;
 pub mod ports;
 pub mod route;
 pub mod spain;
 
 pub use graph::{LinkId, Network, Node, NodeId, NodeKind, SwitchRole};
+pub use partition::{spatial_domains, Partition};
 pub use ports::{validate_port_budget, PortBudget, PortViolation};
 pub use route::{FlatRoutes, RouteChange, RouteTable};
 pub use spain::SpainFabric;

@@ -1,0 +1,385 @@
+//! Spatial-domain partitioning for the sharded simulation engine.
+//!
+//! A partition splits a network's switches into `k` *spatial domains* so
+//! that a single simulation can advance each domain on its own worker
+//! under conservative lookahead (DESIGN.md §13). The partitioner only
+//! chooses *where* the domain boundaries fall; the engine derives its
+//! lookahead window from the links that end up crossing them, so any
+//! assignment is correct — a good one merely crosses few, slow links.
+//!
+//! Three strategies, picked automatically:
+//!
+//! 1. **Ring arcs** — a pure Quartz mesh (every switch carries
+//!    [`SwitchRole::QuartzRing`]) splits into `k` contiguous arcs of the
+//!    ring ordering.
+//! 2. **Pod grouping** — a composite with an edge tier (ToR/aggregation
+//!    switches) under a ring or core tier groups each pod (a connected
+//!    component of the edge-tier subgraph) whole, deals pods to the
+//!    least-loaded domain, and splits the upper tier into contiguous
+//!    arcs.
+//! 3. **BFS growth** — any other topology (Jellyfish, …) grows `k`
+//!    balanced regions from evenly spread seed switches by round-robin
+//!    breadth-first claiming.
+//!
+//! Hosts always join the domain of their first switch neighbor, so a
+//! host's access link never crosses a domain boundary — the engine's
+//! lookahead bound only has to consider switch-to-switch links.
+//!
+//! Everything here is deterministic: same network and `k` ⇒ same
+//! assignment, independent of thread count or iteration timing.
+
+use crate::graph::{Network, NodeId, NodeKind, SwitchRole};
+use std::collections::VecDeque;
+
+/// A spatial-domain assignment over one network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Domain index per node (indexed by `NodeId.0`).
+    domain_of: Vec<u32>,
+    /// Number of domains (`max(domain_of) + 1`).
+    domains: u32,
+}
+
+impl Partition {
+    /// The domain of `node`.
+    #[inline]
+    pub fn domain(&self, node: NodeId) -> u32 {
+        self.domain_of[node.0 as usize]
+    }
+
+    /// Domain index per node, indexed by `NodeId.0`.
+    pub fn domain_of(&self) -> &[u32] {
+        &self.domain_of
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.domains as usize
+    }
+
+    /// Directed switch-to-switch link slots that cross a domain
+    /// boundary, as `(slot, from, to)` with the simulator's slot layout
+    /// (`2·link` = a→b, `2·link + 1` = b→a).
+    pub fn cross_slots<'a>(
+        &'a self,
+        net: &'a Network,
+    ) -> impl Iterator<Item = (u32, NodeId, NodeId)> + 'a {
+        net.links().flat_map(move |l| {
+            let (da, db) = (self.domain(l.a), self.domain(l.b));
+            let ab = (da != db).then_some((2 * l.id.0, l.a, l.b));
+            let ba = (da != db).then_some((2 * l.id.0 + 1, l.b, l.a));
+            ab.into_iter().chain(ba)
+        })
+    }
+
+    /// Number of undirected links crossing a domain boundary.
+    pub fn cross_links(&self, net: &Network) -> usize {
+        net.links()
+            .filter(|l| self.domain(l.a) != self.domain(l.b))
+            .count()
+    }
+
+    /// Switch count per domain (hosts excluded).
+    pub fn switch_counts(&self, net: &Network) -> Vec<usize> {
+        let mut counts = vec![0usize; self.domains()];
+        for n in net.nodes() {
+            if n.kind.is_switch() {
+                counts[self.domain(n.id) as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Partitions `net` into (at most) `k` spatial domains. `k` is clamped
+/// to `1..=switch count`; with `k == 1` every node lands in domain 0.
+///
+/// # Panics
+/// Panics if the network has no switches, or if some host has no switch
+/// neighbor (relay-host fabrics are not partitionable — their host
+/// links would cross domains).
+pub fn spatial_domains(net: &Network, k: usize) -> Partition {
+    let switches = net.switches();
+    assert!(
+        !switches.is_empty(),
+        "cannot partition a switchless network"
+    );
+    let k = k.clamp(1, switches.len()) as u32;
+    let mut domain_of = vec![u32::MAX; net.node_count()];
+    if k == 1 {
+        domain_of.fill(0);
+        return Partition {
+            domain_of,
+            domains: 1,
+        };
+    }
+
+    let all_ring = switches.iter().all(|&s| {
+        matches!(
+            net.node(s).kind,
+            NodeKind::Switch(SwitchRole::QuartzRing(_))
+        )
+    });
+    if all_ring {
+        ring_arcs(&switches, k, &mut domain_of);
+    } else if !pod_grouping(net, &switches, k, &mut domain_of) {
+        bfs_growth(net, &switches, k, &mut domain_of);
+    }
+
+    assign_hosts(net, &mut domain_of);
+    Partition {
+        domain_of,
+        domains: k,
+    }
+}
+
+/// Strategy 1: contiguous arcs of the ring ordering (switch-id order,
+/// which the builders lay out around the ring).
+fn ring_arcs(switches: &[NodeId], k: u32, domain_of: &mut [u32]) {
+    let n = switches.len() as u64;
+    for (i, &s) in switches.iter().enumerate() {
+        // Even split: arc d covers indices [d·n/k, (d+1)·n/k).
+        debug_assert!((i as u64) < n, "enumerate index bounded by len");
+        domain_of[s.0 as usize] = ((i as u64 * u64::from(k)) / n) as u32;
+    }
+}
+
+/// Strategy 2: pods whole, upper tier in arcs. Returns `false` (leaving
+/// `domain_of` untouched) when the topology has no edge/upper split.
+fn pod_grouping(net: &Network, switches: &[NodeId], k: u32, domain_of: &mut [u32]) -> bool {
+    let is_edge = |s: NodeId| {
+        matches!(
+            net.node(s).kind,
+            NodeKind::Switch(SwitchRole::TopOfRack | SwitchRole::Aggregation)
+        )
+    };
+    let edges: Vec<NodeId> = switches.iter().copied().filter(|&s| is_edge(s)).collect();
+    let uppers: Vec<NodeId> = switches.iter().copied().filter(|&s| !is_edge(s)).collect();
+    if edges.is_empty() || uppers.is_empty() {
+        return false;
+    }
+
+    // Pods = connected components of the edge-tier subgraph, discovered
+    // in ascending switch-id order (deterministic).
+    let mut pod_of = vec![usize::MAX; net.node_count()];
+    let mut pods: Vec<Vec<NodeId>> = Vec::new();
+    for &start in &edges {
+        if pod_of[start.0 as usize] != usize::MAX {
+            continue;
+        }
+        let pod = pods.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::new();
+        pod_of[start.0 as usize] = pod;
+        queue.push_back(start);
+        while let Some(s) = queue.pop_front() {
+            members.push(s);
+            for &(nb, _) in net.neighbors(s) {
+                if net.node(nb).kind.is_switch()
+                    && is_edge(nb)
+                    && pod_of[nb.0 as usize] == usize::MAX
+                {
+                    pod_of[nb.0 as usize] = pod;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        pods.push(members);
+    }
+
+    // Deal pods (largest first among equals by discovery order) onto the
+    // least-loaded domain; ties break toward the lowest domain index.
+    let mut load = vec![0usize; k as usize];
+    for members in &pods {
+        let d = (0..k as usize).min_by_key(|&d| (load[d], d)).unwrap();
+        debug_assert!(d < k as usize, "min_by_key over 0..k");
+        load[d] += members.len();
+        for &s in members {
+            domain_of[s.0 as usize] = d as u32;
+        }
+    }
+    // Upper tier (ring/core switches): contiguous arcs, like strategy 1.
+    ring_arcs(&uppers, k, domain_of);
+    true
+}
+
+/// Strategy 3: multi-source BFS from `k` evenly spread seed switches;
+/// domains take turns (least-claimed first) claiming one switch from
+/// their frontier until all switches are assigned.
+fn bfs_growth(net: &Network, switches: &[NodeId], k: u32, domain_of: &mut [u32]) {
+    let n = switches.len();
+    let mut frontiers: Vec<VecDeque<NodeId>> = Vec::with_capacity(k as usize);
+    let mut sizes = vec![0usize; k as usize];
+    for d in 0..k as usize {
+        let seed = switches[d * n / k as usize];
+        let mut f = VecDeque::new();
+        f.push_back(seed);
+        frontiers.push(f);
+    }
+    let mut claimed = 0usize;
+    while claimed < n {
+        // Smallest domain with a non-empty frontier goes next; if every
+        // frontier is empty (disconnected remainder), the smallest
+        // domain adopts the lowest unassigned switch.
+        let d = match (0..k as usize)
+            .filter(|&d| !frontiers[d].is_empty())
+            .min_by_key(|&d| (sizes[d], d))
+        {
+            Some(d) => d,
+            None => {
+                let d = (0..k as usize).min_by_key(|&d| (sizes[d], d)).unwrap();
+                let orphan = switches
+                    .iter()
+                    .copied()
+                    .find(|&s| domain_of[s.0 as usize] == u32::MAX)
+                    .expect("claimed < n implies an unassigned switch");
+                frontiers[d].push_back(orphan);
+                d
+            }
+        };
+        let Some(s) = frontiers[d].pop_front() else {
+            continue;
+        };
+        if domain_of[s.0 as usize] != u32::MAX {
+            continue;
+        }
+        debug_assert!(d < k as usize, "domain index chosen from 0..k");
+        domain_of[s.0 as usize] = d as u32;
+        sizes[d] += 1;
+        claimed += 1;
+        for &(nb, _) in net.neighbors(s) {
+            if net.node(nb).kind.is_switch() && domain_of[nb.0 as usize] == u32::MAX {
+                frontiers[d].push_back(nb);
+            }
+        }
+    }
+}
+
+/// Hosts join their first switch neighbor's domain.
+fn assign_hosts(net: &Network, domain_of: &mut [u32]) {
+    for node in net.nodes() {
+        if !node.kind.is_host() {
+            continue;
+        }
+        let tor = net
+            .neighbors(node.id)
+            .iter()
+            .map(|&(nb, _)| nb)
+            .find(|&nb| net.node(nb).kind.is_switch())
+            .expect("every host needs a switch neighbor to partition");
+        domain_of[node.id.0 as usize] = domain_of[tor.0 as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{jellyfish, quartz_in_core, quartz_mesh, three_tier};
+
+    fn assert_covering(net: &Network, p: &Partition) {
+        assert_eq!(p.domain_of().len(), net.node_count());
+        for n in net.nodes() {
+            assert!(
+                p.domain(n.id) < p.domains() as u32,
+                "{} unassigned or out of range",
+                n.id
+            );
+        }
+    }
+
+    /// No host access link may cross a boundary — the engine's lookahead
+    /// derivation depends on it.
+    fn assert_hosts_with_tor(net: &Network, p: &Partition) {
+        for l in net.links() {
+            let host_end = net.node(l.a).kind.is_host() || net.node(l.b).kind.is_host();
+            if host_end {
+                assert_eq!(p.domain(l.a), p.domain(l.b), "host link {} crosses", l.id);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_splits_into_contiguous_arcs() {
+        let q = quartz_mesh(16, 4, 10.0, 10.0);
+        let p = spatial_domains(&q.net, 4);
+        assert_eq!(p.domains(), 4);
+        assert_covering(&q.net, &p);
+        assert_hosts_with_tor(&q.net, &p);
+        // 16 switches over 4 domains: 4 each, arc d = switches 4d..4d+4.
+        for (i, &s) in q.switches.iter().enumerate() {
+            assert_eq!(p.domain(s), (i / 4) as u32);
+        }
+        assert_eq!(p.switch_counts(&q.net), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn composite_keeps_pods_whole() {
+        let c = quartz_in_core(4, 4, 4, 8);
+        let p = spatial_domains(&c.net, 4);
+        assert_covering(&c.net, &p);
+        assert_hosts_with_tor(&c.net, &p);
+        // Every ToR in a pod shares its pod-mates' domain (pods are the
+        // edge-tier components; 4 pods onto 4 domains = one each).
+        for pod in 0..4 {
+            let doms: Vec<u32> = (0..4).map(|t| p.domain(c.edges[pod * 4 + t])).collect();
+            assert!(doms.windows(2).all(|w| w[0] == w[1]), "pod {pod}: {doms:?}");
+        }
+        let counts = p.switch_counts(&c.net);
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 2, "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn three_tier_pods_stay_whole_too() {
+        let t = three_tier(4, 4, 2, 2, 10.0, 40.0);
+        let p = spatial_domains(&t.net, 2);
+        assert_covering(&t.net, &p);
+        assert_hosts_with_tor(&t.net, &p);
+    }
+
+    #[test]
+    fn jellyfish_falls_back_to_bfs_growth() {
+        let j = jellyfish(24, 4, 2, 10.0, 10.0, 7);
+        let p = spatial_domains(&j.net, 4);
+        assert_covering(&j.net, &p);
+        assert_hosts_with_tor(&j.net, &p);
+        let counts = p.switch_counts(&j.net);
+        assert_eq!(counts.iter().sum::<usize>(), 24);
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "BFS growth must balance: {counts:?}");
+    }
+
+    #[test]
+    fn k_clamps_to_switch_count_and_one() {
+        let q = quartz_mesh(4, 1, 10.0, 10.0);
+        assert_eq!(spatial_domains(&q.net, 99).domains(), 4);
+        let p1 = spatial_domains(&q.net, 1);
+        assert_eq!(p1.domains(), 1);
+        assert!(p1.domain_of().iter().all(|&d| d == 0));
+        assert_eq!(p1.cross_links(&q.net), 0);
+    }
+
+    #[test]
+    fn partitions_are_deterministic() {
+        let c = quartz_in_core(4, 4, 4, 8);
+        let a = spatial_domains(&c.net, 4);
+        let b = spatial_domains(&c.net, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_slots_match_cross_links() {
+        let q = quartz_mesh(8, 2, 10.0, 10.0);
+        let p = spatial_domains(&q.net, 2);
+        let slots: Vec<_> = p.cross_slots(&q.net).collect();
+        assert_eq!(slots.len(), 2 * p.cross_links(&q.net));
+        for (slot, from, to) in slots {
+            assert_ne!(p.domain(from), p.domain(to));
+            let l = q.net.link(crate::graph::LinkId(slot / 2));
+            assert!(
+                (l.a == from && l.b == to) || (l.a == to && l.b == from),
+                "slot endpoints must match the link"
+            );
+        }
+    }
+}
